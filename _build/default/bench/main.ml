@@ -1,0 +1,526 @@
+(* Reproduction harness: one section per table/figure of the paper's
+   evaluation, plus the ablations from DESIGN.md and bechamel
+   microbenchmarks of the library itself.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig8a   # one experiment
+
+   Absolute numbers come from the calibrated chip model (DESIGN.md §2);
+   the shapes are the claims under reproduction. *)
+
+open Dejavu_core
+
+let section title =
+  Format.printf "@.==================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "==================================================@."
+
+let ip = Netpkt.Ip4.of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+let spec = Asic.Spec.wedge_100b
+
+(* ------------------------------------------------------------------ *)
+(* E1 / Fig. 6: placement example, naive vs optimized                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Fig. 6 - NF placement for the chain A-B-C-D-E-F (2 pipelines)";
+  let ing p = { Asic.Pipelet.pipeline = p; kind = Asic.Pipelet.Ingress } in
+  let eg p = { Asic.Pipelet.pipeline = p; kind = Asic.Pipelet.Egress } in
+  let chain = [ "A"; "B"; "C"; "D"; "E"; "F" ] in
+  let run name paper layout =
+    match Traversal.solve spec layout ~entry_pipeline:0 ~exit_port:1 chain with
+    | None -> Format.printf "%-12s unroutable@." name
+    | Some p ->
+        Format.printf "%-12s recirculations=%d  (paper: %s)@." name
+          p.Traversal.recircs paper;
+        Format.printf "             %a@." Traversal.pp_path p
+  in
+  run "fig6(a)" "3"
+    [
+      (ing 0, [ Layout.Seq [ "A"; "B" ] ]);
+      (eg 0, [ Layout.Seq [ "C" ] ]);
+      (ing 1, [ Layout.Seq [ "D" ] ]);
+      (eg 1, [ Layout.Seq [ "E"; "F" ] ]);
+    ];
+  run "fig6(b)" "1"
+    [
+      (ing 0, [ Layout.Seq [ "A"; "B" ] ]);
+      (eg 1, [ Layout.Seq [ "C" ] ]);
+      (ing 1, [ Layout.Seq [ "D" ] ]);
+      (eg 0, [ Layout.Seq [ "E"; "F" ] ]);
+    ];
+  (* And what our optimizer finds for the same workload. *)
+  let input =
+    {
+      Placement.spec;
+      resources_of = (fun _ -> { P4ir.Resources.zero with P4ir.Resources.stages = 1 });
+      chains = [ Chain.make ~path_id:1 ~name:"af" ~nfs:chain ~exit_port:1 () ];
+      entry_pipeline = 0;
+      pinned = [];
+      framework_stages_per_nf = 2;
+      framework_stages_fixed = 1;
+    }
+  in
+  match Placement.solve input Placement.Exhaustive with
+  | Error e -> Format.printf "optimizer failed: %s@." e
+  | Ok (layout, cost) ->
+      Format.printf "optimizer    cost=%.2f with layout:@.%a@." cost Layout.pp layout
+
+(* ------------------------------------------------------------------ *)
+(* E2 / Fig. 7: the feedback-queue model                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  section "Fig. 7 / Sec. 4 - loopback feedback-queue model";
+  let rates = Model.feedback_arrival_rates 2 in
+  let total = Array.fold_left ( +. ) 0.0 rates in
+  let x = rates.(0) /. total in
+  Format.printf "x (first-pass share at saturated EB) = %.3fT   (paper: 0.62T)@." x;
+  Format.printf "golden conjugate                      = %.3f@." Model.golden_x;
+  Format.printf "2-recirc delivered                    = %.3fT  (paper: 0.38T)@."
+    (Model.feedback_throughput 2);
+  Format.printf "3-recirc delivered                    = %.3fT  (paper: 0.16T)@."
+    (Model.feedback_throughput 3);
+  Format.printf "@.Linear capacity split (m of n ports loopback):@.";
+  Format.printf "%6s %10s %18s@." "m/n" "external" "1-recirc share";
+  List.iter
+    (fun m ->
+      let s = Model.loopback_split ~n_ports:32 ~m_loopback:m in
+      Format.printf "%3d/32 %9.2f%% %17.2f%%@." m
+        (100.0 *. s.Model.external_fraction)
+        (100.0 *. s.Model.single_recirc_fraction))
+    [ 0; 4; 8; 16; 24 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3 / Fig. 8a: throughput vs number of recirculations                *)
+(* ------------------------------------------------------------------ *)
+
+let fig8a () =
+  section "Fig. 8(a) - effective throughput vs recirculations (100 Gbps in)";
+  Format.printf "%8s %12s %12s %10s@." "recircs" "sim (Gbps)" "model (Gbps)"
+    "paper";
+  let paper = [ (1, "~100"); (2, "~38"); (3, "~16"); (4, "~7"); (5, "~3") ] in
+  List.iter
+    (fun (k, stats) ->
+      let sim = 100.0 *. stats.Asic.Flowsim.throughput_fraction in
+      let model = 100.0 *. Model.feedback_throughput k in
+      Format.printf "%8d %12.1f %12.1f %10s@." k sim model
+        (Option.value ~default:"-" (List.assoc_opt k paper)))
+    (Asic.Flowsim.sweep [ 0; 1; 2; 3; 4; 5 ]);
+  Format.printf
+    "(shape check: super-linear decay; 1 recirc keeps line rate, 3 lose >2/3)@."
+
+(* ------------------------------------------------------------------ *)
+(* E4 / Fig. 8b: recirculation latency                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig8b () =
+  section "Fig. 8(b) - recirculation latency";
+  let p2p = Asic.Latency.port_to_port_ns spec in
+  let on_chip = Asic.Latency.recirc_on_chip_ns spec in
+  let off_chip = Asic.Latency.recirc_off_chip_ns spec ~cable_m:1.0 in
+  Format.printf "port-to-port (idle buffers): %6.0f ns   (paper: ~650 ns)@." p2p;
+  Format.printf "on-chip recirculation:       %6.0f ns   (paper: ~75 ns)@." on_chip;
+  Format.printf "off-chip recirc (1 m DAC):   %6.0f ns   (paper: ~145 ns)@."
+    off_chip;
+  Format.printf "on-chip / port-to-port:      %6.1f%%   (paper: ~11.5%%)@."
+    (100.0 *. on_chip /. p2p);
+  Format.printf "off-chip / on-chip:          %6.2fx   (paper: ~2x)@."
+    (off_chip /. on_chip);
+  (* Measured on the chip walk itself. *)
+  Format.printf "@.measured on the chip model:@.";
+  let input = Nflib.Catalog.edge_cloud_input () in
+  match Compiler.compile input with
+  | Error e -> Format.printf "compile failed: %s@." e
+  | Ok compiled ->
+      let frame =
+        Netpkt.Pkt.encode
+          (Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+             ~dst_mac:(mac "02:00:00:00:00:02")
+             {
+               Netpkt.Flow.src = ip "203.0.113.7";
+               dst = ip "10.0.3.50";
+               proto = Netpkt.Ipv4.proto_tcp;
+               src_port = 1234;
+               dst_port = 443;
+             })
+      in
+      (match Asic.Chip.inject compiled.Compiler.chip ~in_port:0 frame with
+      | Ok r ->
+          Format.printf "  green path (0 recirculations): %.0f ns@."
+            r.Asic.Chip.latency_ns
+      | Error e -> Format.printf "  error: %s@." e)
+
+(* ------------------------------------------------------------------ *)
+(* E5+E6 / Fig. 9 + Table 1: the 5-NF prototype and its overhead        *)
+(* ------------------------------------------------------------------ *)
+
+let compile_prototype ?(strategy = Placement.Exhaustive) () =
+  Compiler.compile (Nflib.Catalog.edge_cloud_input ~strategy ())
+
+let fig9 () =
+  section "Fig. 9 - prototype placement (5 NFs, 2 pipelines, pipe 1 loopback)";
+  match compile_prototype () with
+  | Error e -> Format.printf "compile failed: %s@." e
+  | Ok compiled ->
+      Format.printf "%a@." Compiler.pp_summary compiled;
+      let ports = Asic.Chip.ports compiled.Compiler.chip in
+      Format.printf
+        "capacity: %.0f Gbps external, every packet may recirculate once \
+         (paper: 1.6 Tbps)@."
+        (Asic.Port.external_capacity_fraction ports
+        *. Asic.Spec.total_capacity_gbps spec);
+      Format.printf "generic parser: %d vertices over %d header declarations@."
+        (List.length compiled.Compiler.generic_parser.P4ir.Parser_graph.states)
+        (List.length compiled.Compiler.generic_parser.P4ir.Parser_graph.decls)
+
+let table1 () =
+  section "Table 1 - Dejavu framework resource overhead on the chip";
+  match compile_prototype () with
+  | Error e -> Format.printf "compile failed: %s@." e
+  | Ok compiled ->
+      let rows = Compiler.framework_report compiled in
+      let paper =
+        [
+          ("Stages", "20.8%"); ("Table IDs", "4.2%"); ("Gateways", "2%");
+          ("Crossbars", "0.4%"); ("VLIWs", "1.5%"); ("SRAM", "0.2%");
+          ("TCAM", "0%");
+        ]
+      in
+      Format.printf "%-10s %8s %9s %8s %8s@." "Resource" "Used" "Capacity"
+        "Ours" "Paper";
+      List.iter
+        (fun (r : Compiler.report_row) ->
+          Format.printf "%-10s %8d %9d %7.1f%% %8s@." r.Compiler.resource
+            r.Compiler.used r.Compiler.capacity r.Compiler.pct
+            (Option.value ~default:"-" (List.assoc_opt r.Compiler.resource paper)))
+        rows
+
+(* ------------------------------------------------------------------ *)
+(* E7: functional validation (PTF), as in Sec. 5                        *)
+(* ------------------------------------------------------------------ *)
+
+let validation () =
+  section "Sec. 5 validation - PTF send/expect over every SFC path";
+  match compile_prototype () with
+  | Error e -> Format.printf "compile failed: %s@." e
+  | Ok compiled ->
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      let flow dst dst_port =
+        Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+          ~dst_mac:(mac "02:00:00:00:00:02")
+          {
+            Netpkt.Flow.src = ip "203.0.113.77";
+            dst;
+            proto = Netpkt.Ipv4.proto_tcp;
+            src_port = 50000;
+            dst_port;
+          }
+      in
+      let blocked =
+        Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+          ~dst_mac:(mac "02:00:00:00:00:02")
+          {
+            Netpkt.Flow.src = ip "198.51.100.1";
+            dst = Nflib.Catalog.tenant1_vip;
+            proto = Netpkt.Ipv4.proto_tcp;
+            src_port = 50000;
+            dst_port = 80;
+          }
+      in
+      let cases =
+        [
+          ( "red (classifier-fw-vgw-lb-router)",
+            flow Nflib.Catalog.tenant1_vip 80,
+            Ptf.Emitted_on 1 );
+          ("orange (classifier-vgw-router)", flow (ip "10.0.2.9") 80, Ptf.Emitted_on 1);
+          ("green (classifier-router)", flow (ip "10.0.3.9") 80, Ptf.Emitted_on 1);
+          ("blocked source", blocked, Ptf.Dropped);
+          ("unclassified", flow (ip "192.0.2.1") 80, Ptf.To_cpu);
+        ]
+      in
+      List.iter
+        (fun (name, pkt, expect) ->
+          match Ptf.send_expect rt ~in_port:0 pkt ~expect () with
+          | Ok o ->
+              Format.printf "  [pass] %-36s (recircs=%d, cpu=%d, %.0f ns)@." name
+                o.Ptf.runtime.Runtime.recircs o.Ptf.runtime.Runtime.cpu_round_trips
+                o.Ptf.runtime.Runtime.latency_ns
+          | Error e -> Format.printf "  [FAIL] %-36s %s@." name e)
+        cases
+
+(* ------------------------------------------------------------------ *)
+(* E8: the Sec. 1 motivation numbers                                    *)
+(* ------------------------------------------------------------------ *)
+
+let motivation () =
+  section "Sec. 1 motivation - software cores vs one switch ASIC";
+  let target = 1600.0 in
+  Format.printf
+    "chain capacity target: %.0f Gbps (the prototype's external rate)@." target;
+  Format.printf "%28s %8s@." "software NF performance" "cores";
+  List.iter
+    (fun (label, per_core) ->
+      Format.printf "%28s %8d@." label
+        (Model.software_cores_needed ~target_gbps:target ~gbps_per_core:per_core))
+    [
+      ("5 Gbps/core (heavy NF)", 5.0);
+      ("10 Gbps/core", 10.0);
+      ("20 Gbps/core", 20.0);
+    ];
+  Format.printf "switch ASICs needed: 1  (paper: one or two orders of magnitude)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_compose () =
+  section "Ablation A1 - sequential vs parallel composition";
+  let registry = Nflib.Catalog.registry () in
+  let nf_of name = Nf.instantiate registry name in
+  let generic_parser =
+    match compile_prototype () with
+    | Ok c -> c.Compiler.generic_parser
+    | Error e -> failwith e
+  in
+  let id = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Ingress } in
+  List.iter
+    (fun (name, layout) ->
+      match Compose.build ~spec ~generic_parser ~id ~layout ~nf_of with
+      | Error e -> Format.printf "%-24s error: %s@." name e
+      | Ok b -> (
+          match Asic.Pipelet.load spec id b.Compose.program with
+          | Error e -> Format.printf "%-24s does not load: %s@." name e
+          | Ok pl ->
+              Format.printf "%-24s stages=%2d tables=%2d gateways=%d@." name
+                (Asic.Pipelet.stages_used pl)
+                (List.length b.Compose.program.P4ir.Program.tables)
+                b.Compose.framework_gateways))
+    [
+      ("seq(fw, lb, router)", [ Layout.Seq [ "fw"; "lb"; "router" ] ]);
+      ("par(fw | lb | router)", [ Layout.Par [ "fw"; "lb"; "router" ] ]);
+    ];
+  Format.printf
+    "(seq costs stages but transitions are free; par shares stages but \
+     branch changes need a resubmission/recirculation)@."
+
+let ablation_placement () =
+  section "Ablation A2 - placement strategies on the Fig. 2 policy";
+  Format.printf "%-12s %10s %12s@." "strategy" "objective" "compile";
+  List.iter
+    (fun (name, strategy) ->
+      let t0 = Unix.gettimeofday () in
+      match compile_prototype ~strategy () with
+      | Error e -> Format.printf "%-12s failed: %s@." name e
+      | Ok compiled ->
+          let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          Format.printf "%-12s %10.3f %10.1fms@." name compiled.Compiler.objective
+            dt)
+    [
+      ("naive", Placement.Naive);
+      ("greedy", Placement.Greedy);
+      ("anneal", Placement.default_anneal);
+      ("exhaustive", Placement.Exhaustive);
+    ]
+
+let ablation_loopback () =
+  section "Ablation A3 - loopback provisioning vs chain throughput";
+  Format.printf "%12s %12s %14s %14s@." "loopback m" "external" "1-recirc Gbps"
+    "2-recirc Gbps";
+  List.iter
+    (fun m ->
+      let ports = Asic.Port.make spec in
+      for i = 0 to m - 1 do
+        Asic.Port.set_mode ports i Asic.Port.Loopback
+      done;
+      Format.printf "%9d/32 %11.0fG %14.1f %14.1f@." m
+        (Asic.Port.external_capacity_fraction ports
+        *. Asic.Spec.total_capacity_gbps spec)
+        (Model.chain_throughput_gbps spec ports ~recircs:1)
+        (Model.chain_throughput_gbps spec ports ~recircs:2))
+    [ 4; 8; 12; 16; 20 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 7 extension: clusters of switch data planes                     *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_cluster () =
+  section "Sec. 7 extension - clusters of switch data planes";
+  let chain = List.init 16 (fun i -> Printf.sprintf "N%02d" i) in
+  let chains = [ Chain.make ~path_id:1 ~name:"big" ~nfs:chain ~exit_port:1 () ] in
+  let resources_of _ = { P4ir.Resources.zero with P4ir.Resources.stages = 2 } in
+  Format.printf "a 16-NF chain (2 MAU stages per NF) across cluster sizes:@.@.";
+  Format.printf "%10s %10s %8s %8s %12s@." "switches" "placed?" "recircs"
+    "hops" "latency";
+  List.iter
+    (fun n ->
+      let c = Cluster.make ~spec ~n_switches:n () in
+      match
+        Cluster.place c ~resources_of ~chains ~exit_switch:(n - 1)
+          ~exit_pipeline:0 ~pinned:[]
+          (Cluster.Anneal { iterations = 1500; seed = 7 })
+      with
+      | Error _ -> Format.printf "%10d %10s %8s %8s %12s@." n "no" "-" "-" "-"
+      | Ok (layout, _) -> (
+          match
+            Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:(n - 1)
+              ~exit_pipeline:0 chain
+          with
+          | None -> Format.printf "%10d %10s (unroutable)@." n "yes"
+          | Some p ->
+              Format.printf "%10d %10s %8d %8d %9.0f ns@." n "yes"
+                p.Cluster.recircs p.Cluster.hops (Cluster.latency_ns c p)))
+    [ 1; 2; 3; 4 ];
+  Format.printf
+    "@.(the paper's Sec. 7: chaining switches back-to-back multiplies MAU \
+     stages; the off-chip hop is ~2x an on-chip recirculation in latency \
+     but costs no recirculation bandwidth)@."
+
+(* ------------------------------------------------------------------ *)
+(* Sec. 6 related work: native merge vs Hyper4-style emulation          *)
+(* ------------------------------------------------------------------ *)
+
+let related_work () =
+  section "Sec. 6 - code-level merge vs data-plane emulation (Hyper4/HyperV)";
+  let registry = Nflib.Catalog.registry () in
+  let nfs =
+    List.filter_map
+      (fun n -> Result.to_option (Nf.instantiate registry n))
+      [ "classifier"; "fw"; "vgw"; "lb"; "router" ]
+  in
+  Format.printf "%-12s %18s %18s %10s@." "NF" "native (stages/TCAM)"
+    "emulated" "factor";
+  List.iter
+    (fun nf ->
+      let c = Baseline.compare_nf nf in
+      let stage_factor =
+        match List.assoc_opt "stages" (Baseline.overhead_factor c) with
+        | Some f -> Printf.sprintf "%.1fx" f
+        | None -> "-"
+      in
+      Format.printf "%-12s %11d / %-6d %11d / %-6d %8s@." c.Baseline.nf
+        c.Baseline.native.P4ir.Resources.stages
+        c.Baseline.native.P4ir.Resources.tcams
+        c.Baseline.emulated.P4ir.Resources.stages
+        c.Baseline.emulated.P4ir.Resources.tcams stage_factor)
+    nfs;
+  let total = Baseline.summary nfs in
+  Format.printf "@.%a@." Baseline.pp_comparison total;
+  Format.printf
+    "@.(paper Sec. 6: emulation approaches need ~3-7x the resources of \
+     native programs; Dejavu merges at the code level and avoids this)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the library itself                       *)
+(* ------------------------------------------------------------------ *)
+
+let microbench () =
+  section "Microbenchmarks (bechamel, monotonic clock)";
+  let compiled = Result.get_ok (compile_prototype ()) in
+  let frame =
+    Netpkt.Pkt.encode
+      (Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+         ~dst_mac:(mac "02:00:00:00:00:02")
+         {
+           Netpkt.Flow.src = ip "203.0.113.7";
+           dst = ip "10.0.3.50";
+           proto = Netpkt.Ipv4.proto_tcp;
+           src_port = 1234;
+           dst_port = 443;
+         })
+  in
+  let parser = compiled.Compiler.generic_parser in
+  let registry = Nflib.Catalog.registry () in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"chip walk (green path)"
+        (Bechamel.Staged.stage (fun () ->
+             ignore (Asic.Chip.inject compiled.Compiler.chip ~in_port:0 frame)));
+      Bechamel.Test.make ~name:"generic parser parse"
+        (Bechamel.Staged.stage (fun () ->
+             let phv = P4ir.Phv.create [] in
+             ignore (P4ir.Parser_graph.parse parser frame phv)));
+      Bechamel.Test.make ~name:"parser merge (6 parsers)"
+        (Bechamel.Staged.stage (fun () ->
+             let nfs =
+               List.filter_map
+                 (fun (n, _) ->
+                   Result.to_option
+                     (Result.map
+                        (fun nf -> nf.Nf.parser)
+                        (Nf.instantiate registry n)))
+                 (List.filteri (fun i _ -> i < 5) registry)
+             in
+             ignore
+               (Parser_merge.merge ~name:"bench"
+                  (Net_hdrs.base_parser ~with_vlan:true ~name:"fw" () :: nfs))));
+      Bechamel.Test.make ~name:"end-to-end compile (Fig. 2 policy)"
+        (Bechamel.Staged.stage (fun () -> ignore (compile_prototype ())));
+      Bechamel.Test.make ~name:"sfc header encode+decode"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (Sfc_header.decode (Sfc_header.encode Sfc_header.default) ~off:0)));
+    ]
+  in
+  let run_one test =
+    let open Bechamel in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols instance raw
+  in
+  List.iter
+    (fun test ->
+      let results = run_one test in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-44s %12.0f ns/run@." name est
+          | _ -> Format.printf "%-44s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8a", fig8a);
+    ("fig8b", fig8b);
+    ("fig9", fig9);
+    ("table1", table1);
+    ("validation", validation);
+    ("motivation", motivation);
+    ("ablation-compose", ablation_compose);
+    ("ablation-placement", ablation_placement);
+    ("ablation-loopback", ablation_loopback);
+    ("related-work", related_work);
+    ("ablation-cluster", ablation_cluster);
+    ("micro", microbench);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] -> experiments
+    | names ->
+        List.filter_map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> Some (n, f)
+            | None ->
+                Format.printf "unknown experiment %S (have: %s)@." n
+                  (String.concat ", " (List.map fst experiments));
+                None)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) to_run

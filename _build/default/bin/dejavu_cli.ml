@@ -1,0 +1,269 @@
+(* The dejavu command-line tool: compile the edge-cloud deployment onto
+   the modeled ASIC, inspect placements and generated programs, and push
+   packets through chains.
+
+     dejavu compile [--strategy greedy] [--extended]
+     dejavu send --dst 10.0.1.10 [--src ...] [--trace]
+     dejavu programs [--pipelet "ingress 0"]
+     dejavu report
+     dejavu strategies *)
+
+open Dejavu_core
+
+let strategy_conv =
+  let parse = function
+    | "naive" -> Ok Placement.Naive
+    | "greedy" -> Ok Placement.Greedy
+    | "anneal" -> Ok Placement.default_anneal
+    | "exhaustive" -> Ok Placement.Exhaustive
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Placement.pp_strategy ppf s in
+  Cmdliner.Arg.conv (parse, print)
+
+let strategy_arg =
+  Cmdliner.Arg.(
+    value
+    & opt strategy_conv Placement.Exhaustive
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Placement strategy: naive, greedy, anneal or exhaustive.")
+
+let extended_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "extended" ]
+        ~doc:"Include the monitoring chain (mirror tap + DSCP marker).")
+
+let compile ~strategy ~extended =
+  Compiler.compile (Nflib.Catalog.edge_cloud_input ~strategy ~extended ())
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Format.eprintf "error: %s@." e;
+      exit 1
+
+(* --- compile ------------------------------------------------------- *)
+
+let compile_cmd =
+  let run strategy extended =
+    let compiled = or_die (compile ~strategy ~extended) in
+    Format.printf "%a@." Compiler.pp_summary compiled;
+    Format.printf "branching entries:@.";
+    List.iter
+      (fun e -> Format.printf "  %a@." Branching.pp_entry e)
+      compiled.Compiler.plan.Branching.branching
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "compile" ~doc:"Compile the Fig. 2 deployment and show the placement.")
+    Cmdliner.Term.(const run $ strategy_arg $ extended_arg)
+
+(* --- report -------------------------------------------------------- *)
+
+let report_cmd =
+  let run strategy extended =
+    let compiled = or_die (compile ~strategy ~extended) in
+    Format.printf "%a@." Compiler.pp_report (Compiler.framework_report compiled)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "report"
+       ~doc:"Print the Dejavu framework resource overhead (Table 1).")
+    Cmdliner.Term.(const run $ strategy_arg $ extended_arg)
+
+(* --- programs ------------------------------------------------------ *)
+
+let programs_cmd =
+  let pipelet_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "pipelet" ] ~docv:"PIPELET"
+          ~doc:"Only this pipelet, e.g. \"ingress 0\" or \"egress 1\".")
+  in
+  let run strategy extended which =
+    let compiled = or_die (compile ~strategy ~extended) in
+    List.iter
+      (fun ((id : Asic.Pipelet.id), (b : Compose.built)) ->
+        let name = Format.asprintf "%a" Asic.Pipelet.pp_id id in
+        if match which with None -> true | Some w -> String.equal w name then begin
+          Format.printf "/* ------------ %s ------------ */@." name;
+          Format.printf "%a@.@." P4ir.Program.pp b.Compose.program
+        end)
+      compiled.Compiler.built
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "programs"
+       ~doc:"Dump the generated (pseudo-P4) pipelet programs.")
+    Cmdliner.Term.(const run $ strategy_arg $ extended_arg $ pipelet_arg)
+
+(* --- send ---------------------------------------------------------- *)
+
+let ip_conv =
+  Cmdliner.Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (Netpkt.Ip4.of_string s)),
+      Netpkt.Ip4.pp )
+
+let send_cmd =
+  let dst_arg =
+    Cmdliner.Arg.(
+      required
+      & opt (some ip_conv) None
+      & info [ "dst" ] ~docv:"IP" ~doc:"Destination address.")
+  in
+  let src_arg =
+    Cmdliner.Arg.(
+      value
+      & opt ip_conv (Netpkt.Ip4.of_string_exn "203.0.113.10")
+      & info [ "src" ] ~docv:"IP" ~doc:"Source address.")
+  in
+  let dport_arg =
+    Cmdliner.Arg.(
+      value & opt int 80 & info [ "dport" ] ~docv:"PORT" ~doc:"Destination port.")
+  in
+  let in_port_arg =
+    Cmdliner.Arg.(
+      value & opt int 0 & info [ "in-port" ] ~docv:"N" ~doc:"Switch input port.")
+  in
+  let trace_arg =
+    Cmdliner.Arg.(
+      value & flag & info [ "trace" ] ~doc:"Print the MAU-level trace.")
+  in
+  let run strategy extended dst src dport in_port trace =
+    let compiled = or_die (compile ~strategy ~extended) in
+    let rt = Runtime.create compiled in
+    Nflib.Catalog.attach_handlers rt compiled;
+    let pkt =
+      Netpkt.Pkt.tcp_flow
+        ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+        ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+        {
+          Netpkt.Flow.src = src;
+          dst;
+          proto = Netpkt.Ipv4.proto_tcp;
+          src_port = 40000;
+          dst_port = dport;
+        }
+    in
+    if trace then begin
+      match
+        Asic.Chip.inject compiled.Compiler.chip ~in_port (Netpkt.Pkt.encode pkt)
+      with
+      | Error e -> Format.printf "error: %s@." e
+      | Ok r ->
+          List.iter
+            (fun ev ->
+              match ev with
+              | P4ir.Control.T_table (t, a, hit) ->
+                  Format.printf "  %-30s -> %-14s %s@." t a
+                    (if hit then "(hit)" else "(miss)")
+              | P4ir.Control.T_gateway (c, v) -> Format.printf "  if %s -> %b@." c v
+              | P4ir.Control.T_enter l -> Format.printf "  >> %s@." l)
+            r.Asic.Chip.trace
+    end;
+    match Ptf.send rt ~in_port pkt with
+    | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 1
+    | Ok o ->
+        Format.printf "verdict: %s@."
+          (match o.Ptf.runtime.Runtime.verdict with
+          | Asic.Chip.Emitted { port; _ } -> Printf.sprintf "emitted on port %d" port
+          | Asic.Chip.Dropped -> "dropped"
+          | Asic.Chip.To_cpu _ -> "to CPU");
+        Format.printf
+          "recirculations=%d resubmissions=%d cpu-round-trips=%d latency=%.0f ns@."
+          o.Ptf.runtime.Runtime.recircs o.Ptf.runtime.Runtime.resubmits
+          o.Ptf.runtime.Runtime.cpu_round_trips o.Ptf.runtime.Runtime.latency_ns;
+        Option.iter (Format.printf "packet out: %a@." Netpkt.Pkt.pp) o.Ptf.decoded
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "send" ~doc:"Push one packet through the deployment.")
+    Cmdliner.Term.(
+      const run $ strategy_arg $ extended_arg $ dst_arg $ src_arg $ dport_arg
+      $ in_port_arg $ trace_arg)
+
+(* --- cluster -------------------------------------------------------- *)
+
+let cluster_cmd =
+  let switches_arg =
+    Cmdliner.Arg.(
+      value & opt int 2
+      & info [ "switches"; "n" ] ~docv:"N" ~doc:"Cluster size (linear chain).")
+  in
+  let nfs_arg =
+    Cmdliner.Arg.(
+      value & opt int 12
+      & info [ "nfs" ] ~docv:"M" ~doc:"Length of the synthetic chain.")
+  in
+  let stages_arg =
+    Cmdliner.Arg.(
+      value & opt int 2
+      & info [ "stages" ] ~docv:"S" ~doc:"MAU stages per synthetic NF.")
+  in
+  let run n_switches n_nfs stages =
+    let spec = Asic.Spec.wedge_100b in
+    let c = Cluster.make ~spec ~n_switches () in
+    let chain = List.init n_nfs (fun i -> Printf.sprintf "nf%02d" i) in
+    let chains =
+      [ Chain.make ~path_id:1 ~name:"chain" ~nfs:chain ~exit_port:1 () ]
+    in
+    let resources_of _ = { P4ir.Resources.zero with P4ir.Resources.stages } in
+    match
+      Cluster.place c ~resources_of ~chains ~exit_switch:(n_switches - 1)
+        ~exit_pipeline:0 ~pinned:[]
+        (Cluster.Anneal { iterations = 2000; seed = 1 })
+    with
+    | Error e ->
+        Format.eprintf "placement failed: %s@." e;
+        exit 1
+    | Ok (layout, cost) -> (
+        Format.printf "placement (cost %.2f):@.%a@." cost Layout.pp layout;
+        match
+          Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:(n_switches - 1)
+            ~exit_pipeline:0 chain
+        with
+        | None -> Format.printf "unroutable@."
+        | Some p ->
+            Format.printf "%a@.latency: %.0f ns@." Cluster.pp_path p
+              (Cluster.latency_ns c p))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "cluster"
+       ~doc:"Place a synthetic chain on a multi-switch cluster (Sec. 7).")
+    Cmdliner.Term.(const run $ switches_arg $ nfs_arg $ stages_arg)
+
+(* --- strategies ---------------------------------------------------- *)
+
+let strategies_cmd =
+  let run extended =
+    Format.printf "%-12s %10s@." "strategy" "objective";
+    List.iter
+      (fun (name, strategy) ->
+        match compile ~strategy ~extended with
+        | Error e -> Format.printf "%-12s failed: %s@." name e
+        | Ok compiled ->
+            Format.printf "%-12s %10.3f@." name compiled.Compiler.objective)
+      [
+        ("naive", Placement.Naive);
+        ("greedy", Placement.Greedy);
+        ("anneal", Placement.default_anneal);
+        ("exhaustive", Placement.Exhaustive);
+      ]
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "strategies"
+       ~doc:"Compare placement strategies on the deployment.")
+    Cmdliner.Term.(const run $ extended_arg)
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "dejavu" ~version:"1.0.0"
+      ~doc:"Accelerated service chaining on a (modeled) single switch ASIC."
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info
+          [
+            compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
+            cluster_cmd;
+          ]))

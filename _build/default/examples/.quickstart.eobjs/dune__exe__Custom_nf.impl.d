@@ -1,0 +1,1 @@
+examples/custom_nf.ml: Action Asic Bitval Chain Compiler Dejavu_core Expr Format List Net_hdrs Netpkt Nf Nflib P4ir Placement Printf Ptf Runtime Sfc_header Table

@@ -1,0 +1,1 @@
+examples/edge_cloud_sfc.ml: Asic Branching Chain Compiler Dejavu_core Filename Format Hashtbl List Model Netpkt Nflib Option P4ir Ptf Random Runtime String Traversal

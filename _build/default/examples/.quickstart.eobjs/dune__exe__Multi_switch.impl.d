@@ -1,0 +1,1 @@
+examples/multi_switch.ml: Asic Chain Cluster Dejavu_core Format Layout List P4ir Printf String

@@ -1,0 +1,1 @@
+examples/placement_study.ml: Asic Chain Dejavu_core Format Layout List P4ir Placement Sys Traversal

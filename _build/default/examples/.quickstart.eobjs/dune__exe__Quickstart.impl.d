@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Dejavu_core Format Netpkt Nflib Option Ptf Runtime

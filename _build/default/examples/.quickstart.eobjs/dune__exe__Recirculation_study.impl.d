@@ -1,0 +1,1 @@
+examples/recirculation_study.ml: Array Asic Dejavu_core Format List Model

@@ -1,0 +1,1 @@
+examples/recirculation_study.mli:

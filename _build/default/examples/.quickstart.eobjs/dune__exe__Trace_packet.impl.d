@@ -1,0 +1,1 @@
+examples/trace_packet.ml: Array Asic Compiler Dejavu_core Format List Netpkt Nflib P4ir Printf Result String Sys

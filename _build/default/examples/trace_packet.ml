@@ -1,0 +1,56 @@
+(* Trace every table application and gateway decision a packet sees on
+   its way through the compiled service chain — the tool you want when a
+   chain misbehaves.
+
+   Run with: dune exec examples/trace_packet.exe -- [dst-ip] *)
+
+open Dejavu_core
+
+let ip = Netpkt.Ip4.of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+
+let () =
+  let dst =
+    if Array.length Sys.argv > 1 then ip Sys.argv.(1)
+    else Nflib.Catalog.tenant1_vip
+  in
+  let input = Nflib.Catalog.edge_cloud_input () in
+  let compiled = Result.get_ok (Compiler.compile input) in
+  let flow =
+    {
+      Netpkt.Flow.src = ip "203.0.113.9";
+      dst;
+      proto = Netpkt.Ipv4.proto_tcp;
+      src_port = 5555;
+      dst_port = 80;
+    }
+  in
+  let pkt =
+    Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:11:22:33:44:66")
+      ~dst_mac:(mac "02:00:00:00:00:fe") flow
+  in
+  Format.printf "tracing %a@.@." Netpkt.Flow.pp_five_tuple flow;
+  let frame = Netpkt.Pkt.encode pkt in
+  match Asic.Chip.inject compiled.Compiler.chip ~in_port:0 frame with
+  | Error e -> Format.printf "error: %s@." e
+  | Ok r ->
+      List.iter
+        (fun ev ->
+          match ev with
+          | P4ir.Control.T_table (t, a, hit) ->
+              Format.printf "  table %-28s -> %-14s %s@." t a
+                (if hit then "(hit)" else "(miss)")
+          | P4ir.Control.T_gateway (c, v) -> Format.printf "  if %s -> %b@." c v
+          | P4ir.Control.T_enter l -> Format.printf "  >> NF %s@." l)
+        r.Asic.Chip.trace;
+      Format.printf "@.pipelets visited: %s@."
+        (String.concat " -> "
+           (List.map
+              (fun id -> Format.asprintf "%a" Asic.Pipelet.pp_id id)
+              r.Asic.Chip.visits));
+      Format.printf "verdict: %s  recircs=%d resubmits=%d latency=%.0f ns@."
+        (match r.Asic.Chip.verdict with
+        | Asic.Chip.Emitted { port; _ } -> Printf.sprintf "emitted on port %d" port
+        | Asic.Chip.Dropped -> "dropped"
+        | Asic.Chip.To_cpu _ -> "sent to the control plane")
+        r.Asic.Chip.recircs r.Asic.Chip.resubmits r.Asic.Chip.latency_ns

@@ -1,0 +1,1 @@
+lib/asic/chip.ml: Array Bytes Latency List Option P4ir Pipelet Port Printf Result Spec Stdmeta

@@ -1,0 +1,1 @@
+lib/asic/chip.mli: Bytes P4ir Pipelet Port Spec Stdlib

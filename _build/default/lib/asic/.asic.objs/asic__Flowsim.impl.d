@@ -1,0 +1,1 @@
+lib/asic/flowsim.ml: Array List Queue Random

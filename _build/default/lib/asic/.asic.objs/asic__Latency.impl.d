@@ -1,0 +1,1 @@
+lib/asic/latency.ml: Spec

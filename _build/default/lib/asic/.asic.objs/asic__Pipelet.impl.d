@@ -1,0 +1,1 @@
+lib/asic/pipelet.ml: Array Bytes Format Fun Hashtbl List Option P4ir Printf Spec Stdmeta String

@@ -1,0 +1,1 @@
+lib/asic/pipelet.mli: Bytes Format P4ir Spec

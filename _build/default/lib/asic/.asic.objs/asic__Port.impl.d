@@ -1,0 +1,1 @@
+lib/asic/port.ml: Array List Printf Spec

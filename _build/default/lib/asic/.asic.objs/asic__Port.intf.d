@@ -1,0 +1,1 @@
+lib/asic/port.mli: Spec

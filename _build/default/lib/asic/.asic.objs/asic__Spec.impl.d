@@ -1,0 +1,1 @@
+lib/asic/spec.ml: Format List P4ir Printf

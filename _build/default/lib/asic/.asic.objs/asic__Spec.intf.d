@@ -1,0 +1,1 @@
+lib/asic/spec.mli: Format P4ir

@@ -1,0 +1,1 @@
+lib/asic/stdmeta.ml: P4ir

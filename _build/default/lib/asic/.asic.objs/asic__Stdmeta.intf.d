@@ -1,0 +1,1 @@
+lib/asic/stdmeta.mli: P4ir

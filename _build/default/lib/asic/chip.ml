@@ -1,0 +1,217 @@
+type config = {
+  spec : Spec.t;
+  ingress_programs : P4ir.Program.t array;
+  egress_programs : P4ir.Program.t array;
+  ports : Port.t;
+  mirror_port : int option;
+}
+
+type t = {
+  spec : Spec.t;
+  ingress : Pipelet.t array;
+  egress : Pipelet.t array;
+  ports : Port.t;
+  mirror_port : int option;
+}
+
+let load (config : config) =
+  let n = config.spec.Spec.n_pipelines in
+  if
+    Array.length config.ingress_programs <> n
+    || Array.length config.egress_programs <> n
+  then Error (Printf.sprintf "Chip.load: expected %d programs per side" n)
+  else
+    let ( let* ) = Result.bind in
+    let load_side kind programs =
+      Array.to_list programs
+      |> List.mapi (fun pipeline prog ->
+             Pipelet.load config.spec { Pipelet.pipeline; kind } prog)
+      |> List.fold_left
+           (fun acc r ->
+             let* l = acc in
+             let* p = r in
+             Ok (p :: l))
+           (Ok [])
+      |> Result.map (fun l -> Array.of_list (List.rev l))
+    in
+    let* ingress = load_side Pipelet.Ingress config.ingress_programs in
+    let* egress = load_side Pipelet.Egress config.egress_programs in
+    (match config.mirror_port with
+    | Some p when not (Spec.valid_port config.spec p) ->
+        Error (Printf.sprintf "Chip.load: invalid mirror port %d" p)
+    | Some _ | None -> Ok ())
+    |> Result.map (fun () ->
+           {
+             spec = config.spec;
+             ingress;
+             egress;
+             ports = config.ports;
+             mirror_port = config.mirror_port;
+           })
+
+let spec t = t.spec
+let ports t = t.ports
+
+let pipelet t (id : Pipelet.id) =
+  match id.Pipelet.kind with
+  | Pipelet.Ingress -> t.ingress.(id.Pipelet.pipeline)
+  | Pipelet.Egress -> t.egress.(id.Pipelet.pipeline)
+
+type verdict =
+  | Emitted of { port : int; frame : Bytes.t }
+  | Dropped
+  | To_cpu of Bytes.t
+
+type result = {
+  verdict : verdict;
+  resubmits : int;
+  recircs : int;
+  visits : Pipelet.id list;
+  latency_ns : float;
+  trace : P4ir.Control.trace_event list;
+  mirrored : (int * Bytes.t) list;
+}
+
+let pass_limit = 64
+
+type walk_state = {
+  mutable resubmits : int;
+  mutable recircs : int;
+  mutable visits : Pipelet.id list;  (* reversed *)
+  mutable passes : int;
+  mutable latency : float;
+  trace : P4ir.Control.trace_event list ref;
+  mutable mirrored : (int * Bytes.t) list;  (* reversed *)
+}
+
+let flag phv r = P4ir.Phv.get_int phv r = 1
+
+let finish st verdict =
+  Ok
+    {
+      verdict;
+      resubmits = st.resubmits;
+      recircs = st.recircs;
+      visits = List.rev st.visits;
+      latency_ns = st.latency;
+      trace = List.rev !(st.trace);
+      mirrored = List.rev st.mirrored;
+    }
+
+let rec ingress_pass t st ~pipeline ~entry_port frame =
+  if st.passes >= pass_limit then
+    Error
+      (Printf.sprintf "Chip.inject: pass limit %d exceeded (routing loop?)"
+         pass_limit)
+  else begin
+    st.passes <- st.passes + 1;
+    let pl = t.ingress.(pipeline) in
+    st.visits <- Pipelet.id pl :: st.visits;
+    st.latency <- st.latency +. Latency.pipe_pass_ns t.spec;
+    match Pipelet.parse pl frame with
+    | Error e -> Error e
+    | Ok (phv, payload) ->
+        P4ir.Phv.set_int phv Stdmeta.ingress_port entry_port;
+        Pipelet.process ~trace:st.trace pl phv;
+        (* Drop and punt-to-CPU decisions win over resubmission: an NF
+           that punts mid-chain must not be replayed by the branching
+           table's pending resubmit. *)
+        if flag phv Stdmeta.drop_flag then finish st Dropped
+        else if flag phv Stdmeta.to_cpu_flag then
+          finish st (To_cpu (Pipelet.deparse pl phv ~payload))
+        else if flag phv Stdmeta.resubmit_flag then begin
+          (* Resubmission re-enters the same ingress parser with the
+             ingress-deparsed packet. *)
+          st.resubmits <- st.resubmits + 1;
+          P4ir.Phv.set_int phv Stdmeta.resubmit_flag 0;
+          let frame' = Pipelet.deparse pl phv ~payload in
+          ingress_pass t st ~pipeline ~entry_port frame'
+        end
+        else
+          let out_port = P4ir.Phv.get_int phv Stdmeta.egress_spec in
+          if not (Spec.valid_port t.spec out_port) then
+            Error
+              (Printf.sprintf
+                 "Chip.inject: invalid egress port %d after ingress %d"
+                 out_port pipeline)
+          else if out_port = Spec.cpu_port then
+            finish st (To_cpu (Pipelet.deparse pl phv ~payload))
+          else
+            let frame' = Pipelet.deparse pl phv ~payload in
+            let egress_pipe = Option.get (Spec.pipeline_of_any_port t.spec out_port) in
+            st.latency <- st.latency +. t.spec.Spec.lat.Spec.tm_ns;
+            egress_pass t st ~pipeline:egress_pipe ~out_port frame'
+  end
+
+and egress_pass t st ~pipeline ~out_port frame =
+  if st.passes >= pass_limit then
+    Error
+      (Printf.sprintf "Chip.inject: pass limit %d exceeded (routing loop?)"
+         pass_limit)
+  else begin
+    st.passes <- st.passes + 1;
+    let pl = t.egress.(pipeline) in
+    st.visits <- Pipelet.id pl :: st.visits;
+    st.latency <- st.latency +. Latency.pipe_pass_ns t.spec;
+    match Pipelet.parse pl frame with
+    | Error e -> Error e
+    | Ok (phv, payload) ->
+        P4ir.Phv.set_int phv Stdmeta.egress_port out_port;
+        Pipelet.process ~trace:st.trace pl phv;
+        if flag phv Stdmeta.drop_flag then finish st Dropped
+        else if flag phv Stdmeta.to_cpu_flag then
+          finish st (To_cpu (Pipelet.deparse pl phv ~payload))
+        else
+          let frame' = Pipelet.deparse pl phv ~payload in
+          (* Mirroring: a copy of the departing frame goes to the
+             analysis port; the original continues unchanged. *)
+          (match (t.mirror_port, flag phv Stdmeta.mirror_flag) with
+          | Some mp, true -> st.mirrored <- (mp, Bytes.copy frame') :: st.mirrored
+          | _ -> ());
+          let loops_back =
+            Spec.is_recirc_port out_port || Port.is_loopback t.ports out_port
+          in
+          if loops_back then begin
+            st.recircs <- st.recircs + 1;
+            st.latency <- st.latency +. Latency.recirc_on_chip_ns t.spec;
+            ingress_pass t st ~pipeline ~entry_port:out_port frame'
+          end
+          else finish st (Emitted { port = out_port; frame = frame' })
+  end
+
+let fresh_state spec =
+  ignore spec;
+  {
+    resubmits = 0;
+    recircs = 0;
+    visits = [];
+    passes = 0;
+    latency = 0.0;
+    trace = ref [];
+    mirrored = [];
+  }
+
+let inject t ~in_port frame =
+  if in_port < 0 || in_port >= Spec.n_eth_ports t.spec then
+    Error (Printf.sprintf "Chip.inject: %d is not an Ethernet port" in_port)
+  else if Port.is_loopback t.ports in_port then
+    Error
+      (Printf.sprintf "Chip.inject: port %d is in loopback mode and takes no external traffic"
+         in_port)
+  else begin
+    let st = fresh_state t.spec in
+    (* MAC/serdes in and out of the chip. *)
+    st.latency <- 2.0 *. t.spec.Spec.lat.Spec.mac_serdes_ns;
+    ingress_pass t st
+      ~pipeline:(Spec.port_pipeline t.spec in_port)
+      ~entry_port:in_port frame
+  end
+
+let inject_cpu t ~pipeline frame =
+  if pipeline < 0 || pipeline >= t.spec.Spec.n_pipelines then
+    Error (Printf.sprintf "Chip.inject_cpu: bad pipeline %d" pipeline)
+  else begin
+    let st = fresh_state t.spec in
+    st.latency <- t.spec.Spec.lat.Spec.mac_serdes_ns;
+    ingress_pass t st ~pipeline ~entry_port:Spec.cpu_port frame
+  end

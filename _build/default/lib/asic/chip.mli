@@ -1,0 +1,54 @@
+(** The whole switch: pipelines of ingress/egress pipelets connected by a
+    traffic manager, with resubmission and recirculation packet paths
+    (Fig. 1 of the paper).
+
+    The walk is faithful to the RMT architecture: the packet is deparsed
+    at the end of every pipe and re-parsed at the next parser, so any
+    state an NF wants to carry across pipes must ride in a header — which
+    is precisely why Dejavu's SFC header exists. *)
+
+type config = {
+  spec : Spec.t;
+  ingress_programs : P4ir.Program.t array;  (** one per pipeline *)
+  egress_programs : P4ir.Program.t array;
+  ports : Port.t;
+  mirror_port : int option;
+      (** analysis port that receives a copy of every frame whose mirror
+          flag is set when it leaves an egress pipe *)
+}
+
+type t
+
+val load : config -> (t, string) result
+(** Loads and stage-allocates all four (or 2n) pipelet programs. *)
+
+val spec : t -> Spec.t
+val ports : t -> Port.t
+val pipelet : t -> Pipelet.id -> Pipelet.t
+
+type verdict =
+  | Emitted of { port : int; frame : Bytes.t }
+  | Dropped
+  | To_cpu of Bytes.t
+
+type result = {
+  verdict : verdict;
+  resubmits : int;
+  recircs : int;
+  visits : Pipelet.id list;  (** pipelets traversed, in order *)
+  latency_ns : float;
+  trace : P4ir.Control.trace_event list;  (** oldest first *)
+  mirrored : (int * Bytes.t) list;
+      (** copies sent to the mirror port, oldest first *)
+}
+
+val inject : t -> in_port:int -> Bytes.t -> (result, string) Stdlib.result
+(** Process one frame arriving on an external Ethernet port. Errors:
+    invalid or loopback input port, parser rejection, unset or invalid
+    egress port, or exceeding the pass limit (a routing loop). *)
+
+val inject_cpu : t -> pipeline:int -> Bytes.t -> (result, string) Stdlib.result
+(** Reinject a frame from the control plane into a pipeline's ingress
+    (the runtime uses this after handling a to-CPU packet). *)
+
+val pass_limit : int

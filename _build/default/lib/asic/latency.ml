@@ -1,0 +1,22 @@
+let pipe_pass_ns (spec : Spec.t) =
+  let l = spec.Spec.lat in
+  l.Spec.parse_ns
+  +. (float_of_int spec.Spec.stages_per_pipelet *. l.Spec.stage_ns)
+  +. l.Spec.deparse_ns
+
+let port_to_port_ns spec =
+  let l = spec.Spec.lat in
+  (2.0 *. l.Spec.mac_serdes_ns) +. (2.0 *. pipe_pass_ns spec) +. l.Spec.tm_ns
+
+let recirc_on_chip_ns (spec : Spec.t) = spec.Spec.lat.Spec.recirc_port_ns
+
+let recirc_off_chip_ns (spec : Spec.t) ~cable_m =
+  let l = spec.Spec.lat in
+  (2.0 *. l.Spec.mac_serdes_ns) +. (cable_m *. l.Spec.wire_ns_per_m)
+
+let path_ns spec ~ingress_passes ~egress_passes ~tm_crossings ~on_chip_recircs =
+  let l = spec.Spec.lat in
+  (2.0 *. l.Spec.mac_serdes_ns)
+  +. (float_of_int (ingress_passes + egress_passes) *. pipe_pass_ns spec)
+  +. (float_of_int tm_crossings *. l.Spec.tm_ns)
+  +. (float_of_int on_chip_recircs *. recirc_on_chip_ns spec)

@@ -1,0 +1,28 @@
+(** Component latency model — the substitute for the paper's hardware
+    timestamping (Fig. 8b). All values in nanoseconds. *)
+
+val pipe_pass_ns : Spec.t -> float
+(** One pass through a pipelet: parse + every MAU stage + deparse. *)
+
+val port_to_port_ns : Spec.t -> float
+(** Ingress MAC/serdes + ingress pipe + TM + egress pipe + egress
+    MAC/serdes — the paper's ~650 ns idle-buffer baseline. *)
+
+val recirc_on_chip_ns : Spec.t -> float
+(** Extra latency of one on-chip recirculation: the hop from egress
+    deparser back to ingress parser over dedicated circuitry, with no
+    serialization — the paper's ~75 ns. *)
+
+val recirc_off_chip_ns : Spec.t -> cable_m:float -> float
+(** Extra latency when looping through a direct-attach cable:
+    serdes both ways plus propagation — the paper's ~145 ns at 1 m. *)
+
+val path_ns :
+  Spec.t ->
+  ingress_passes:int ->
+  egress_passes:int ->
+  tm_crossings:int ->
+  on_chip_recircs:int ->
+  float
+(** Latency of a full path through the chip (both MAC crossings
+    included). *)

@@ -1,0 +1,156 @@
+type kind = Ingress | Egress
+type id = { pipeline : int; kind : kind }
+
+let pp_id ppf id =
+  Format.fprintf ppf "%s %d"
+    (match id.kind with Ingress -> "ingress" | Egress -> "egress")
+    id.pipeline
+
+let equal_id a b = a.pipeline = b.pipeline && a.kind = b.kind
+
+let compare_id a b =
+  let c = compare a.pipeline b.pipeline in
+  if c <> 0 then c
+  else compare (a.kind = Egress) (b.kind = Egress)
+
+let all_ids spec =
+  List.concat_map
+    (fun pipe -> [ { pipeline = pipe; kind = Ingress }; { pipeline = pipe; kind = Egress } ])
+    (List.init spec.Spec.n_pipelines Fun.id)
+
+type t = {
+  id : id;
+  program : P4ir.Program.t;
+  stage_alloc : (string * int) list;
+}
+
+(* Residual capacity of one MAU stage during packing. *)
+type residual = {
+  mutable table_ids : int;
+  mutable srams : int;
+  mutable tcams : int;
+  mutable crossbar_bytes : int;
+  mutable vliws : int;
+  mutable hash_bits : int;
+}
+
+let residual_of_caps (c : P4ir.Resources.stage_caps) =
+  {
+    table_ids = c.P4ir.Resources.cap_table_ids;
+    srams = c.P4ir.Resources.cap_srams;
+    tcams = c.P4ir.Resources.cap_tcams;
+    crossbar_bytes = c.P4ir.Resources.cap_crossbar_bytes;
+    vliws = c.P4ir.Resources.cap_vliws;
+    hash_bits = c.P4ir.Resources.cap_hash_bits;
+  }
+
+let demand_fits (r : residual) (d : P4ir.Resources.t) =
+  r.table_ids >= d.P4ir.Resources.table_ids
+  && r.srams >= d.P4ir.Resources.srams
+  && r.tcams >= d.P4ir.Resources.tcams
+  && r.crossbar_bytes >= d.P4ir.Resources.crossbar_bytes
+  && r.vliws >= d.P4ir.Resources.vliws
+  && r.hash_bits >= d.P4ir.Resources.hash_bits
+
+let consume (r : residual) (d : P4ir.Resources.t) =
+  r.table_ids <- r.table_ids - d.P4ir.Resources.table_ids;
+  r.srams <- r.srams - d.P4ir.Resources.srams;
+  r.tcams <- r.tcams - d.P4ir.Resources.tcams;
+  r.crossbar_bytes <- r.crossbar_bytes - d.P4ir.Resources.crossbar_bytes;
+  r.vliws <- r.vliws - d.P4ir.Resources.vliws;
+  r.hash_bits <- r.hash_bits - d.P4ir.Resources.hash_bits
+
+let allocate_stages spec program =
+  let env = P4ir.Program.table_env program in
+  let nodes = P4ir.Deps.nodes_of_control env program.P4ir.Program.control in
+  let n_stages = spec.Spec.stages_per_pipelet in
+  let residuals =
+    Array.init n_stages (fun _ -> residual_of_caps spec.Spec.stage_caps)
+  in
+  let placed = Hashtbl.create 16 in
+  let result = ref [] in
+  let place node =
+    let lower_bound =
+      List.fold_left
+        (fun acc (prev, prev_stage) ->
+          match
+            List.find_opt
+              (fun (n : P4ir.Deps.node) -> String.equal n.P4ir.Deps.table prev)
+              nodes
+          with
+          | None -> acc
+          | Some prev_node -> (
+              match P4ir.Deps.dep_between prev_node node with
+              | Some k -> max acc (prev_stage + P4ir.Deps.stage_gap k)
+              | None -> acc))
+        0 !result
+    in
+    let table = Option.get (env node.P4ir.Deps.table) in
+    let demand = P4ir.Resources.of_table table in
+    let rec try_stage s =
+      if s >= n_stages then
+        Error
+          (Printf.sprintf
+             "pipelet: table %s does not fit (needs stage >= %d of %d)"
+             node.P4ir.Deps.table lower_bound n_stages)
+      else if demand_fits residuals.(s) demand then begin
+        consume residuals.(s) demand;
+        Hashtbl.replace placed node.P4ir.Deps.table s;
+        result := !result @ [ (node.P4ir.Deps.table, s) ];
+        Ok ()
+      end
+      else try_stage (s + 1)
+    in
+    try_stage lower_bound
+  in
+  let rec loop = function
+    | [] -> Ok !result
+    | node :: rest -> (
+        if Hashtbl.mem placed node.P4ir.Deps.table then loop rest
+        else
+          match place node with Ok () -> loop rest | Error e -> Error e)
+  in
+  loop nodes
+
+let load spec id program =
+  match P4ir.Program.validate program with
+  | Error e -> Error e
+  | Ok () -> (
+      (* Whole-pipelet gateway budget check; gateways live beside stages. *)
+      let gw = P4ir.Control.gateway_count program.P4ir.Program.control in
+      let gw_cap =
+        spec.Spec.stages_per_pipelet
+        * spec.Spec.stage_caps.P4ir.Resources.cap_gateways
+      in
+      if gw > gw_cap then
+        Error
+          (Printf.sprintf "pipelet %s: %d gateways exceed capacity %d"
+             (Format.asprintf "%a" pp_id id) gw gw_cap)
+      else
+        match allocate_stages spec program with
+        | Error e -> Error e
+        | Ok stage_alloc -> Ok { id; program; stage_alloc })
+
+let id t = t.id
+let program t = t.program
+let stage_of_table t name = List.assoc_opt name t.stage_alloc
+
+let stages_used t =
+  List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 t.stage_alloc
+
+let process ?trace t phv = P4ir.Program.exec_control ?trace t.program phv
+
+let parse t frame =
+  let phv = P4ir.Phv.create [] in
+  match P4ir.Parser_graph.parse t.program.P4ir.Program.parser frame phv with
+  | Error e -> Error e
+  | Ok consumed ->
+      Stdmeta.attach phv;
+      let payload =
+        Bytes.sub frame consumed (Bytes.length frame - consumed)
+      in
+      Ok (phv, payload)
+
+let deparse t phv ~payload =
+  P4ir.Parser_graph.deparse
+    ~order:t.program.P4ir.Program.deparse_order phv ~payload

@@ -1,0 +1,41 @@
+(** A loaded pipelet: one ingress or egress pipe with its program and a
+    concrete MAU stage allocation that respects per-stage capacities. *)
+
+type kind = Ingress | Egress
+
+type id = { pipeline : int; kind : kind }
+
+val pp_id : Format.formatter -> id -> unit
+val equal_id : id -> id -> bool
+val compare_id : id -> id -> int
+val all_ids : Spec.t -> id list
+(** Ingress 0, egress 0, ingress 1, egress 1, ... *)
+
+type t
+
+val load : Spec.t -> id -> P4ir.Program.t -> (t, string) result
+(** Validates the program and packs its tables into stages: each table is
+    placed at the earliest stage satisfying its dependency lower bound
+    (match/action dependencies need a later stage than their producer)
+    with enough residual table IDs / SRAM / TCAM / crossbar / VLIW / hash
+    bits. Fails when the program does not fit. *)
+
+val allocate_stages :
+  Spec.t -> P4ir.Program.t -> ((string * int) list, string) result
+(** The packing pass alone (exposed for resource reports and tests). *)
+
+val id : t -> id
+val program : t -> P4ir.Program.t
+val stage_of_table : t -> string -> int option
+val stages_used : t -> int
+(** Highest occupied stage + 1 (0 when the program has no tables). *)
+
+val process :
+  ?trace:P4ir.Control.trace_event list ref -> t -> P4ir.Phv.t -> unit
+
+val parse :
+  t -> Bytes.t -> (P4ir.Phv.t * Bytes.t, string) result
+(** Run the pipelet's parser over a frame; returns the PHV (with standard
+    metadata attached) and the unparsed payload. *)
+
+val deparse : t -> P4ir.Phv.t -> payload:Bytes.t -> Bytes.t

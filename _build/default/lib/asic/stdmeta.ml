@@ -1,0 +1,30 @@
+let name = "std"
+
+let decl =
+  P4ir.Hdr.decl name
+    [
+      ("ingress_port", 9);
+      ("egress_spec", 9);
+      ("egress_port", 9);
+      ("resubmit_flag", 1);
+      ("recirc_flag", 1);
+      ("drop_flag", 1);
+      ("mirror_flag", 1);
+      ("to_cpu_flag", 1);
+    ]
+
+let r field = P4ir.Fieldref.v name field
+let ingress_port = r "ingress_port"
+let egress_spec = r "egress_spec"
+let egress_port = r "egress_port"
+let resubmit_flag = r "resubmit_flag"
+let recirc_flag = r "recirc_flag"
+let drop_flag = r "drop_flag"
+let mirror_flag = r "mirror_flag"
+let to_cpu_flag = r "to_cpu_flag"
+
+let fresh () = P4ir.Hdr.inst_valid decl
+
+let attach phv =
+  P4ir.Phv.add_decl phv decl;
+  P4ir.Phv.set_valid phv name

@@ -1,0 +1,25 @@
+(** The target's standard/intrinsic metadata header — always valid in
+    every PHV the chip processes. Mirrors the fields the paper's platform
+    metadata copies (§3): ports plus the resubmit / recirculate / drop /
+    mirror / to-CPU flags. *)
+
+val decl : P4ir.Hdr.decl
+val name : string
+
+(** The port fields are [bit<9>]; every flag is [bit<1>]. [egress_spec]
+    is set in ingress; [egress_port] is read-only in egress. *)
+
+val ingress_port : P4ir.Fieldref.t
+val egress_spec : P4ir.Fieldref.t
+val egress_port : P4ir.Fieldref.t
+val resubmit_flag : P4ir.Fieldref.t
+val recirc_flag : P4ir.Fieldref.t
+val drop_flag : P4ir.Fieldref.t
+val mirror_flag : P4ir.Fieldref.t
+val to_cpu_flag : P4ir.Fieldref.t
+
+val fresh : unit -> P4ir.Hdr.inst
+(** A valid instance with all fields zero. *)
+
+val attach : P4ir.Phv.t -> unit
+(** Ensure the PHV carries a valid standard-metadata instance. *)

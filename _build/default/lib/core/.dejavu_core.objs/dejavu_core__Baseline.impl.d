@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Action Format Fun List Nf P4ir Resources Table

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Format Nf P4ir

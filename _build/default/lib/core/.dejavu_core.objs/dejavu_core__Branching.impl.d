@@ -1,0 +1,1 @@
+lib/core/branching.ml: Asic Chain Compose Format Hashtbl Layout List P4ir Printf Result Traversal

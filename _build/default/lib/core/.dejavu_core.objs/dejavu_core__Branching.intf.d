@@ -1,0 +1,1 @@
+lib/core/branching.mli: Asic Chain Format Layout P4ir Traversal

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Format Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Asic Chain Format Fun Layout List Option Random Result Traversal

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Asic Chain Format Layout P4ir

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Array Asic Branching Chain Compose Format Hashtbl Layout List Net_hdrs Nf Option P4ir Parser_merge Placement Printf Result Traversal

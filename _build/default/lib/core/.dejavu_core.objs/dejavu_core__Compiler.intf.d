@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Asic Branching Chain Compose Format Layout Nf P4ir Placement Traversal

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Asic Format Layout List Net_hdrs Nf Option P4ir Printf Result Sfc_header String

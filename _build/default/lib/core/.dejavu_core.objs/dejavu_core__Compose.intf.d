@@ -1,0 +1,1 @@
+lib/core/compose.mli: Asic Layout Nf P4ir

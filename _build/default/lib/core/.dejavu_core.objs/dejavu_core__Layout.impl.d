@@ -1,0 +1,1 @@
+lib/core/layout.ml: Asic Format List P4ir String

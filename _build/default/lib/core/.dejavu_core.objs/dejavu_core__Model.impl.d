@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Asic List Traversal

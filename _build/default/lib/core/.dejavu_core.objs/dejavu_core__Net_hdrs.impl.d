@@ -1,0 +1,1 @@
+lib/core/net_hdrs.ml: Int64 List Netpkt P4ir Printf Sfc_header

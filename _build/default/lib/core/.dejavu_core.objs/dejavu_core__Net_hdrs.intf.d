@@ -1,0 +1,1 @@
+lib/core/net_hdrs.mli: P4ir

@@ -1,0 +1,1 @@
+lib/core/nf.ml: Format List P4ir Printf String

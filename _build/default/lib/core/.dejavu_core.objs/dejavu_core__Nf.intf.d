@@ -1,0 +1,1 @@
+lib/core/nf.mli: Format P4ir

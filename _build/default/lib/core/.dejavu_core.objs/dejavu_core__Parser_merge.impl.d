@@ -1,0 +1,1 @@
+lib/core/parser_merge.ml: Hashtbl Int64 List Net_hdrs Option P4ir Printf Result String

@@ -1,0 +1,1 @@
+lib/core/parser_merge.mli: P4ir

@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Asic Chain Format Layout List Option P4ir Printf Random String Traversal

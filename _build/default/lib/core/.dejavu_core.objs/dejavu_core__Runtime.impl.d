@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Asic Branching Bytes Chain Compiler Hashtbl Int64 Layout List Netpkt Printf Result Sfc_header

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Asic Bytes Compiler Sfc_header

@@ -1,0 +1,1 @@
+lib/core/sfc_header.ml: Array Bytes Format List P4ir Printf

@@ -1,0 +1,1 @@
+lib/core/sfc_header.mli: Bytes Format P4ir

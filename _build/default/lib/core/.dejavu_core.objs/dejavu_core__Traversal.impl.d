@@ -1,0 +1,1 @@
+lib/core/traversal.ml: Array Asic Chain Format Layout List Printf

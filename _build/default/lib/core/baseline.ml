@@ -1,0 +1,103 @@
+type comparison = {
+  nf : string;
+  native : P4ir.Resources.t;
+  emulated : P4ir.Resources.t;
+}
+
+let key_slot_bits = 104 (* a 5-tuple-sized generic slot *)
+let vm_id_bits = 16 (* virtual program id + virtual stage id *)
+
+let ceil_div a b = (a + b - 1) / b
+
+(* One logical table, interpreted: a widened ternary match (the generic
+   matcher cannot know key structure, so everything goes to TCAM), plus
+   one primitive-execution table per action primitive (Hyper4 executes
+   one primitive per stage). *)
+let emulated_table table =
+  let open P4ir in
+  let gen_key_bits = vm_id_bits + max key_slot_bits (Table.key_bits table) in
+  let tcam_cols = ceil_div gen_key_bits Resources.tcam_block_width in
+  let tcam_rows = ceil_div (Table.max_size table) Resources.tcam_block_entries in
+  let max_prims =
+    List.fold_left
+      (fun acc (a : Action.t) -> max acc (List.length a.Action.body))
+      1 (Table.actions table)
+  in
+  (* Per primitive: a small generic execution table (opcode + operand
+     selectors in SRAM) in its own stage. *)
+  let prim_table =
+    {
+      Resources.stages = 1;
+      table_ids = 1;
+      srams = 1;
+      tcams = 0;
+      crossbar_bytes = ceil_div vm_id_bits 8;
+      vliws = 4 (* generic copy/arith/validity/flag micro-ops *);
+      gateways = 1 (* stage-progression check *);
+      hash_bits = 0;
+    }
+  in
+  let match_stage =
+    {
+      Resources.stages = 1;
+      table_ids = 1;
+      srams = ceil_div (Table.max_size table * 32) Resources.sram_block_bits
+              (* action-data indirection *);
+      tcams = tcam_cols * tcam_rows;
+      crossbar_bytes = ceil_div gen_key_bits 8;
+      vliws = 2;
+      gateways = 0;
+      hash_bits = 0;
+    }
+  in
+  Resources.add match_stage (Resources.scale max_prims prim_table)
+
+let emulated_resources (nf : Nf.t) =
+  let tables = List.fold_left
+    (fun acc t -> P4ir.Resources.add acc (emulated_table t))
+    P4ir.Resources.zero nf.Nf.tables
+  in
+  (* Register state is interpreted through the same indirection but its
+     memory footprint is unchanged. *)
+  let reg_srams =
+    List.fold_left
+      (fun acc r -> acc + P4ir.Register.sram_blocks r)
+      0 nf.Nf.registers
+  in
+  { tables with P4ir.Resources.srams = tables.P4ir.Resources.srams + reg_srams }
+
+let compare_nf nf =
+  { nf = nf.Nf.name; native = Nf.resources nf; emulated = emulated_resources nf }
+
+let ratios (c : comparison) =
+  let r name a b =
+    if a = 0 then None else Some (name, float_of_int b /. float_of_int a)
+  in
+  List.filter_map Fun.id
+    [
+      r "stages" c.native.P4ir.Resources.stages c.emulated.P4ir.Resources.stages;
+      r "table_ids" c.native.P4ir.Resources.table_ids
+        c.emulated.P4ir.Resources.table_ids;
+      r "srams" c.native.P4ir.Resources.srams c.emulated.P4ir.Resources.srams;
+      r "crossbar" c.native.P4ir.Resources.crossbar_bytes
+        c.emulated.P4ir.Resources.crossbar_bytes;
+      r "vliws" c.native.P4ir.Resources.vliws c.emulated.P4ir.Resources.vliws;
+    ]
+
+let overhead_factor = ratios
+
+let summary nfs =
+  let cs = List.map compare_nf nfs in
+  {
+    nf = "total";
+    native =
+      P4ir.Resources.sum (List.map (fun c -> c.native) cs);
+    emulated =
+      P4ir.Resources.sum (List.map (fun c -> c.emulated) cs);
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf "@[<v>%s:@,  native:   %a@,  emulated: %a@,  factors:" c.nf
+    P4ir.Resources.pp c.native P4ir.Resources.pp c.emulated;
+  List.iter (fun (n, f) -> Format.fprintf ppf " %s=%.1fx" n f) (ratios c);
+  Format.fprintf ppf "@]"

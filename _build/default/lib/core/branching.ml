@@ -1,0 +1,253 @@
+type entry = {
+  pipeline : int;
+  path_id : int;
+  index : int;
+  action : [ `To_out of int | `To_port of int | `Resubmit ];
+}
+
+type plan = {
+  paths : (Chain.t * Traversal.path) list;
+  branching : entry list;
+  check_next : (string * (int * int) list) list;
+}
+
+let ( let* ) = Result.bind
+
+let recirc_target spec ports ~pipeline ~salt =
+  let loopbacks =
+    List.filter
+      (fun p -> Asic.Port.is_loopback ports p)
+      (Asic.Spec.ports_of_pipeline spec pipeline)
+  in
+  match loopbacks with
+  | [] -> Asic.Spec.recirc_port pipeline
+  | ports -> List.nth ports (salt mod List.length ports)
+
+(* Derive branching entries from one chain's solved path. *)
+let entries_of_path spec ports (chain : Chain.t) (path : Traversal.path) =
+  let rec walk = function
+    | [] -> Ok []
+    | Traversal.Ingress_step { pipeline; idx_out; action; _ } :: rest -> (
+        let* tail = walk rest in
+        match action with
+        | Traversal.Resubmit ->
+            Ok
+              ({ pipeline; path_id = chain.Chain.path_id; index = idx_out; action = `Resubmit }
+              :: tail)
+        | Traversal.To_egress q -> (
+            (* The ingress pre-commits the egress port: the final out port
+               when the following egress pass emits, a loopback port of
+               pipeline q when it recirculates. *)
+            match rest with
+            | Traversal.Egress_step { action = Traversal.Emit; _ } :: _ ->
+                Ok
+                  ({
+                     pipeline;
+                     path_id = chain.Chain.path_id;
+                     index = idx_out;
+                     action = `To_out chain.Chain.exit_port;
+                   }
+                  :: tail)
+            | Traversal.Egress_step { action = Traversal.Recirc; _ } :: _ ->
+                let port =
+                  recirc_target spec ports ~pipeline:q
+                    ~salt:(chain.Chain.path_id + idx_out)
+                in
+                Ok
+                  ({
+                     pipeline;
+                     path_id = chain.Chain.path_id;
+                     index = idx_out;
+                     action = `To_port port;
+                   }
+                  :: tail)
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "branching: chain %s has an ingress step not followed by an egress step"
+                     chain.Chain.name)))
+    | Traversal.Egress_step _ :: rest -> walk rest
+  in
+  walk path.Traversal.steps
+
+let check_conflicts entries =
+  let tbl = Hashtbl.create 32 in
+  List.fold_left
+    (fun acc e ->
+      let* () = acc in
+      let key = (e.pipeline, e.path_id, e.index) in
+      match Hashtbl.find_opt tbl key with
+      | Some prev when prev <> e.action ->
+          Error
+            (Printf.sprintf
+               "branching: conflicting entries for (pipe %d, path %d, index %d)"
+               e.pipeline e.path_id e.index)
+      | Some _ -> Ok ()
+      | None ->
+          Hashtbl.replace tbl key e.action;
+          Ok ())
+    (Ok ()) entries
+
+let dedup entries =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun e ->
+      let key = (e.pipeline, e.path_id, e.index) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    entries
+
+let plan spec ports layout chains ~entry_pipeline =
+  let* paths =
+    List.fold_left
+      (fun acc (c : Chain.t) ->
+        let* l = acc in
+        match
+          Traversal.solve spec layout ~entry_pipeline ~exit_port:c.Chain.exit_port
+            c.Chain.nfs
+        with
+        | Some p -> Ok (l @ [ (c, p) ])
+        | None ->
+            Error (Printf.sprintf "branching: chain %s is unroutable" c.Chain.name))
+      (Ok []) chains
+  in
+  let* branching =
+    List.fold_left
+      (fun acc (c, p) ->
+        let* l = acc in
+        let* es = entries_of_path spec ports c p in
+        Ok (l @ es))
+      (Ok []) paths
+  in
+  let* () = check_conflicts branching in
+  let branching = dedup branching in
+  (* Resume entries: a packet punted to the CPU at chain position j is
+     reinjected into the ingress of the pipelet hosting NF j with its
+     service index still at j — a state the nominal traversal may never
+     pass through at that pipelet. Solve a traversal from each such
+     state and add its routing decisions wherever the nominal plan has
+     no entry (nominal entries win on conflicts, which only arise when
+     two optimal continuations tie). *)
+  let* resume =
+    List.fold_left
+      (fun acc (c : Chain.t) ->
+        let* l = acc in
+        let* extra =
+          List.fold_left
+            (fun acc (j, nf) ->
+              let* l = acc in
+              match Layout.location layout nf with
+              | None ->
+                  Error
+                    (Printf.sprintf "branching: NF %s of chain %s unplaced" nf
+                       c.Chain.name)
+              | Some id -> (
+                  match
+                    Traversal.solve ~start_idx:j spec layout
+                      ~entry_pipeline:id.Asic.Pipelet.pipeline
+                      ~exit_port:c.Chain.exit_port c.Chain.nfs
+                  with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "branching: chain %s cannot resume at %s" c.Chain.name
+                           nf)
+                  | Some p ->
+                      let* es = entries_of_path spec ports c p in
+                      Ok (l @ es)))
+            (Ok [])
+            (List.mapi (fun j nf -> (j, nf)) c.Chain.nfs)
+        in
+        Ok (l @ extra))
+      (Ok []) chains
+  in
+  let keys = Hashtbl.create 32 in
+  List.iter
+    (fun e -> Hashtbl.replace keys (e.pipeline, e.path_id, e.index) ())
+    branching;
+  let branching =
+    branching
+    @ dedup
+        (List.filter
+           (fun e -> not (Hashtbl.mem keys (e.pipeline, e.path_id, e.index)))
+           resume)
+  in
+  let check_next =
+    List.concat_map
+      (fun (c : Chain.t) ->
+        List.mapi (fun j nf -> (nf, (c.Chain.path_id, j))) c.Chain.nfs)
+      chains
+    |> List.fold_left
+         (fun acc (nf, pair) ->
+           match List.assoc_opt nf acc with
+           | Some pairs -> (nf, pairs @ [ pair ]) :: List.remove_assoc nf acc
+           | None -> (nf, [ pair ]) :: acc)
+         []
+    |> List.rev
+  in
+  Ok { paths; branching; check_next }
+
+let bv16 v = P4ir.Bitval.of_int ~width:16 v
+let bv8 v = P4ir.Bitval.of_int ~width:8 v
+let bv9 v = P4ir.Bitval.of_int ~width:9 v
+
+let install plan ~branching_table_of ~check_next_table_of =
+  let* () =
+    List.fold_left
+      (fun acc e ->
+        let* () = acc in
+        match branching_table_of e.pipeline with
+        | None ->
+            Error
+              (Printf.sprintf "branching: no branching table for pipeline %d"
+                 e.pipeline)
+        | Some table ->
+            let action, args =
+              match e.action with
+              | `To_out port -> (Compose.act_to_out, [ bv9 port ])
+              | `To_port port -> (Compose.act_to_port, [ bv9 port ])
+              | `Resubmit -> (Compose.act_resubmit, [])
+            in
+            P4ir.Table.add_entry table
+              {
+                P4ir.Table.priority = 0;
+                patterns =
+                  [ P4ir.Table.M_exact (bv16 e.path_id); P4ir.Table.M_exact (bv8 e.index) ];
+                action;
+                args;
+              })
+      (Ok ()) plan.branching
+  in
+  List.fold_left
+    (fun acc (nf, pairs) ->
+      let* () = acc in
+      match check_next_table_of nf with
+      | None -> Ok () (* classifier-style NFs have no check table *)
+      | Some table ->
+          List.fold_left
+            (fun acc (path_id, index) ->
+              let* () = acc in
+              P4ir.Table.add_entry table
+                {
+                  P4ir.Table.priority = 0;
+                  patterns =
+                    [
+                      P4ir.Table.M_exact (bv16 path_id);
+                      P4ir.Table.M_exact (bv8 index);
+                    ];
+                  action = Compose.proceed_action;
+                  args = [];
+                })
+            (Ok ()) pairs)
+    (Ok ()) plan.check_next
+
+let pp_entry ppf e =
+  Format.fprintf ppf "ingress %d: (path %d, idx %d) -> %s" e.pipeline e.path_id
+    e.index
+    (match e.action with
+    | `To_out p -> Printf.sprintf "out port %d" p
+    | `To_port p -> Printf.sprintf "port %d" p
+    | `Resubmit -> "resubmit")

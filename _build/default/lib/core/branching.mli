@@ -1,0 +1,42 @@
+(** On-chip routing (§3.4): generate the branching-table and
+    check_nextNF entries that realize each chain's optimal traversal.
+    Routing rules can only be computed after placement, because the
+    entry for (path, index) at an ingress pipelet depends on where the
+    next NF landed. *)
+
+type entry = {
+  pipeline : int;  (** which ingress pipelet's branching table *)
+  path_id : int;
+  index : int;  (** service index value after that ingress pass *)
+  action : [ `To_out of int | `To_port of int | `Resubmit ];
+}
+
+type plan = {
+  paths : (Chain.t * Traversal.path) list;
+  branching : entry list;
+  check_next : (string * (int * int) list) list;
+      (** NF name -> (path id, index) pairs that should proceed *)
+}
+
+val plan :
+  Asic.Spec.t ->
+  Asic.Port.t ->
+  Layout.t ->
+  Chain.t list ->
+  entry_pipeline:int ->
+  (plan, string) result
+(** Solves every chain's traversal and derives the table entries. The
+    recirculation target for a pipeline is one of its loopback Ethernet
+    ports when any exist (spread round-robin over entries), else the
+    dedicated recirculation port. Fails when a chain is unroutable or
+    two chains would need conflicting branching entries (impossible for
+    distinct path ids, checked anyway). *)
+
+val install :
+  plan ->
+  branching_table_of:(int -> P4ir.Table.t option) ->
+  check_next_table_of:(string -> P4ir.Table.t option) ->
+  (unit, string) result
+(** Write the entries into the composed programs' tables. *)
+
+val pp_entry : Format.formatter -> entry -> unit

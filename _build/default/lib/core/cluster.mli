@@ -1,0 +1,78 @@
+(** Clusters of switch data planes (§7, "Towards clusters of switch data
+    planes"): identical switches chained back-to-back with direct-attach
+    cables, multiplying MAU stages at the same aggregate bandwidth.
+
+    Topology: a unidirectional linear chain. Each switch's uplink ports
+    feed the next switch's ingress (pipeline 0 by convention); within a
+    switch, the usual rules apply (TM between any ingress/egress pair,
+    recirculation within a pipeline). The traversal solver therefore
+    has three transition prices: resubmission, recirculation, and the
+    inter-switch hop — the hop costs no recirculation bandwidth
+    (dedicated cables) but pays the §4 off-chip latency.
+
+    Pipelets are addressed with global pipeline ids: switch [s],
+    pipeline [p] lives at global pipeline [s * per_switch + p], so the
+    ordinary {!Layout.t} describes cluster placements too. *)
+
+type t = {
+  spec : Asic.Spec.t;  (** every switch is identical *)
+  n_switches : int;
+  cable_m : float;  (** inter-switch DAC length *)
+}
+
+val make : ?cable_m:float -> spec:Asic.Spec.t -> n_switches:int -> unit -> t
+val n_global_pipelines : t -> int
+val switch_of_pipeline : t -> int -> int
+val global_pipeline : t -> switch:int -> pipeline:int -> int
+val pipelet : t -> switch:int -> pipeline:int -> kind:Asic.Pipelet.kind -> Asic.Pipelet.id
+
+type step =
+  | Ingress_pass of { global_pipeline : int; idx_out : int }
+  | To_egress of { global_pipeline : int; idx_out : int }
+  | Resubmit
+  | Recirc
+  | Hop of { to_switch : int }  (** cable to the next switch *)
+  | Emit
+
+type path = {
+  steps : step list;
+  recircs : int;
+  resubmits : int;
+  hops : int;
+}
+
+val solve :
+  t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  exit_switch:int ->
+  exit_pipeline:int ->
+  string list ->
+  path option
+(** Cheapest traversal (recirc 1.0, resubmit 0.9, hop 0.1 — hops are
+    latency, not lost bandwidth). The chain enters at switch 0. [None]
+    when unroutable (e.g. an NF placed on a switch behind the packet). *)
+
+val latency_ns : t -> path -> float
+(** Both MAC crossings, a pipe pass per pipelet visit, TM crossings,
+    on-chip recirculations, and the off-chip hop cost per cable. *)
+
+val cost :
+  t -> Layout.t -> entry_pipeline:int -> exit_switch:int -> exit_pipeline:int ->
+  Chain.t list -> float option
+
+type strategy = Greedy_fill | Anneal of { iterations : int; seed : int }
+
+val place :
+  t ->
+  resources_of:(string -> P4ir.Resources.t) ->
+  chains:Chain.t list ->
+  exit_switch:int ->
+  exit_pipeline:int ->
+  pinned:(string * Asic.Pipelet.id) list ->
+  strategy ->
+  (Layout.t * float, string) result
+(** Assign NFs to the cluster's pipelets under per-pipelet stage budgets
+    (2 framework stages per NF + 1 fixed, as on a single switch). *)
+
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,74 @@
+type group = Seq of string list | Par of string list
+type pipelet_layout = group list
+type t = (Asic.Pipelet.id * pipelet_layout) list
+
+let group_members = function Seq nfs | Par nfs -> nfs
+let nfs_of_pipelet layout = List.concat_map group_members layout
+let all_nfs t = List.concat_map (fun (_, l) -> nfs_of_pipelet l) t
+
+let layout_of t id =
+  match List.find_opt (fun (i, _) -> Asic.Pipelet.equal_id i id) t with
+  | Some (_, l) -> l
+  | None -> []
+
+let location t nf =
+  List.find_map
+    (fun (id, l) -> if List.mem nf (nfs_of_pipelet l) then Some id else None)
+    t
+
+let position layout nf =
+  let rec go gi = function
+    | [] -> None
+    | g :: rest -> (
+        let members = group_members g in
+        match List.find_index (String.equal nf) members with
+        | Some si -> Some (gi, si)
+        | None -> go (gi + 1) rest)
+  in
+  go 0 layout
+
+let group_kind layout gi =
+  match List.nth_opt layout gi with
+  | Some (Seq _) -> `Seq
+  | Some (Par _) -> `Par
+  | None -> invalid_arg "Layout.group_kind: index out of range"
+
+let validate t =
+  let nfs = all_nfs t in
+  if List.length (List.sort_uniq String.compare nfs) <> List.length nfs then
+    Error "layout places some NF more than once"
+  else if
+    List.exists (fun (_, l) -> List.exists (fun g -> group_members g = []) l) t
+  then Error "layout contains an empty group"
+  else Ok ()
+
+let stage_demand resources_of layout =
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Seq nfs ->
+          acc
+          + List.fold_left
+              (fun s nf -> s + (resources_of nf).P4ir.Resources.stages)
+              0 nfs
+      | Par nfs ->
+          acc
+          + List.fold_left
+              (fun s nf -> max s (resources_of nf).P4ir.Resources.stages)
+              0 nfs)
+    0 layout
+
+let pp_group ppf = function
+  | Seq nfs -> Format.fprintf ppf "seq(%s)" (String.concat ", " nfs)
+  | Par nfs -> Format.fprintf ppf "par(%s)" (String.concat " | " nfs)
+
+let pp_pipelet_layout ppf layout =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ; ")
+    pp_group ppf layout
+
+let pp ppf t =
+  List.iter
+    (fun (id, l) ->
+      Format.fprintf ppf "%a: %a@\n" Asic.Pipelet.pp_id id pp_pipelet_layout l)
+    t

@@ -1,0 +1,37 @@
+(** Placements: which NFs sit on which pipelet, and how they are
+    composed there (§3.2) — back-to-back ([Seq], costs stages, free
+    transitions) or side-by-side ([Par], shares stages, transitions need
+    a resubmission or recirculation). *)
+
+type group = Seq of string list | Par of string list
+
+type pipelet_layout = group list
+
+type t = (Asic.Pipelet.id * pipelet_layout) list
+(** One entry per pipelet that hosts NFs; pipelets absent from the list
+    are empty (pass-through). *)
+
+val nfs_of_pipelet : pipelet_layout -> string list
+val all_nfs : t -> string list
+val layout_of : t -> Asic.Pipelet.id -> pipelet_layout
+(** Empty list when the pipelet hosts nothing. *)
+
+val location : t -> string -> Asic.Pipelet.id option
+
+val position : pipelet_layout -> string -> (int * int) option
+(** (group index, slot within group). *)
+
+val group_kind : pipelet_layout -> int -> [ `Seq | `Par ]
+
+val validate : t -> (unit, string) result
+(** Each NF appears at most once across the whole layout; no empty
+    groups. *)
+
+val stage_demand :
+  (string -> P4ir.Resources.t) -> pipelet_layout -> int
+(** MAU stages this layout needs for the NFs alone (framework tables
+    excluded): [Seq] groups sum member stages, [Par] groups take the
+    max. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_pipelet_layout : Format.formatter -> pipelet_layout -> unit

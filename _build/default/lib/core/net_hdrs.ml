@@ -1,0 +1,257 @@
+let eth =
+  P4ir.Hdr.decl "eth" [ ("dst", 48); ("src", 48); ("ethertype", 16) ]
+
+let vlan =
+  P4ir.Hdr.decl "vlan" [ ("pcp", 3); ("dei", 1); ("vid", 12); ("ethertype", 16) ]
+
+let ipv4 =
+  P4ir.Hdr.decl "ipv4"
+    [
+      ("version", 4);
+      ("ihl", 4);
+      ("dscp", 6);
+      ("ecn", 2);
+      ("total_len", 16);
+      ("ident", 16);
+      ("flags", 3);
+      ("frag_offset", 13);
+      ("ttl", 8);
+      ("protocol", 8);
+      ("checksum", 16);
+      ("src_addr", 32);
+      ("dst_addr", 32);
+    ]
+
+let tcp =
+  P4ir.Hdr.decl "tcp"
+    [
+      ("src_port", 16);
+      ("dst_port", 16);
+      ("seq", 32);
+      ("ack", 32);
+      ("data_off", 4);
+      ("reserved", 3);
+      ("flags", 9);
+      ("window", 16);
+      ("checksum", 16);
+      ("urgent", 16);
+    ]
+
+let udp =
+  P4ir.Hdr.decl "udp"
+    [ ("src_port", 16); ("dst_port", 16); ("length", 16); ("checksum", 16) ]
+
+let vxlan =
+  P4ir.Hdr.decl "vxlan"
+    [ ("flags", 8); ("reserved1", 24); ("vni", 24); ("reserved2", 8) ]
+
+(* Inner (overlay) copies of the outer layouts under distinct names. *)
+let clone_decl name (d : P4ir.Hdr.decl) =
+  P4ir.Hdr.decl name
+    (List.map (fun (f : P4ir.Hdr.field) -> (f.P4ir.Hdr.name, f.P4ir.Hdr.width)) d.P4ir.Hdr.fields)
+
+let inner_eth = clone_decl "inner_eth" eth
+let inner_ipv4 = clone_decl "inner_ipv4" ipv4
+let inner_tcp = clone_decl "inner_tcp" tcp
+let inner_udp = clone_decl "inner_udp" udp
+
+let all_decls =
+  [
+    eth; Sfc_header.decl; vlan; ipv4; tcp; udp; vxlan; inner_eth; inner_ipv4;
+    inner_tcp; inner_udp;
+  ]
+
+let ethertype_ipv4 = Netpkt.Eth.ethertype_ipv4
+let ethertype_vlan = Netpkt.Eth.ethertype_vlan
+let ethertype_sfc = Netpkt.Eth.ethertype_sfc
+
+let proto_tcp = Netpkt.Ipv4.proto_tcp
+let proto_udp = Netpkt.Ipv4.proto_udp
+
+let r h f = P4ir.Fieldref.v h f
+let eth_ethertype = r "eth" "ethertype"
+let eth_src = r "eth" "src"
+let eth_dst = r "eth" "dst"
+let vlan_vid = r "vlan" "vid"
+let ip_src = r "ipv4" "src_addr"
+let ip_dst = r "ipv4" "dst_addr"
+let ip_proto = r "ipv4" "protocol"
+let ip_ttl = r "ipv4" "ttl"
+let tcp_sport = r "tcp" "src_port"
+let tcp_dport = r "tcp" "dst_port"
+let udp_sport = r "udp" "src_port"
+let udp_dport = r "udp" "dst_port"
+
+let gid header offset = Printf.sprintf "%s@%d" header offset
+
+(* SFC next-protocol discriminators (byte 19 of the SFC header). *)
+let sfc_next_ipv4 = Int64.of_int Sfc_header.next_proto_ipv4
+let sfc_next_vlan = 2L
+
+let udp_port_vxlan = 4789
+
+let base_parser ?(with_vlan = false) ?(with_l4 = true) ?(with_vxlan = false)
+    ~name () =
+  let open P4ir.Parser_graph in
+  let states = ref [] in
+  let add s = states := s :: !states in
+  (* The VXLAN overlay under a UDP header at [off]: vxlan, inner
+     Ethernet, inner IPv4, inner transport. *)
+  let overlay_after_udp udp_off =
+    let vx = udp_off + 8 in
+    let ie = vx + 8 in
+    let ii = ie + 14 in
+    let il = ii + 20 in
+    add { id = gid "inner_tcp" il; header = "inner_tcp"; offset = il; select = None };
+    add { id = gid "inner_udp" il; header = "inner_udp"; offset = il; select = None };
+    add
+      {
+        id = gid "inner_ipv4" ii;
+        header = "inner_ipv4";
+        offset = ii;
+        select =
+          Some
+            {
+              on = [ r "inner_ipv4" "protocol" ];
+              cases =
+                [
+                  { values = [ Int64.of_int proto_tcp ]; next = Goto (gid "inner_tcp" il) };
+                  { values = [ Int64.of_int proto_udp ]; next = Goto (gid "inner_udp" il) };
+                ];
+              default = Accept;
+            };
+      };
+    add
+      {
+        id = gid "inner_eth" ie;
+        header = "inner_eth";
+        offset = ie;
+        select =
+          Some
+            {
+              on = [ r "inner_eth" "ethertype" ];
+              cases =
+                [ { values = [ Int64.of_int ethertype_ipv4 ]; next = Goto (gid "inner_ipv4" ii) } ];
+              default = Accept;
+            };
+      };
+    add
+      {
+        id = gid "vxlan" vx;
+        header = "vxlan";
+        offset = vx;
+        select =
+          Some
+            { on = []; cases = []; default = Goto (gid "inner_eth" ie) };
+      };
+    Goto (gid "vxlan" vx)
+  in
+  (* IPv4 (and optional transport) at a given offset. [overlay] opens
+     the VXLAN branch under this stack's UDP. *)
+  let ipv4_at ?(overlay = false) off =
+    let id = gid "ipv4" off in
+    if with_l4 then begin
+      let tcp_off = off + 20 and udp_off = off + 20 in
+      add
+        {
+          id;
+          header = "ipv4";
+          offset = off;
+          select =
+            Some
+              {
+                on = [ ip_proto ];
+                cases =
+                  [
+                    { values = [ Int64.of_int proto_tcp ]; next = Goto (gid "tcp" tcp_off) };
+                    { values = [ Int64.of_int proto_udp ]; next = Goto (gid "udp" udp_off) };
+                  ];
+                default = Accept;
+              };
+        };
+      add { id = gid "tcp" tcp_off; header = "tcp"; offset = tcp_off; select = None };
+      let udp_select =
+        if overlay then
+          Some
+            {
+              on = [ udp_dport ];
+              cases =
+                [ { values = [ Int64.of_int udp_port_vxlan ]; next = overlay_after_udp udp_off } ];
+              default = Accept;
+            }
+        else None
+      in
+      add { id = gid "udp" udp_off; header = "udp"; offset = udp_off; select = udp_select }
+    end
+    else add { id; header = "ipv4"; offset = off; select = None };
+    Goto id
+  in
+  let vlan_at off =
+    let id = gid "vlan" off in
+    add
+      {
+        id;
+        header = "vlan";
+        offset = off;
+        select =
+          Some
+            {
+              on = [ r "vlan" "ethertype" ];
+              cases =
+                [ { values = [ Int64.of_int ethertype_ipv4 ]; next = ipv4_at (off + 4) } ];
+              default = Accept;
+            };
+      };
+    Goto id
+  in
+  let sfc_cases =
+    {
+      values = [ sfc_next_ipv4 ];
+      next = ipv4_at ~overlay:with_vxlan (14 + Sfc_header.byte_size);
+    }
+    :: (if with_vlan then
+          [ { values = [ sfc_next_vlan ]; next = vlan_at (14 + Sfc_header.byte_size) } ]
+        else [])
+  in
+  add
+    {
+      id = gid "sfc" 14;
+      header = Sfc_header.name;
+      offset = 14;
+      select =
+        Some
+          { on = [ Sfc_header.next_protocol ]; cases = sfc_cases; default = Accept };
+    };
+  let eth_cases =
+    [
+      { values = [ Int64.of_int ethertype_sfc ]; next = Goto (gid "sfc" 14) };
+      {
+        values = [ Int64.of_int ethertype_ipv4 ];
+        next = ipv4_at ~overlay:with_vxlan 14;
+      };
+    ]
+    @ (if with_vlan then
+         [ { values = [ Int64.of_int ethertype_vlan ]; next = vlan_at 14 } ]
+       else [])
+  in
+  add
+    {
+      id = gid "eth" 0;
+      header = "eth";
+      offset = 0;
+      select = Some { on = [ eth_ethertype ]; cases = eth_cases; default = Accept };
+    };
+  let decls =
+    [ eth; Sfc_header.decl; ipv4 ]
+    @ (if with_vlan then [ vlan ] else [])
+    @ (if with_l4 then [ tcp; udp ] else [])
+    @ if with_vxlan then [ vxlan; inner_eth; inner_ipv4; inner_tcp; inner_udp ]
+      else []
+  in
+  { name; decls; start = Goto (gid "eth" 0); states = List.rev !states }
+
+let deparse_order =
+  [
+    "eth"; Sfc_header.name; "vlan"; "ipv4"; "tcp"; "udp"; "vxlan"; "inner_eth";
+    "inner_ipv4"; "inner_tcp"; "inner_udp";
+  ]

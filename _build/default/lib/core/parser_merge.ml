@@ -1,0 +1,186 @@
+type conflict =
+  | Decl_mismatch of string
+  | Select_fields of string
+  | Case_target of string
+  | Start_mismatch
+
+let conflict_message = function
+  | Decl_mismatch h ->
+      Printf.sprintf "conflicting declarations for header %s" h
+  | Select_fields v ->
+      Printf.sprintf "vertex %s selects on different field lists" v
+  | Case_target v ->
+      Printf.sprintf
+        "vertex %s maps the same select value to different targets" v
+  | Start_mismatch -> "parsers start at different vertices"
+
+let ( let* ) = Result.bind
+
+let global_id_table parsers =
+  let table = ref [] in
+  List.iter
+    (fun (p : P4ir.Parser_graph.t) ->
+      List.iter
+        (fun (s : P4ir.Parser_graph.state) ->
+          let key = P4ir.Parser_graph.vertex_key s in
+          if not (List.mem_assoc key !table) then
+            table := !table @ [ (key, Net_hdrs.gid (fst key) (snd key)) ])
+        p.P4ir.Parser_graph.states)
+    parsers;
+  !table
+
+(* Remap a [next] through the vertex table of its own parser. *)
+let remap_next (p : P4ir.Parser_graph.t) next =
+  match next with
+  | P4ir.Parser_graph.Accept -> P4ir.Parser_graph.Accept
+  | P4ir.Parser_graph.Reject -> P4ir.Parser_graph.Reject
+  | P4ir.Parser_graph.Goto id -> (
+      match P4ir.Parser_graph.find_state p id with
+      | Some s ->
+          let h, off = P4ir.Parser_graph.vertex_key s in
+          P4ir.Parser_graph.Goto (Net_hdrs.gid h off)
+      | None -> P4ir.Parser_graph.Goto id)
+
+let merge_decls parsers =
+  List.fold_left
+    (fun acc (p : P4ir.Parser_graph.t) ->
+      let* decls = acc in
+      List.fold_left
+        (fun acc (d : P4ir.Hdr.decl) ->
+          let* decls = acc in
+          match
+            List.find_opt
+              (fun (e : P4ir.Hdr.decl) -> String.equal e.P4ir.Hdr.name d.P4ir.Hdr.name)
+              decls
+          with
+          | Some existing ->
+              if P4ir.Hdr.equal_decl existing d then Ok decls
+              else Error (Decl_mismatch d.P4ir.Hdr.name)
+          | None -> Ok (decls @ [ d ]))
+        (Ok decls) p.P4ir.Parser_graph.decls)
+    (Ok []) parsers
+
+let equal_next a b =
+  match (a, b) with
+  | P4ir.Parser_graph.Accept, P4ir.Parser_graph.Accept -> true
+  | P4ir.Parser_graph.Reject, P4ir.Parser_graph.Reject -> true
+  | P4ir.Parser_graph.Goto x, P4ir.Parser_graph.Goto y -> String.equal x y
+  | (P4ir.Parser_graph.Accept | P4ir.Parser_graph.Reject | P4ir.Parser_graph.Goto _), _
+    ->
+      false
+
+(* Merge two defaults: a concrete continuation beats an early stop. *)
+let merge_default gid a b =
+  if equal_next a b then Ok a
+  else
+    match (a, b) with
+    | P4ir.Parser_graph.Goto _, (P4ir.Parser_graph.Accept | P4ir.Parser_graph.Reject)
+      ->
+        Ok a
+    | (P4ir.Parser_graph.Accept | P4ir.Parser_graph.Reject), P4ir.Parser_graph.Goto _
+      ->
+        Ok b
+    | P4ir.Parser_graph.Accept, P4ir.Parser_graph.Reject
+    | P4ir.Parser_graph.Reject, P4ir.Parser_graph.Accept ->
+        Ok P4ir.Parser_graph.Accept
+    | P4ir.Parser_graph.Goto _, P4ir.Parser_graph.Goto _ -> Error (Case_target gid)
+    | _ -> Error (Case_target gid)
+
+let merge_selects gid a b =
+  match (a, b) with
+  | None, s | s, None -> Ok s
+  | Some (sa : P4ir.Parser_graph.select), Some sb ->
+      if
+        List.length sa.P4ir.Parser_graph.on <> List.length sb.P4ir.Parser_graph.on
+        || not
+             (List.for_all2 P4ir.Fieldref.equal sa.P4ir.Parser_graph.on
+                sb.P4ir.Parser_graph.on)
+      then Error (Select_fields gid)
+      else
+        let* cases =
+          List.fold_left
+            (fun acc (cb : P4ir.Parser_graph.case) ->
+              let* cases = acc in
+              match
+                List.find_opt
+                  (fun (ca : P4ir.Parser_graph.case) ->
+                    List.length ca.P4ir.Parser_graph.values
+                    = List.length cb.P4ir.Parser_graph.values
+                    && List.for_all2 Int64.equal ca.P4ir.Parser_graph.values
+                         cb.P4ir.Parser_graph.values)
+                  cases
+              with
+              | Some ca ->
+                  if equal_next ca.P4ir.Parser_graph.next cb.P4ir.Parser_graph.next
+                  then Ok cases
+                  else Error (Case_target gid)
+              | None -> Ok (cases @ [ cb ]))
+            (Ok sa.P4ir.Parser_graph.cases)
+            sb.P4ir.Parser_graph.cases
+        in
+        let* default =
+          merge_default gid sa.P4ir.Parser_graph.default sb.P4ir.Parser_graph.default
+        in
+        Ok (Some { sa with P4ir.Parser_graph.cases; default })
+
+let merge ~name parsers =
+  if parsers = [] then invalid_arg "Parser_merge.merge: no parsers";
+  let* decls = merge_decls parsers in
+  (* Collect remapped states, unifying by global id. *)
+  let merged : (string, P4ir.Parser_graph.state) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc (p : P4ir.Parser_graph.t) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc (s : P4ir.Parser_graph.state) ->
+            let* () = acc in
+            let h, off = P4ir.Parser_graph.vertex_key s in
+            let gid = Net_hdrs.gid h off in
+            let remapped_select =
+              Option.map
+                (fun (sel : P4ir.Parser_graph.select) ->
+                  {
+                    sel with
+                    P4ir.Parser_graph.cases =
+                      List.map
+                        (fun (c : P4ir.Parser_graph.case) ->
+                          { c with P4ir.Parser_graph.next = remap_next p c.P4ir.Parser_graph.next })
+                        sel.P4ir.Parser_graph.cases;
+                    default = remap_next p sel.P4ir.Parser_graph.default;
+                  })
+                s.P4ir.Parser_graph.select
+            in
+            let candidate =
+              { s with P4ir.Parser_graph.id = gid; select = remapped_select }
+            in
+            match Hashtbl.find_opt merged gid with
+            | None ->
+                Hashtbl.replace merged gid candidate;
+                order := gid :: !order;
+                Ok ()
+            | Some existing ->
+                let* select =
+                  merge_selects gid existing.P4ir.Parser_graph.select
+                    candidate.P4ir.Parser_graph.select
+                in
+                Hashtbl.replace merged gid
+                  { existing with P4ir.Parser_graph.select = select };
+                Ok ())
+          (Ok ()) p.P4ir.Parser_graph.states)
+      (Ok ()) parsers
+  in
+  (* All parsers must agree on the entry vertex. *)
+  let starts =
+    List.map (fun (p : P4ir.Parser_graph.t) -> remap_next p p.P4ir.Parser_graph.start) parsers
+  in
+  let* start =
+    match starts with
+    | first :: rest ->
+        if List.for_all (equal_next first) rest then Ok first
+        else Error Start_mismatch
+    | [] -> assert false
+  in
+  let states = List.rev_map (Hashtbl.find merged) !order in
+  Ok { P4ir.Parser_graph.name; decls; start; states }

@@ -1,0 +1,34 @@
+(** Generic-parser construction (§3): merge the parser DAGs of the
+    co-located NFs into one parser.
+
+    Vertices are identified by their [(header_type, offset)] tuple,
+    mapped through a global-ID lookup table, so the same header at the
+    same location unifies across NFs while the same header type at a
+    different offset stays distinct. Select transitions are unioned;
+    a [Goto] default wins over an [Accept] default (the NF that stops
+    parsing early simply ignores the deeper headers). *)
+
+type conflict =
+  | Decl_mismatch of string
+      (** two NFs declare the same header name with different layouts *)
+  | Select_fields of string
+      (** the same vertex selects on different field lists *)
+  | Case_target of string
+      (** the same select value leads to different vertices *)
+  | Start_mismatch
+      (** the NF parsers do not start with the same vertex *)
+
+val conflict_message : conflict -> string
+
+val merge :
+  name:string ->
+  P4ir.Parser_graph.t list ->
+  (P4ir.Parser_graph.t, conflict) result
+(** Merge one or more parsers. The result's state ids are the canonical
+    global IDs ({!Net_hdrs.gid}); it validates by construction (checked
+    in tests). Raises [Invalid_argument] on an empty list. *)
+
+val global_id_table :
+  P4ir.Parser_graph.t list -> ((string * int) * string) list
+(** The (header_type, offset) -> global id lookup table the merge uses;
+    exposed because the paper sizes it in §3. *)

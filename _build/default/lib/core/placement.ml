@@ -1,0 +1,308 @@
+type strategy =
+  | Naive
+  | Greedy
+  | Anneal of { iterations : int; seed : int; initial_temp : float }
+  | Exhaustive
+
+let default_anneal = Anneal { iterations = 4000; seed = 1; initial_temp = 2.0 }
+
+type input = {
+  spec : Asic.Spec.t;
+  resources_of : string -> P4ir.Resources.t;
+  chains : Chain.t list;
+  entry_pipeline : int;
+  pinned : (string * Asic.Pipelet.id) list;
+  framework_stages_per_nf : int;
+  framework_stages_fixed : int;
+}
+
+let stages_needed input layout =
+  let nf_count = List.length (Layout.nfs_of_pipelet layout) in
+  Layout.stage_demand input.resources_of layout
+  + (nf_count * input.framework_stages_per_nf)
+  + if nf_count > 0 then input.framework_stages_fixed else 0
+
+let feasible input layout =
+  List.for_all
+    (fun (_, pl) -> stages_needed input pl <= input.spec.Asic.Spec.stages_per_pipelet)
+    layout
+
+(* Earliest position of an NF across chains, weighting heavier chains
+   first for tie stability. *)
+let rank_of chains nf =
+  List.fold_left
+    (fun acc (c : Chain.t) ->
+      match Chain.position c nf with Some i -> min acc i | None -> acc)
+    max_int chains
+
+(* Order co-located NFs so that sequential composition follows the
+   chains: topologically sort by weighted pairwise precedence (a before
+   b when the heavier share of traffic visits a first), breaking ties
+   and cycles by earliest chain position. *)
+let canonical_order chains nfs =
+  let prec a b =
+    (* positive: a should come before b *)
+    List.fold_left
+      (fun acc (c : Chain.t) ->
+        match (Chain.position c a, Chain.position c b) with
+        | Some i, Some j when i < j -> acc +. c.Chain.weight
+        | Some i, Some j when i > j -> acc -. c.Chain.weight
+        | _ -> acc)
+      0.0 chains
+  in
+  let by_rank =
+    List.stable_sort (fun a b -> compare (rank_of chains a) (rank_of chains b)) nfs
+  in
+  (* Kahn's algorithm over the majority-precedence digraph. *)
+  let rec topo placed remaining =
+    match remaining with
+    | [] -> List.rev placed
+    | _ -> (
+        let ready =
+          List.filter
+            (fun nf ->
+              List.for_all
+                (fun other ->
+                  String.equal other nf || prec other nf <= 0.0)
+                remaining)
+            remaining
+        in
+        match ready with
+        | nf :: _ ->
+            topo (nf :: placed) (List.filter (fun o -> not (String.equal o nf)) remaining)
+        | [] ->
+            (* Precedence cycle (conflicting chains): fall back to rank
+               order for the rest. *)
+            List.rev placed @ remaining)
+  in
+  topo [] by_rank
+
+let build_layout input assignment =
+  let ids =
+    List.sort_uniq Asic.Pipelet.compare_id (List.map snd assignment)
+  in
+  let per_pipelet =
+    List.map
+      (fun id ->
+        let nfs =
+          List.filter_map
+            (fun (nf, i) -> if Asic.Pipelet.equal_id i id then Some nf else None)
+            assignment
+        in
+        (id, canonical_order input.chains nfs))
+      ids
+  in
+  let budget = input.spec.Asic.Spec.stages_per_pipelet in
+  let rec build acc = function
+    | [] -> Some (List.rev acc)
+    | (id, nfs) :: rest ->
+        let seq = [ Layout.Seq nfs ] in
+        if stages_needed input seq <= budget then build ((id, seq) :: acc) rest
+        else if List.length nfs > 1 then begin
+          let par = [ Layout.Par nfs ] in
+          if stages_needed input par <= budget then build ((id, par) :: acc) rest
+          else None
+        end
+        else None
+  in
+  build [] per_pipelet
+
+let evaluate input layout =
+  if not (feasible input layout) then None
+  else
+    Traversal.cost input.spec layout ~entry_pipeline:input.entry_pipeline
+      input.chains
+
+let evaluate_assignment input assignment =
+  match build_layout input assignment with
+  | None -> None
+  | Some layout ->
+      Option.map (fun c -> (layout, c)) (evaluate input layout)
+
+let all_nf_names input = Chain.all_nfs input.chains
+
+let pipelet_choices input = Asic.Pipelet.all_ids input.spec
+
+let free_nfs input =
+  List.filter
+    (fun nf -> not (List.mem_assoc nf input.pinned))
+    (canonical_order input.chains (all_nf_names input))
+
+(* --- strategies --- *)
+
+let solve_naive input =
+  let order = pipelet_choices input in
+  let n = List.length order in
+  (* Walk pipelets cyclically, advancing when the next NF no longer fits. *)
+  let rec place assignment cursor tried nfs =
+    match nfs with
+    | [] -> Some assignment
+    | nf :: rest ->
+        if tried >= n then None
+        else
+          let id = List.nth order (cursor mod n) in
+          let candidate = assignment @ [ (nf, id) ] in
+          let pl_nfs =
+            List.filter_map
+              (fun (f, i) -> if Asic.Pipelet.equal_id i id then Some f else None)
+              candidate
+          in
+          let layout = [ Layout.Seq (canonical_order input.chains pl_nfs) ] in
+          if stages_needed input layout <= input.spec.Asic.Spec.stages_per_pipelet
+          then place candidate (cursor + 1) 0 rest
+          else place assignment (cursor + 1) (tried + 1) (nf :: rest)
+  in
+  match place input.pinned 0 0 (free_nfs input) with
+  | None -> Error "naive placement: NFs do not fit"
+  | Some assignment -> (
+      match evaluate_assignment input assignment with
+      | Some (layout, cost) -> Ok (layout, cost)
+      | None -> Error "naive placement: produced an infeasible chain routing")
+
+let better (a : float option) (b : float option) =
+  match (a, b) with
+  | Some x, Some y -> x < y
+  | Some _, None -> true
+  | None, (Some _ | None) -> false
+
+let solve_greedy input =
+  let choices = pipelet_choices input in
+  let rec place assignment = function
+    | [] -> Ok assignment
+    | nf :: rest ->
+        (* Evaluate each candidate pipelet against the chains truncated
+           to the NFs placed so far. *)
+        let truncated_input placed =
+          {
+            input with
+            chains =
+              List.map
+                (fun (c : Chain.t) ->
+                  {
+                    c with
+                    Chain.nfs =
+                      List.filter (fun f -> List.mem_assoc f placed) c.Chain.nfs;
+                  })
+                input.chains;
+          }
+        in
+        let best =
+          List.fold_left
+            (fun best id ->
+              let candidate = assignment @ [ (nf, id) ] in
+              let score =
+                Option.map snd
+                  (evaluate_assignment (truncated_input candidate) candidate)
+              in
+              match best with
+              | Some (_, best_score) when not (better score (Some best_score)) ->
+                  best
+              | _ -> (
+                  match score with Some s -> Some (candidate, s) | None -> best))
+            None choices
+        in
+        (match best with
+        | Some (candidate, _) -> place candidate rest
+        | None -> Error (Printf.sprintf "greedy placement: cannot place %s" nf))
+  in
+  match place input.pinned (free_nfs input) with
+  | Error e -> Error e
+  | Ok assignment -> (
+      match evaluate_assignment input assignment with
+      | Some (layout, cost) -> Ok (layout, cost)
+      | None -> Error "greedy placement: final layout infeasible")
+
+let solve_exhaustive input =
+  let free = free_nfs input in
+  let choices = pipelet_choices input in
+  let best = ref None in
+  let rec go assignment = function
+    | [] -> (
+        match evaluate_assignment input assignment with
+        | None -> ()
+        | Some (layout, cost) -> (
+            match !best with
+            | Some (_, _, c) when c <= cost -> ()
+            | _ -> best := Some (layout, assignment, cost)))
+    | nf :: rest ->
+        List.iter (fun id -> go (assignment @ [ (nf, id) ]) rest) choices
+  in
+  go input.pinned free;
+  match !best with
+  | Some (layout, _, cost) -> Ok (layout, cost)
+  | None -> Error "exhaustive placement: no feasible assignment"
+
+let solve_anneal input ~iterations ~seed ~initial_temp =
+  let free = Array.of_list (free_nfs input) in
+  if Array.length free = 0 then
+    match evaluate_assignment input input.pinned with
+    | Some (layout, cost) -> Ok (layout, cost)
+    | None -> Error "anneal placement: pinned-only layout infeasible"
+  else begin
+    let st = Random.State.make [| seed |] in
+    let choices = Array.of_list (pipelet_choices input) in
+    let current =
+      Array.map (fun _ -> choices.(Random.State.int st (Array.length choices))) free
+    in
+    let assignment_of arr =
+      input.pinned @ Array.to_list (Array.mapi (fun i id -> (free.(i), id)) arr)
+    in
+    (* Start from greedy if it succeeds; otherwise from random. *)
+    (match solve_greedy input with
+    | Ok (layout, _) ->
+        Array.iteri
+          (fun i nf ->
+            match Layout.location layout nf with
+            | Some id -> current.(i) <- id
+            | None -> ())
+          free
+    | Error _ -> ());
+    let score arr = Option.map snd (evaluate_assignment input (assignment_of arr)) in
+    let best_arr = ref (Array.copy current) in
+    let best_score = ref (score current) in
+    let cur_score = ref !best_score in
+    for it = 0 to iterations - 1 do
+      let temp =
+        initial_temp *. (1.0 -. (float_of_int it /. float_of_int iterations))
+      in
+      let i = Random.State.int st (Array.length free) in
+      let old = current.(i) in
+      let candidate = choices.(Random.State.int st (Array.length choices)) in
+      current.(i) <- candidate;
+      let s = score current in
+      let accept =
+        match (s, !cur_score) with
+        | Some new_c, Some old_c ->
+            new_c <= old_c
+            || Random.State.float st 1.0 < exp ((old_c -. new_c) /. max temp 1e-9)
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      if accept then begin
+        cur_score := s;
+        if better s !best_score then begin
+          best_score := s;
+          best_arr := Array.copy current
+        end
+      end
+      else current.(i) <- old
+    done;
+    match evaluate_assignment input (assignment_of !best_arr) with
+    | Some (layout, cost) -> Ok (layout, cost)
+    | None -> Error "anneal placement: no feasible assignment found"
+  end
+
+let solve input strategy =
+  match strategy with
+  | Naive -> solve_naive input
+  | Greedy -> solve_greedy input
+  | Exhaustive -> solve_exhaustive input
+  | Anneal { iterations; seed; initial_temp } ->
+      solve_anneal input ~iterations ~seed ~initial_temp
+
+let pp_strategy ppf = function
+  | Naive -> Format.pp_print_string ppf "naive"
+  | Greedy -> Format.pp_print_string ppf "greedy"
+  | Exhaustive -> Format.pp_print_string ppf "exhaustive"
+  | Anneal { iterations; seed; _ } ->
+      Format.fprintf ppf "anneal(n=%d,seed=%d)" iterations seed

@@ -1,0 +1,53 @@
+(** NF placement optimization (§3.3): assign NFs to pipelets and choose
+    their on-pipelet composition to minimize the weighted recirculation
+    count over all chains, subject to stage capacity.
+
+    The paper leaves the general optimizer as ongoing work; we provide
+    four strategies and cross-validate the heuristics against the
+    exhaustive optimum on small instances. *)
+
+type strategy =
+  | Naive
+      (** place NFs in chain order, walking pipelets ingress 0, egress 0,
+          ingress 1, egress 1, ... — the paper's strawman *)
+  | Greedy
+      (** place NFs in chain order, each on the pipelet that minimizes
+          the weighted cost of the already-placed chain prefixes *)
+  | Anneal of { iterations : int; seed : int; initial_temp : float }
+  | Exhaustive
+      (** enumerate every assignment; exponential, fine for m <= 8 *)
+
+val default_anneal : strategy
+
+type input = {
+  spec : Asic.Spec.t;
+  resources_of : string -> P4ir.Resources.t;  (** per-NF compiler report *)
+  chains : Chain.t list;
+  entry_pipeline : int;
+  pinned : (string * Asic.Pipelet.id) list;
+      (** NFs with a fixed location (e.g. the classifier on the entry
+          ingress) *)
+  framework_stages_per_nf : int;
+      (** stage overhead of the check_nextNF/check_sfcFlags wrapping *)
+  framework_stages_fixed : int;  (** branching table etc., per pipelet *)
+}
+
+val stages_needed : input -> Layout.pipelet_layout -> int
+(** NF stages plus framework overhead for one pipelet. *)
+
+val feasible : input -> Layout.t -> bool
+(** Every pipelet's layout fits its stage budget. *)
+
+val build_layout : input -> (string * Asic.Pipelet.id) list -> Layout.t option
+(** Turn an assignment into a layout: NFs on one pipelet are ordered by
+    their earliest chain position and composed [Seq]; when that exceeds
+    the stage budget the whole pipelet falls back to [Par]. [None] when
+    even [Par] does not fit. *)
+
+val evaluate : input -> Layout.t -> float option
+(** The optimizer objective; [None] when infeasible. *)
+
+val solve : input -> strategy -> (Layout.t * float, string) result
+(** Returns the layout and its objective value. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit

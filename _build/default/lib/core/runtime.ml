@@ -1,0 +1,162 @@
+type action = Reinject of Bytes.t | Consume
+type handler = Sfc_header.t option -> Bytes.t -> action
+
+type t = {
+  compiled : Compiler.t;
+  handlers : (string, handler) Hashtbl.t;
+  nf_ids : (int, string) Hashtbl.t;
+}
+
+let max_cpu_loops = 8
+
+let create compiled =
+  { compiled; handlers = Hashtbl.create 8; nf_ids = Hashtbl.create 8 }
+
+let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
+let register_nf_id t nf id = Hashtbl.replace t.nf_ids id nf
+
+let default_nf_id name =
+  let b = Bytes.of_string name in
+  let h =
+    Int64.to_int (Netpkt.Bytes_util.crc16 b ~off:0 ~len:(Bytes.length b))
+  in
+  if h = 0 then 1 else h
+
+let chip t = t.compiled.Compiler.chip
+
+type outcome = {
+  verdict : Asic.Chip.verdict;
+  cpu_round_trips : int;
+  recircs : int;
+  resubmits : int;
+  latency_ns : float;
+  mirrored : (int * Bytes.t) list;
+}
+
+let decode_sfc frame =
+  match Netpkt.Eth.decode frame ~off:0 with
+  | Ok eth when eth.Netpkt.Eth.ethertype = Netpkt.Eth.ethertype_sfc ->
+      Result.to_option (Sfc_header.decode frame ~off:Netpkt.Eth.size)
+  | Ok _ | Error _ -> None
+
+let clear_cpu_mark frame =
+  let frame = Bytes.copy frame in
+  match decode_sfc frame with
+  | None -> frame
+  | Some hdr ->
+      let context =
+        Array.map
+          (fun (k, v) ->
+            if k = Sfc_header.ctx_key_cpu_reason then (0, 0) else (k, v))
+          hdr.Sfc_header.context
+      in
+      let hdr = { hdr with Sfc_header.to_cpu = false; context } in
+      Bytes.blit (Sfc_header.encode hdr) 0 frame Netpkt.Eth.size
+        Sfc_header.byte_size;
+      frame
+
+(* Where to reinject a CPU-handled packet so routing resumes correctly:
+   prefer the ingress pipelet whose branching table knows the packet's
+   (path, index) state; else the pipeline hosting the pending NF. *)
+let reinject_pipeline t frame =
+  let default = t.compiled.Compiler.input.Compiler.entry_pipeline in
+  match decode_sfc frame with
+  | None -> default
+  | Some hdr -> (
+      let path_id = hdr.Sfc_header.service_path_id in
+      let index = hdr.Sfc_header.service_index in
+      let from_branching =
+        List.find_map
+          (fun (e : Branching.entry) ->
+            if e.Branching.path_id = path_id && e.Branching.index = index then
+              Some e.Branching.pipeline
+            else None)
+          t.compiled.Compiler.plan.Branching.branching
+      in
+      match from_branching with
+      | Some p -> p
+      | None -> (
+          let chain =
+            List.find_opt
+              (fun (c : Chain.t) -> c.Chain.path_id = path_id)
+              t.compiled.Compiler.input.Compiler.chains
+          in
+          match chain with
+          | Some c when index < Chain.length c -> (
+              let nf = List.nth c.Chain.nfs index in
+              match Layout.location t.compiled.Compiler.layout nf with
+              | Some id -> id.Asic.Pipelet.pipeline
+              | None -> default)
+          | Some _ | None -> default))
+
+let find_handler t sfc =
+  match sfc with
+  | None -> None
+  | Some hdr -> (
+      match Sfc_header.find_context hdr Sfc_header.ctx_key_cpu_reason with
+      | None -> None
+      | Some nf_id -> (
+          match Hashtbl.find_opt t.nf_ids nf_id with
+          | None -> None
+          | Some nf -> Hashtbl.find_opt t.handlers nf))
+
+let process t ~in_port frame =
+  let rec loop frame rounds recircs resubmits latency mirrored first =
+    if rounds > max_cpu_loops then
+      Error (Printf.sprintf "Runtime.process: exceeded %d CPU loops" max_cpu_loops)
+    else
+      let injected =
+        if first then Asic.Chip.inject (chip t) ~in_port frame
+        else
+          Asic.Chip.inject_cpu (chip t)
+            ~pipeline:(reinject_pipeline t frame)
+            frame
+      in
+      match injected with
+      | Error e -> Error e
+      | Ok r -> (
+          let recircs = recircs + r.Asic.Chip.recircs in
+          let resubmits = resubmits + r.Asic.Chip.resubmits in
+          let latency = latency +. r.Asic.Chip.latency_ns in
+          let mirrored = mirrored @ r.Asic.Chip.mirrored in
+          match r.Asic.Chip.verdict with
+          | Asic.Chip.To_cpu bytes -> (
+              let sfc = decode_sfc bytes in
+              match find_handler t sfc with
+              | None ->
+                  Ok
+                    {
+                      verdict = r.Asic.Chip.verdict;
+                      cpu_round_trips = rounds;
+                      recircs;
+                      resubmits;
+                      latency_ns = latency;
+                      mirrored;
+                    }
+              | Some handler -> (
+                  match handler sfc bytes with
+                  | Consume ->
+                      Ok
+                        {
+                          verdict = r.Asic.Chip.verdict;
+                          cpu_round_trips = rounds;
+                          recircs;
+                          resubmits;
+                          latency_ns = latency;
+                          mirrored;
+                        }
+                  | Reinject bytes ->
+                      loop bytes (rounds + 1) recircs resubmits latency mirrored
+                        false))
+          | Asic.Chip.Emitted _ | Asic.Chip.Dropped ->
+              Ok
+                {
+                  verdict = r.Asic.Chip.verdict;
+                  cpu_round_trips = rounds;
+                  recircs;
+                  resubmits;
+                  latency_ns = latency;
+                  mirrored;
+                })
+  in
+  loop frame 0 0 0 0.0 [] true

@@ -1,0 +1,50 @@
+(** Minimal control plane: NFs punt packets to the CPU by setting the
+    SFC header's to-CPU flag (Fig. 4's [toCpu] default action); the
+    runtime dispatches to a per-NF handler — which typically installs a
+    table entry — and reinjects the packet into the data plane, looping
+    until the packet is emitted or dropped. *)
+
+type action =
+  | Reinject of Bytes.t  (** put (possibly rewritten) bytes back into the
+                             entry pipeline's ingress *)
+  | Consume  (** the control plane keeps the packet *)
+
+type handler = Sfc_header.t option -> Bytes.t -> action
+(** Receives the decoded SFC header (when present) and the raw frame. *)
+
+type t
+
+val create : Compiler.t -> t
+val on_to_cpu : t -> string -> handler -> unit
+(** Register the handler for an NF (keyed by the [ctx_key_cpu_reason]
+    context value carrying the NF's id). *)
+
+val register_nf_id : t -> string -> int -> unit
+(** Associate an NF name with the id it writes into the CPU-reason
+    context slot. *)
+
+val default_nf_id : string -> int
+(** A stable id derived from the NF name (CRC-16 of the name, nonzero) —
+    what the bundled NFs use. *)
+
+val clear_cpu_mark : Bytes.t -> Bytes.t
+(** Clear the to-CPU flag and the CPU-reason context slot in a frame's
+    SFC header — a handler must do this before reinjecting, or the
+    packet bounces straight back. Returns a fresh buffer. *)
+
+type outcome = {
+  verdict : Asic.Chip.verdict;
+  cpu_round_trips : int;
+  recircs : int;
+  resubmits : int;
+  latency_ns : float;
+  mirrored : (int * Bytes.t) list;
+      (** analysis-port copies across all data-plane passes *)
+}
+
+val process : t -> in_port:int -> Bytes.t -> (outcome, string) result
+(** Inject a frame and resolve any to-CPU round trips (at most
+    {!max_cpu_loops}). Counters aggregate over all data-plane passes. *)
+
+val max_cpu_loops : int
+val chip : t -> Asic.Chip.t

@@ -1,0 +1,81 @@
+(** The Dejavu SFC header (Fig. 3) — a 20-byte NSH-derived header carried
+    between Ethernet and IP:
+
+    {v
+    service_path_id : 16   service_index : 8
+    platform metadata (4 bytes):
+      in_port:9 out_port:9 resubmit:1 recirc:1 drop:1 mirror:1 to_cpu:1 pad:9
+    context data (12 bytes): 4 x (key:8, value:16)
+    next_protocol : 8
+    v}
+
+    It is pushed by the Classifier, carried along the whole service path
+    (surviving deparse/re-parse at every pipe crossing, which is what
+    lets Dejavu thread state through the chip), and stripped on the
+    final egress pass. *)
+
+val name : string
+(** ["sfc"]. *)
+
+val decl : P4ir.Hdr.decl
+val byte_size : int
+(** 20. *)
+
+val next_proto_ipv4 : int
+(** 1 — the value of [next_protocol] for an IPv4 payload. *)
+
+(** Field references. *)
+
+val service_path_id : P4ir.Fieldref.t
+val service_index : P4ir.Fieldref.t
+val in_port : P4ir.Fieldref.t
+val out_port : P4ir.Fieldref.t
+val resubmit_flag : P4ir.Fieldref.t
+val recirc_flag : P4ir.Fieldref.t
+val drop_flag : P4ir.Fieldref.t
+val mirror_flag : P4ir.Fieldref.t
+val to_cpu_flag : P4ir.Fieldref.t
+val ctx_key : int -> P4ir.Fieldref.t
+(** [ctx_key i] for i in 0..3. *)
+
+val ctx_val : int -> P4ir.Fieldref.t
+val next_protocol : P4ir.Fieldref.t
+val n_ctx_slots : int
+
+(** Context keys reserved by the framework. *)
+
+val ctx_key_tenant : int
+val ctx_key_app : int
+val ctx_key_debug : int
+val ctx_key_cpu_reason : int
+
+(** {2 Plain-record view, for the control plane and tests} *)
+
+type t = {
+  service_path_id : int;
+  service_index : int;
+  in_port : int;
+  out_port : int;
+  resubmit : bool;
+  recirc : bool;
+  drop : bool;
+  mirror : bool;
+  to_cpu : bool;
+  context : (int * int) array;  (** 4 key/value slots *)
+  next_protocol : int;
+}
+
+val default : t
+val encode : t -> Bytes.t
+val decode : Bytes.t -> off:int -> (t, string) result
+val of_phv : P4ir.Phv.t -> t option
+(** [None] when the PHV's SFC header is invalid/absent. *)
+
+val to_phv : t -> P4ir.Phv.t -> unit
+(** Write all fields and mark the header valid. *)
+
+val find_context : t -> int -> int option
+(** Look up a context value by key (0 keys are empty slots). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

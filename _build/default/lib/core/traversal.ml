@@ -1,0 +1,212 @@
+type ingress_action = To_egress of int | Resubmit
+type egress_action = Emit | Recirc
+
+type step =
+  | Ingress_step of {
+      pipeline : int;
+      idx_in : int;
+      idx_out : int;
+      action : ingress_action;
+    }
+  | Egress_step of {
+      pipeline : int;
+      idx_in : int;
+      idx_out : int;
+      action : egress_action;
+    }
+
+type path = { steps : step list; recircs : int; resubmits : int }
+
+let advance layout chain idx =
+  let chain = Array.of_list chain in
+  let k = Array.length chain in
+  (* Cursor: last consumed (group, slot); -1 = before everything. *)
+  let rec go idx gi si =
+    if idx >= k then idx
+    else
+      match Layout.position layout chain.(idx) with
+      | None -> idx
+      | Some (g, s) ->
+          if g > gi then go (idx + 1) g s
+          else if g = gi && Layout.group_kind layout g = `Seq && s > si then
+            go (idx + 1) g s
+          else idx
+  in
+  go idx (-1) (-1)
+
+(* Dijkstra over (location, chain position) with recirculations as the
+   dominant cost and resubmissions as tie-break. *)
+
+type loc = I of int | E of int
+
+let recirc_cost = 1000
+let resubmit_cost = 900
+
+let solve ?(start_idx = 0) spec layout ~entry_pipeline ~exit_port chain =
+  let k = List.length chain in
+  let n = spec.Asic.Spec.n_pipelines in
+  let exit_pipe = Asic.Spec.port_pipeline spec exit_port in
+  let layout_at loc =
+    match loc with
+    | I p -> Layout.layout_of layout { Asic.Pipelet.pipeline = p; kind = Asic.Pipelet.Ingress }
+    | E p -> Layout.layout_of layout { Asic.Pipelet.pipeline = p; kind = Asic.Pipelet.Egress }
+  in
+  (* State encoding for the distance arrays. *)
+  let state_id loc idx =
+    let base = match loc with I p -> p | E p -> n + p in
+    (base * (k + 1)) + idx
+  in
+  let n_states = 2 * n * (k + 1) in
+  let dist = Array.make n_states max_int in
+  let pred = Array.make n_states None in
+  (* Edges out of a state: (cost, state', step describing the move). *)
+  let edges loc idx =
+    let idx' = advance (layout_at loc) chain idx in
+    match loc with
+    | I p ->
+        let egress_moves =
+          List.init n (fun q ->
+              ( 0,
+                (E q, idx'),
+                Ingress_step
+                  { pipeline = p; idx_in = idx; idx_out = idx'; action = To_egress q } ))
+        in
+        let resubmit_moves =
+          if advance (layout_at (I p)) chain idx' > idx' then
+            [
+              ( resubmit_cost,
+                (I p, idx'),
+                Ingress_step
+                  { pipeline = p; idx_in = idx; idx_out = idx'; action = Resubmit } );
+            ]
+          else []
+        in
+        egress_moves @ resubmit_moves
+    | E q ->
+        let recirc =
+          [
+            ( recirc_cost,
+              (I q, idx'),
+              Egress_step
+                { pipeline = q; idx_in = idx; idx_out = idx'; action = Recirc } );
+          ]
+        in
+        recirc
+  in
+  let decode s =
+    let base = s / (k + 1) and idx = s mod (k + 1) in
+    let loc = if base < n then I base else E (base - n) in
+    (loc, idx)
+  in
+  let start = state_id (I entry_pipeline) (min start_idx k) in
+  dist.(start) <- 0;
+  let visited = Array.make n_states false in
+  let rec loop () =
+    (* Extract the cheapest unvisited state. *)
+    let best = ref None in
+    Array.iteri
+      (fun s d ->
+        if (not visited.(s)) && d < max_int then
+          match !best with
+          | Some (_, bd) when bd <= d -> ()
+          | _ -> best := Some (s, d))
+      dist;
+    match !best with
+    | None -> ()
+    | Some (s, d) ->
+        visited.(s) <- true;
+        let loc, idx = decode s in
+        List.iter
+          (fun (c, (loc', idx'), step) ->
+            let s' = state_id loc' idx' in
+            if d + c < dist.(s') then begin
+              dist.(s') <- d + c;
+              pred.(s') <- Some (s, step)
+            end)
+          (edges loc idx);
+        loop ()
+  in
+  loop ();
+  (* Terminal: an egress state on the exit pipeline whose pass completes
+     the chain. *)
+  let terminal = ref None in
+  let check_terminal s =
+    if dist.(s) < max_int then begin
+      let loc, idx = decode s in
+      match loc with
+      | E q when q = exit_pipe ->
+          let idx' = advance (layout_at loc) chain idx in
+          if idx' = k then begin
+            match !terminal with
+            | Some (_, d, _) when d <= dist.(s) -> ()
+            | _ ->
+                let final_step =
+                  Egress_step
+                    { pipeline = q; idx_in = idx; idx_out = idx'; action = Emit }
+                in
+                terminal := Some (s, dist.(s), final_step)
+          end
+      | E _ | I _ -> ()
+    end
+  in
+  for s = 0 to n_states - 1 do
+    check_terminal s
+  done;
+  match !terminal with
+  | None -> None
+  | Some (s, _, final_step) ->
+      let rec unwind s acc =
+        match pred.(s) with
+        | None -> acc
+        | Some (s', step) -> unwind s' (step :: acc)
+      in
+      let steps = unwind s [] @ [ final_step ] in
+      let recircs =
+        List.length
+          (List.filter
+             (function Egress_step { action = Recirc; _ } -> true | _ -> false)
+             steps)
+      in
+      let resubmits =
+        List.length
+          (List.filter
+             (function Ingress_step { action = Resubmit; _ } -> true | _ -> false)
+             steps)
+      in
+      Some { steps; recircs; resubmits }
+
+let cost spec layout ~entry_pipeline chains =
+  List.fold_left
+    (fun acc (c : Chain.t) ->
+      match acc with
+      | None -> None
+      | Some total -> (
+          match
+            solve spec layout ~entry_pipeline ~exit_port:c.Chain.exit_port
+              c.Chain.nfs
+          with
+          | None -> None
+          | Some path ->
+              Some
+                (total
+                +. c.Chain.weight
+                   *. (float_of_int path.recircs
+                      +. (0.9 *. float_of_int path.resubmits)))))
+    (Some 0.0) chains
+
+let pp_step ppf = function
+  | Ingress_step { pipeline; idx_in; idx_out; action } ->
+      Format.fprintf ppf "I%d[%d->%d]%s" pipeline idx_in idx_out
+        (match action with
+        | To_egress q -> Printf.sprintf " ->E%d" q
+        | Resubmit -> " resubmit")
+  | Egress_step { pipeline; idx_in; idx_out; action } ->
+      Format.fprintf ppf "E%d[%d->%d]%s" pipeline idx_in idx_out
+        (match action with Emit -> " emit" | Recirc -> " recirc")
+
+let pp_path ppf t =
+  Format.fprintf ppf "%a (recircs=%d resubmits=%d)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_step)
+    t.steps t.recircs t.resubmits

@@ -1,0 +1,62 @@
+(** Physical traversal of a chain over a placement: which pipelets a
+    packet visits and how many recirculations/resubmissions it needs
+    (the quantity Fig. 6 counts and §3.3's optimizer minimizes).
+
+    The model enforces the paper's Tofino constraints: transitions
+    happen only at pipe boundaries; an ingress can reach any egress
+    through the traffic manager; recirculation returns a packet from an
+    egress pipe to the ingress pipe of the same pipeline; resubmission
+    replays the same ingress pipe. *)
+
+type ingress_action = To_egress of int | Resubmit
+
+type egress_action = Emit | Recirc
+
+type step =
+  | Ingress_step of {
+      pipeline : int;
+      idx_in : int;
+      idx_out : int;  (** chain position before/after this pass *)
+      action : ingress_action;
+    }
+  | Egress_step of {
+      pipeline : int;
+      idx_in : int;
+      idx_out : int;
+      action : egress_action;
+    }
+
+type path = { steps : step list; recircs : int; resubmits : int }
+
+val advance : Layout.pipelet_layout -> string list -> int -> int
+(** [advance layout chain idx]: the chain position after one pass
+    through a pipelet with this layout — consumes the longest prefix of
+    [chain] from [idx] whose members appear at strictly increasing
+    layout positions, taking at most one member per [Par] group. *)
+
+val solve :
+  ?start_idx:int ->
+  Asic.Spec.t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  exit_port:int ->
+  string list ->
+  path option
+(** Cheapest traversal, or [None] when the chain cannot complete — e.g.
+    an NF is unplaced. [start_idx] (default 0) starts the walk mid-chain
+    at [entry_pipeline]'s ingress — how routing entries for packets
+    resuming after a control-plane round trip are derived. A resubmission costs 0.9 of a recirculation:
+    both replay a pipe pass and cut effective throughput, but
+    recirculation additionally consumes loopback-port bandwidth. *)
+
+val cost :
+  Asic.Spec.t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  Chain.t list ->
+  float option
+(** Weighted transition cost over all chains — the §3.3 objective
+    (recirculations) extended with resubmissions at 0.9 weight; [None]
+    if any chain is infeasible. *)
+
+val pp_path : Format.formatter -> path -> unit

@@ -1,0 +1,1 @@
+lib/netpkt/arp.ml: Bytes Bytes_util Eth Format Ip4 Mac Printf

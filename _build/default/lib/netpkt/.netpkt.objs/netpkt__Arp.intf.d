@@ -1,0 +1,1 @@
+lib/netpkt/arp.mli: Bytes Format Ip4 Mac

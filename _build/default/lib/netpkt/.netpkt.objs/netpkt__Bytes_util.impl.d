@@ -1,0 +1,1 @@
+lib/netpkt/bytes_util.ml: Array Bytes Char Format Int64 Lazy Printf

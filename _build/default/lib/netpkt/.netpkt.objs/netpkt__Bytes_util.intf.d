@@ -1,0 +1,1 @@
+lib/netpkt/bytes_util.mli: Bytes Format

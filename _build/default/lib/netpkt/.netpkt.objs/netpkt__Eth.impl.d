@@ -1,0 +1,1 @@
+lib/netpkt/eth.ml: Bytes Bytes_util Format Mac

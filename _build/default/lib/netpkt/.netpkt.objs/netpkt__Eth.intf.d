@@ -1,0 +1,1 @@
+lib/netpkt/eth.mli: Bytes Format Mac

@@ -1,0 +1,1 @@
+lib/netpkt/flow.ml: Bytes Bytes_util Format Int64 Ip4 Ipv4 List Random Set

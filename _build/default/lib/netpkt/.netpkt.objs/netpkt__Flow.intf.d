@@ -1,0 +1,1 @@
+lib/netpkt/flow.mli: Format Ip4 Random

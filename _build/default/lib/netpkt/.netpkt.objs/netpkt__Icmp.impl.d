@@ -1,0 +1,1 @@
+lib/netpkt/icmp.ml: Bytes Bytes_util Format

@@ -1,0 +1,1 @@
+lib/netpkt/icmp.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/netpkt/ip4.ml: Format Int64 Printf Random Result String

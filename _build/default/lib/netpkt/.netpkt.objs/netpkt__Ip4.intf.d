@@ -1,0 +1,1 @@
+lib/netpkt/ip4.mli: Format Random

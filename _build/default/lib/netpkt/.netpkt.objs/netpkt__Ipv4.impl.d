@@ -1,0 +1,1 @@
+lib/netpkt/ipv4.ml: Bytes Bytes_util Format Ip4

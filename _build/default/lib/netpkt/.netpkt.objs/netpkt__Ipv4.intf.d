@@ -1,0 +1,1 @@
+lib/netpkt/ipv4.mli: Bytes Format Ip4

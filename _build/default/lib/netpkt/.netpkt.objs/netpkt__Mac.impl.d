@@ -1,0 +1,1 @@
+lib/netpkt/mac.ml: Format Int64 List Printf Random String

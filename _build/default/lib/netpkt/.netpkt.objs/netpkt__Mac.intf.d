@@ -1,0 +1,1 @@
+lib/netpkt/mac.mli: Format Random

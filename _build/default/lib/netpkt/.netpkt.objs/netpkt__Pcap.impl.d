@@ -1,0 +1,1 @@
+lib/netpkt/pcap.ml: Bytes Char Fun List

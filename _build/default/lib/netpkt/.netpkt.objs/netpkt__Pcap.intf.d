@@ -1,0 +1,1 @@
+lib/netpkt/pcap.mli: Bytes

@@ -1,0 +1,1 @@
+lib/netpkt/pkt.ml: Arp Bytes Bytes_util Eth Flow Format Icmp Ipv4 List Option Result String Tcp Udp Vlan Vxlan

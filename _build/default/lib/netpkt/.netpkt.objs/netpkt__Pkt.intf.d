@@ -1,0 +1,1 @@
+lib/netpkt/pkt.mli: Arp Bytes Eth Flow Format Icmp Ipv4 Mac Tcp Udp Vlan Vxlan

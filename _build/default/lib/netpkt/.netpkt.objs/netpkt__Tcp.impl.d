@@ -1,0 +1,1 @@
+lib/netpkt/tcp.ml: Bytes Bytes_util Format

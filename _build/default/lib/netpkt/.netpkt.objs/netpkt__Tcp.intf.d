@@ -1,0 +1,1 @@
+lib/netpkt/tcp.mli: Bytes Format

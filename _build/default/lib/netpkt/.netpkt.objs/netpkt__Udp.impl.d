@@ -1,0 +1,1 @@
+lib/netpkt/udp.ml: Bytes Bytes_util Format

@@ -1,0 +1,1 @@
+lib/netpkt/vlan.ml: Bytes Bytes_util Format

@@ -1,0 +1,1 @@
+lib/netpkt/vlan.mli: Bytes Format

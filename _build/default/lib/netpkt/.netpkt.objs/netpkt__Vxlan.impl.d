@@ -1,0 +1,1 @@
+lib/netpkt/vxlan.ml: Bytes Bytes_util Format Int64

@@ -1,0 +1,1 @@
+lib/netpkt/vxlan.mli: Bytes Format

@@ -1,0 +1,55 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ip4.t;
+  target_mac : Mac.t;
+  target_ip : Ip4.t;
+}
+
+let size = 28
+let op_to_int = function Request -> 1 | Reply -> 2
+
+let encode_into t b ~off =
+  Bytes_util.set_uint16 b off 1;
+  Bytes_util.set_uint16 b (off + 2) Eth.ethertype_ipv4;
+  Bytes_util.set_uint8 b (off + 4) 6;
+  Bytes_util.set_uint8 b (off + 5) 4;
+  Bytes_util.set_uint16 b (off + 6) (op_to_int t.op);
+  Bytes_util.set_bits b ~bit_off:(8 * (off + 8)) ~width:48
+    (Mac.to_int64 t.sender_mac);
+  Bytes_util.set_uint32 b (off + 14) (Ip4.to_int64 t.sender_ip);
+  Bytes_util.set_bits b ~bit_off:(8 * (off + 18)) ~width:48
+    (Mac.to_int64 t.target_mac);
+  Bytes_util.set_uint32 b (off + 24) (Ip4.to_int64 t.target_ip)
+
+let decode b ~off =
+  if Bytes.length b < off + size then Error "Arp.decode: truncated"
+  else
+    match Bytes_util.get_uint16 b (off + 6) with
+    | (1 | 2) as opcode ->
+        Ok
+          {
+            op = (if opcode = 1 then Request else Reply);
+            sender_mac =
+              Mac.of_int64 (Bytes_util.get_bits b ~bit_off:(8 * (off + 8)) ~width:48);
+            sender_ip = Ip4.of_int64 (Bytes_util.get_uint32 b (off + 14));
+            target_mac =
+              Mac.of_int64
+                (Bytes_util.get_bits b ~bit_off:(8 * (off + 18)) ~width:48);
+            target_ip = Ip4.of_int64 (Bytes_util.get_uint32 b (off + 24));
+          }
+    | n -> Error (Printf.sprintf "Arp.decode: unsupported opcode %d" n)
+
+let equal a b =
+  a.op = b.op
+  && Mac.equal a.sender_mac b.sender_mac
+  && Ip4.equal a.sender_ip b.sender_ip
+  && Mac.equal a.target_mac b.target_mac
+  && Ip4.equal a.target_ip b.target_ip
+
+let pp ppf t =
+  Format.fprintf ppf "arp{%s %a -> %a}"
+    (match t.op with Request -> "who-has" | Reply -> "is-at")
+    Ip4.pp t.sender_ip Ip4.pp t.target_ip

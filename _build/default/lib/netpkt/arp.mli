@@ -1,0 +1,19 @@
+(** ARP codec (Ethernet/IPv4 only). *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ip4.t;
+  target_mac : Mac.t;
+  target_ip : Ip4.t;
+}
+
+val size : int
+(** 28 bytes. *)
+
+val encode_into : t -> Bytes.t -> off:int -> unit
+val decode : Bytes.t -> off:int -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

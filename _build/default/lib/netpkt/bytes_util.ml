@@ -1,0 +1,113 @@
+let check_range b ~bit_off ~width =
+  if width < 1 || width > 64 then
+    invalid_arg (Printf.sprintf "Bytes_util: width %d not in 1..64" width);
+  if bit_off < 0 || bit_off + width > 8 * Bytes.length b then
+    invalid_arg
+      (Printf.sprintf "Bytes_util: bit range [%d,%d) exceeds %d bytes" bit_off
+         (bit_off + width) (Bytes.length b))
+
+let get_bit b i =
+  let byte = Char.code (Bytes.get b (i / 8)) in
+  (byte lsr (7 - (i mod 8))) land 1
+
+let set_bit b i v =
+  let idx = i / 8 in
+  let byte = Char.code (Bytes.get b idx) in
+  let mask = 1 lsl (7 - (i mod 8)) in
+  let byte = if v = 1 then byte lor mask else byte land lnot mask in
+  Bytes.set b idx (Char.chr byte)
+
+let get_bits b ~bit_off ~width =
+  check_range b ~bit_off ~width;
+  let rec loop acc i =
+    if i = width then acc
+    else
+      let bit = Int64.of_int (get_bit b (bit_off + i)) in
+      loop Int64.(logor (shift_left acc 1) bit) (i + 1)
+  in
+  loop 0L 0
+
+let set_bits b ~bit_off ~width v =
+  check_range b ~bit_off ~width;
+  for i = 0 to width - 1 do
+    let bit = Int64.(to_int (logand (shift_right_logical v (width - 1 - i)) 1L)) in
+    set_bit b (bit_off + i) bit
+  done
+
+let get_uint8 b off = Char.code (Bytes.get b off)
+let set_uint8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_uint16 b off = (get_uint8 b off lsl 8) lor get_uint8 b (off + 1)
+
+let set_uint16 b off v =
+  set_uint8 b off ((v lsr 8) land 0xff);
+  set_uint8 b (off + 1) (v land 0xff)
+
+let get_uint32 b off = get_bits b ~bit_off:(8 * off) ~width:32
+let set_uint32 b off v = set_bits b ~bit_off:(8 * off) ~width:32 v
+
+let internet_checksum b ~off ~len =
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + get_uint16 b (off + !i);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then sum := !sum + (get_uint8 b (off + len - 1) lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let crc32_table =
+  lazy
+    (let t = Array.make 256 0L in
+     for n = 0 to 255 do
+       let c = ref (Int64.of_int n) in
+       for _ = 0 to 7 do
+         c :=
+           if Int64.(logand !c 1L) = 1L then
+             Int64.(logxor 0xEDB88320L (shift_right_logical !c 1))
+           else Int64.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32 ?(init = 0xFFFFFFFFL) b ~off ~len =
+  let table = Lazy.force crc32_table in
+  let c = ref init in
+  for i = off to off + len - 1 do
+    let idx = Int64.(to_int (logand (logxor !c (of_int (get_uint8 b i))) 0xffL)) in
+    c := Int64.(logxor table.(idx) (shift_right_logical !c 8))
+  done;
+  Int64.logand (Int64.logxor !c 0xFFFFFFFFL) 0xFFFFFFFFL
+
+let crc16 b ~off ~len =
+  let c = ref 0L in
+  for i = off to off + len - 1 do
+    c := Int64.logxor !c (Int64.of_int (get_uint8 b i));
+    for _ = 0 to 7 do
+      c :=
+        if Int64.(logand !c 1L) = 1L then
+          Int64.(logxor 0xA001L (shift_right_logical !c 1))
+        else Int64.shift_right_logical !c 1
+    done
+  done;
+  Int64.logand !c 0xFFFFL
+
+let pp_hex ppf b =
+  let n = Bytes.length b in
+  for i = 0 to n - 1 do
+    if i > 0 && i mod 16 = 0 then Format.fprintf ppf "@\n";
+    Format.fprintf ppf "%02x " (get_uint8 b i)
+  done
+
+let equal_range a b ~off ~len =
+  Bytes.length a >= off + len
+  && Bytes.length b >= off + len
+  &&
+  let rec loop i =
+    i = len || (Bytes.get a (off + i) = Bytes.get b (off + i) && loop (i + 1))
+  in
+  loop 0

@@ -1,0 +1,36 @@
+(** Bit-exact access to byte buffers, in network (big-endian) bit order,
+    plus the two checksums every packet pipeline needs.
+
+    Bit offsets count from the most-significant bit of byte 0, the way
+    header diagrams in RFCs (and P4 parser offsets) are written. *)
+
+val get_bits : Bytes.t -> bit_off:int -> width:int -> int64
+(** [get_bits b ~bit_off ~width] reads [width] bits (1..64) starting at
+    [bit_off] as an unsigned value. Raises [Invalid_argument] when the
+    range falls outside [b] or [width] is out of range. *)
+
+val set_bits : Bytes.t -> bit_off:int -> width:int -> int64 -> unit
+(** [set_bits b ~bit_off ~width v] writes the low [width] bits of [v]
+    at [bit_off]. Bits of [v] above [width] are ignored. *)
+
+val get_uint8 : Bytes.t -> int -> int
+val set_uint8 : Bytes.t -> int -> int -> unit
+val get_uint16 : Bytes.t -> int -> int
+val set_uint16 : Bytes.t -> int -> int -> unit
+val get_uint32 : Bytes.t -> int -> int64
+val set_uint32 : Bytes.t -> int -> int64 -> unit
+
+val internet_checksum : Bytes.t -> off:int -> len:int -> int
+(** RFC 1071 ones'-complement checksum of [len] bytes at [off]. *)
+
+val crc32 : ?init:int64 -> Bytes.t -> off:int -> len:int -> int64
+(** IEEE 802.3 CRC32 (reflected, polynomial 0xEDB88320) of the range. *)
+
+val crc16 : Bytes.t -> off:int -> len:int -> int64
+(** CRC-16/ARC (reflected, polynomial 0xA001) of the range. *)
+
+val pp_hex : Format.formatter -> Bytes.t -> unit
+(** Hex dump, 16 bytes per line. *)
+
+val equal_range : Bytes.t -> Bytes.t -> off:int -> len:int -> bool
+(** Compare the same [off, off+len) range of two buffers. *)

@@ -1,0 +1,27 @@
+type t = { flags : int; vni : int }
+
+let size = 8
+
+let make vni =
+  if vni < 0 || vni > 0xFFFFFF then invalid_arg "Vxlan.make: vni not 24-bit";
+  { flags = 0x08; vni }
+
+let encode_into t b ~off =
+  Bytes_util.set_uint8 b off t.flags;
+  Bytes_util.set_uint8 b (off + 1) 0;
+  Bytes_util.set_uint16 b (off + 2) 0;
+  Bytes_util.set_bits b ~bit_off:(8 * (off + 4)) ~width:24 (Int64.of_int t.vni);
+  Bytes_util.set_uint8 b (off + 7) 0
+
+let decode b ~off =
+  if Bytes.length b < off + size then Error "Vxlan.decode: truncated"
+  else
+    Ok
+      {
+        flags = Bytes_util.get_uint8 b off;
+        vni =
+          Int64.to_int (Bytes_util.get_bits b ~bit_off:(8 * (off + 4)) ~width:24);
+      }
+
+let equal a b = a.flags = b.flags && a.vni = b.vni
+let pp ppf t = Format.fprintf ppf "vxlan{vni=%d}" t.vni

@@ -1,0 +1,14 @@
+(** VXLAN header codec (RFC 7348). *)
+
+type t = { flags : int; vni : int }
+
+val size : int
+(** 8 bytes. *)
+
+val make : int -> t
+(** [make vni] with the I flag set. *)
+
+val encode_into : t -> Bytes.t -> off:int -> unit
+val decode : Bytes.t -> off:int -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

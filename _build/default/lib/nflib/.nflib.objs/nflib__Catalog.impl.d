@@ -1,0 +1,1 @@
+lib/nflib/catalog.ml: Asic Chain Classifier Compiler Ddos_sketch Dejavu_core Dscp_marker Firewall Lb Mirror_tap Nat Netpkt Nf Placement Rate_limiter Router Runtime Vgw Vxlan_gw

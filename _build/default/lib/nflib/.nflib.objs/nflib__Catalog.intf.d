@@ -1,0 +1,1 @@
+lib/nflib/catalog.mli: Asic Dejavu_core Netpkt Rate_limiter Vxlan_gw

@@ -1,0 +1,1 @@
+lib/nflib/classifier.ml: Action Array Asic Bitval Dejavu_core Expr List Net_hdrs Netpkt Nf P4ir Runtime Sfc_header Table

@@ -1,0 +1,1 @@
+lib/nflib/classifier.mli: Dejavu_core Netpkt

@@ -1,0 +1,1 @@
+lib/nflib/ddos_sketch.ml: Action Compiler Control Dejavu_core Expr Fun List Net_hdrs Netpkt Nf Option P4ir Printf Sfc_header

@@ -1,0 +1,1 @@
+lib/nflib/ddos_sketch.mli: Dejavu_core Netpkt P4ir

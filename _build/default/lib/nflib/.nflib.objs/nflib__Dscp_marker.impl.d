@@ -1,0 +1,1 @@
+lib/nflib/dscp_marker.ml: Action Bitval Dejavu_core List Net_hdrs Nf P4ir Sfc_header Table

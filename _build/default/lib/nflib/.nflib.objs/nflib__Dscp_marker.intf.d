@@ -1,0 +1,1 @@
+lib/nflib/dscp_marker.mli: Dejavu_core

@@ -1,0 +1,1 @@
+lib/nflib/firewall.ml: Dejavu_core List Net_hdrs Netpkt Nf P4ir Sfc_header Table

@@ -1,0 +1,1 @@
+lib/nflib/firewall.mli: Dejavu_core Netpkt

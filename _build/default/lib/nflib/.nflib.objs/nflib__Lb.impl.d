@@ -1,0 +1,1 @@
+lib/nflib/lb.ml: Action Control Dejavu_core Expr Int64 List Net_hdrs Netpkt Nf P4ir Runtime Sfc_header

@@ -1,0 +1,1 @@
+lib/nflib/lb.mli: Dejavu_core Netpkt P4ir

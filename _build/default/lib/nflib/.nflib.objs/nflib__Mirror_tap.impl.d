@@ -1,0 +1,1 @@
+lib/nflib/mirror_tap.ml: Action Dejavu_core List Net_hdrs Netpkt Nf P4ir Sfc_header Table

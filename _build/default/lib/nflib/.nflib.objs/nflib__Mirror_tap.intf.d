@@ -1,0 +1,1 @@
+lib/nflib/mirror_tap.mli: Dejavu_core Netpkt

@@ -1,0 +1,1 @@
+lib/nflib/nat.ml: Action Bitval Dejavu_core List Net_hdrs Netpkt Nf P4ir Table

@@ -1,0 +1,1 @@
+lib/nflib/nat.mli: Dejavu_core Netpkt

@@ -1,0 +1,1 @@
+lib/nflib/rate_limiter.ml: Action Bitval Compiler Control Dejavu_core Expr Hashtbl List Net_hdrs Nf Option P4ir Sfc_header Table

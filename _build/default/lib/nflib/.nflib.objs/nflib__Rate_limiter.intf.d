@@ -1,0 +1,1 @@
+lib/nflib/rate_limiter.mli: Dejavu_core Hashtbl P4ir

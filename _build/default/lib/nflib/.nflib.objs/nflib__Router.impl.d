@@ -1,0 +1,1 @@
+lib/nflib/router.ml: Action Bitval Control Dejavu_core Expr List Net_hdrs Netpkt Nf P4ir Sfc_header Table

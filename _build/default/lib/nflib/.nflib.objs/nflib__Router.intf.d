@@ -1,0 +1,1 @@
+lib/nflib/router.mli: Dejavu_core Netpkt

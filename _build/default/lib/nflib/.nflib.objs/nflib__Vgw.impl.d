@@ -1,0 +1,1 @@
+lib/nflib/vgw.ml: Action Bitval Dejavu_core Expr Fieldref List Net_hdrs Netpkt Nf P4ir Sfc_header Table

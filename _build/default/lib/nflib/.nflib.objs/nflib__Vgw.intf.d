@@ -1,0 +1,1 @@
+lib/nflib/vgw.mli: Dejavu_core Netpkt

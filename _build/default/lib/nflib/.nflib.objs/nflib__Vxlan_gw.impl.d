@@ -1,0 +1,1 @@
+lib/nflib/vxlan_gw.ml: Action Bitval Control Dejavu_core Expr Fieldref List Net_hdrs Netpkt Nf P4ir Table

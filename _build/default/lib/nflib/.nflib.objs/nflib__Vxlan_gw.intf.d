@@ -1,0 +1,1 @@
+lib/nflib/vxlan_gw.mli: Dejavu_core Netpkt

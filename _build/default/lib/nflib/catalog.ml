@@ -1,0 +1,183 @@
+open Dejavu_core
+
+let ip = Netpkt.Ip4.of_string_exn
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+
+let tenant1_vip = ip "10.0.1.10"
+let tenant1_backends = [ ip "10.0.1.101"; ip "10.0.1.102"; ip "10.0.1.103" ]
+let tenant2_service = pfx "10.0.2.0/24"
+let tenant3_service = pfx "10.0.3.0/24"
+let blocked_subnet = pfx "198.51.100.0/24"
+
+let path_red = 10
+let path_orange = 20
+let path_green = 30
+let path_monitor = 40
+let path_protected = 50
+
+let classifier_rules =
+  [
+    {
+      Classifier.dst_prefix = pfx "10.0.1.0/24";
+      proto = None;
+      path_id = path_red;
+      tenant = 1;
+    };
+    {
+      Classifier.dst_prefix = tenant2_service;
+      proto = None;
+      path_id = path_orange;
+      tenant = 2;
+    };
+    {
+      Classifier.dst_prefix = tenant3_service;
+      proto = None;
+      path_id = path_green;
+      tenant = 3;
+    };
+    {
+      Classifier.dst_prefix = pfx "10.0.4.0/24";
+      proto = None;
+      path_id = path_monitor;
+      tenant = 4;
+    };
+    {
+      Classifier.dst_prefix = pfx "10.0.5.0/24";
+      proto = None;
+      path_id = path_protected;
+      tenant = 5;
+    };
+  ]
+
+let firewall_rules =
+  [
+    {
+      Firewall.src = Some blocked_subnet;
+      dst = None;
+      proto = None;
+      dst_port = None;
+      action = Firewall.Deny;
+      priority = 10;
+    };
+    {
+      Firewall.src = None;
+      dst = None;
+      proto = Some Netpkt.Ipv4.proto_tcp;
+      dst_port = Some 23;
+      action = Firewall.Deny;
+      priority = 5;
+    };
+  ]
+
+let vgw_mappings =
+  [
+    { Vgw.dst_prefix = pfx "10.0.1.0/24"; vid = 101; tenant = 1 };
+    { Vgw.dst_prefix = tenant2_service; vid = 102; tenant = 2 };
+  ]
+
+let routes =
+  [
+    {
+      Router.prefix = pfx "10.0.0.0/16";
+      next_hop_mac = mac "02:00:0a:00:00:01";
+      src_mac = mac "02:00:00:00:00:fe";
+    };
+    {
+      Router.prefix = pfx "0.0.0.0/0";
+      next_hop_mac = mac "02:00:ff:ff:ff:01";
+      src_mac = mac "02:00:00:00:00:fe";
+    };
+  ]
+
+let nat_bindings =
+  [
+    { Nat.internal = ip "192.168.0.10"; public = ip "203.0.113.200" };
+    { Nat.internal = ip "192.168.0.11"; public = ip "203.0.113.201" };
+  ]
+
+let dscp_assignments = [ (1, 46); (2, 26); (3, 10); (4, 18) ]
+
+let tap_selectors =
+  [ { Mirror_tap.src = None; dst = Some (pfx "10.0.4.0/24") } ]
+
+let rate_budgets =
+  [
+    { Rate_limiter.tenant = 5; limit = 8 };
+    { Rate_limiter.tenant = 4; limit = 1000 };
+  ]
+
+let sketch_threshold = 6
+
+let local_vtep = ip "192.0.2.10"
+
+let vxlan_tunnels =
+  [
+    {
+      Vxlan_gw.dst_prefix = pfx "10.8.0.0/16";
+      vni = 8001;
+      local_vtep;
+      remote_vtep = ip "192.0.2.20";
+    };
+  ]
+
+let registry () : Nf.registry =
+  [
+    (Classifier.name, Classifier.create classifier_rules);
+    (Firewall.name, Firewall.create firewall_rules);
+    (Vgw.name, Vgw.create vgw_mappings);
+    (Lb.name, Lb.create);
+    (Router.name, Router.create routes);
+    (Nat.name, Nat.create nat_bindings);
+    (Dscp_marker.name, Dscp_marker.create dscp_assignments);
+    (Mirror_tap.name, Mirror_tap.create tap_selectors);
+    (Rate_limiter.name, Rate_limiter.create rate_budgets);
+    ( Ddos_sketch.name,
+      fun () -> Ddos_sketch.create ~threshold:sketch_threshold () );
+    (Vxlan_gw.name, Vxlan_gw.create vxlan_tunnels);
+  ]
+
+let chains ~exit_port =
+  [
+    Chain.make ~path_id:path_red ~name:"red"
+      ~nfs:[ "classifier"; "fw"; "vgw"; "lb"; "router" ]
+      ~weight:0.5 ~exit_port ();
+    Chain.make ~path_id:path_orange ~name:"orange"
+      ~nfs:[ "classifier"; "vgw"; "router" ]
+      ~weight:0.3 ~exit_port ();
+    Chain.make ~path_id:path_green ~name:"green"
+      ~nfs:[ "classifier"; "router" ]
+      ~weight:0.2 ~exit_port ();
+  ]
+
+let extended_chains ~exit_port =
+  chains ~exit_port
+  @ [
+      Chain.make ~path_id:path_monitor ~name:"monitor"
+        ~nfs:[ "classifier"; "mirror_tap"; "dscp_marker"; "router" ]
+        ~weight:0.1 ~exit_port ();
+    ]
+
+let protected_chains ~exit_port =
+  chains ~exit_port
+  @ [
+      Chain.make ~path_id:path_protected ~name:"protected"
+        ~nfs:[ "classifier"; "ddos_sketch"; "rate_limiter"; "router" ]
+        ~weight:0.1 ~exit_port ();
+    ]
+
+let edge_cloud_input ?(spec = Asic.Spec.wedge_100b)
+    ?(strategy = Placement.Exhaustive) ?(exit_port = 1) ?(extended = false) () =
+  Compiler.default_input ~spec ~strategy ~entry_pipeline:0
+    ~loopback_pipelines:[ 1 ] ~registry:(registry ())
+    ~chains:(if extended then extended_chains ~exit_port else chains ~exit_port)
+    ()
+
+let attach_handlers runtime compiled =
+  Runtime.register_nf_id runtime Lb.name Lb.nf_id;
+  Runtime.register_nf_id runtime Classifier.name Classifier.nf_id;
+  match Compiler.find_nf_table compiled ~nf:Lb.name ~table:Lb.table_name with
+  | Some table ->
+      Runtime.on_to_cpu runtime Lb.name
+        (Lb.handler ~backends:tenant1_backends ~table)
+  | None -> ()

@@ -1,0 +1,53 @@
+(** The production edge-cloud deployment of Fig. 2: three tenants, three
+    service paths (red/orange/green) over five NFs, preconfigured so
+    examples, tests and benches all drive the same setup. *)
+
+val tenant1_vip : Netpkt.Ip4.t
+(** The load-balanced service address (tenant 1, the "red" chain). *)
+
+val tenant1_backends : Netpkt.Ip4.t list
+val tenant2_service : Netpkt.Ip4.prefix
+val tenant3_service : Netpkt.Ip4.prefix
+val blocked_subnet : Netpkt.Ip4.prefix
+(** Sources the firewall denies. *)
+
+val path_red : int
+val path_orange : int
+val path_green : int
+val path_protected : int
+
+val registry : unit -> Dejavu_core.Nf.registry
+(** classifier, fw, vgw, lb, router plus the extension NFs (nat,
+    dscp_marker, mirror_tap), all with the deployment's rules. *)
+
+val chains : exit_port:int -> Dejavu_core.Chain.t list
+(** Fig. 2's three paths: red = classifier-fw-vgw-lb-router (50% of
+    traffic), orange = classifier-vgw-router (30%), green =
+    classifier-router (20%). *)
+
+val extended_chains : exit_port:int -> Dejavu_core.Chain.t list
+(** The three paths plus a monitoring chain exercising the extension
+    NFs. *)
+
+val protected_chains : exit_port:int -> Dejavu_core.Chain.t list
+(** The three paths plus a DDoS-protected, rate-limited chain
+    exercising the stateful NFs (tenant 5, 10.0.5.0/24, per-window
+    budget of 8 packets, sketch threshold 6). *)
+
+val rate_budgets : Rate_limiter.budget list
+val sketch_threshold : int
+val local_vtep : Netpkt.Ip4.t
+val vxlan_tunnels : Vxlan_gw.tunnel list
+
+val edge_cloud_input :
+  ?spec:Asic.Spec.t ->
+  ?strategy:Dejavu_core.Placement.strategy ->
+  ?exit_port:int ->
+  ?extended:bool ->
+  unit ->
+  Dejavu_core.Compiler.input
+(** The §5 prototype configuration: entry pipeline 0, pipeline 1's
+    Ethernet ports in loopback mode. *)
+
+val attach_handlers : Dejavu_core.Runtime.t -> Dejavu_core.Compiler.t -> unit
+(** Register the LB miss handler (and NF ids) on a runtime. *)

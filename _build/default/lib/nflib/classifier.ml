@@ -1,0 +1,141 @@
+open Dejavu_core
+
+type rule = {
+  dst_prefix : Netpkt.Ip4.prefix;
+  proto : int option;
+  path_id : int;
+  tenant : int;
+}
+
+let name = "classifier"
+let table_name = "classify"
+let nf_id = Runtime.default_nf_id name
+
+let push_sfc_prims =
+  let open P4ir in
+  [
+    Action.Set_valid Sfc_header.name;
+    Action.Assign (Sfc_header.service_index, Expr.const ~width:8 0);
+    Action.Assign (Sfc_header.in_port, Expr.Field Asic.Stdmeta.ingress_port);
+    Action.Assign (Sfc_header.out_port, Expr.const ~width:9 0);
+    Action.Assign (Sfc_header.resubmit_flag, Expr.const ~width:1 0);
+    Action.Assign (Sfc_header.recirc_flag, Expr.const ~width:1 0);
+    Action.Assign (Sfc_header.drop_flag, Expr.const ~width:1 0);
+    Action.Assign (Sfc_header.mirror_flag, Expr.const ~width:1 0);
+    Action.Assign (Sfc_header.to_cpu_flag, Expr.const ~width:1 0);
+    Action.Assign
+      ( Sfc_header.next_protocol,
+        Expr.const ~width:8 Sfc_header.next_proto_ipv4 );
+    Action.Assign
+      (Net_hdrs.eth_ethertype, Expr.const ~width:16 Net_hdrs.ethertype_sfc);
+  ]
+
+let set_path_action =
+  let open P4ir in
+  Action.make "set_path"
+    ~params:[ ("path", 16); ("tenant", 16) ]
+    (push_sfc_prims
+    @ [
+        Action.Assign (Sfc_header.service_path_id, Expr.Param "path");
+        Action.Assign
+          (Sfc_header.ctx_key 0, Expr.const ~width:8 Sfc_header.ctx_key_tenant);
+        Action.Assign (Sfc_header.ctx_val 0, Expr.Param "tenant");
+      ])
+
+let unclassified_action =
+  let open P4ir in
+  Action.make "unclassified"
+    (push_sfc_prims
+    @ [
+        Action.Assign (Sfc_header.to_cpu_flag, Expr.const ~width:1 1);
+        Action.Assign
+          ( Sfc_header.ctx_key 3,
+            Expr.const ~width:8 Sfc_header.ctx_key_cpu_reason );
+        Action.Assign (Sfc_header.ctx_val 3, Expr.const ~width:16 nf_id);
+      ])
+
+let make_table rules =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:
+        [
+          { Table.field = Net_hdrs.ip_dst; kind = Table.Lpm; width = 32 };
+          { Table.field = Net_hdrs.ip_proto; kind = Table.Ternary; width = 8 };
+        ]
+      ~actions:[ set_path_action; unclassified_action ]
+      ~default:("unclassified", []) ~max_size:512 ()
+  in
+  List.iter
+    (fun rule ->
+      let proto_pattern =
+        match rule.proto with
+        | Some p ->
+            Table.M_ternary
+              {
+                value = Bitval.of_int ~width:8 p;
+                mask = Bitval.max_value 8;
+              }
+        | None -> Table.M_any
+      in
+      Table.add_entry_exn table
+        {
+          Table.priority = (match rule.proto with Some _ -> 1 | None -> 0);
+          patterns =
+            [
+              Table.M_lpm
+                {
+                  value =
+                    Bitval.make ~width:32
+                      (Netpkt.Ip4.to_int64 rule.dst_prefix.Netpkt.Ip4.addr);
+                  prefix_len = rule.dst_prefix.Netpkt.Ip4.len;
+                };
+              proto_pattern;
+            ];
+          action = "set_path";
+          args =
+            [
+              Bitval.of_int ~width:16 rule.path_id;
+              Bitval.of_int ~width:16 rule.tenant;
+            ];
+        })
+    rules;
+  table
+
+let create rules () =
+  Nf.make ~name ~description:"SFC traffic classifier (pushes the SFC header)"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table rules ]
+    ~body:[ P4ir.Control.Apply table_name ]
+    ~gate:Nf.On_missing_sfc ()
+
+type ref_input = { dst : Netpkt.Ip4.t; proto : int; ingress_port : int }
+
+let reference rules input =
+  let matches (rule : rule) =
+    Netpkt.Ip4.matches rule.dst_prefix input.dst
+    && match rule.proto with None -> true | Some p -> p = input.proto
+  in
+  let candidates = List.filter matches rules in
+  let better (a : rule) (b : rule) =
+    (* Mirror the table semantics: proto-specific entries carry higher
+       priority, then longer prefixes, then insertion order. *)
+    let pa = match a.proto with Some _ -> 1 | None -> 0 in
+    let pb = match b.proto with Some _ -> 1 | None -> 0 in
+    if pa <> pb then pa > pb
+    else a.dst_prefix.Netpkt.Ip4.len > b.dst_prefix.Netpkt.Ip4.len
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      let rule = List.fold_left (fun b c -> if better c b then c else b) first rest in
+      let context = Array.make Sfc_header.n_ctx_slots (0, 0) in
+      context.(0) <- (Sfc_header.ctx_key_tenant, rule.tenant);
+      Some
+        {
+          Sfc_header.default with
+          Sfc_header.service_path_id = rule.path_id;
+          service_index = 1 (* after the framework bump *);
+          in_port = input.ingress_port;
+          context;
+        }

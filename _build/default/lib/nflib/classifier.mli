@@ -1,0 +1,30 @@
+(** The traffic classifier — the chain entry point the framework places
+    on the entry ingress (Fig. 2). It matches raw traffic to an SFC
+    policy, pushes the SFC header with the chosen service path id, and
+    records the tenant in the context data. Unclassified traffic goes to
+    the CPU. *)
+
+type rule = {
+  dst_prefix : Netpkt.Ip4.prefix;  (** destination the tenant service owns *)
+  proto : int option;  (** [None] = any IP protocol *)
+  path_id : int;
+  tenant : int;  (** written into the tenant context slot *)
+}
+
+val name : string
+val create : rule list -> unit -> Dejavu_core.Nf.t
+val table_name : string
+val nf_id : int
+(** The id written into the CPU-reason context when traffic is
+    unclassified. *)
+
+type ref_input = {
+  dst : Netpkt.Ip4.t;
+  proto : int;
+  ingress_port : int;
+}
+
+val reference : rule list -> ref_input -> Dejavu_core.Sfc_header.t option
+(** Pure model: the SFC header the classifier should push, or [None]
+    when the packet is unclassified (goes to CPU). First matching rule
+    wins; longer prefixes win among matches. *)

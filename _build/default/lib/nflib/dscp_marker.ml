@@ -1,0 +1,39 @@
+open Dejavu_core
+
+let name = "dscp_marker"
+let table_name = "tenant_class"
+
+let mark_action =
+  P4ir.Action.make "mark" ~params:[ ("dscp", 6) ]
+    [ P4ir.Action.Assign (P4ir.Fieldref.v "ipv4" "dscp", P4ir.Expr.Param "dscp") ]
+
+let make_table assignments =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:
+        [ { Table.field = Sfc_header.ctx_val 0; kind = Table.Exact; width = 16 } ]
+      ~actions:[ mark_action; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:1024 ()
+  in
+  List.iter
+    (fun (tenant, dscp) ->
+      Table.add_entry_exn table
+        {
+          Table.priority = 0;
+          patterns = [ Table.M_exact (Bitval.of_int ~width:16 tenant) ];
+          action = "mark";
+          args = [ Bitval.of_int ~width:6 dscp ];
+        })
+    assignments;
+  table
+
+let create assignments () =
+  Nf.make ~name ~description:"per-tenant DSCP marking from SFC context"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table assignments ]
+    ~body:[ P4ir.Control.Apply table_name ]
+    ()
+
+let reference assignments ~tenant ~dscp =
+  match List.assoc_opt tenant assignments with Some d -> d | None -> dscp

@@ -1,0 +1,105 @@
+open Dejavu_core
+
+type action = Permit | Deny
+
+type rule = {
+  src : Netpkt.Ip4.prefix option;
+  dst : Netpkt.Ip4.prefix option;
+  proto : int option;
+  dst_port : int option;
+  action : action;
+  priority : int;
+}
+
+let name = "fw"
+let table_name = "acl"
+
+let permit_action = P4ir.Action.make "permit" [ P4ir.Action.No_op ]
+
+let deny_action =
+  P4ir.Action.make "deny"
+    [ P4ir.Action.Assign (Sfc_header.drop_flag, P4ir.Expr.const ~width:1 1) ]
+
+let prefix_pattern = function
+  | None -> P4ir.Table.M_any
+  | Some (p : Netpkt.Ip4.prefix) ->
+      P4ir.Table.M_ternary
+        {
+          value = P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
+          mask =
+            P4ir.Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
+        }
+
+let opt_exact_pattern width = function
+  | None -> P4ir.Table.M_any
+  | Some v ->
+      P4ir.Table.M_ternary
+        {
+          value = P4ir.Bitval.of_int ~width v;
+          mask = P4ir.Bitval.max_value width;
+        }
+
+let make_table ?(default = Permit) rules =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:
+        [
+          { Table.field = Net_hdrs.ip_src; kind = Table.Ternary; width = 32 };
+          { Table.field = Net_hdrs.ip_dst; kind = Table.Ternary; width = 32 };
+          { Table.field = Net_hdrs.ip_proto; kind = Table.Ternary; width = 8 };
+          { Table.field = Net_hdrs.tcp_dport; kind = Table.Ternary; width = 16 };
+        ]
+      ~actions:[ permit_action; deny_action ]
+      ~default:((match default with Permit -> "permit" | Deny -> "deny"), [])
+      ~max_size:1024 ()
+  in
+  List.iter
+    (fun rule ->
+      Table.add_entry_exn table
+        {
+          Table.priority = rule.priority;
+          patterns =
+            [
+              prefix_pattern rule.src;
+              prefix_pattern rule.dst;
+              opt_exact_pattern 8 rule.proto;
+              opt_exact_pattern 16 rule.dst_port;
+            ];
+          action = (match rule.action with Permit -> "permit" | Deny -> "deny");
+          args = [];
+        })
+    rules;
+  table
+
+let create ?(default = Permit) rules () =
+  Nf.make ~name ~description:"packet-filtering firewall (ternary ACL)"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table ~default rules ]
+    ~body:[ P4ir.Control.Apply table_name ]
+    ()
+
+type ref_input = {
+  src : Netpkt.Ip4.t;
+  dst : Netpkt.Ip4.t;
+  proto : int;
+  dst_port : int;
+}
+
+let rule_matches (rule : rule) (input : ref_input) =
+  (match rule.src with None -> true | Some p -> Netpkt.Ip4.matches p input.src)
+  && (match rule.dst with None -> true | Some p -> Netpkt.Ip4.matches p input.dst)
+  && (match rule.proto with None -> true | Some p -> p = input.proto)
+  && match rule.dst_port with None -> true | Some p -> p = input.dst_port
+
+let reference ?(default = Permit) rules input =
+  let candidates =
+    List.filter (fun r -> rule_matches r input) rules
+  in
+  match candidates with
+  | [] -> default
+  | first :: rest ->
+      (List.fold_left
+         (fun best c -> if c.priority > best.priority then c else best)
+         first rest)
+        .action

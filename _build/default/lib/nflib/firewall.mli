@@ -1,0 +1,27 @@
+(** Packet-filtering firewall: a ternary 5-tuple-ish ACL. Denied traffic
+    has its SFC drop flag set; the framework's flag check translates
+    that to a platform drop. *)
+
+type action = Permit | Deny
+
+type rule = {
+  src : Netpkt.Ip4.prefix option;
+  dst : Netpkt.Ip4.prefix option;
+  proto : int option;
+  dst_port : int option;  (** matches TCP traffic's destination port *)
+  action : action;
+  priority : int;
+}
+
+val name : string
+val table_name : string
+val create : ?default:action -> rule list -> unit -> Dejavu_core.Nf.t
+
+type ref_input = {
+  src : Netpkt.Ip4.t;
+  dst : Netpkt.Ip4.t;
+  proto : int;
+  dst_port : int;
+}
+
+val reference : ?default:action -> rule list -> ref_input -> action

@@ -1,0 +1,36 @@
+(** The L4 load balancer of Fig. 4: CRC32 over the 5-tuple, an exact
+    session table keyed on the hash that rewrites the destination IP,
+    and a to-CPU default on miss. The control plane installs the session
+    and reinjects. *)
+
+val name : string
+val table_name : string
+val nf_id : int
+val meta_decl : P4ir.Hdr.decl
+(** NF-local metadata carrying the computed session hash. *)
+
+val create : unit -> Dejavu_core.Nf.t
+
+val session_hash : Netpkt.Flow.five_tuple -> int64
+(** The hash the data plane computes (identical to
+    {!Netpkt.Flow.hash_five_tuple}). *)
+
+val install_session :
+  P4ir.Table.t -> Netpkt.Flow.five_tuple -> Netpkt.Ip4.t -> (unit, string) result
+(** Add a session entry mapping the flow's hash to a backend IP. *)
+
+val pick_backend : Netpkt.Ip4.t list -> Netpkt.Flow.five_tuple -> Netpkt.Ip4.t
+(** Deterministic backend choice: hash modulo the pool size. *)
+
+val handler :
+  backends:Netpkt.Ip4.t list ->
+  table:P4ir.Table.t ->
+  Dejavu_core.Runtime.handler
+(** The control-plane miss handler: parse the punted frame, install a
+    session for its 5-tuple, clear the CPU mark and reinject. Consumes
+    packets it cannot parse. *)
+
+val reference :
+  sessions:(Netpkt.Flow.five_tuple * Netpkt.Ip4.t) list ->
+  Netpkt.Flow.five_tuple ->
+  [ `Rewrite of Netpkt.Ip4.t | `To_cpu ]

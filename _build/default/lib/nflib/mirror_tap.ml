@@ -1,0 +1,60 @@
+open Dejavu_core
+
+type selector = {
+  src : Netpkt.Ip4.prefix option;
+  dst : Netpkt.Ip4.prefix option;
+}
+
+let name = "mirror_tap"
+let table_name = "tap_select"
+
+let tap_action =
+  P4ir.Action.make "tap"
+    [ P4ir.Action.Assign (Sfc_header.mirror_flag, P4ir.Expr.const ~width:1 1) ]
+
+let prefix_pattern = function
+  | None -> P4ir.Table.M_any
+  | Some (p : Netpkt.Ip4.prefix) ->
+      P4ir.Table.M_ternary
+        {
+          value = P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
+          mask = P4ir.Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
+        }
+
+let make_table selectors =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:
+        [
+          { Table.field = Net_hdrs.ip_src; kind = Table.Ternary; width = 32 };
+          { Table.field = Net_hdrs.ip_dst; kind = Table.Ternary; width = 32 };
+        ]
+      ~actions:[ tap_action; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:256 ()
+  in
+  List.iter
+    (fun s ->
+      Table.add_entry_exn table
+        {
+          Table.priority = 0;
+          patterns = [ prefix_pattern s.src; prefix_pattern s.dst ];
+          action = "tap";
+          args = [];
+        })
+    selectors;
+  table
+
+let create selectors () =
+  Nf.make ~name ~description:"monitoring tap (sets the mirror flag)"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table selectors ]
+    ~body:[ P4ir.Control.Apply table_name ]
+    ()
+
+let reference selectors ~src ~dst =
+  List.exists
+    (fun s ->
+      (match s.src with None -> true | Some p -> Netpkt.Ip4.matches p src)
+      && match s.dst with None -> true | Some p -> Netpkt.Ip4.matches p dst)
+    selectors

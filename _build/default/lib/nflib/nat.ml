@@ -1,0 +1,43 @@
+open Dejavu_core
+
+type binding = { internal : Netpkt.Ip4.t; public : Netpkt.Ip4.t }
+
+let name = "nat"
+let table_name = "nat_map"
+
+let snat_action =
+  P4ir.Action.make "snat" ~params:[ ("public", 32) ]
+    [ P4ir.Action.Assign (Net_hdrs.ip_src, P4ir.Expr.Param "public") ]
+
+let make_table bindings =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:[ { Table.field = Net_hdrs.ip_src; kind = Table.Exact; width = 32 } ]
+      ~actions:[ snat_action; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:8192 ()
+  in
+  List.iter
+    (fun b ->
+      Table.add_entry_exn table
+        {
+          Table.priority = 0;
+          patterns =
+            [ Table.M_exact (Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.internal)) ];
+          action = "snat";
+          args = [ Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.public) ];
+        })
+    bindings;
+  table
+
+let create bindings () =
+  Nf.make ~name ~description:"static source NAT"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table bindings ]
+    ~body:[ P4ir.Control.Apply table_name ]
+    ()
+
+let reference bindings src =
+  match List.find_opt (fun b -> Netpkt.Ip4.equal b.internal src) bindings with
+  | Some b -> b.public
+  | None -> src

@@ -1,0 +1,10 @@
+(** Static source NAT (extension NF): rewrites internal source addresses
+    to public ones on the way out. *)
+
+type binding = { internal : Netpkt.Ip4.t; public : Netpkt.Ip4.t }
+
+val name : string
+val table_name : string
+val create : binding list -> unit -> Dejavu_core.Nf.t
+val reference : binding list -> Netpkt.Ip4.t -> Netpkt.Ip4.t
+(** Identity for unbound sources. *)

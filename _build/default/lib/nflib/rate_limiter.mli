@@ -1,0 +1,27 @@
+(** Per-tenant rate limiter (stateful extension NF): a packet counter in
+    a register array, indexed by the tenant id the classifier stored in
+    the SFC context. A tenant over its per-window packet budget is
+    dropped; the control plane resets the window by clearing the
+    register — the paper's "more advanced NFs" direction, exercising
+    the stateful externs of the IR. *)
+
+type budget = { tenant : int; limit : int }
+
+val name : string
+val table_name : string
+val register_name : string
+val meta_decl : P4ir.Hdr.decl
+val create : budget list -> unit -> Dejavu_core.Nf.t
+(** Tenants without a budget are unlimited. *)
+
+val reset_window : Dejavu_core.Compiler.t -> unit
+(** Clear the counters (the control plane's periodic window tick). *)
+
+val count_of : Dejavu_core.Compiler.t -> tenant:int -> int
+(** Packets this window, as the data plane sees them. *)
+
+val reference :
+  budget list -> counts:(int, int) Hashtbl.t -> tenant:int ->
+  [ `Pass | `Drop ]
+(** Pure model: one packet arrives for [tenant]; updates [counts] and
+    says what the data plane should have done. *)

@@ -1,0 +1,98 @@
+open Dejavu_core
+
+type route = {
+  prefix : Netpkt.Ip4.prefix;
+  next_hop_mac : Netpkt.Mac.t;
+  src_mac : Netpkt.Mac.t;
+}
+
+let name = "router"
+let table_name = "routes"
+
+let route_action =
+  let open P4ir in
+  Action.make "route"
+    ~params:[ ("dmac", 48); ("smac", 48) ]
+    [
+      Action.Assign (Net_hdrs.eth_dst, Expr.Param "dmac");
+      Action.Assign (Net_hdrs.eth_src, Expr.Param "smac");
+      Action.Assign
+        (Net_hdrs.ip_ttl, Expr.(Field Net_hdrs.ip_ttl - const ~width:8 1));
+    ]
+
+let no_route_action =
+  P4ir.Action.make "no_route"
+    [ P4ir.Action.Assign (Sfc_header.drop_flag, P4ir.Expr.const ~width:1 1) ]
+
+let make_table routes =
+  let open P4ir in
+  let table =
+    Table.make ~name:table_name
+      ~keys:[ { Table.field = Net_hdrs.ip_dst; kind = Table.Lpm; width = 32 } ]
+      ~actions:[ route_action; no_route_action ]
+      ~default:("no_route", []) ~max_size:4096 ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_entry_exn table
+        {
+          Table.priority = 0;
+          patterns =
+            [
+              Table.M_lpm
+                {
+                  value =
+                    Bitval.make ~width:32
+                      (Netpkt.Ip4.to_int64 r.prefix.Netpkt.Ip4.addr);
+                  prefix_len = r.prefix.Netpkt.Ip4.len;
+                };
+            ];
+          action = "route";
+          args =
+            [
+              Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.next_hop_mac);
+              Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.src_mac);
+            ];
+        })
+    routes;
+  table
+
+let body =
+  let open P4ir in
+  [
+    Control.If
+      ( Expr.(Bin (Le, Field Net_hdrs.ip_ttl, const ~width:8 1)),
+        [
+          Control.Run
+            [ Action.Assign (Sfc_header.drop_flag, Expr.const ~width:1 1) ];
+        ],
+        [ Control.Apply table_name ] );
+  ]
+
+let create routes () =
+  Nf.make ~name ~description:"IP router (LPM, MAC rewrite, TTL)"
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[ make_table routes ] ~body ()
+
+type ref_output =
+  | Forward of { next_hop_mac : Netpkt.Mac.t; src_mac : Netpkt.Mac.t; ttl : int }
+  | Drop_ttl
+  | Drop_no_route
+
+let reference routes ~dst ~ttl =
+  if ttl <= 1 then Drop_ttl
+  else
+    let candidates =
+      List.filter (fun r -> Netpkt.Ip4.matches r.prefix dst) routes
+    in
+    match candidates with
+    | [] -> Drop_no_route
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun b c ->
+              if c.prefix.Netpkt.Ip4.len > b.prefix.Netpkt.Ip4.len then c else b)
+            first rest
+        in
+        Forward
+          { next_hop_mac = best.next_hop_mac; src_mac = best.src_mac; ttl = ttl - 1 }

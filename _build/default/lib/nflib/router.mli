@@ -1,0 +1,21 @@
+(** IP router: LPM on the destination, MAC rewrite, TTL decrement, drop
+    on TTL expiry or missing route. Forwarding-port selection belongs to
+    the chain policy (the branching table), so routes carry next-hop
+    MACs only. *)
+
+type route = {
+  prefix : Netpkt.Ip4.prefix;
+  next_hop_mac : Netpkt.Mac.t;
+  src_mac : Netpkt.Mac.t;
+}
+
+val name : string
+val table_name : string
+val create : route list -> unit -> Dejavu_core.Nf.t
+
+type ref_output =
+  | Forward of { next_hop_mac : Netpkt.Mac.t; src_mac : Netpkt.Mac.t; ttl : int }
+  | Drop_ttl
+  | Drop_no_route
+
+val reference : route list -> dst:Netpkt.Ip4.t -> ttl:int -> ref_output

@@ -1,0 +1,120 @@
+open Dejavu_core
+
+type mapping = { dst_prefix : Netpkt.Ip4.prefix; vid : int; tenant : int }
+
+let name = "vgw"
+let encap_table = "vgw_encap"
+let decap_table = "vgw_decap"
+
+let do_encap =
+  let open P4ir in
+  Action.make "do_encap"
+    ~params:[ ("vid", 12); ("tenant", 16) ]
+    [
+      Action.Set_valid "vlan";
+      Action.Assign (Net_hdrs.vlan_vid, Expr.Param "vid");
+      Action.Assign (Fieldref.v "vlan" "pcp", Expr.const ~width:3 0);
+      Action.Assign (Fieldref.v "vlan" "dei", Expr.const ~width:1 0);
+      Action.Assign
+        ( Fieldref.v "vlan" "ethertype",
+          Expr.const ~width:16 Net_hdrs.ethertype_ipv4 );
+      (* The tag sits between the SFC header and IP. *)
+      Action.Assign (Sfc_header.next_protocol, Expr.const ~width:8 2);
+      Action.Assign
+        (Sfc_header.ctx_key 1, Expr.const ~width:8 Sfc_header.ctx_key_app);
+      Action.Assign (Sfc_header.ctx_val 1, Expr.Param "tenant");
+    ]
+
+let do_decap =
+  let open P4ir in
+  Action.make "do_decap"
+    [
+      Action.Set_invalid "vlan";
+      Action.Assign
+        ( Sfc_header.next_protocol,
+          Expr.const ~width:8 Sfc_header.next_proto_ipv4 );
+    ]
+
+let make_tables mappings =
+  let open P4ir in
+  let encap =
+    Table.make ~name:encap_table
+      ~keys:[ { Table.field = Net_hdrs.ip_dst; kind = Table.Lpm; width = 32 } ]
+      ~actions:[ do_encap; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:1024 ()
+  in
+  List.iter
+    (fun m ->
+      Table.add_entry_exn encap
+        {
+          Table.priority = 0;
+          patterns =
+            [
+              Table.M_lpm
+                {
+                  value =
+                    Bitval.make ~width:32
+                      (Netpkt.Ip4.to_int64 m.dst_prefix.Netpkt.Ip4.addr);
+                  prefix_len = m.dst_prefix.Netpkt.Ip4.len;
+                };
+            ];
+          action = "do_encap";
+          args =
+            [ Bitval.of_int ~width:12 m.vid; Bitval.of_int ~width:16 m.tenant ];
+        })
+    mappings;
+  let decap =
+    Table.make ~name:decap_table
+      ~keys:[ { Table.field = Net_hdrs.vlan_vid; kind = Table.Exact; width = 12 } ]
+      ~actions:[ do_decap; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:1024 ()
+  in
+  List.iter
+    (fun m ->
+      Table.add_entry_exn decap
+        {
+          Table.priority = 0;
+          patterns = [ Table.M_exact (Bitval.of_int ~width:12 m.vid) ];
+          action = "do_decap";
+          args = [];
+        })
+    mappings;
+  [ encap; decap ]
+
+let create mappings () =
+  Nf.make ~name
+    ~description:"virtualization gateway (overlay tag push/pop)"
+    ~parser:(Net_hdrs.base_parser ~with_vlan:true ~name ())
+    ~tables:(make_tables mappings)
+    ~body:
+      [
+        P4ir.Control.If
+          ( P4ir.Expr.Valid "vlan",
+            [ P4ir.Control.Apply decap_table ],
+            [ P4ir.Control.Apply encap_table ] );
+      ]
+    ()
+
+type ref_effect = Encap of { vid : int; tenant : int } | Decap | Pass
+
+let reference mappings ~tagged_vid dst =
+  match tagged_vid with
+  | Some vid ->
+      if List.exists (fun m -> m.vid = vid) mappings then Decap else Pass
+  | None ->
+
+
+    let candidates =
+      List.filter (fun m -> Netpkt.Ip4.matches m.dst_prefix dst) mappings
+    in
+    match candidates with
+    | [] -> Pass
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun b c ->
+              if c.dst_prefix.Netpkt.Ip4.len > b.dst_prefix.Netpkt.Ip4.len then c
+              else b)
+            first rest
+        in
+        Encap { vid = best.vid; tenant = best.tenant }

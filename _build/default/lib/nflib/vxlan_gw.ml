@@ -1,0 +1,169 @@
+open Dejavu_core
+
+type tunnel = {
+  dst_prefix : Netpkt.Ip4.prefix;
+  vni : int;
+  local_vtep : Netpkt.Ip4.t;
+  remote_vtep : Netpkt.Ip4.t;
+}
+
+let name = "vxlan_gw"
+let encap_table = "vxlan_tunnels"
+
+let fields_of (d : P4ir.Hdr.decl) =
+  List.map (fun (f : P4ir.Hdr.field) -> f.P4ir.Hdr.name) d.P4ir.Hdr.fields
+
+(* dst.<f> := src.<f> for every field of the (identical) layouts. *)
+let copy_header ~from_hdr ~to_hdr decl =
+  List.map
+    (fun f ->
+      P4ir.Action.Assign
+        (P4ir.Fieldref.v to_hdr f, P4ir.Expr.Field (P4ir.Fieldref.v from_hdr f)))
+    (fields_of decl)
+
+(* Decap: inner stack becomes the packet. The outer Ethernet (and the
+   SFC header above it) stay; outer IPv4/UDP/VXLAN and the inner
+   Ethernet disappear. Inner fields copy into the outer instances so
+   downstream NFs see the canonical shape; transport validity follows
+   the inner packet, which needs control-flow, not just assigns. *)
+let decap_block =
+  let open P4ir in
+  [
+    Control.Run (copy_header ~from_hdr:"inner_ipv4" ~to_hdr:"ipv4" Net_hdrs.ipv4);
+    Control.If
+      ( Expr.Valid "inner_tcp",
+        [
+          Control.Run
+            (copy_header ~from_hdr:"inner_tcp" ~to_hdr:"tcp" Net_hdrs.tcp
+            @ [ Action.Set_valid "tcp"; Action.Set_invalid "inner_tcp" ]);
+        ],
+        [ Control.Run [ Action.Set_invalid "tcp" ] ] );
+    Control.If
+      ( Expr.Valid "inner_udp",
+        [
+          Control.Run
+            (copy_header ~from_hdr:"inner_udp" ~to_hdr:"udp" Net_hdrs.udp
+            @ [ Action.Set_valid "udp"; Action.Set_invalid "inner_udp" ]);
+        ],
+        [ Control.Run [ Action.Set_invalid "udp" ] ] );
+    Control.Run
+      [
+        Action.Set_invalid "vxlan";
+        Action.Set_invalid "inner_eth";
+        Action.Set_invalid "inner_ipv4";
+      ];
+  ]
+
+(* Encap: push the current IPv4/transport down into the inner stack and
+   synthesize the outer IPv4/UDP/VXLAN from action data. *)
+let encap_action =
+  let open P4ir in
+  let c ~width v = Expr.const ~width v in
+  Action.make "tunnel_to"
+    ~params:[ ("vni", 24); ("local_vtep", 32); ("remote_vtep", 32) ]
+    (copy_header ~from_hdr:"ipv4" ~to_hdr:"inner_ipv4" Net_hdrs.ipv4
+    @ copy_header ~from_hdr:"tcp" ~to_hdr:"inner_tcp" Net_hdrs.tcp
+    @ copy_header ~from_hdr:"udp" ~to_hdr:"inner_udp" Net_hdrs.udp
+    @ copy_header ~from_hdr:"eth" ~to_hdr:"inner_eth" Net_hdrs.eth
+    @ [
+        Action.Set_valid "inner_eth";
+        Action.Set_valid "inner_ipv4";
+        Action.Assign
+          (Fieldref.v "inner_eth" "ethertype", c ~width:16 Net_hdrs.ethertype_ipv4);
+        (* Outer IPv4: vtep to vtep, UDP payload. *)
+        Action.Assign (Fieldref.v "ipv4" "src_addr", Expr.Param "local_vtep");
+        Action.Assign (Fieldref.v "ipv4" "dst_addr", Expr.Param "remote_vtep");
+        Action.Assign (Fieldref.v "ipv4" "protocol", c ~width:8 Net_hdrs.proto_udp);
+        Action.Assign (Fieldref.v "ipv4" "ttl", c ~width:8 64);
+        (* Outer UDP + VXLAN. *)
+        Action.Set_valid "udp";
+        Action.Assign (Fieldref.v "udp" "src_port", c ~width:16 49152);
+        Action.Assign (Fieldref.v "udp" "dst_port", c ~width:16 4789);
+        Action.Set_valid "vxlan";
+        Action.Assign (Fieldref.v "vxlan" "flags", c ~width:8 0x08);
+        Action.Assign (Fieldref.v "vxlan" "reserved1", c ~width:24 0);
+        Action.Assign (Fieldref.v "vxlan" "vni", Expr.Param "vni");
+        Action.Assign (Fieldref.v "vxlan" "reserved2", c ~width:8 0);
+      ])
+
+let make_encap_table tunnels =
+  let open P4ir in
+  let table =
+    Table.make ~name:encap_table
+      ~keys:[ { Table.field = Net_hdrs.ip_dst; kind = Table.Lpm; width = 32 } ]
+      ~actions:[ encap_action; Action.no_op ]
+      ~default:("NoAction", []) ~max_size:1024 ()
+  in
+  List.iter
+    (fun t ->
+      Table.add_entry_exn table
+        {
+          Table.priority = 0;
+          patterns =
+            [
+              Table.M_lpm
+                {
+                  value =
+                    Bitval.make ~width:32
+                      (Netpkt.Ip4.to_int64 t.dst_prefix.Netpkt.Ip4.addr);
+                  prefix_len = t.dst_prefix.Netpkt.Ip4.len;
+                };
+            ];
+          action = "tunnel_to";
+          args =
+            [
+              Bitval.of_int ~width:24 t.vni;
+              Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.local_vtep);
+              Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.remote_vtep);
+            ];
+        })
+    tunnels;
+  table
+
+(* After the encap action ran, the inner transport's validity must
+   mirror what the packet carried before (actions cannot branch); the
+   preserved inner_ipv4.protocol says which it was. The outer transport
+   is now the tunnel UDP. *)
+let encap_fixup =
+  let open P4ir in
+  [
+    Control.If
+      ( Expr.(Bin (Eq, Field (Fieldref.v "inner_ipv4" "protocol"), const ~width:8 Net_hdrs.proto_tcp)),
+        [ Control.Run [ Action.Set_valid "inner_tcp"; Action.Set_invalid "tcp" ] ],
+        [
+          Control.If
+            ( Expr.(
+                Bin
+                  ( Eq,
+                    Field (Fieldref.v "inner_ipv4" "protocol"),
+                    const ~width:8 Net_hdrs.proto_udp )),
+              [ Control.Run [ Action.Set_valid "inner_udp" ] ],
+              [] );
+        ] );
+  ]
+
+let body =
+  [
+    P4ir.Control.If
+      ( P4ir.Expr.Valid "vxlan",
+        decap_block,
+        [ P4ir.Control.Apply_switch (encap_table, [ ("tunnel_to", encap_fixup) ], []) ]
+      );
+  ]
+
+let create tunnels () =
+  Nf.make ~name ~description:"VXLAN tunnel gateway (full encap/decap)"
+    ~parser:(Net_hdrs.base_parser ~with_vxlan:true ~name ())
+    ~tables:[ make_encap_table tunnels ]
+    ~body ()
+
+let reference_decap (layers : Netpkt.Pkt.t) =
+  let rec strip acc = function
+    | Netpkt.Pkt.Ipv4 _ :: Netpkt.Pkt.Udp u :: Netpkt.Pkt.Vxlan _
+      :: Netpkt.Pkt.Eth _ :: rest
+      when u.Netpkt.Udp.dst_port = Netpkt.Udp.port_vxlan ->
+        List.rev_append acc rest
+    | layer :: rest -> strip (layer :: acc) rest
+    | [] -> layers
+  in
+  strip [] layers

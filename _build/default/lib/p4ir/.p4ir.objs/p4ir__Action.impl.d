@@ -1,0 +1,1 @@
+lib/p4ir/action.ml: Bitval Expr Fieldref Format List Phv Printf Register String

@@ -1,0 +1,1 @@
+lib/p4ir/action.mli: Bitval Expr Fieldref Format Phv Register

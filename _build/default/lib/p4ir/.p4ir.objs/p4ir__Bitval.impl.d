@@ -1,0 +1,1 @@
+lib/p4ir/bitval.ml: Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/p4ir/control.ml: Action Expr Format Hashtbl List Printf Table

@@ -1,0 +1,1 @@
+lib/p4ir/control.mli: Action Expr Format Phv Table

@@ -1,0 +1,1 @@
+lib/p4ir/deps.ml: Action Control Expr Fieldref Format Hashtbl List Printf Table

@@ -1,0 +1,1 @@
+lib/p4ir/expr.ml: Bitval Bytes Fieldref Format Int64 List Netpkt Phv Printf Stdlib

@@ -1,0 +1,1 @@
+lib/p4ir/expr.mli: Bitval Fieldref Format Phv

@@ -1,0 +1,1 @@
+lib/p4ir/fieldref.ml: Format Printf Set String

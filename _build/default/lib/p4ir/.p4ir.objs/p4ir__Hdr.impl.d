@@ -1,0 +1,1 @@
+lib/p4ir/hdr.ml: Bitval Format Hashtbl List Netpkt Printf String

@@ -1,0 +1,1 @@
+lib/p4ir/hdr.mli: Bitval Bytes Format

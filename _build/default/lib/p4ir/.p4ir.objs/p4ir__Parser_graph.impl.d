@@ -1,0 +1,1 @@
+lib/p4ir/parser_graph.ml: Bitval Bytes Fieldref Format Hashtbl Hdr Int64 List Option Phv Printf Result String

@@ -1,0 +1,1 @@
+lib/p4ir/parser_graph.mli: Bytes Fieldref Format Hdr Phv

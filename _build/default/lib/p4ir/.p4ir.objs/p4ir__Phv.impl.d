@@ -1,0 +1,1 @@
+lib/p4ir/phv.ml: Bitval Fieldref Format Hashtbl Hdr List Printf

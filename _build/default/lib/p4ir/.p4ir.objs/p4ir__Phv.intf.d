@@ -1,0 +1,1 @@
+lib/p4ir/phv.mli: Bitval Fieldref Format Hdr

@@ -1,0 +1,1 @@
+lib/p4ir/program.ml: Action Control Format Hdr List Parser_graph Printf Register Resources Result String Table

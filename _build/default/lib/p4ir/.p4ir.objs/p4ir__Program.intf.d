@@ -1,0 +1,1 @@
+lib/p4ir/program.mli: Action Control Format Hdr Parser_graph Phv Register Resources Table

@@ -1,0 +1,1 @@
+lib/p4ir/register.ml: Array Bitval Format

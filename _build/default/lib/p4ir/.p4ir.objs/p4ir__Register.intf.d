@@ -1,0 +1,1 @@
+lib/p4ir/register.mli: Bitval Format

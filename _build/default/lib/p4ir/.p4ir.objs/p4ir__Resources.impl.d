@@ -1,0 +1,1 @@
+lib/p4ir/resources.ml: Action Control Deps Format List Printf Table

@@ -1,0 +1,1 @@
+lib/p4ir/resources.mli: Control Format Table

@@ -1,0 +1,1 @@
+lib/p4ir/table.ml: Action Bitval Fieldref Format List Option Phv Printf String

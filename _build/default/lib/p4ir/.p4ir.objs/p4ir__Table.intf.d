@@ -1,0 +1,1 @@
+lib/p4ir/table.mli: Action Bitval Fieldref Format Phv

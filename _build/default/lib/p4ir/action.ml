@@ -1,0 +1,105 @@
+type prim =
+  | Assign of Fieldref.t * Expr.t
+  | Set_valid of string
+  | Set_invalid of string
+  | Reg_read of Fieldref.t * string * Expr.t
+  | Reg_write of string * Expr.t * Expr.t
+  | No_op
+
+type t = { name : string; params : (string * int) list; body : prim list }
+
+let make name ?(params = []) body = { name; params; body }
+let no_op = make "NoAction" []
+
+type reg_env = string -> Register.t option
+
+let no_regs _ = None
+
+let find_reg regs name =
+  match regs name with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Action.run: unknown register %s" name)
+
+let reg_index reg env idx_expr =
+  Bitval.to_int (Expr.eval env idx_expr) land Register.index_mask reg
+
+let run ?(regs = no_regs) t ~args phv =
+  if List.length args <> List.length t.params then
+    invalid_arg
+      (Printf.sprintf "Action.run %s: expected %d args, got %d" t.name
+         (List.length t.params) (List.length args));
+  let params =
+    List.map2
+      (fun (name, width) v -> (name, Bitval.resize v width))
+      t.params args
+  in
+  let env = { Expr.phv; params } in
+  List.iter
+    (fun prim ->
+      match prim with
+      | Assign (r, e) -> Phv.set phv r (Expr.eval env e)
+      | Set_valid h -> Phv.set_valid phv h
+      | Set_invalid h -> Phv.set_invalid phv h
+      | Reg_read (dst, rname, idx) ->
+          let reg = find_reg regs rname in
+          Phv.set phv dst (Register.read reg (reg_index reg env idx))
+      | Reg_write (rname, idx, value) ->
+          let reg = find_reg regs rname in
+          Register.write reg (reg_index reg env idx) (Expr.eval env value)
+      | No_op -> ())
+    t.body
+
+let reg_field name = Fieldref.v "$reg" name
+
+let reads t =
+  List.fold_left
+    (fun acc prim ->
+      match prim with
+      | Assign (_, e) -> Fieldref.Set.union acc (Expr.reads e)
+      | Reg_read (_, rname, idx) ->
+          Fieldref.Set.add (reg_field rname)
+            (Fieldref.Set.union acc (Expr.reads idx))
+      | Reg_write (rname, idx, value) ->
+          Fieldref.Set.add (reg_field rname)
+            (Fieldref.Set.union acc
+               (Fieldref.Set.union (Expr.reads idx) (Expr.reads value)))
+      | Set_valid _ | Set_invalid _ | No_op -> acc)
+    Fieldref.Set.empty t.body
+
+let writes t =
+  List.fold_left
+    (fun acc prim ->
+      match prim with
+      | Assign (r, _) -> Fieldref.Set.add r acc
+      | Set_valid h | Set_invalid h ->
+          Fieldref.Set.add (Fieldref.v h "$valid") acc
+      | Reg_read (dst, rname, _) ->
+          Fieldref.Set.add dst (Fieldref.Set.add (reg_field rname) acc)
+      | Reg_write (rname, _, _) -> Fieldref.Set.add (reg_field rname) acc
+      | No_op -> acc)
+    Fieldref.Set.empty t.body
+
+let registers_used t =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (function
+         | Reg_read (_, r, _) | Reg_write (r, _, _) -> Some r
+         | Assign _ | Set_valid _ | Set_invalid _ | No_op -> None)
+       t.body)
+
+let pp_prim ppf = function
+  | Assign (r, e) -> Format.fprintf ppf "%a = %a;" Fieldref.pp r Expr.pp e
+  | Set_valid h -> Format.fprintf ppf "%s.setValid();" h
+  | Set_invalid h -> Format.fprintf ppf "%s.setInvalid();" h
+  | Reg_read (dst, r, idx) ->
+      Format.fprintf ppf "%s.read(%a, %a);" r Fieldref.pp dst Expr.pp idx
+  | Reg_write (r, idx, v) ->
+      Format.fprintf ppf "%s.write(%a, %a);" r Expr.pp idx Expr.pp v
+  | No_op -> Format.fprintf ppf "/* no-op */"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>action %s(%s) {@," t.name
+    (String.concat ", "
+       (List.map (fun (n, w) -> Printf.sprintf "bit<%d> %s" w n) t.params));
+  List.iter (fun p -> Format.fprintf ppf "%a@," pp_prim p) t.body;
+  Format.fprintf ppf "}@]"

@@ -1,0 +1,45 @@
+(** Actions: named, parameterized sequences of primitive operations. *)
+
+type prim =
+  | Assign of Fieldref.t * Expr.t
+  | Set_valid of string
+  | Set_invalid of string
+  | Reg_read of Fieldref.t * string * Expr.t
+      (** [dst = reg[index]]; the index is masked to the register size *)
+  | Reg_write of string * Expr.t * Expr.t  (** [reg[index] = value] *)
+  | No_op
+
+type t = {
+  name : string;
+  params : (string * int) list;  (** action-data parameters: name, width *)
+  body : prim list;
+}
+
+val make : string -> ?params:(string * int) list -> prim list -> t
+val no_op : t
+(** The conventional ["NoAction"]. *)
+
+type reg_env = string -> Register.t option
+(** Register lookup supplied by the enclosing program. *)
+
+val no_regs : reg_env
+
+val run : ?regs:reg_env -> t -> args:Bitval.t list -> Phv.t -> unit
+(** Binds [args] to [params] positionally (widths enforced) and executes
+    the body. Raises [Invalid_argument] on arity mismatch or on a
+    register primitive whose register [regs] does not know. *)
+
+val registers_used : t -> string list
+
+val reads : t -> Fieldref.Set.t
+(** Fields read by the body's expressions. Register accesses read the
+    pseudo-field ["$reg.<name>"]. *)
+
+val writes : t -> Fieldref.Set.t
+(** Fields written ([Set_valid]/[Set_invalid] count as writing
+    ["<hdr>.$valid"]; any register access also writes ["$reg.<name>"],
+    conservatively serializing tables that share a register — on the
+    hardware they would have to share its stage). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_prim : Format.formatter -> prim -> unit

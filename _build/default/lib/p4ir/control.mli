@@ -1,0 +1,52 @@
+(** Control blocks: the straight-line/branching programs MAU pipelines
+    execute, in the style of P4-16 control bodies. *)
+
+type stmt =
+  | Apply of string  (** apply a table by name *)
+  | Apply_hit of string * block * block
+      (** [if (t.apply().hit) then_ else_] *)
+  | Apply_switch of string * (string * block) list * block
+      (** branch on [action_run]; the last block is the default *)
+  | If of Expr.t * block * block
+  | Run of Action.prim list  (** inline primitive operations *)
+  | Label of string * block
+      (** a named region — records NF provenance through composition *)
+
+and block = stmt list
+
+type t = { name : string; body : block }
+
+val make : string -> block -> t
+
+type table_env = string -> Table.t option
+
+type trace_event =
+  | T_table of string * string * bool  (** table, action run, hit *)
+  | T_gateway of string * bool  (** rendered condition, outcome *)
+  | T_enter of string  (** entered a labeled region *)
+
+val exec :
+  ?trace:trace_event list ref ->
+  ?regs:Action.reg_env ->
+  table_env ->
+  t ->
+  Phv.t ->
+  unit
+(** Execute against a PHV. Raises [Invalid_argument] for unknown tables
+    or registers. *)
+
+val tables_used : t -> string list
+(** Every table name applied anywhere in the body, in first-use order. *)
+
+val labels : t -> string list
+val map_tables : (string -> string) -> t -> t
+(** Rename every table reference (used when composing NFs). *)
+
+val gateway_count : t -> int
+(** Number of [If] conditions (each consumes one gateway resource). *)
+
+val validate : table_env -> t -> (unit, string) result
+(** Check that every applied table exists and switch branches name real
+    actions of their table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type binop =
+  | Add | Sub | Mul
+  | BAnd | BOr | BXor
+  | Shl | Shr
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = BNot | LNot
+type hash_alg = Crc32 | Crc16 | Identity
+
+type t =
+  | Const of Bitval.t
+  | Field of Fieldref.t
+  | Param of string
+  | Bin of binop * t * t
+  | Un of unop * t
+  | Hash of hash_alg * int * t list
+  | Valid of string
+
+let const ~width v = Const (Bitval.of_int ~width v)
+let field h f = Field (Fieldref.v h f)
+let ( + ) a b = Bin (Add, a, b)
+let ( - ) a b = Bin (Sub, a, b)
+let ( = ) a b = Bin (Eq, a, b)
+let ( <> ) a b = Bin (Neq, a, b)
+let ( < ) a b = Bin (Lt, a, b)
+let ( && ) a b = Bin (LAnd, a, b)
+let ( || ) a b = Bin (LOr, a, b)
+
+type env = { phv : Phv.t; params : (string * Bitval.t) list }
+
+let hash_bytes alg inputs =
+  (* Serialize each input value on a byte boundary, MSB first, the way a
+     hash extern concatenates its field list. *)
+  let total_bits =
+    List.fold_left (fun acc v -> Stdlib.( + ) acc (Bitval.width v)) 0 inputs
+  in
+  let nbytes = Stdlib.( / ) (Stdlib.( + ) total_bits 7) 8 in
+  let b = Bytes.make (max nbytes 1) '\000' in
+  let off = ref 0 in
+  List.iter
+    (fun v ->
+      Netpkt.Bytes_util.set_bits b ~bit_off:!off ~width:(Bitval.width v)
+        (Bitval.to_int64 v);
+      off := Stdlib.( + ) !off (Bitval.width v))
+    inputs;
+  match alg with
+  | Crc32 -> Netpkt.Bytes_util.crc32 b ~off:0 ~len:(Bytes.length b)
+  | Crc16 -> Netpkt.Bytes_util.crc16 b ~off:0 ~len:(Bytes.length b)
+  | Identity ->
+      List.fold_left
+        (fun acc v -> Int64.logor (Int64.shift_left acc (Bitval.width v)) (Bitval.to_int64 v))
+        0L inputs
+
+let rec eval env expr =
+  match expr with
+  | Const v -> v
+  | Field r -> Phv.get env.phv r
+  | Param name -> (
+      match List.assoc_opt name env.params with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Expr.eval: unbound param %s" name))
+  | Valid h -> Bitval.of_bool (Phv.is_valid env.phv h)
+  | Un (BNot, e) -> Bitval.lognot (eval env e)
+  | Un (LNot, e) -> Bitval.of_bool (not (Bitval.to_bool (eval env e)))
+  | Hash (alg, out_width, inputs) ->
+      let vals = List.map (eval env) inputs in
+      Bitval.make ~width:out_width (hash_bytes alg vals)
+  | Bin (op, a, b) -> (
+      let va = eval env a in
+      let vb = eval env b in
+      match op with
+      | Add -> Bitval.add va vb
+      | Sub -> Bitval.sub va vb
+      | Mul -> Bitval.mul va vb
+      | BAnd -> Bitval.logand va vb
+      | BOr -> Bitval.logor va vb
+      | BXor -> Bitval.logxor va vb
+      | Shl -> Bitval.shift_left va (Bitval.to_int vb)
+      | Shr -> Bitval.shift_right va (Bitval.to_int vb)
+      | Eq -> Bitval.of_bool (Bitval.equal_value va (Bitval.resize vb (Bitval.width va)))
+      | Neq ->
+          Bitval.of_bool
+            (not (Bitval.equal_value va (Bitval.resize vb (Bitval.width va))))
+      | Lt -> Bitval.of_bool (Bitval.lt va (Bitval.resize vb (Bitval.width va)))
+      | Le -> Bitval.of_bool (Bitval.le va (Bitval.resize vb (Bitval.width va)))
+      | Gt -> Bitval.of_bool (Bitval.lt (Bitval.resize vb (Bitval.width va)) va)
+      | Ge -> Bitval.of_bool (Bitval.le (Bitval.resize vb (Bitval.width va)) va)
+      | LAnd -> Bitval.of_bool (Stdlib.( && ) (Bitval.to_bool va) (Bitval.to_bool vb))
+      | LOr -> Bitval.of_bool (Stdlib.( || ) (Bitval.to_bool va) (Bitval.to_bool vb)))
+
+let eval_bool env e = Bitval.to_bool (eval env e)
+
+let rec reads = function
+  | Const _ | Param _ -> Fieldref.Set.empty
+  | Field r -> Fieldref.Set.singleton r
+  | Valid h -> Fieldref.Set.singleton (Fieldref.v h "$valid")
+  | Un (_, e) -> reads e
+  | Bin (_, a, b) -> Fieldref.Set.union (reads a) (reads b)
+  | Hash (_, _, es) ->
+      List.fold_left
+        (fun acc e -> Fieldref.Set.union acc (reads e))
+        Fieldref.Set.empty es
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^"
+  | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+
+let rec pp ppf = function
+  | Const v -> Format.fprintf ppf "%Lu" (Bitval.to_int64 v)
+  | Field r -> Fieldref.pp ppf r
+  | Param p -> Format.fprintf ppf "%s" p
+  | Valid h -> Format.fprintf ppf "%s.isValid()" h
+  | Un (BNot, e) -> Format.fprintf ppf "~(%a)" pp e
+  | Un (LNot, e) -> Format.fprintf ppf "!(%a)" pp e
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_str op) pp b
+  | Hash (alg, w, es) ->
+      let name =
+        match alg with Crc32 -> "crc32" | Crc16 -> "crc16" | Identity -> "identity"
+      in
+      Format.fprintf ppf "hash_%s<bit<%d>>(%a)" name w
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp)
+        es

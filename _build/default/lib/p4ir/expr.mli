@@ -1,0 +1,46 @@
+(** Expressions over PHV fields — the right-hand sides of assignments,
+    gateway conditions, and hash inputs. *)
+
+type binop =
+  | Add | Sub | Mul
+  | BAnd | BOr | BXor
+  | Shl | Shr
+  | Eq | Neq | Lt | Le | Gt | Ge   (** unsigned; result is [bit<1>] *)
+  | LAnd | LOr                     (** logical; nonzero = true *)
+
+type unop = BNot | LNot
+
+type hash_alg = Crc32 | Crc16 | Identity
+
+type t =
+  | Const of Bitval.t
+  | Field of Fieldref.t
+  | Param of string            (** an action-data parameter *)
+  | Bin of binop * t * t
+  | Un of unop * t
+  | Hash of hash_alg * int * t list  (** algorithm, output width, inputs *)
+  | Valid of string            (** header validity bit *)
+
+val const : width:int -> int -> t
+val field : string -> string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+
+type env = { phv : Phv.t; params : (string * Bitval.t) list }
+
+val eval : env -> t -> Bitval.t
+(** Binary operands are resized to the left operand's width; comparison
+    and logical results are [bit<1>]. Raises [Not_found] on unknown
+    fields and [Invalid_argument] on unbound parameters. *)
+
+val eval_bool : env -> t -> bool
+val reads : t -> Fieldref.Set.t
+(** Every field the expression reads (validity tests included, as a
+    pseudo-field ["<hdr>.$valid"]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+type field = { name : string; width : int }
+type decl = { name : string; fields : field list }
+
+let decl name fields =
+  let seen = Hashtbl.create 8 in
+  let fields =
+    List.map
+      (fun (fname, width) ->
+        if width < 1 || width > 64 then
+          invalid_arg
+            (Printf.sprintf "Hdr.decl %s: field %s width %d not in 1..64" name
+               fname width);
+        if Hashtbl.mem seen fname then
+          invalid_arg
+            (Printf.sprintf "Hdr.decl %s: duplicate field %s" name fname);
+        Hashtbl.add seen fname ();
+        { name = fname; width })
+      fields
+  in
+  { name; fields }
+
+let total_width d = List.fold_left (fun acc f -> acc + f.width) 0 d.fields
+
+let byte_size d =
+  let w = total_width d in
+  if w mod 8 <> 0 then
+    invalid_arg (Printf.sprintf "Hdr.byte_size %s: %d bits not byte-aligned" d.name w)
+  else w / 8
+
+let field_width d fname =
+  match List.find_opt (fun (f : field) -> String.equal f.name fname) d.fields with
+  | Some f -> f.width
+  | None -> raise Not_found
+
+let has_field d fname =
+  List.exists (fun (f : field) -> String.equal f.name fname) d.fields
+
+let equal_decl a b =
+  String.equal a.name b.name
+  && List.length a.fields = List.length b.fields
+  && List.for_all2
+       (fun (x : field) (y : field) -> String.equal x.name y.name && x.width = y.width)
+       a.fields b.fields
+
+let pp_decl ppf d =
+  Format.fprintf ppf "header %s {" d.name;
+  List.iter (fun (f : field) -> Format.fprintf ppf " bit<%d> %s;" f.width f.name) d.fields;
+  Format.fprintf ppf " }"
+
+type inst = {
+  idecl : decl;
+  mutable valid : bool;
+  values : (string, Bitval.t) Hashtbl.t;
+}
+
+let inst d =
+  let values = Hashtbl.create (List.length d.fields) in
+  List.iter (fun (f : field) -> Hashtbl.replace values f.name (Bitval.zero f.width)) d.fields;
+  { idecl = d; valid = false; values }
+
+let inst_valid d =
+  let i = inst d in
+  i.valid <- true;
+  i
+
+let decl_of i = i.idecl
+let is_valid i = i.valid
+let set_valid i = i.valid <- true
+let set_invalid i = i.valid <- false
+
+let get i fname =
+  match Hashtbl.find_opt i.values fname with
+  | Some v -> v
+  | None -> raise Not_found
+
+let set i fname v =
+  let w = field_width i.idecl fname in
+  Hashtbl.replace i.values fname (Bitval.resize v w)
+
+let copy i =
+  { idecl = i.idecl; valid = i.valid; values = Hashtbl.copy i.values }
+
+let extract i b ~bit_off =
+  let off = ref bit_off in
+  List.iter
+    (fun (f : field) ->
+      let v = Netpkt.Bytes_util.get_bits b ~bit_off:!off ~width:f.width in
+      Hashtbl.replace i.values f.name (Bitval.make ~width:f.width v);
+      off := !off + f.width)
+    i.idecl.fields;
+  i.valid <- true
+
+let emit i b ~bit_off =
+  let off = ref bit_off in
+  List.iter
+    (fun (f : field) ->
+      let v = get i f.name in
+      Netpkt.Bytes_util.set_bits b ~bit_off:!off ~width:f.width
+        (Bitval.to_int64 v);
+      off := !off + f.width)
+    i.idecl.fields
+
+let equal_inst a b =
+  equal_decl a.idecl b.idecl && a.valid = b.valid
+  && List.for_all
+       (fun (f : field) -> Bitval.equal (get a f.name) (get b f.name))
+       a.idecl.fields
+
+let pp_inst ppf i =
+  Format.fprintf ppf "%s%s{" i.idecl.name (if i.valid then "" else "(invalid)");
+  List.iter
+    (fun (f : field) -> Format.fprintf ppf " %s=%Lu" f.name (Bitval.to_int64 (get i f.name)))
+    i.idecl.fields;
+  Format.fprintf ppf " }"

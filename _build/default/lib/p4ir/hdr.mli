@@ -1,0 +1,56 @@
+(** Header type declarations and header instances.
+
+    A declaration is a named, ordered list of fixed-width fields; an
+    instance is a validity bit plus a value per field, living in a PHV. *)
+
+type field = { name : string; width : int }
+
+type decl = { name : string; fields : field list }
+
+val decl : string -> (string * int) list -> decl
+(** [decl name fields] builds a declaration; raises [Invalid_argument] on
+    duplicate field names or widths outside 1..64. *)
+
+val total_width : decl -> int
+(** Sum of field widths, in bits. *)
+
+val byte_size : decl -> int
+(** [total_width / 8]; raises if the declaration is not byte-aligned. *)
+
+val field_width : decl -> string -> int
+(** Raises [Not_found] for an unknown field. *)
+
+val has_field : decl -> string -> bool
+val equal_decl : decl -> decl -> bool
+val pp_decl : Format.formatter -> decl -> unit
+
+type inst
+(** A mutable header instance. *)
+
+val inst : decl -> inst
+(** A fresh, invalid instance with all-zero fields. *)
+
+val inst_valid : decl -> inst
+(** A fresh, valid instance with all-zero fields. *)
+
+val decl_of : inst -> decl
+val is_valid : inst -> bool
+val set_valid : inst -> unit
+val set_invalid : inst -> unit
+val get : inst -> string -> Bitval.t
+(** Raises [Not_found] for an unknown field. Reading an invalid header
+    returns the stored value (all-zero unless written), matching the
+    "undefined but harmless" hardware behaviour. *)
+
+val set : inst -> string -> Bitval.t -> unit
+(** The value is resized to the declared field width. *)
+
+val copy : inst -> inst
+val extract : inst -> Bytes.t -> bit_off:int -> unit
+(** Fill fields from the wire and mark the instance valid. *)
+
+val emit : inst -> Bytes.t -> bit_off:int -> unit
+(** Serialize the fields to the wire (caller checks validity). *)
+
+val equal_inst : inst -> inst -> bool
+val pp_inst : Format.formatter -> inst -> unit

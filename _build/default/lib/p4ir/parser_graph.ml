@@ -1,0 +1,183 @@
+type next = Accept | Reject | Goto of string
+type case = { values : int64 list; next : next }
+type select = { on : Fieldref.t list; cases : case list; default : next }
+
+type state = {
+  id : string;
+  header : string;
+  offset : int;
+  select : select option;
+}
+
+type t = {
+  name : string;
+  decls : Hdr.decl list;
+  start : next;
+  states : state list;
+}
+
+let vertex_key s = (s.header, s.offset)
+
+let find_state t id =
+  List.find_opt (fun s -> String.equal s.id id) t.states
+
+let decl_for t header =
+  List.find_opt (fun (d : Hdr.decl) -> String.equal d.Hdr.name header) t.decls
+
+let successors s =
+  match s.select with
+  | None -> [ Accept ]
+  | Some sel -> sel.default :: List.map (fun c -> c.next) sel.cases
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let check_target from = function
+    | Accept | Reject -> Ok ()
+    | Goto id ->
+        if find_state t id = None then
+          Error (Printf.sprintf "parser %s: %s -> unknown state %s" t.name from id)
+        else Ok ()
+  in
+  let* () = check_target "start" t.start in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        let* () =
+          match decl_for t s.header with
+          | None ->
+              Error
+                (Printf.sprintf "parser %s: state %s extracts undeclared %s"
+                   t.name s.id s.header)
+          | Some _ -> Ok ()
+        in
+        let size = Hdr.byte_size (Option.get (decl_for t s.header)) in
+        List.fold_left
+          (fun acc nxt ->
+            let* () = acc in
+            let* () = check_target s.id nxt in
+            match nxt with
+            | Goto id ->
+                let succ = Option.get (find_state t id) in
+                if succ.offset <> s.offset + size then
+                  Error
+                    (Printf.sprintf
+                       "parser %s: %s(@%d,+%d) -> %s expected offset %d, has %d"
+                       t.name s.id s.offset size id (s.offset + size) succ.offset)
+                else Ok ()
+            | Accept | Reject -> Ok ())
+          (Ok ()) (successors s))
+      (Ok ()) t.states
+  in
+  (* Acyclicity: offsets strictly increase along every Goto edge (checked
+     above), so cycles are impossible; still verify ids are unique. *)
+  let ids = List.map (fun s -> s.id) t.states in
+  let sorted = List.sort_uniq String.compare ids in
+  if List.length sorted <> List.length ids then
+    Error (Printf.sprintf "parser %s: duplicate state ids" t.name)
+  else Ok ()
+
+let parse t bytes phv =
+  List.iter (fun d -> Phv.add_decl phv d) t.decls;
+  let rec step nxt off =
+    match nxt with
+    | Reject -> Error (Printf.sprintf "parser %s: packet rejected" t.name)
+    | Accept -> Ok off
+    | Goto id -> (
+        match find_state t id with
+        | None -> Error (Printf.sprintf "parser %s: missing state %s" t.name id)
+        | Some s -> (
+            let decl = Option.get (decl_for t s.header) in
+            let size = Hdr.byte_size decl in
+            if off + size > Bytes.length bytes then
+              Error
+                (Printf.sprintf "parser %s: truncated %s at offset %d" t.name
+                   s.header off)
+            else begin
+              Hdr.extract (Phv.inst phv s.header) bytes ~bit_off:(8 * off);
+              let off = off + size in
+              match s.select with
+              | None -> Ok off
+              | Some sel -> (
+                  let values =
+                    List.map (fun r -> Bitval.to_int64 (Phv.get phv r)) sel.on
+                  in
+                  let case =
+                    List.find_opt
+                      (fun c ->
+                        List.length c.values = List.length values
+                        && List.for_all2 Int64.equal c.values values)
+                      sel.cases
+                  in
+                  match case with
+                  | Some c -> step c.next off
+                  | None -> step sel.default off)
+            end))
+  in
+  step t.start 0
+
+let deparse ~order phv ~payload =
+  let valid =
+    List.filter_map
+      (fun name ->
+        if Phv.is_valid phv name then
+          Some (Phv.inst phv name)
+        else None)
+      order
+  in
+  let total =
+    List.fold_left (fun acc i -> acc + Hdr.byte_size (Hdr.decl_of i)) 0 valid
+    + Bytes.length payload
+  in
+  let out = Bytes.make total '\000' in
+  let off = ref 0 in
+  List.iter
+    (fun i ->
+      Hdr.emit i out ~bit_off:(8 * !off);
+      off := !off + Hdr.byte_size (Hdr.decl_of i))
+    valid;
+  Bytes.blit payload 0 out !off (Bytes.length payload);
+  out
+
+let reachable t =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec walk = function
+    | Accept | Reject -> ()
+    | Goto id ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          order := id :: !order;
+          match find_state t id with
+          | Some s -> List.iter walk (successors s)
+          | None -> ()
+        end
+  in
+  walk t.start;
+  List.rev !order
+
+let pp_next ppf = function
+  | Accept -> Format.pp_print_string ppf "accept"
+  | Reject -> Format.pp_print_string ppf "reject"
+  | Goto id -> Format.pp_print_string ppf id
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>parser %s (start -> %a) {@," t.name pp_next t.start;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@[<v 2>state %s: extract %s @@%d" s.id s.header s.offset;
+      (match s.select with
+      | None -> Format.fprintf ppf " -> accept"
+      | Some sel ->
+          Format.fprintf ppf " select(%s):"
+            (String.concat ", " (List.map Fieldref.to_string sel.on));
+          List.iter
+            (fun c ->
+              Format.fprintf ppf "@,%s -> %a"
+                (String.concat "," (List.map Int64.to_string c.values))
+                pp_next c.next)
+            sel.cases;
+          Format.fprintf ppf "@,default -> %a" pp_next sel.default);
+      Format.fprintf ppf "@]@,")
+    t.states;
+  Format.fprintf ppf "}@]"

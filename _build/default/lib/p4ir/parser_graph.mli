@@ -1,0 +1,53 @@
+(** Parse graphs — the directed acyclic graphs the paper's generic-parser
+    merging operates on.
+
+    Each vertex extracts one header type at a particular byte offset and
+    then selects the next vertex on already-extracted field values; the
+    paper identifies vertices by their [(header_type, offset)] tuple, and
+    so do we. *)
+
+type next = Accept | Reject | Goto of string
+
+type case = { values : int64 list; next : next }
+
+type select = { on : Fieldref.t list; cases : case list; default : next }
+
+type state = {
+  id : string;  (** globally unique vertex id *)
+  header : string;  (** the header declaration this vertex extracts *)
+  offset : int;  (** byte offset of the header in the packet *)
+  select : select option;  (** [None] means accept after extraction *)
+}
+
+type t = {
+  name : string;
+  decls : Hdr.decl list;
+  start : next;
+  states : state list;
+}
+
+val vertex_key : state -> string * int
+(** The [(header_type, offset)] identity used for merging. *)
+
+val find_state : t -> string -> state option
+val decl_for : t -> string -> Hdr.decl option
+
+val validate : t -> (unit, string) result
+(** Checks: every [Goto] target exists, every extracted header has a
+    declaration, select fields belong to already-extractable headers,
+    each successor's offset equals this vertex's offset + header size,
+    and the graph is acyclic. *)
+
+val parse : t -> Bytes.t -> Phv.t -> (int, string) result
+(** Run the parser over a frame, filling the PHV. Returns the number of
+    bytes consumed (the payload starts there). [Error] on [Reject], a
+    truncated packet, or a missing transition. *)
+
+val deparse : order:string list -> Phv.t -> payload:Bytes.t -> Bytes.t
+(** Emit the valid headers among [order] (in that order) followed by the
+    payload. *)
+
+val reachable : t -> string list
+(** State ids reachable from [start], in BFS order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t = { insts : (string, Hdr.inst) Hashtbl.t; mutable order : string list }
+
+let add_decl t (d : Hdr.decl) =
+  match Hashtbl.find_opt t.insts d.Hdr.name with
+  | Some existing ->
+      if not (Hdr.equal_decl (Hdr.decl_of existing) d) then
+        invalid_arg
+          (Printf.sprintf "Phv.add_decl: conflicting declaration for %s"
+             d.Hdr.name)
+  | None ->
+      Hashtbl.replace t.insts d.Hdr.name (Hdr.inst d);
+      t.order <- t.order @ [ d.Hdr.name ]
+
+let create decls =
+  let t = { insts = Hashtbl.create 16; order = [] } in
+  List.iter
+    (fun (d : Hdr.decl) ->
+      if Hashtbl.mem t.insts d.Hdr.name then
+        invalid_arg
+          (Printf.sprintf "Phv.create: duplicate declaration %s" d.Hdr.name)
+      else add_decl t d)
+    decls;
+  t
+
+let decls t = List.map (fun n -> Hdr.decl_of (Hashtbl.find t.insts n)) t.order
+
+let inst t name =
+  match Hashtbl.find_opt t.insts name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let has t name = Hashtbl.mem t.insts name
+let is_valid t name = match Hashtbl.find_opt t.insts name with
+  | Some i -> Hdr.is_valid i
+  | None -> false
+
+let set_valid t name = Hdr.set_valid (inst t name)
+let set_invalid t name = Hdr.set_invalid (inst t name)
+let get t (r : Fieldref.t) = Hdr.get (inst t r.Fieldref.hdr) r.Fieldref.field
+let get_int t r = Bitval.to_int (get t r)
+let set t (r : Fieldref.t) v = Hdr.set (inst t r.Fieldref.hdr) r.Fieldref.field v
+
+let set_int t r v =
+  let w = Hdr.field_width (Hdr.decl_of (inst t r.Fieldref.hdr)) r.Fieldref.field in
+  set t r (Bitval.of_int ~width:w v)
+
+let copy t =
+  let insts = Hashtbl.create (Hashtbl.length t.insts) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace insts k (Hdr.copy v)) t.insts;
+  { insts; order = t.order }
+
+let equal a b =
+  List.length a.order = List.length b.order
+  && List.for_all
+       (fun name ->
+         match Hashtbl.find_opt b.insts name with
+         | Some bi -> Hdr.equal_inst (Hashtbl.find a.insts name) bi
+         | None -> false)
+       a.order
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      let i = Hashtbl.find t.insts name in
+      if Hdr.is_valid i then Format.fprintf ppf "%a@\n" Hdr.pp_inst i)
+    t.order

@@ -1,0 +1,34 @@
+(** The packet header vector: every header instance (and metadata header)
+    a packet carries through a pipeline, addressed by {!Fieldref.t}. *)
+
+type t
+
+val create : Hdr.decl list -> t
+(** Fresh PHV with an invalid instance per declaration. Raises on
+    duplicate declaration names. *)
+
+val add_decl : t -> Hdr.decl -> unit
+(** Add another (invalid) instance; no-op when the same declaration is
+    already present, raises when a different one with the same name is. *)
+
+val decls : t -> Hdr.decl list
+val inst : t -> string -> Hdr.inst
+(** Raises [Not_found]. *)
+
+val has : t -> string -> bool
+val is_valid : t -> string -> bool
+(** [false] when the header is absent entirely. *)
+
+val set_valid : t -> string -> unit
+val set_invalid : t -> string -> unit
+val get : t -> Fieldref.t -> Bitval.t
+(** Raises [Not_found] for unknown header or field. *)
+
+val get_int : t -> Fieldref.t -> int
+val set : t -> Fieldref.t -> Bitval.t -> unit
+val set_int : t -> Fieldref.t -> int -> unit
+(** Resizes to the declared width. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  name : string;
+  decls : Hdr.decl list;
+  parser : Parser_graph.t;
+  tables : Table.t list;
+  registers : Register.t list;
+  control : Control.t;
+  deparse_order : string list;
+}
+
+let make ?(registers = []) ~name ~decls ~parser ~tables ~control ~deparse_order () =
+  let names = List.map Table.name tables in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg (Printf.sprintf "Program.make %s: duplicate table names" name);
+  let rnames = List.map Register.name registers in
+  if List.length (List.sort_uniq String.compare rnames) <> List.length rnames
+  then
+    invalid_arg (Printf.sprintf "Program.make %s: duplicate register names" name);
+  { name; decls; parser; tables; registers; control; deparse_order }
+
+let find_table t name =
+  List.find_opt (fun tbl -> String.equal (Table.name tbl) name) t.tables
+
+let find_register t name =
+  List.find_opt (fun r -> String.equal (Register.name r) name) t.registers
+
+let table_env t name = find_table t name
+let reg_env t name = find_register t name
+
+let registers_referenced t =
+  let of_actions actions =
+    List.concat_map Action.registers_used actions
+  in
+  let from_tables = List.concat_map (fun tbl -> of_actions (Table.actions tbl)) t.tables in
+  let rec from_block block = List.concat_map from_stmt block
+  and from_stmt = function
+    | Control.Run prims -> of_actions [ Action.make "$x" prims ]
+    | Control.Apply _ -> []
+    | Control.Apply_hit (_, a, b) | Control.If (_, a, b) -> from_block a @ from_block b
+    | Control.Apply_switch (_, branches, default) ->
+        List.concat_map (fun (_, blk) -> from_block blk) branches
+        @ from_block default
+    | Control.Label (_, blk) -> from_block blk
+  in
+  List.sort_uniq String.compare (from_tables @ from_block t.control.Control.body)
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = Parser_graph.validate t.parser in
+  let* () = Control.validate (table_env t) t.control in
+  let* () =
+    List.fold_left
+      (fun acc rname ->
+        let* () = acc in
+        if find_register t rname = None then
+          Error
+            (Printf.sprintf "program %s: unknown register %s" t.name rname)
+        else Ok ())
+      (Ok ()) (registers_referenced t)
+  in
+  let declared name =
+    List.exists (fun (d : Hdr.decl) -> String.equal d.Hdr.name name) t.decls
+  in
+  List.fold_left
+    (fun acc name ->
+      let* () = acc in
+      if declared name then Ok ()
+      else
+        Error
+          (Printf.sprintf "program %s: deparse order names unknown header %s"
+             t.name name))
+    (Ok ()) t.deparse_order
+
+let exec_control ?trace t phv =
+  Control.exec ?trace ~regs:(reg_env t) (table_env t) t.control phv
+
+let resources t =
+  let base = Resources.of_control (table_env t) t.control in
+  let reg_srams =
+    List.fold_left (fun acc r -> acc + Register.sram_blocks r) 0 t.registers
+  in
+  { base with Resources.srams = base.Resources.srams + reg_srams }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>// program %s@,%a@,@," t.name Parser_graph.pp t.parser;
+  List.iter (fun r -> Format.fprintf ppf "%a@," Register.pp r) t.registers;
+  List.iter (fun tbl -> Format.fprintf ppf "%a@,@," Table.pp tbl) t.tables;
+  Format.fprintf ppf "%a@]" Control.pp t.control
+
+let empty ~name ~decls ~parser =
+  {
+    name;
+    decls;
+    parser;
+    tables = [];
+    registers = [];
+    control = Control.make (name ^ "_control") [];
+    deparse_order = List.map (fun (d : Hdr.decl) -> d.Hdr.name) decls;
+  }

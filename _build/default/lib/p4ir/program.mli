@@ -1,0 +1,43 @@
+(** A complete pipelet program: parser, tables, control, deparser —
+    what gets loaded onto one ingress or egress pipe. *)
+
+type t = {
+  name : string;
+  decls : Hdr.decl list;
+  parser : Parser_graph.t;
+  tables : Table.t list;
+  registers : Register.t list;
+  control : Control.t;
+  deparse_order : string list;
+}
+
+val make :
+  ?registers:Register.t list ->
+  name:string ->
+  decls:Hdr.decl list ->
+  parser:Parser_graph.t ->
+  tables:Table.t list ->
+  control:Control.t ->
+  deparse_order:string list ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on duplicate table or register names. *)
+
+val table_env : t -> Control.table_env
+val reg_env : t -> Action.reg_env
+val find_table : t -> string -> Table.t option
+val find_register : t -> string -> Register.t option
+val validate : t -> (unit, string) result
+(** Parser validity, control validity (all tables exist), deparse order
+    covers only declared headers, every register primitive references a
+    declared register. *)
+
+val exec_control : ?trace:Control.trace_event list ref -> t -> Phv.t -> unit
+
+val resources : t -> Resources.t
+(** Control demand plus register SRAM. *)
+
+val pp : Format.formatter -> t -> unit
+
+val empty : name:string -> decls:Hdr.decl list -> parser:Parser_graph.t -> t
+(** A pass-through program: no tables, empty control. *)

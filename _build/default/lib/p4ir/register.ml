@@ -1,0 +1,43 @@
+type t = { name : string; width : int; cells : int64 array }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let make ~name ~size ~width =
+  if size < 1 then invalid_arg "Register.make: size must be positive";
+  if width < 1 || width > 64 then
+    invalid_arg "Register.make: width not in 1..64";
+  { name; width; cells = Array.make (next_pow2 size 1) 0L }
+
+let name t = t.name
+let size t = Array.length t.cells
+let width t = t.width
+
+let read t i =
+  if i < 0 || i >= Array.length t.cells then Bitval.zero t.width
+  else Bitval.make ~width:t.width t.cells.(i)
+
+let write t i v =
+  if i >= 0 && i < Array.length t.cells then
+    t.cells.(i) <- Bitval.to_int64 (Bitval.resize v t.width)
+
+let index_mask t = Array.length t.cells - 1
+let clear t = Array.fill t.cells 0 (Array.length t.cells) 0L
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri
+    (fun i c -> if c <> 0L then acc := f i (Bitval.make ~width:t.width c) !acc)
+    t.cells;
+  !acc
+
+let rename t name = { t with name }
+
+(* Matches Resources.sram_block_bits; kept literal to avoid a module
+   cycle (Resources models tables, which use actions, which use
+   registers). *)
+let block_bits = 128 * 1024
+
+let sram_blocks t = max 1 (((size t * t.width) + block_bits - 1) / block_bits)
+
+let pp ppf t =
+  Format.fprintf ppf "register<bit<%d>>[%d] %s" t.width (size t) t.name

@@ -1,0 +1,38 @@
+(** Register arrays — the stateful extern of the RMT architecture.
+    Each register is an array of fixed-width cells living in a stage's
+    SRAM; actions read/modify/write them at line rate, and the control
+    plane can inspect or clear them. *)
+
+type t
+
+val make : name:string -> size:int -> width:int -> t
+(** [size] cells of [width] (1..64) bits each, all zero. *)
+
+val name : t -> string
+val size : t -> int
+val width : t -> int
+
+val read : t -> int -> Bitval.t
+(** Out-of-range indices read as zero (hardware wraps; we saturate to a
+    harmless default and mask the index in {!val-index_mask}). *)
+
+val write : t -> int -> Bitval.t -> unit
+(** Out-of-range writes are dropped. The value is resized to the cell
+    width. *)
+
+val index_mask : t -> int
+(** Registers are sized to powers of two on the chip; indices are
+    masked with [size' - 1] where [size'] is [size] rounded up. Hash
+    outputs are AND-ed with this before access. *)
+
+val clear : t -> unit
+val fold : (int -> Bitval.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over the nonzero cells (control-plane inspection). *)
+
+val rename : t -> string -> t
+(** Same backing cells under a new name (used by composition). *)
+
+val sram_blocks : t -> int
+(** SRAM demand: cells x width over the block size, at least 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+type match_kind = Exact | Ternary | Lpm | Range
+type key = { field : Fieldref.t; kind : match_kind; width : int }
+
+type pattern =
+  | M_exact of Bitval.t
+  | M_ternary of { value : Bitval.t; mask : Bitval.t }
+  | M_lpm of { value : Bitval.t; prefix_len : int }
+  | M_range of { lo : Bitval.t; hi : Bitval.t }
+  | M_any
+
+type entry = {
+  priority : int;
+  patterns : pattern list;
+  action : string;
+  args : Bitval.t list;
+}
+
+type store = { mutable entries : entry list; mutable next_seq : int }
+
+type t = {
+  name : string;
+  keys : key list;
+  actions : Action.t list;
+  default : string * Bitval.t list;
+  max_size : int;
+  store : store;
+  (* Sequence numbers parallel to [store.entries], for stable tie-breaks. *)
+  mutable seqs : (entry * int) list;
+}
+
+let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
+  let dname, dargs = default in
+  (match List.find_opt (fun (a : Action.t) -> String.equal a.Action.name dname) actions with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.make %s: default action %s not declared" name dname)
+  | Some a ->
+      if List.length a.Action.params <> List.length dargs then
+        invalid_arg
+          (Printf.sprintf "Table.make %s: default action %s arity mismatch" name
+             dname));
+  {
+    name;
+    keys;
+    actions;
+    default;
+    max_size;
+    store = { entries = []; next_seq = 0 };
+    seqs = [];
+  }
+
+let name t = t.name
+let keys t = t.keys
+let actions t = t.actions
+let default t = t.default
+let max_size t = t.max_size
+let entries t = t.store.entries
+let size t = List.length t.store.entries
+let rename t name = { t with name }
+
+let find_action t aname =
+  List.find_opt (fun (a : Action.t) -> String.equal a.Action.name aname) t.actions
+
+let pattern_kind_ok kind pattern =
+  match (kind, pattern) with
+  | _, M_any -> true
+  | Exact, M_exact _ -> true
+  | Ternary, (M_exact _ | M_ternary _) -> true
+  | Lpm, (M_exact _ | M_lpm _) -> true
+  | Range, (M_exact _ | M_range _) -> true
+  | (Exact | Ternary | Lpm | Range), _ -> false
+
+let add_entry t entry =
+  if size t >= t.max_size then
+    Error (Printf.sprintf "table %s: capacity %d exceeded" t.name t.max_size)
+  else if List.length entry.patterns <> List.length t.keys then
+    Error
+      (Printf.sprintf "table %s: %d patterns for %d keys" t.name
+         (List.length entry.patterns) (List.length t.keys))
+  else if
+    not (List.for_all2 (fun k p -> pattern_kind_ok k.kind p) t.keys entry.patterns)
+  then Error (Printf.sprintf "table %s: pattern kind mismatch" t.name)
+  else
+    match find_action t entry.action with
+    | None -> Error (Printf.sprintf "table %s: unknown action %s" t.name entry.action)
+    | Some a ->
+        if List.length a.Action.params <> List.length entry.args then
+          Error
+            (Printf.sprintf "table %s: action %s expects %d args, got %d" t.name
+               entry.action
+               (List.length a.Action.params)
+               (List.length entry.args))
+        else begin
+          t.store.entries <- t.store.entries @ [ entry ];
+          t.seqs <- t.seqs @ [ (entry, t.store.next_seq) ];
+          t.store.next_seq <- t.store.next_seq + 1;
+          Ok ()
+        end
+
+let add_entry_exn t entry =
+  match add_entry t entry with Ok () -> () | Error e -> invalid_arg e
+
+let clear t =
+  t.store.entries <- [];
+  t.seqs <- []
+
+let pattern_matches pattern value =
+  match pattern with
+  | M_any -> true
+  | M_exact v -> Bitval.equal_value v value
+  | M_ternary { value = v; mask } ->
+      Bitval.equal_value (Bitval.logand value mask) (Bitval.logand v mask)
+  | M_lpm { value = v; prefix_len } ->
+      let mask = Bitval.mask_of_prefix ~width:(Bitval.width value) prefix_len in
+      Bitval.equal_value (Bitval.logand value mask) (Bitval.logand (Bitval.resize v (Bitval.width value)) mask)
+  | M_range { lo; hi } -> Bitval.le lo value && Bitval.le value hi
+
+let matches entry values =
+  List.for_all2 pattern_matches entry.patterns values
+
+let lpm_len entry =
+  (* Longest prefix across LPM patterns; exact = full width. *)
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | M_lpm { prefix_len; _ } -> acc + prefix_len
+      | M_exact v -> acc + Bitval.width v
+      | M_ternary _ | M_range _ | M_any -> acc)
+    0 entry.patterns
+
+let lookup t phv =
+  let values = List.map (fun k -> Phv.get phv k.field) t.keys in
+  let candidates =
+    List.filter_map
+      (fun (e, seq) -> if matches e values then Some (e, seq) else None)
+      t.seqs
+  in
+  let better (e1, s1) (e2, s2) =
+    if e1.priority <> e2.priority then e1.priority > e2.priority
+    else if lpm_len e1 <> lpm_len e2 then lpm_len e1 > lpm_len e2
+    else s1 < s2
+  in
+  match candidates with
+  | [] -> `Miss
+  | first :: rest ->
+      let best = List.fold_left (fun b c -> if better c b then c else b) first rest in
+      `Hit (fst best)
+
+let apply ?(regs = Action.no_regs) t phv =
+  match lookup t phv with
+  | `Hit entry ->
+      let action = Option.get (find_action t entry.action) in
+      Action.run ~regs action ~args:entry.args phv;
+      (entry.action, true)
+  | `Miss ->
+      let dname, dargs = t.default in
+      let action = Option.get (find_action t dname) in
+      Action.run ~regs action ~args:dargs phv;
+      (dname, false)
+
+let key_bits t = List.fold_left (fun acc k -> acc + k.width) 0 t.keys
+
+let pp ppf t =
+  let kind_str = function
+    | Exact -> "exact"
+    | Ternary -> "ternary"
+    | Lpm -> "lpm"
+    | Range -> "range"
+  in
+  Format.fprintf ppf "@[<v 2>table %s {@,keys = {" t.name;
+  List.iter
+    (fun k -> Format.fprintf ppf " %a:%s;" Fieldref.pp k.field (kind_str k.kind))
+    t.keys;
+  Format.fprintf ppf " }@,actions = {%s}@,default = %s@,size = %d/%d@]@,}"
+    (String.concat "; " (List.map (fun (a : Action.t) -> a.Action.name) t.actions))
+    (fst t.default) (size t) t.max_size

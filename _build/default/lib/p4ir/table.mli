@@ -1,0 +1,67 @@
+(** Match-action tables: the unit a MAU stage executes. *)
+
+type match_kind = Exact | Ternary | Lpm | Range
+
+type key = { field : Fieldref.t; kind : match_kind; width : int }
+
+type pattern =
+  | M_exact of Bitval.t
+  | M_ternary of { value : Bitval.t; mask : Bitval.t }
+  | M_lpm of { value : Bitval.t; prefix_len : int }
+  | M_range of { lo : Bitval.t; hi : Bitval.t }
+  | M_any
+
+type entry = {
+  priority : int;  (** larger wins; LPM entries also rank by prefix length *)
+  patterns : pattern list;
+  action : string;
+  args : Bitval.t list;
+}
+
+type t
+
+val make :
+  name:string ->
+  keys:key list ->
+  actions:Action.t list ->
+  default:string * Bitval.t list ->
+  ?max_size:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when the default action is not among
+    [actions]. [max_size] defaults to 1024. *)
+
+val name : t -> string
+val keys : t -> key list
+val actions : t -> Action.t list
+val default : t -> string * Bitval.t list
+val max_size : t -> int
+val entries : t -> entry list
+val size : t -> int
+val rename : t -> string -> t
+(** Same definition and shared entry store under a new name. *)
+
+val find_action : t -> string -> Action.t option
+
+val add_entry : t -> entry -> (unit, string) result
+(** Validates pattern arity against keys, pattern kind against match kind,
+    action existence and argument arity, and capacity. *)
+
+val add_entry_exn : t -> entry -> unit
+val clear : t -> unit
+
+val matches : entry -> Bitval.t list -> bool
+(** Does the entry match these key values? (Exposed for testing.) *)
+
+val lookup : t -> Phv.t -> [ `Hit of entry | `Miss ]
+(** Highest priority wins; among equal priorities the longest LPM prefix,
+    then earliest insertion. *)
+
+val apply : ?regs:Action.reg_env -> t -> Phv.t -> string * bool
+(** Run the matching entry's action (or the default on miss) against the
+    PHV. Returns [(action_run, hit)]. *)
+
+val key_bits : t -> int
+(** Total match key width in bits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Asic Chain Cluster Compiler Dejavu_core Layout List Net_hdrs Netpkt Nf Nflib Option P4ir Ptf Result Runtime String

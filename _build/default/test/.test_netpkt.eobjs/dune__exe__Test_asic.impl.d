@@ -1,0 +1,1 @@
+test/test_asic.ml: Action Alcotest Asic Bytes Control Dejavu_core Expr Fieldref Hdr List Netpkt P4ir Parser_graph Printf Program Result Table

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Action Alcotest Baseline Dejavu_core Expr Fieldref List Nf Nflib P4ir Printf Result Table

@@ -1,0 +1,1 @@
+test/test_bitval.ml: Alcotest Bitval Fun Int64 List P4ir Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Asic Chain Cluster Dejavu_core Layout List Option P4ir Printf Result Traversal

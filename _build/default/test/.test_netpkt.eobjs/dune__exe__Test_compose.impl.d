@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Asic Compose Dejavu_core Layout List Net_hdrs Nf Nflib Option P4ir Parser_merge Result Sfc_header String

@@ -1,0 +1,1 @@
+test/test_flowsim.ml: Alcotest Asic Dejavu_core List Model Printf

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Asic Chain Compiler Dejavu_core Fun Int64 List Net_hdrs Netpkt Nf Nflib P4ir Placement Printf Ptf Random Result Runtime Sfc_header String

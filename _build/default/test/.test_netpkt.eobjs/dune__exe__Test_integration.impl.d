@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Asic Compiler Dejavu_core List Netpkt Nflib Placement Printf Ptf Result Runtime

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Asic Dejavu_core Model QCheck QCheck_alcotest Traversal

@@ -1,0 +1,1 @@
+test/test_netpkt.ml: Alcotest Bytes Filename Fun Int64 List Netpkt QCheck QCheck_alcotest Random Result String Sys

@@ -1,0 +1,1 @@
+test/test_p4ir.ml: Action Alcotest Bitval Bytes Control Deps Expr Fieldref Gen Hdr List Netpkt P4ir Phv QCheck QCheck_alcotest Resources Result Table

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Bytes Dejavu_core List Netpkt P4ir Parser_graph Phv QCheck QCheck_alcotest Random Result

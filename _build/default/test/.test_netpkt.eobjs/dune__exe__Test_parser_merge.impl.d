@@ -1,0 +1,1 @@
+test/test_parser_merge.ml: Alcotest Dejavu_core Hdr List Net_hdrs Netpkt P4ir Parser_graph Parser_merge Phv Result Sfc_header

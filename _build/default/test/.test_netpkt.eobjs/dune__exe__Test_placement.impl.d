@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Asic Chain Dejavu_core Format Layout List P4ir Placement Printf QCheck QCheck_alcotest Random Result

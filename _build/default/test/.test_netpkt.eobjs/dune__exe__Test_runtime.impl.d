@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Asic Bytes Compiler Dejavu_core List Netpkt Nflib Ptf Result Runtime Sfc_header String

@@ -1,0 +1,1 @@
+test/test_sfc_header.ml: Alcotest Array Bytes Dejavu_core Netpkt P4ir QCheck QCheck_alcotest Result Sfc_header

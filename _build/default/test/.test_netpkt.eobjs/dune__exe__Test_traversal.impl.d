@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Asic Chain Dejavu_core Layout List Printf QCheck QCheck_alcotest Random Traversal

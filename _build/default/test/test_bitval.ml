@@ -1,0 +1,129 @@
+(* Property tests for the width-bounded value algebra. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+let check = Alcotest.check
+
+open P4ir
+
+let gen_width = QCheck.Gen.int_range 1 64
+let gen_val = QCheck.Gen.(map2 (fun w v -> (w, v)) gen_width ui64)
+
+let arb_val =
+  QCheck.make gen_val ~print:(fun (w, v) -> Printf.sprintf "(w=%d, v=%Lu)" w v)
+
+let mask w = if w >= 64 then -1L else Int64.(sub (shift_left 1L w) 1L)
+
+let prop_make_masks =
+  QCheck.Test.make ~name:"make truncates to width" ~count:500 arb_val
+    (fun (w, v) ->
+      Int64.equal (Bitval.to_int64 (Bitval.make ~width:w v)) (Int64.logand v (mask w)))
+
+let prop_add_modular =
+  QCheck.Test.make ~name:"add is modular in the width" ~count:500
+    QCheck.(pair arb_val int64)
+    (fun ((w, a), b) ->
+      let va = Bitval.make ~width:w a and vb = Bitval.make ~width:w b in
+      Int64.equal
+        (Bitval.to_int64 (Bitval.add va vb))
+        (Int64.logand (Int64.add a b) (mask w)))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"(a + b) - b = a" ~count:500
+    QCheck.(pair arb_val int64)
+    (fun ((w, a), b) ->
+      let va = Bitval.make ~width:w a and vb = Bitval.make ~width:w b in
+      Bitval.equal (Bitval.sub (Bitval.add va vb) vb) va)
+
+let prop_lognot_involution =
+  QCheck.Test.make ~name:"lognot twice is identity" ~count:300 arb_val
+    (fun (w, v) ->
+      let x = Bitval.make ~width:w v in
+      Bitval.equal (Bitval.lognot (Bitval.lognot x)) x)
+
+let prop_concat_slice =
+  QCheck.Test.make ~name:"slice inverts concat" ~count:500
+    QCheck.(pair (pair (int_range 1 32) int64) (pair (int_range 1 32) int64))
+    (fun ((wa, a), (wb, b)) ->
+      let va = Bitval.make ~width:wa a and vb = Bitval.make ~width:wb b in
+      let c = Bitval.concat va vb in
+      Bitval.equal (Bitval.slice c ~hi:(wa + wb - 1) ~lo:wb) va
+      && Bitval.equal (Bitval.slice c ~hi:(wb - 1) ~lo:0) vb)
+
+let prop_unsigned_order_total =
+  QCheck.Test.make ~name:"lt is a strict total order" ~count:500
+    QCheck.(pair arb_val int64)
+    (fun ((w, a), b) ->
+      let va = Bitval.make ~width:w a and vb = Bitval.make ~width:w b in
+      let lt = Bitval.lt va vb and gt = Bitval.lt vb va in
+      let eq = Bitval.equal_value va vb in
+      (* Exactly one of lt, gt, eq. *)
+      List.length (List.filter Fun.id [ lt; gt; eq ]) = 1)
+
+let prop_shift_left_mul2 =
+  QCheck.Test.make ~name:"shift_left 1 = add twice" ~count:300 arb_val
+    (fun (w, v) ->
+      let x = Bitval.make ~width:w v in
+      Bitval.equal (Bitval.shift_left x 1) (Bitval.add x x))
+
+let prop_resize_widen_preserves =
+  QCheck.Test.make ~name:"widening resize preserves value" ~count:300
+    QCheck.(pair (int_range 1 32) int64)
+    (fun (w, v) ->
+      let x = Bitval.make ~width:w v in
+      Int64.equal (Bitval.to_int64 (Bitval.resize x 64)) (Bitval.to_int64 x))
+
+let test_width_bounds () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Bitval.make: width 0 not in 1..64") (fun () ->
+      ignore (Bitval.make ~width:0 1L));
+  Alcotest.check_raises "width 65"
+    (Invalid_argument "Bitval.make: width 65 not in 1..64") (fun () ->
+      ignore (Bitval.make ~width:65 1L))
+
+let test_mask_of_prefix () =
+  check Alcotest.int64 "prefix 24 of 32" 0xFFFFFF00L
+    (Bitval.to_int64 (Bitval.mask_of_prefix ~width:32 24));
+  check Alcotest.int64 "prefix 0" 0L
+    (Bitval.to_int64 (Bitval.mask_of_prefix ~width:32 0));
+  check Alcotest.int64 "full prefix" 0xFFFFFFFFL
+    (Bitval.to_int64 (Bitval.mask_of_prefix ~width:32 32))
+
+let test_max_value_unsigned () =
+  let m = Bitval.max_value 64 in
+  Alcotest.(check bool) "max 64-bit compares above 1" true
+    (Bitval.lt (Bitval.one 64) m)
+
+let test_to_bool () =
+  Alcotest.(check bool) "zero is false" false (Bitval.to_bool (Bitval.zero 8));
+  Alcotest.(check bool) "nonzero is true" true (Bitval.to_bool (Bitval.one 8))
+
+let test_width_sensitive_equality () =
+  Alcotest.(check bool) "same value, different widths" false
+    (Bitval.equal (Bitval.of_int ~width:8 5) (Bitval.of_int ~width:16 5));
+  Alcotest.(check bool) "equal_value ignores width" true
+    (Bitval.equal_value (Bitval.of_int ~width:8 5) (Bitval.of_int ~width:16 5))
+
+let () =
+  Alcotest.run "bitval"
+    [
+      ( "algebra",
+        [
+          qtest prop_make_masks;
+          qtest prop_add_modular;
+          qtest prop_sub_inverse;
+          qtest prop_lognot_involution;
+          qtest prop_concat_slice;
+          qtest prop_unsigned_order_total;
+          qtest prop_shift_left_mul2;
+          qtest prop_resize_widen_preserves;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "width bounds" `Quick test_width_bounds;
+          Alcotest.test_case "mask_of_prefix" `Quick test_mask_of_prefix;
+          Alcotest.test_case "unsigned max" `Quick test_max_value_unsigned;
+          Alcotest.test_case "to_bool" `Quick test_to_bool;
+          Alcotest.test_case "width-sensitive equal" `Quick
+            test_width_sensitive_equality;
+        ] );
+    ]

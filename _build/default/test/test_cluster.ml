@@ -1,0 +1,205 @@
+(* Multi-switch clusters (§7): traversal with inter-switch hops,
+   placement of chains too big for one switch, and the latency model's
+   hop accounting. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let spec = Asic.Spec.wedge_100b
+let cluster n = Cluster.make ~spec ~n_switches:n ()
+
+let ing c ~switch ~pipeline =
+  Cluster.pipelet c ~switch ~pipeline ~kind:Asic.Pipelet.Ingress
+
+let eg c ~switch ~pipeline =
+  Cluster.pipelet c ~switch ~pipeline ~kind:Asic.Pipelet.Egress
+
+
+let test_addressing () =
+  let c = cluster 3 in
+  check Alcotest.int "global pipelines" 6 (Cluster.n_global_pipelines c);
+  check Alcotest.int "switch of pipeline 3" 1 (Cluster.switch_of_pipeline c 3);
+  check Alcotest.int "global id" 5
+    (Cluster.global_pipeline c ~switch:2 ~pipeline:1);
+  Alcotest.check_raises "bad switch rejected"
+    (Invalid_argument "Cluster.global_pipeline: bad switch") (fun () ->
+      ignore (Cluster.global_pipeline c ~switch:3 ~pipeline:0))
+
+let test_single_switch_matches_traversal () =
+  (* On a 1-switch cluster, costs must match the single-switch solver. *)
+  let c = cluster 1 in
+  let chain = [ "A"; "B"; "C" ] in
+  let layout =
+    [
+      (ing c ~switch:0 ~pipeline:0, [ Layout.Seq [ "A" ] ]);
+      (eg c ~switch:0 ~pipeline:1, [ Layout.Seq [ "B" ] ]);
+      (ing c ~switch:0 ~pipeline:1, [ Layout.Seq [ "C" ] ]);
+    ]
+  in
+  let cluster_path =
+    Option.get
+      (Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:0 ~exit_pipeline:0
+         chain)
+  in
+  let single_path =
+    Option.get (Traversal.solve spec layout ~entry_pipeline:0 ~exit_port:1 chain)
+  in
+  check Alcotest.int "same recircs" single_path.Traversal.recircs
+    cluster_path.Cluster.recircs;
+  check Alcotest.int "no hops on one switch" 0 cluster_path.Cluster.hops
+
+let test_hop_replaces_recirculation () =
+  (* A-B split so that on one switch it needs a recirc; on two switches
+     the downstream NF can sit on the next switch and ride the cable. *)
+  let chain = [ "A"; "B" ] in
+  (* One switch: A on egress 0, B on ingress 0 -> recirc. *)
+  let c1 = cluster 1 in
+  let layout1 =
+    [
+      (eg c1 ~switch:0 ~pipeline:0, [ Layout.Seq [ "A" ] ]);
+      (ing c1 ~switch:0 ~pipeline:0, [ Layout.Seq [ "B" ] ]);
+    ]
+  in
+  let p1 =
+    Option.get
+      (Cluster.solve c1 layout1 ~entry_pipeline:0 ~exit_switch:0
+         ~exit_pipeline:0 chain)
+  in
+  check Alcotest.int "one switch needs a recirc" 1 p1.Cluster.recircs;
+  (* Two switches: A on switch 0's egress, B on switch 1. *)
+  let c2 = cluster 2 in
+  let layout2 =
+    [
+      (eg c2 ~switch:0 ~pipeline:0, [ Layout.Seq [ "A" ] ]);
+      (ing c2 ~switch:1 ~pipeline:0, [ Layout.Seq [ "B" ] ]);
+    ]
+  in
+  let p2 =
+    Option.get
+      (Cluster.solve c2 layout2 ~entry_pipeline:0 ~exit_switch:1
+         ~exit_pipeline:0 chain)
+  in
+  check Alcotest.int "two switches: no recirc" 0 p2.Cluster.recircs;
+  check Alcotest.int "one cable hop instead" 1 p2.Cluster.hops
+
+let test_no_backward_hops () =
+  (* An NF on switch 0 cannot be reached from switch 1 (unidirectional
+     chain): placing the chain's tail upstream is unroutable. *)
+  let c = cluster 2 in
+  let layout =
+    [
+      (ing c ~switch:1 ~pipeline:0, [ Layout.Seq [ "A" ] ]);
+      (ing c ~switch:0 ~pipeline:0, [ Layout.Seq [ "B" ] ]);
+    ]
+  in
+  check Alcotest.bool "backward chain unroutable" true
+    (Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:0 ~exit_pipeline:0
+       [ "A"; "B" ]
+    = None)
+
+let test_latency_accounts_for_hops () =
+  let c = cluster 2 in
+  let layout =
+    [
+      (eg c ~switch:0 ~pipeline:0, [ Layout.Seq [ "A" ] ]);
+      (ing c ~switch:1 ~pipeline:0, [ Layout.Seq [ "B" ] ]);
+    ]
+  in
+  let p =
+    Option.get
+      (Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:1 ~exit_pipeline:0
+         [ "A"; "B" ])
+  in
+  let lat = Cluster.latency_ns c p in
+  (* Two full switch transits plus the cable. *)
+  check Alcotest.bool "more than one port-to-port" true
+    (lat > Asic.Latency.port_to_port_ns spec);
+  check Alcotest.bool "includes the off-chip hop" true
+    (lat
+    >= (2.0 *. Asic.Latency.port_to_port_ns spec)
+       +. Asic.Latency.recirc_off_chip_ns spec ~cable_m:1.0
+       -. (2.0 *. spec.Asic.Spec.lat.Asic.Spec.mac_serdes_ns)
+       -. 1.0)
+
+(* A chain too big for one switch: 16 NFs of 2 stages each can never fit
+   4 pipelets (2+2*2+... per pipelet caps at ~3 NFs), but a 3-switch
+   cluster takes it with hops instead of recirculation storms. *)
+let big_chain = List.init 16 (fun i -> Printf.sprintf "N%02d" i)
+
+let big_chains =
+  [ Chain.make ~path_id:1 ~name:"big" ~nfs:big_chain ~exit_port:1 () ]
+
+let two_stage _ = { P4ir.Resources.zero with P4ir.Resources.stages = 2 }
+
+let test_greedy_fill_places_big_chain () =
+  let c = cluster 3 in
+  match
+    Cluster.place c ~resources_of:two_stage ~chains:big_chains ~exit_switch:2
+      ~exit_pipeline:0 ~pinned:[] Cluster.Greedy_fill
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (layout, cost) ->
+      check Alcotest.int "all NFs placed" 16 (List.length (Layout.all_nfs layout));
+      (* Forward filling should need hops but few recirculations. *)
+      let path =
+        Option.get
+          (Cluster.solve c layout ~entry_pipeline:0 ~exit_switch:2
+             ~exit_pipeline:0 big_chain)
+      in
+      check Alcotest.int "uses both cables" 2 path.Cluster.hops;
+      (* Forward fill still ping-pongs ingress/egress inside each switch
+         (~2 recirculations per switch); the cables themselves are cheap. *)
+      check Alcotest.bool
+        (Printf.sprintf "cost %.2f bounded by intra-switch ping-pong" cost)
+        true
+        (cost < 5.0)
+
+let test_anneal_not_worse_than_greedy () =
+  let c = cluster 3 in
+  let greedy =
+    Cluster.place c ~resources_of:two_stage ~chains:big_chains ~exit_switch:2
+      ~exit_pipeline:0 ~pinned:[] Cluster.Greedy_fill
+  in
+  let anneal =
+    Cluster.place c ~resources_of:two_stage ~chains:big_chains ~exit_switch:2
+      ~exit_pipeline:0 ~pinned:[]
+      (Cluster.Anneal { iterations = 800; seed = 3 })
+  in
+  match (greedy, anneal) with
+  | Ok (_, g), Ok (_, a) ->
+      check Alcotest.bool
+        (Printf.sprintf "anneal (%.2f) <= greedy (%.2f) + eps" a g)
+        true (a <= g +. 1e-9)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_infeasible_on_single_switch () =
+  (* The same 16-NF chain cannot fit one switch at all. *)
+  let c = cluster 1 in
+  check Alcotest.bool "single switch refuses" true
+    (Result.is_error
+       (Cluster.place c ~resources_of:two_stage ~chains:big_chains
+          ~exit_switch:0 ~exit_pipeline:0 ~pinned:[] Cluster.Greedy_fill))
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "addressing" `Quick test_addressing;
+          Alcotest.test_case "1-switch = single" `Quick
+            test_single_switch_matches_traversal;
+          Alcotest.test_case "hop replaces recirc" `Quick
+            test_hop_replaces_recirculation;
+          Alcotest.test_case "no backward hops" `Quick test_no_backward_hops;
+          Alcotest.test_case "hop latency" `Quick test_latency_accounts_for_hops;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "greedy fill" `Quick test_greedy_fill_places_big_chain;
+          Alcotest.test_case "anneal >= greedy" `Quick
+            test_anneal_not_worse_than_greedy;
+          Alcotest.test_case "single switch infeasible" `Quick
+            test_infeasible_on_single_switch;
+        ] );
+    ]

@@ -1,0 +1,91 @@
+(* The contention simulator must reproduce the §4 feedback-queue
+   analysis (Fig. 8a): measured throughput vs the analytic fixed point. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let close ?(tol = 0.04) a b = abs_float (a -. b) < tol
+
+let test_no_recirc_full_rate () =
+  let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:0) in
+  check Alcotest.bool "k=0 delivers T" true
+    (close s.Asic.Flowsim.throughput_fraction 1.0)
+
+let test_one_recirc_full_rate () =
+  let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:1) in
+  check Alcotest.bool "k=1 delivers T (paper: 1-recirc path has throughput T)"
+    true
+    (close s.Asic.Flowsim.throughput_fraction 1.0)
+
+let test_two_recircs_golden () =
+  let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:2) in
+  (* Paper: 0.38T after the x = 0.62T feedback step. *)
+  check Alcotest.bool
+    (Printf.sprintf "k=2 ~ 0.38T (got %.3f)" s.Asic.Flowsim.throughput_fraction)
+    true
+    (close s.Asic.Flowsim.throughput_fraction (Model.feedback_throughput 2))
+
+let test_three_recircs () =
+  let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:3) in
+  (* Paper: 0.16T. *)
+  check Alcotest.bool
+    (Printf.sprintf "k=3 ~ 0.16T (got %.3f)" s.Asic.Flowsim.throughput_fraction)
+    true
+    (close s.Asic.Flowsim.throughput_fraction (Model.feedback_throughput 3))
+
+let test_sweep_monotone_decreasing () =
+  let sweep = Asic.Flowsim.sweep [ 1; 2; 3; 4; 5 ] in
+  let fractions = List.map (fun (_, s) -> s.Asic.Flowsim.throughput_fraction) sweep in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 0.01 && decreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "throughput decreases with recirculations" true
+    (decreasing fractions);
+  (* Super-linear: the drop from 1->3 recircs exceeds the linear 2/3 cut. *)
+  let at k = List.assoc k (List.map (fun (k, s) -> (k, s.Asic.Flowsim.throughput_fraction)) sweep) in
+  check Alcotest.bool "super-linear degradation" true (at 3 < at 1 /. 3.0)
+
+let test_sim_matches_model_within_tolerance () =
+  List.iter
+    (fun k ->
+      let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:k) in
+      let predicted = Model.feedback_throughput k in
+      check Alcotest.bool
+        (Printf.sprintf "k=%d: sim %.3f vs model %.3f" k
+           s.Asic.Flowsim.throughput_fraction predicted)
+        true
+        (close ~tol:0.05 s.Asic.Flowsim.throughput_fraction predicted))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_accounting_consistent () =
+  let s = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:2) in
+  check Alcotest.bool "delivered + dropped <= offered (plus warmup carryover)"
+    true
+    (s.Asic.Flowsim.delivered + s.Asic.Flowsim.dropped
+    <= s.Asic.Flowsim.offered + 2 * (Asic.Flowsim.default ~n_recircs:2).Asic.Flowsim.buffer_pkts
+       + (Asic.Flowsim.default ~n_recircs:2).Asic.Flowsim.pkts_per_slot * 2)
+
+let test_deterministic () =
+  let a = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:2) in
+  let b = Asic.Flowsim.run (Asic.Flowsim.default ~n_recircs:2) in
+  check Alcotest.int "same seed, same result" a.Asic.Flowsim.delivered
+    b.Asic.Flowsim.delivered
+
+let () =
+  Alcotest.run "flowsim"
+    [
+      ( "throughput",
+        [
+          Alcotest.test_case "k=0" `Quick test_no_recirc_full_rate;
+          Alcotest.test_case "k=1" `Quick test_one_recirc_full_rate;
+          Alcotest.test_case "k=2 golden" `Quick test_two_recircs_golden;
+          Alcotest.test_case "k=3" `Quick test_three_recircs;
+          Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone_decreasing;
+          Alcotest.test_case "sim vs model" `Quick
+            test_sim_matches_model_within_tolerance;
+          Alcotest.test_case "accounting" `Quick test_accounting_consistent;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+    ]

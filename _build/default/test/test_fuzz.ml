@@ -1,0 +1,207 @@
+(* End-to-end fuzz: random service chains of synthetic NFs are compiled
+   onto the chip and exercised with packets. Each synthetic NF folds its
+   id into an order-sensitive accumulator carried in the SFC context
+   data; a terminal probe NF copies the accumulator into the source MAC
+   so it survives the SFC strip. If composition, placement, branching,
+   recirculation or the parser merge reorders, skips or duplicates any
+   NF, the signature breaks. *)
+
+open Dejavu_core
+
+
+let ip = Netpkt.Ip4.of_string_exn
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+
+let acc_field = Sfc_header.ctx_val 1
+
+(* acc <- acc * 7 + tag, in 16 bits. *)
+let stamp_nf ~name ~tag () =
+  Nf.make ~name
+    ~description:(Printf.sprintf "synthetic stamp NF (tag %d)" tag)
+    ~parser:(Net_hdrs.base_parser ~name ())
+    ~tables:[]
+    ~body:
+      [
+        P4ir.Control.Run
+          [
+            P4ir.Action.Assign
+              ( acc_field,
+                P4ir.Expr.(
+                  Bin
+                    ( Add,
+                      Bin (Mul, Field acc_field, const ~width:16 7),
+                      const ~width:16 tag )) );
+          ];
+      ]
+    ()
+
+(* Copies the accumulator into eth.src so the assertion survives the
+   SFC strip on the exit pass. *)
+let probe_nf () =
+  Nf.make ~name:"probe" ~description:"copies the accumulator into eth.src"
+    ~parser:(Net_hdrs.base_parser ~name:"probe" ())
+    ~tables:[]
+    ~body:
+      [
+        P4ir.Control.Run
+          [ P4ir.Action.Assign (Net_hdrs.eth_src, P4ir.Expr.Field acc_field) ];
+      ]
+    ()
+
+let expected_signature tags =
+  List.fold_left (fun acc tag -> ((acc * 7) + tag) land 0xFFFF) 0 tags
+
+let n_synthetic = 5
+
+(* The classifier's rules vary per deployment while the registry entry
+   stays a stable constructor. *)
+let classifier_rules : Nflib.Classifier.rule list ref = ref []
+let classifier_create () = Nflib.Classifier.create !classifier_rules ()
+
+let registry () : Nf.registry =
+  ("classifier", classifier_create)
+  :: ("probe", probe_nf)
+  :: List.init n_synthetic (fun i ->
+         let name = Printf.sprintf "s%d" i in
+         (name, stamp_nf ~name ~tag:(i + 1)))
+
+let classifier_rules_for_paths paths =
+  List.map
+    (fun (path_id, last_octet) ->
+      {
+        Nflib.Classifier.dst_prefix =
+          pfx (Printf.sprintf "10.9.%d.0/24" last_octet);
+        proto = None;
+        path_id;
+        tenant = path_id;
+      })
+    paths
+
+let deployment ~seed ~n_chains ~strategy =
+  let st = Random.State.make [| seed |] in
+  let chains_spec =
+    List.init n_chains (fun c ->
+        (* A random non-empty subset of the synthetic NFs, shuffled. *)
+        let members =
+          List.filteri
+            (fun _ _ -> Random.State.bool st)
+            (List.init n_synthetic Fun.id)
+        in
+        let members = if members = [] then [ 0 ] else members in
+        let shuffled =
+          List.map snd
+            (List.sort compare
+               (List.map (fun i -> (Random.State.bits st, i)) members))
+        in
+        (c + 1, shuffled))
+  in
+  classifier_rules :=
+    classifier_rules_for_paths
+      (List.map (fun (pid, _) -> (pid, pid)) chains_spec);
+  let chains =
+    List.map
+      (fun (pid, members) ->
+        Chain.make ~path_id:pid ~name:(Printf.sprintf "c%d" pid)
+          ~nfs:
+            ([ "classifier" ]
+            @ List.map (fun i -> Printf.sprintf "s%d" i) members
+            @ [ "probe" ])
+          ~weight:1.0 ~exit_port:1 ())
+      chains_spec
+  in
+  let input =
+    Compiler.default_input ~registry:(registry ()) ~chains ~strategy ()
+  in
+  (chains_spec, Compiler.compile input)
+
+let run_deployment ~seed ~n_chains ~strategy =
+  match deployment ~seed ~n_chains ~strategy with
+  | _, Error e -> Error (Printf.sprintf "seed %d: compile: %s" seed e)
+  | chains_spec, Ok compiled ->
+      let rt = Runtime.create compiled in
+      List.fold_left
+        (fun acc (pid, members) ->
+          Result.bind acc (fun () ->
+              let pkt =
+                Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:aa")
+                  ~dst_mac:(mac "02:00:00:00:00:bb")
+                  {
+                    Netpkt.Flow.src = ip "203.0.113.1";
+                    dst = ip (Printf.sprintf "10.9.%d.33" pid);
+                    proto = Netpkt.Ipv4.proto_tcp;
+                    src_port = 4321;
+                    dst_port = 80;
+                  }
+              in
+              match Ptf.send rt ~in_port:0 pkt with
+              | Error e -> Error (Printf.sprintf "seed %d chain %d: %s" seed pid e)
+              | Ok o -> (
+                  match (o.Ptf.runtime.Runtime.verdict, o.Ptf.decoded) with
+                  | Asic.Chip.Emitted { port = 1; _ }, Some layers -> (
+                      match Netpkt.Pkt.find_eth layers with
+                      | Some e ->
+                          let got = Int64.to_int (Netpkt.Mac.to_int64 e.Netpkt.Eth.src) in
+                          let want =
+                            expected_signature (List.map (fun i -> i + 1) members)
+                          in
+                          if got = want then Ok ()
+                          else
+                            Error
+                              (Printf.sprintf
+                                 "seed %d chain %d: signature %d, expected %d \
+                                  (order %s)"
+                                 seed pid got want
+                                 (String.concat ","
+                                    (List.map string_of_int members)))
+                      | None -> Error "no eth in output")
+                  | v, _ ->
+                      Error
+                        (Printf.sprintf "seed %d chain %d: unexpected verdict %s"
+                           seed pid
+                           (match v with
+                           | Asic.Chip.Emitted { port; _ } ->
+                               Printf.sprintf "emitted on %d" port
+                           | Asic.Chip.Dropped -> "dropped"
+                           | Asic.Chip.To_cpu _ -> "to_cpu")))))
+        (Ok ()) chains_spec
+
+let strategies =
+  [ Placement.Greedy; Placement.default_anneal; Placement.Exhaustive ]
+
+let test_fuzz_deployments () =
+  let failures = ref [] in
+  List.iteri
+    (fun i strategy ->
+      List.iter
+        (fun seed ->
+          match run_deployment ~seed:(seed + (100 * i)) ~n_chains:2 ~strategy with
+          | Ok () -> ()
+          | Error e -> failures := e :: !failures)
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    strategies;
+  match !failures with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "\n" fs)
+
+let test_fuzz_three_chains () =
+  List.iter
+    (fun seed ->
+      match
+        run_deployment ~seed ~n_chains:3 ~strategy:Placement.default_anneal
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ 11; 22; 33; 44 ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "end_to_end",
+        [
+          Alcotest.test_case "random chains x strategies" `Slow
+            test_fuzz_deployments;
+          Alcotest.test_case "three-chain deployments" `Slow
+            test_fuzz_three_chains;
+        ] );
+    ]

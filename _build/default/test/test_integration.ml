@@ -1,0 +1,409 @@
+(* §5-style functional validation with the packet test framework: the
+   full edge-cloud deployment is compiled onto the modeled Tofino and
+   every SFC path is exercised with input/output packet checks —
+   under every placement strategy. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let ip = Netpkt.Ip4.of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+
+let exit_port = 1
+
+let build strategy =
+  let input = Nflib.Catalog.edge_cloud_input ~strategy ~exit_port () in
+  match Compiler.compile input with
+  | Error e -> Alcotest.fail ("compile: " ^ e)
+  | Ok compiled ->
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      (compiled, rt)
+
+let flow ~src ~dst ?(proto = Netpkt.Ipv4.proto_tcp) ?(src_port = 40000)
+    ?(dst_port = 80) () =
+  { Netpkt.Flow.src = ip src; dst; proto; src_port; dst_port }
+
+let pkt ?(ttl = 64) f =
+  match
+    Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:aa:00:00:00:01")
+      ~dst_mac:(mac "02:00:00:00:00:fe") f
+  with
+  | Netpkt.Pkt.Eth e :: Netpkt.Pkt.Ipv4 h :: rest ->
+      Netpkt.Pkt.Eth e :: Netpkt.Pkt.Ipv4 { h with Netpkt.Ipv4.ttl } :: rest
+  | other -> other
+
+let router_nexthop_mac = mac "02:00:0a:00:00:01"
+
+let expect_ipv4 f layers =
+  match Netpkt.Pkt.find_ipv4 layers with
+  | Some h -> f h
+  | None -> Error "no ipv4 layer in output"
+
+let no_sfc layers =
+  if List.exists (function Netpkt.Pkt.Sfc_raw _ -> true | _ -> false) layers
+  then Error "SFC header not stripped on exit"
+  else Ok ()
+
+let vlan_tag expected layers =
+  match List.find_map (function Netpkt.Pkt.Vlan v -> Some v | _ -> None) layers with
+  | Some v when v.Netpkt.Vlan.vid = expected -> Ok ()
+  | Some v -> Error (Printf.sprintf "vid %d, expected %d" v.Netpkt.Vlan.vid expected)
+  | None -> Error "no vlan tag"
+
+let no_vlan layers =
+  if List.exists (function Netpkt.Pkt.Vlan _ -> true | _ -> false) layers then
+    Error "unexpected vlan tag"
+  else Ok ()
+
+let ( >=> ) f g layers = Result.bind (f layers) (fun () -> g layers)
+
+let routed layers =
+  expect_ipv4
+    (fun h ->
+      if h.Netpkt.Ipv4.ttl = 63 then Ok ()
+      else Error (Printf.sprintf "ttl %d, expected 63" h.Netpkt.Ipv4.ttl))
+    layers
+  |> fun r ->
+  Result.bind r (fun () ->
+      match Netpkt.Pkt.find_eth layers with
+      | Some e when Netpkt.Mac.equal e.Netpkt.Eth.dst router_nexthop_mac -> Ok ()
+      | Some e ->
+          Error
+            (Printf.sprintf "dst mac %s not rewritten"
+               (Netpkt.Mac.to_string e.Netpkt.Eth.dst))
+      | None -> Error "no eth")
+
+let strategies =
+  [
+    ("exhaustive", Placement.Exhaustive);
+    ("greedy", Placement.Greedy);
+    ("anneal", Placement.default_anneal);
+    ("naive", Placement.Naive);
+  ]
+
+let for_each_strategy f () =
+  List.iter
+    (fun (name, strategy) ->
+      let compiled, rt = build strategy in
+      f name compiled rt)
+    strategies
+
+(* Green path: classifier -> router. *)
+let test_green_path =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.5" ~dst:(ip "10.0.3.77") ()))
+          ~expect:(Ptf.Emitted_on exit_port)
+          ~check:(no_sfc >=> no_vlan >=> routed)
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/green: " ^ e))
+
+(* Orange path: classifier -> vgw -> router (tenant 2, vid 102). *)
+let test_orange_path =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.6" ~dst:(ip "10.0.2.14") ()))
+          ~expect:(Ptf.Emitted_on exit_port)
+          ~check:(no_sfc >=> vlan_tag 102 >=> routed)
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/orange: " ^ e))
+
+(* Red path: classifier -> fw -> vgw -> lb -> router. *)
+let test_red_path =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.7" ~dst:Nflib.Catalog.tenant1_vip ()))
+          ~expect:(Ptf.Emitted_on exit_port)
+          ~check:
+            (no_sfc >=> vlan_tag 101 >=> routed
+            >=> expect_ipv4 (fun h ->
+                    if
+                      List.exists
+                        (Netpkt.Ip4.equal h.Netpkt.Ipv4.dst)
+                        Nflib.Catalog.tenant1_backends
+                    then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf "dst %s is not a backend"
+                           (Netpkt.Ip4.to_string h.Netpkt.Ipv4.dst))))
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/red: " ^ e))
+
+(* The firewall blocks the blocklisted subnet on the red path only. *)
+let test_firewall_blocks =
+  for_each_strategy (fun name _ rt ->
+      (match
+         Ptf.send_expect rt ~in_port:0
+           (pkt (flow ~src:"198.51.100.9" ~dst:Nflib.Catalog.tenant1_vip ()))
+           ~expect:Ptf.Dropped ()
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/blocked: " ^ e));
+      (* The same source on the green path (no firewall) passes. *)
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"198.51.100.9" ~dst:(ip "10.0.3.1") ()))
+          ~expect:(Ptf.Emitted_on exit_port) ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/green-not-filtered: " ^ e))
+
+let test_telnet_blocked =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.8" ~dst:Nflib.Catalog.tenant1_vip ~dst_port:23 ()))
+          ~expect:Ptf.Dropped ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/telnet: " ^ e))
+
+let test_ttl_expiry_dropped =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt ~ttl:1 (flow ~src:"203.0.113.5" ~dst:(ip "10.0.3.77") ()))
+          ~expect:Ptf.Dropped ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/ttl: " ^ e))
+
+let test_unclassified_to_cpu =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.5" ~dst:(ip "192.0.2.200") ()))
+          ~expect:Ptf.To_cpu ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/unclassified: " ^ e))
+
+(* UDP traffic takes the same paths. *)
+let test_udp_on_orange =
+  for_each_strategy (fun name _ rt ->
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt
+             (flow ~src:"203.0.113.6" ~dst:(ip "10.0.2.30")
+                ~proto:Netpkt.Ipv4.proto_udp ~dst_port:53 ()))
+          ~expect:(Ptf.Emitted_on exit_port)
+          ~check:(no_sfc >=> vlan_tag 102)
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/udp: " ^ e))
+
+(* Payload integrity across the whole chain. *)
+let test_payload_preserved =
+  for_each_strategy (fun name _ rt ->
+      let payload = "dejavu-payload-0123456789" in
+      let p =
+        match pkt (flow ~src:"203.0.113.5" ~dst:(ip "10.0.3.77") ()) with
+        | layers -> layers @ [ Netpkt.Pkt.Payload payload ]
+      in
+      match
+        Ptf.send_expect rt ~in_port:0 p ~expect:(Ptf.Emitted_on exit_port)
+          ~check:(fun layers ->
+            if
+              List.exists
+                (function Netpkt.Pkt.Payload s -> s = payload | _ -> false)
+                layers
+            then Ok ()
+            else Error "payload lost or corrupted")
+          ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (name ^ "/payload: " ^ e))
+
+(* The compiled deployment respects the §5 capacity setup and reports
+   sane Table-1-style numbers. *)
+let test_report_sanity () =
+  let compiled, _ = build Placement.Exhaustive in
+  let rows = Compiler.framework_report compiled in
+  let pct name =
+    (List.find (fun (r : Compiler.report_row) -> r.Compiler.resource = name) rows)
+      .Compiler.pct
+  in
+  check Alcotest.bool "stage overhead is the dominant cost (paper: 20.8%)" true
+    (pct "Stages" > 5.0 && pct "Stages" < 40.0);
+  check Alcotest.bool "TCAM overhead is zero (paper: 0%)" true (pct "TCAM" = 0.0);
+  check Alcotest.bool "SRAM overhead is tiny (paper: 0.2%)" true (pct "SRAM" < 2.0);
+  check Alcotest.bool "table-id overhead is small (paper: 4.2%)" true
+    (pct "Table IDs" < 10.0);
+  List.iter
+    (fun (r : Compiler.report_row) ->
+      check Alcotest.bool (r.Compiler.resource ^ " within capacity") true
+        (r.Compiler.pct >= 0.0 && r.Compiler.pct <= 100.0))
+    rows
+
+let test_objective_zero_recircs_feasible () =
+  (* The Fig. 2 policy fits this chip without recirculation when placed
+     optimally. *)
+  let compiled, _ = build Placement.Exhaustive in
+  check Alcotest.bool "objective small" true (compiled.Compiler.objective <= 1.0)
+
+let test_mirroring_to_analysis_port () =
+  let input =
+    {
+      (Nflib.Catalog.edge_cloud_input ~strategy:Placement.Greedy ~exit_port
+         ~extended:true ())
+      with
+      Compiler.mirror_port = Some 7;
+    }
+  in
+  match Compiler.compile input with
+  | Error e -> Alcotest.fail e
+  | Ok compiled -> (
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      (* The monitoring chain's tap sets the mirror flag. *)
+      match
+        Ptf.send rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.9" ~dst:(ip "10.0.4.50") ()))
+      with
+      | Error e -> Alcotest.fail e
+      | Ok o ->
+          check Alcotest.bool "a copy reached the analysis port" true
+            (List.exists (fun (p, _) -> p = 7) o.Ptf.runtime.Runtime.mirrored);
+          (* Untapped traffic produces no copies. *)
+          let o2 =
+            Result.get_ok
+              (Ptf.send rt ~in_port:0
+                 (pkt (flow ~src:"203.0.113.9" ~dst:(ip "10.0.3.50") ())))
+          in
+          check Alcotest.int "no copies for untapped traffic" 0
+            (List.length o2.Ptf.runtime.Runtime.mirrored))
+
+let test_extended_chains_compile () =
+  let input =
+    Nflib.Catalog.edge_cloud_input ~strategy:Placement.default_anneal ~exit_port
+      ~extended:true ()
+  in
+  match Compiler.compile input with
+  | Error e -> Alcotest.fail e
+  | Ok compiled ->
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      (* The monitoring chain: tapped and DSCP-marked. *)
+      (match
+         Ptf.send_expect rt ~in_port:0
+           (pkt (flow ~src:"203.0.113.9" ~dst:(ip "10.0.4.50") ()))
+           ~expect:(Ptf.Emitted_on exit_port)
+           ~check:
+             (no_sfc
+             >=> expect_ipv4 (fun h ->
+                     if h.Netpkt.Ipv4.dscp = 18 then Ok ()
+                     else Error (Printf.sprintf "dscp %d" h.Netpkt.Ipv4.dscp)))
+           ()
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("monitor: " ^ e));
+      (* The original three paths still work. *)
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.9" ~dst:(ip "10.0.3.50") ()))
+          ~expect:(Ptf.Emitted_on exit_port) ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("green-with-extended: " ^ e)
+
+let test_multiple_input_ports () =
+  let _, rt = build Placement.Exhaustive in
+  List.iter
+    (fun in_port ->
+      match
+        Ptf.send_expect rt ~in_port
+          (pkt (flow ~src:"203.0.113.5" ~dst:(ip "10.0.3.77") ()))
+          ~expect:(Ptf.Emitted_on exit_port) ()
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "port %d: %s" in_port e))
+    [ 0; 2; 7; 15 ]
+
+(* Regression: when the punting NF sits on a pipelet the nominal path
+   reaches only mid-pass, the reinjected packet's (path, index) state
+   needs its own branching entries (the "resume" entries). Pin the LB to
+   egress 1 to force the awkward placement. *)
+let test_cpu_resume_with_lb_on_far_egress () =
+  let input =
+    {
+      (Nflib.Catalog.edge_cloud_input ~strategy:Placement.Greedy ~exit_port ())
+      with
+      Compiler.pinned =
+        [ ("lb", { Asic.Pipelet.pipeline = 1; kind = Asic.Pipelet.Egress }) ];
+    }
+  in
+  match Compiler.compile input with
+  | Error e -> Alcotest.fail e
+  | Ok compiled -> (
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      match
+        Ptf.send_expect rt ~in_port:0
+          (pkt (flow ~src:"203.0.113.40" ~dst:Nflib.Catalog.tenant1_vip ()))
+          ~expect:(Ptf.Emitted_on exit_port)
+          ~check:
+            (expect_ipv4 (fun h ->
+                 if
+                   List.exists
+                     (Netpkt.Ip4.equal h.Netpkt.Ipv4.dst)
+                     Nflib.Catalog.tenant1_backends
+                 then Ok ()
+                 else Error "not load balanced"))
+          ()
+      with
+      | Ok o ->
+          check Alcotest.int "one CPU round trip" 1
+            o.Ptf.runtime.Runtime.cpu_round_trips
+      | Error e -> Alcotest.fail e)
+
+let test_loopback_ports_refuse_traffic () =
+  let compiled, _ = build Placement.Exhaustive in
+  (* Pipeline 1's ports are loopback in the §5 setup. *)
+  check Alcotest.bool "port 16 refuses external traffic" true
+    (Result.is_error
+       (Asic.Chip.inject compiled.Compiler.chip ~in_port:16
+          (Netpkt.Pkt.encode (pkt (flow ~src:"1.1.1.1" ~dst:(ip "10.0.3.1") ())))))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paths",
+        [
+          Alcotest.test_case "green" `Quick test_green_path;
+          Alcotest.test_case "orange" `Quick test_orange_path;
+          Alcotest.test_case "red" `Quick test_red_path;
+          Alcotest.test_case "udp orange" `Quick test_udp_on_orange;
+          Alcotest.test_case "payload integrity" `Quick test_payload_preserved;
+          Alcotest.test_case "multiple input ports" `Quick test_multiple_input_ports;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "firewall blocks" `Quick test_firewall_blocks;
+          Alcotest.test_case "telnet blocked" `Quick test_telnet_blocked;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry_dropped;
+          Alcotest.test_case "unclassified to cpu" `Quick test_unclassified_to_cpu;
+          Alcotest.test_case "loopback ports closed" `Quick
+            test_loopback_ports_refuse_traffic;
+          Alcotest.test_case "cpu resume, lb on far egress" `Quick
+            test_cpu_resume_with_lb_on_far_egress;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "report sanity" `Quick test_report_sanity;
+          Alcotest.test_case "objective" `Quick test_objective_zero_recircs_feasible;
+          Alcotest.test_case "extended chains" `Quick test_extended_chains_compile;
+          Alcotest.test_case "mirroring" `Quick test_mirroring_to_analysis_port;
+        ] );
+    ]

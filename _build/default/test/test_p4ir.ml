@@ -1,0 +1,555 @@
+(* Tests for headers, PHVs, expressions, actions, tables, controls,
+   dependency analysis and resource estimation. *)
+
+open P4ir
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let meta = Hdr.decl "m" [ ("a", 8); ("b", 16); ("c", 32) ]
+let fr h f = Fieldref.v h f
+let bv w v = Bitval.of_int ~width:w v
+
+let fresh_phv () =
+  let phv = Phv.create [ meta ] in
+  Phv.set_valid phv "m";
+  phv
+
+(* --- Hdr / Phv --- *)
+
+let test_decl_validation () =
+  Alcotest.check_raises "duplicate fields"
+    (Invalid_argument "Hdr.decl x: duplicate field a") (fun () ->
+      ignore (Hdr.decl "x" [ ("a", 8); ("a", 4) ]));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Hdr.decl x: field f width 65 not in 1..64") (fun () ->
+      ignore (Hdr.decl "x" [ ("f", 65) ]))
+
+let test_hdr_extract_emit_roundtrip () =
+  let d = Hdr.decl "h" [ ("x", 4); ("y", 12); ("z", 16) ] in
+  let i = Hdr.inst d in
+  let b = Bytes.of_string "\xAB\xCD\xEF\x01" in
+  Hdr.extract i b ~bit_off:0;
+  check Alcotest.int "x" 0xA (Bitval.to_int (Hdr.get i "x"));
+  check Alcotest.int "y" 0xBCD (Bitval.to_int (Hdr.get i "y"));
+  check Alcotest.int "z" 0xEF01 (Bitval.to_int (Hdr.get i "z"));
+  let out = Bytes.make 4 '\000' in
+  Hdr.emit i out ~bit_off:0;
+  check Alcotest.bytes "emit inverts extract" b out
+
+let test_hdr_set_resizes () =
+  let d = Hdr.decl "h" [ ("x", 4) ] in
+  let i = Hdr.inst d in
+  Hdr.set i "x" (bv 32 0xFFF);
+  check Alcotest.int "truncated to field width" 0xF (Bitval.to_int (Hdr.get i "x"))
+
+let test_phv_validity () =
+  let phv = Phv.create [ meta ] in
+  check Alcotest.bool "starts invalid" false (Phv.is_valid phv "m");
+  Phv.set_valid phv "m";
+  check Alcotest.bool "set_valid" true (Phv.is_valid phv "m");
+  check Alcotest.bool "absent header invalid" false (Phv.is_valid phv "nope")
+
+let test_phv_copy_isolated () =
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 7;
+  let copy = Phv.copy phv in
+  Phv.set_int copy (fr "m" "a") 9;
+  check Alcotest.int "original unchanged" 7 (Phv.get_int phv (fr "m" "a"));
+  check Alcotest.int "copy changed" 9 (Phv.get_int copy (fr "m" "a"))
+
+let test_phv_conflicting_decl () =
+  let phv = Phv.create [ meta ] in
+  Alcotest.check_raises "conflicting decl"
+    (Invalid_argument "Phv.add_decl: conflicting declaration for m") (fun () ->
+      Phv.add_decl phv (Hdr.decl "m" [ ("other", 8) ]))
+
+(* --- Expr --- *)
+
+let eval phv e = Expr.eval { Expr.phv; params = [] } e
+
+let test_expr_arith () =
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 200;
+  let e = Expr.(Field (fr "m" "a") + const ~width:8 100) in
+  check Alcotest.int "8-bit wraparound" 44 (Bitval.to_int (eval phv e))
+
+let test_expr_comparisons () =
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "b") 1000;
+  let t e = Bitval.to_bool (eval phv e) in
+  check Alcotest.bool "eq" true Expr.(t (Field (fr "m" "b") = const ~width:16 1000));
+  check Alcotest.bool "lt" true Expr.(t (Field (fr "m" "b") < const ~width:16 2000));
+  check Alcotest.bool "land" true
+    Expr.(
+      t
+        (Bin
+           ( LAnd,
+             Field (fr "m" "b") = const ~width:16 1000,
+             Un (LNot, Field (fr "m" "b") < const ~width:16 5) )))
+
+let test_expr_valid_bit () =
+  let phv = Phv.create [ meta ] in
+  check Alcotest.bool "invalid header" false
+    (Bitval.to_bool (eval phv (Expr.Valid "m")));
+  Phv.set_valid phv "m";
+  check Alcotest.bool "valid header" true
+    (Bitval.to_bool (eval phv (Expr.Valid "m")))
+
+let test_expr_hash_matches_crc32 () =
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "c") 0x31323334;
+  let e = Expr.Hash (Expr.Crc32, 32, [ Expr.Field (fr "m" "c") ]) in
+  let expected = Netpkt.Bytes_util.crc32 (Bytes.of_string "1234") ~off:0 ~len:4 in
+  check Alcotest.int64 "hash = crc32 of serialized fields" expected
+    (Bitval.to_int64 (eval phv e))
+
+let test_expr_unbound_param () =
+  let phv = fresh_phv () in
+  Alcotest.check_raises "unbound param"
+    (Invalid_argument "Expr.eval: unbound param nope") (fun () ->
+      ignore (eval phv (Expr.Param "nope")))
+
+let test_expr_reads () =
+  let e =
+    Expr.(Bin (Add, Field (fr "m" "a"), Bin (Mul, Field (fr "m" "b"), Valid "m")))
+  in
+  let reads = Expr.reads e in
+  check Alcotest.int "three reads" 3 (Fieldref.Set.cardinal reads);
+  check Alcotest.bool "validity pseudo-field" true
+    (Fieldref.Set.mem (fr "m" "$valid") reads)
+
+(* --- Action --- *)
+
+let test_action_params () =
+  let a =
+    Action.make "set_a" ~params:[ ("v", 8) ]
+      [ Action.Assign (fr "m" "a", Expr.Param "v") ]
+  in
+  let phv = fresh_phv () in
+  Action.run a ~args:[ bv 8 42 ] phv;
+  check Alcotest.int "param applied" 42 (Phv.get_int phv (fr "m" "a"));
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Action.run set_a: expected 1 args, got 0") (fun () ->
+      Action.run a ~args:[] phv)
+
+let test_action_read_write_sets () =
+  let a =
+    Action.make "mix"
+      [
+        Action.Assign (fr "m" "a", Expr.Field (fr "m" "b"));
+        Action.Set_invalid "m";
+      ]
+  in
+  check Alcotest.bool "reads b" true (Fieldref.Set.mem (fr "m" "b") (Action.reads a));
+  check Alcotest.bool "writes a" true (Fieldref.Set.mem (fr "m" "a") (Action.writes a));
+  check Alcotest.bool "writes validity" true
+    (Fieldref.Set.mem (fr "m" "$valid") (Action.writes a))
+
+(* --- Table --- *)
+
+let mk_table ?(keys = [ { Table.field = fr "m" "a"; kind = Table.Exact; width = 8 } ])
+    ?(max_size = 16) () =
+  let set_b =
+    Action.make "set_b" ~params:[ ("v", 16) ]
+      [ Action.Assign (fr "m" "b", Expr.Param "v") ]
+  in
+  Table.make ~name:"t" ~keys
+    ~actions:[ set_b; Action.no_op ]
+    ~default:("NoAction", []) ~max_size ()
+
+let test_table_exact_hit_miss () =
+  let t = mk_table () in
+  Table.add_entry_exn t
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 5) ];
+      action = "set_b"; args = [ bv 16 77 ] };
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 5;
+  let action, hit = Table.apply t phv in
+  check Alcotest.string "hit action" "set_b" action;
+  check Alcotest.bool "hit" true hit;
+  check Alcotest.int "action effect" 77 (Phv.get_int phv (fr "m" "b"));
+  Phv.set_int phv (fr "m" "a") 6;
+  let action, hit = Table.apply t phv in
+  check Alcotest.string "miss action" "NoAction" action;
+  check Alcotest.bool "miss" false hit
+
+let test_table_priority () =
+  let t =
+    mk_table ~keys:[ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ] ()
+  in
+  Table.add_entry_exn t
+    { Table.priority = 1; patterns = [ Table.M_any ]; action = "set_b"; args = [ bv 16 1 ] };
+  Table.add_entry_exn t
+    {
+      Table.priority = 5;
+      patterns = [ Table.M_ternary { value = bv 8 0xF0; mask = bv 8 0xF0 } ];
+      action = "set_b";
+      args = [ bv 16 2 ];
+    };
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 0xF3;
+  ignore (Table.apply t phv);
+  check Alcotest.int "high priority wins" 2 (Phv.get_int phv (fr "m" "b"));
+  Phv.set_int phv (fr "m" "a") 0x03;
+  ignore (Table.apply t phv);
+  check Alcotest.int "fallback entry" 1 (Phv.get_int phv (fr "m" "b"))
+
+let test_table_lpm_longest_prefix () =
+  let t =
+    mk_table ~keys:[ { Table.field = fr "m" "c"; kind = Table.Lpm; width = 32 } ] ()
+  in
+  Table.add_entry_exn t
+    {
+      Table.priority = 0;
+      patterns = [ Table.M_lpm { value = bv 32 0x0A000000; prefix_len = 8 } ];
+      action = "set_b";
+      args = [ bv 16 8 ];
+    };
+  Table.add_entry_exn t
+    {
+      Table.priority = 0;
+      patterns = [ Table.M_lpm { value = bv 32 0x0A010000; prefix_len = 16 } ];
+      action = "set_b";
+      args = [ bv 16 16 ];
+    };
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "c") 0x0A0102FF;
+  ignore (Table.apply t phv);
+  check Alcotest.int "longest prefix wins" 16 (Phv.get_int phv (fr "m" "b"));
+  Phv.set_int phv (fr "m" "c") 0x0AFF0000;
+  ignore (Table.apply t phv);
+  check Alcotest.int "short prefix fallback" 8 (Phv.get_int phv (fr "m" "b"))
+
+let test_table_range () =
+  let t =
+    mk_table ~keys:[ { Table.field = fr "m" "b"; kind = Table.Range; width = 16 } ] ()
+  in
+  Table.add_entry_exn t
+    {
+      Table.priority = 0;
+      patterns = [ Table.M_range { lo = bv 16 100; hi = bv 16 200 } ];
+      action = "set_b";
+      args = [ bv 16 1 ];
+    };
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "b") 150;
+  check Alcotest.bool "in range" true (snd (Table.apply t phv));
+  Phv.set_int phv (fr "m" "b") 201;
+  check Alcotest.bool "out of range" false (snd (Table.apply t phv))
+
+let test_table_capacity () =
+  let t = mk_table ~max_size:1 () in
+  Table.add_entry_exn t
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
+      action = "set_b"; args = [ bv 16 1 ] };
+  check Alcotest.bool "over capacity rejected" true
+    (Result.is_error
+       (Table.add_entry t
+          { Table.priority = 0; patterns = [ Table.M_exact (bv 8 2) ];
+            action = "set_b"; args = [ bv 16 1 ] }))
+
+let test_table_entry_validation () =
+  let t = mk_table () in
+  check Alcotest.bool "wrong arity rejected" true
+    (Result.is_error
+       (Table.add_entry t
+          { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
+            action = "set_b"; args = [] }));
+  check Alcotest.bool "unknown action rejected" true
+    (Result.is_error
+       (Table.add_entry t
+          { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
+            action = "nope"; args = [] }));
+  check Alcotest.bool "pattern kind mismatch rejected" true
+    (Result.is_error
+       (Table.add_entry t
+          { Table.priority = 0;
+            patterns = [ Table.M_lpm { value = bv 8 1; prefix_len = 4 } ];
+            action = "set_b"; args = [ bv 16 1 ] }))
+
+let test_keyless_table_runs_default () =
+  let t = mk_table ~keys:[] () in
+  let phv = fresh_phv () in
+  let action, hit = Table.apply t phv in
+  check Alcotest.string "default runs" "NoAction" action;
+  check Alcotest.bool "counts as miss" false hit
+
+(* Differential property: table lookup equals a naive linear-scan model. *)
+let prop_ternary_lookup_model =
+  QCheck.Test.make ~name:"ternary lookup = linear model" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 8) (triple small_nat small_nat small_nat))
+        small_nat)
+    (fun (raw_entries, probe) ->
+      let t =
+        mk_table
+          ~keys:[ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ]
+          ~max_size:64 ()
+      in
+      let entries =
+        List.map (fun (v, m, p) -> (v land 0xff, m land 0xff, p land 7)) raw_entries
+      in
+      List.iter
+        (fun (v, m, p) ->
+          Table.add_entry_exn t
+            {
+              Table.priority = p;
+              patterns = [ Table.M_ternary { value = bv 8 v; mask = bv 8 m } ];
+              action = "NoAction";
+              args = [];
+            })
+        entries;
+      let probe = probe land 0xff in
+      let phv = fresh_phv () in
+      Phv.set_int phv (fr "m" "a") probe;
+      let model =
+        List.fold_left
+          (fun acc (v, m, p) ->
+            if probe land m = v land m then
+              match acc with Some bp when bp >= p -> acc | _ -> Some p
+            else acc)
+          None entries
+      in
+      match (Table.lookup t phv, model) with
+      | `Miss, None -> true
+      | `Hit e, Some p -> e.Table.priority = p
+      | `Hit _, None | `Miss, Some _ -> false)
+
+(* --- Control --- *)
+
+let mk_env tables name = List.find_opt (fun t -> Table.name t = name) tables
+
+let test_control_apply_switch () =
+  let t = mk_table () in
+  Table.add_entry_exn t
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
+      action = "set_b"; args = [ bv 16 7 ] };
+  let control =
+    Control.make "c"
+      [
+        Control.Apply_switch
+          ( "t",
+            [
+              ( "set_b",
+                [ Control.Run [ Action.Assign (fr "m" "c", Expr.const ~width:32 111) ] ]
+              );
+            ],
+            [ Control.Run [ Action.Assign (fr "m" "c", Expr.const ~width:32 222) ] ]
+          );
+      ]
+  in
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 1;
+  Control.exec (mk_env [ t ]) control phv;
+  check Alcotest.int "switch branch" 111 (Phv.get_int phv (fr "m" "c"));
+  Phv.set_int phv (fr "m" "a") 0;
+  Control.exec (mk_env [ t ]) control phv;
+  check Alcotest.int "default branch" 222 (Phv.get_int phv (fr "m" "c"))
+
+let test_control_apply_hit () =
+  let t = mk_table () in
+  Table.add_entry_exn t
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 9) ];
+      action = "NoAction"; args = [] };
+  let control =
+    Control.make "c"
+      [
+        Control.Apply_hit
+          ( "t",
+            [ Control.Run [ Action.Assign (fr "m" "b", Expr.const ~width:16 1) ] ],
+            [ Control.Run [ Action.Assign (fr "m" "b", Expr.const ~width:16 2) ] ] );
+      ]
+  in
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 9;
+  Control.exec (mk_env [ t ]) control phv;
+  check Alcotest.int "hit branch" 1 (Phv.get_int phv (fr "m" "b"));
+  Phv.set_int phv (fr "m" "a") 8;
+  Control.exec (mk_env [ t ]) control phv;
+  check Alcotest.int "miss branch" 2 (Phv.get_int phv (fr "m" "b"))
+
+let test_control_trace_and_rename () =
+  let t = mk_table () in
+  let control = Control.make "c" [ Control.Label ("nf1", [ Control.Apply "t" ]) ] in
+  let renamed = Control.map_tables (fun n -> "x__" ^ n) control in
+  check Alcotest.(list string) "tables renamed" [ "x__t" ]
+    (Control.tables_used renamed);
+  let trace = ref [] in
+  Control.exec ~trace (mk_env [ t ]) control (fresh_phv ());
+  check Alcotest.int "trace has label + table" 2 (List.length !trace)
+
+let test_control_validate () =
+  let control = Control.make "c" [ Control.Apply "missing" ] in
+  check Alcotest.bool "unknown table rejected" true
+    (Result.is_error (Control.validate (mk_env []) control));
+  let t = mk_table () in
+  let bad_switch =
+    Control.make "c" [ Control.Apply_switch ("t", [ ("ghost", []) ], []) ]
+  in
+  check Alcotest.bool "unknown switch action rejected" true
+    (Result.is_error (Control.validate (mk_env [ t ]) bad_switch))
+
+let test_gateway_count () =
+  let control =
+    Control.make "c"
+      [
+        Control.If
+          (Expr.const ~width:1 1, [ Control.If (Expr.const ~width:1 0, [], []) ], []);
+      ]
+  in
+  check Alcotest.int "nested ifs counted" 2 (Control.gateway_count control)
+
+(* --- Deps / Resources --- *)
+
+let two_table_program ~dependent =
+  (* t1 writes m.a; t2 matches m.a (dependent) or m.b (independent). *)
+  let t1 =
+    Table.make ~name:"t1"
+      ~keys:[ { Table.field = fr "m" "c"; kind = Table.Exact; width = 32 } ]
+      ~actions:
+        [ Action.make "w" [ Action.Assign (fr "m" "a", Expr.const ~width:8 1) ] ]
+      ~default:("w", []) ()
+  in
+  let key = if dependent then fr "m" "a" else fr "m" "b" in
+  let t2 =
+    Table.make ~name:"t2"
+      ~keys:[ { Table.field = key; kind = Table.Exact; width = 8 } ]
+      ~actions:[ Action.no_op ] ~default:("NoAction", []) ()
+  in
+  let control = Control.make "c" [ Control.Apply "t1"; Control.Apply "t2" ] in
+  (mk_env [ t1; t2 ], control)
+
+let test_match_dependency_forces_stage () =
+  let env, control = two_table_program ~dependent:true in
+  let stages, total = Deps.min_stages env control in
+  check Alcotest.int "t1 at stage 0" 0 (List.assoc "t1" stages);
+  check Alcotest.int "t2 pushed to stage 1" 1 (List.assoc "t2" stages);
+  check Alcotest.int "two stages total" 2 total
+
+let test_independent_tables_share_stage () =
+  let env, control = two_table_program ~dependent:false in
+  let stages, total = Deps.min_stages env control in
+  check Alcotest.int "t2 stays at stage 0" 0 (List.assoc "t2" stages);
+  check Alcotest.int "one stage total" 1 total
+
+let test_gateway_reads_create_dependency () =
+  let t1 =
+    Table.make ~name:"t1" ~keys:[]
+      ~actions:
+        [ Action.make "w" [ Action.Assign (fr "m" "a", Expr.const ~width:8 1) ] ]
+      ~default:("w", []) ()
+  in
+  let t2 =
+    Table.make ~name:"t2"
+      ~keys:[ { Table.field = fr "m" "b"; kind = Table.Exact; width = 16 } ]
+      ~actions:[ Action.no_op ] ~default:("NoAction", []) ()
+  in
+  let control =
+    Control.make "c"
+      [
+        Control.Apply "t1";
+        Control.If
+          (Expr.(Field (fr "m" "a") = const ~width:8 1), [ Control.Apply "t2" ], []);
+      ]
+  in
+  let stages, _ = Deps.min_stages (mk_env [ t1; t2 ]) control in
+  check Alcotest.int "guarded table depends on writer" 1 (List.assoc "t2" stages)
+
+let test_resources_exact_vs_ternary () =
+  let exact = mk_table () in
+  let tern =
+    mk_table ~keys:[ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ] ()
+  in
+  let re = Resources.of_table exact and rt = Resources.of_table tern in
+  check Alcotest.bool "exact uses sram" true (re.Resources.srams > 0);
+  check Alcotest.int "exact uses no tcam" 0 re.Resources.tcams;
+  check Alcotest.bool "ternary uses tcam" true (rt.Resources.tcams > 0)
+
+let test_resources_fits () =
+  let caps =
+    Resources.scale 2
+      {
+        Resources.stages = 1;
+        table_ids = 4;
+        srams = 10;
+        tcams = 2;
+        crossbar_bytes = 16;
+        vliws = 8;
+        gateways = 4;
+        hash_bits = 64;
+      }
+  in
+  let demand = Resources.{ zero with stages = 1; table_ids = 3 } in
+  check Alcotest.bool "fits" true (Resources.fits demand ~cap:caps);
+  check Alcotest.bool "too many stages" false
+    (Resources.fits Resources.{ demand with stages = 3 } ~cap:caps)
+
+let test_resources_max_merge () =
+  let a = Resources.{ zero with stages = 3; srams = 2 } in
+  let b = Resources.{ zero with stages = 1; srams = 5 } in
+  let m = Resources.max_merge a b in
+  check Alcotest.int "stages take max" 3 m.Resources.stages;
+  check Alcotest.int "memories add" 7 m.Resources.srams
+
+let () =
+  Alcotest.run "p4ir"
+    [
+      ( "hdr_phv",
+        [
+          Alcotest.test_case "decl validation" `Quick test_decl_validation;
+          Alcotest.test_case "extract/emit roundtrip" `Quick
+            test_hdr_extract_emit_roundtrip;
+          Alcotest.test_case "set resizes" `Quick test_hdr_set_resizes;
+          Alcotest.test_case "phv validity" `Quick test_phv_validity;
+          Alcotest.test_case "phv copy isolation" `Quick test_phv_copy_isolated;
+          Alcotest.test_case "phv decl conflict" `Quick test_phv_conflicting_decl;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "modular arith" `Quick test_expr_arith;
+          Alcotest.test_case "comparisons" `Quick test_expr_comparisons;
+          Alcotest.test_case "validity bit" `Quick test_expr_valid_bit;
+          Alcotest.test_case "crc32 hash" `Quick test_expr_hash_matches_crc32;
+          Alcotest.test_case "unbound param" `Quick test_expr_unbound_param;
+          Alcotest.test_case "read sets" `Quick test_expr_reads;
+        ] );
+      ( "action",
+        [
+          Alcotest.test_case "params" `Quick test_action_params;
+          Alcotest.test_case "read/write sets" `Quick test_action_read_write_sets;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "exact hit/miss" `Quick test_table_exact_hit_miss;
+          Alcotest.test_case "priority" `Quick test_table_priority;
+          Alcotest.test_case "lpm longest prefix" `Quick test_table_lpm_longest_prefix;
+          Alcotest.test_case "range" `Quick test_table_range;
+          Alcotest.test_case "capacity" `Quick test_table_capacity;
+          Alcotest.test_case "entry validation" `Quick test_table_entry_validation;
+          Alcotest.test_case "keyless default" `Quick test_keyless_table_runs_default;
+          qtest prop_ternary_lookup_model;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "apply_switch" `Quick test_control_apply_switch;
+          Alcotest.test_case "apply_hit" `Quick test_control_apply_hit;
+          Alcotest.test_case "trace and rename" `Quick test_control_trace_and_rename;
+          Alcotest.test_case "validate" `Quick test_control_validate;
+          Alcotest.test_case "gateway count" `Quick test_gateway_count;
+        ] );
+      ( "deps_resources",
+        [
+          Alcotest.test_case "match dep forces stage" `Quick
+            test_match_dependency_forces_stage;
+          Alcotest.test_case "independent share stage" `Quick
+            test_independent_tables_share_stage;
+          Alcotest.test_case "gateway dependency" `Quick
+            test_gateway_reads_create_dependency;
+          Alcotest.test_case "exact vs ternary memories" `Quick
+            test_resources_exact_vs_ternary;
+          Alcotest.test_case "fits" `Quick test_resources_fits;
+          Alcotest.test_case "max_merge" `Quick test_resources_max_merge;
+        ] );
+    ]

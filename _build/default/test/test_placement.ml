@@ -1,0 +1,204 @@
+(* Placement optimizer tests: each strategy solves the Fig. 6 workload,
+   heuristics are cross-validated against the exhaustive optimum, and
+   resource feasibility is respected. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let spec = Asic.Spec.wedge_100b
+
+(* Synthetic NFs with a controllable stage footprint. *)
+let input ?(stages_per_nf = fun _ -> 1) ?(chains = []) ?(pinned = []) () =
+  {
+    Placement.spec;
+    resources_of =
+      (fun nf -> { P4ir.Resources.zero with P4ir.Resources.stages = stages_per_nf nf });
+    chains;
+    entry_pipeline = 0;
+    pinned;
+    framework_stages_per_nf = 2;
+    framework_stages_fixed = 1;
+  }
+
+let chain_af ?(weight = 1.0) () =
+  Chain.make ~path_id:1 ~name:"af" ~nfs:[ "A"; "B"; "C"; "D"; "E"; "F" ] ~weight
+    ~exit_port:1 ()
+
+let test_exhaustive_finds_zero_or_one () =
+  (* Six 1-stage NFs on 4 pipelets: an optimal placement needs at most
+     one recirculation (Fig. 6b quality or better). *)
+  let inp = input ~chains:[ chain_af () ] () in
+  match Placement.solve inp Placement.Exhaustive with
+  | Error e -> Alcotest.fail e
+  | Ok (_, cost) -> check Alcotest.bool "cost <= 1" true (cost <= 1.0)
+
+let test_heuristics_close_to_exhaustive () =
+  let inp = input ~chains:[ chain_af () ] () in
+  let best =
+    match Placement.solve inp Placement.Exhaustive with
+    | Ok (_, c) -> c
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun (name, strategy) ->
+      match Placement.solve inp strategy with
+      | Error e -> Alcotest.fail (name ^ ": " ^ e)
+      | Ok (_, c) ->
+          check Alcotest.bool
+            (Printf.sprintf "%s within 1 recirc of optimum (%.2f vs %.2f)" name c
+               best)
+            true
+            (c <= best +. 1.0))
+    (* Naive is the paper's strawman and is allowed to be bad (Fig. 6a). *)
+    [ ("greedy", Placement.Greedy); ("anneal", Placement.default_anneal) ]
+
+let test_naive_not_better_than_exhaustive () =
+  let inp = input ~chains:[ chain_af () ] () in
+  let best = Result.get_ok (Placement.solve inp Placement.Exhaustive) in
+  let naive = Result.get_ok (Placement.solve inp Placement.Naive) in
+  check Alcotest.bool "exhaustive <= naive" true (snd best <= snd naive)
+
+let test_pinning_respected () =
+  let pin = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Ingress } in
+  let inp = input ~chains:[ chain_af () ] ~pinned:[ ("A", pin) ] () in
+  List.iter
+    (fun strategy ->
+      match Placement.solve inp strategy with
+      | Error e -> Alcotest.fail e
+      | Ok (layout, _) ->
+          check Alcotest.bool "A pinned to ingress 0" true
+            (match Layout.location layout "A" with
+            | Some id -> Asic.Pipelet.equal_id id pin
+            | None -> false))
+    [ Placement.Exhaustive; Placement.Greedy; Placement.default_anneal ]
+
+let test_feasibility_respected () =
+  (* Each NF needs 5 stages; with 2 framework stages each plus 1 fixed,
+     two such NFs cannot share a 12-stage pipelet sequentially. *)
+  let inp = input ~stages_per_nf:(fun _ -> 5) ~chains:[ chain_af () ] () in
+  match Placement.solve inp Placement.Exhaustive with
+  | Error _ -> Alcotest.fail "should still be placeable (one NF per pipelet won't fit 6; Par fallback)"
+  | Ok (layout, _) ->
+      check Alcotest.bool "layout feasible" true (Placement.feasible inp layout)
+
+let test_infeasible_reported () =
+  (* 13-stage NFs can never fit a 12-stage pipelet. *)
+  let inp = input ~stages_per_nf:(fun _ -> 13) ~chains:[ chain_af () ] () in
+  check Alcotest.bool "infeasible detected" true
+    (Result.is_error (Placement.solve inp Placement.Exhaustive))
+
+let test_build_layout_seq_to_par_fallback () =
+  (* Two 5-stage NFs: Seq needs 5+5+2*2+1 = 15 > 12, Par needs
+     max(5,5)+4+1 = 10 <= 12. *)
+  let inp =
+    input ~stages_per_nf:(fun _ -> 5)
+      ~chains:[ Chain.make ~path_id:1 ~name:"c" ~nfs:[ "A"; "B" ] ~exit_port:1 () ]
+      ()
+  in
+  let id = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Ingress } in
+  match Placement.build_layout inp [ ("A", id); ("B", id) ] with
+  | None -> Alcotest.fail "expected a Par fallback"
+  | Some layout -> (
+      match Layout.layout_of layout id with
+      | [ Layout.Par [ "A"; "B" ] ] -> ()
+      | other ->
+          Alcotest.fail
+            (Format.asprintf "expected par group, got %a" Layout.pp_pipelet_layout
+               other))
+
+let test_canonical_order_follows_chains () =
+  (* lb-before-router ordering: the heavy chain visits B before A. *)
+  let chains =
+    [
+      Chain.make ~path_id:1 ~name:"heavy" ~nfs:[ "B"; "A" ] ~weight:0.9
+        ~exit_port:1 ();
+      Chain.make ~path_id:2 ~name:"light" ~nfs:[ "A" ] ~weight:0.1 ~exit_port:1 ();
+    ]
+  in
+  let inp = input ~chains () in
+  let id = { Asic.Pipelet.pipeline = 0; kind = Asic.Pipelet.Ingress } in
+  match Placement.build_layout inp [ ("A", id); ("B", id) ] with
+  | None -> Alcotest.fail "should fit"
+  | Some layout -> (
+      match Layout.layout_of layout id with
+      | [ Layout.Seq order ] ->
+          check Alcotest.(list string) "chain precedence wins" [ "B"; "A" ] order
+      | other ->
+          Alcotest.fail
+            (Format.asprintf "unexpected layout %a" Layout.pp_pipelet_layout other))
+
+let test_multi_chain_tradeoff () =
+  (* Two chains pulling the same NF different ways: the optimizer should
+     favor the heavier one. *)
+  let chains w1 w2 =
+    [
+      Chain.make ~path_id:1 ~name:"c1" ~nfs:[ "A"; "B" ] ~weight:w1 ~exit_port:1 ();
+      Chain.make ~path_id:2 ~name:"c2" ~nfs:[ "B"; "A" ] ~weight:w2 ~exit_port:1 ();
+    ]
+  in
+  let cost w1 w2 =
+    let inp = input ~chains:(chains w1 w2) () in
+    snd (Result.get_ok (Placement.solve inp Placement.Exhaustive))
+  in
+  (* Conflicting orders cannot both be free, but the cost must not
+     exceed the lighter chain paying one transition. *)
+  check Alcotest.bool "bounded by lighter chain" true (cost 0.9 0.1 <= 0.1 +. 1e-9);
+  check Alcotest.bool "symmetric" true
+    (abs_float (cost 0.9 0.1 -. cost 0.1 0.9) < 1e-9)
+
+(* Property: on random small instances, greedy is never better than
+   exhaustive (sanity of the exhaustive search) and both respect
+   feasibility. *)
+let prop_exhaustive_dominates_greedy =
+  QCheck.Test.make ~name:"exhaustive <= greedy on random instances" ~count:25
+    QCheck.(pair (int_range 2 4) (int_range 0 1000))
+    (fun (n_nfs, seed) ->
+      let st = Random.State.make [| seed |] in
+      let nfs = List.init n_nfs (fun i -> Printf.sprintf "N%d" i) in
+      let shuffled =
+        List.sort (fun _ _ -> if Random.State.bool st then 1 else -1) nfs
+      in
+      let chains =
+        [
+          Chain.make ~path_id:1 ~name:"c1" ~nfs ~weight:0.6 ~exit_port:1 ();
+          Chain.make ~path_id:2 ~name:"c2" ~nfs:shuffled ~weight:0.4 ~exit_port:17 ();
+        ]
+      in
+      let inp = input ~chains () in
+      match
+        (Placement.solve inp Placement.Exhaustive, Placement.solve inp Placement.Greedy)
+      with
+      | Ok (_, best), Ok (_, greedy) -> best <= greedy +. 1e-9
+      | Ok _, Error _ -> true (* greedy may fail where exhaustive succeeds *)
+      | Error _, _ -> false)
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "exhaustive quality" `Quick
+            test_exhaustive_finds_zero_or_one;
+          Alcotest.test_case "heuristics close" `Quick
+            test_heuristics_close_to_exhaustive;
+          Alcotest.test_case "exhaustive dominates naive" `Quick
+            test_naive_not_better_than_exhaustive;
+          Alcotest.test_case "pinning" `Quick test_pinning_respected;
+          qtest prop_exhaustive_dominates_greedy;
+        ] );
+      ( "feasibility",
+        [
+          Alcotest.test_case "respected" `Quick test_feasibility_respected;
+          Alcotest.test_case "infeasible reported" `Quick test_infeasible_reported;
+          Alcotest.test_case "seq->par fallback" `Quick
+            test_build_layout_seq_to_par_fallback;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "canonical order" `Quick
+            test_canonical_order_follows_chains;
+          Alcotest.test_case "multi-chain tradeoff" `Quick test_multi_chain_tradeoff;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Control-plane runtime tests: CPU-mark clearing, NF id derivation,
+   and the LB miss/install/reinject loop. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+
+let test_default_nf_id_stable () =
+  check Alcotest.int "stable across calls" (Runtime.default_nf_id "lb")
+    (Runtime.default_nf_id "lb");
+  check Alcotest.bool "distinct for distinct names" true
+    (Runtime.default_nf_id "lb" <> Runtime.default_nf_id "fw");
+  check Alcotest.bool "nonzero" true (Runtime.default_nf_id "lb" <> 0);
+  check Alcotest.bool "fits the 16-bit context value" true
+    (Runtime.default_nf_id "classifier" <= 0xFFFF)
+
+let sfc_frame hdr =
+  let tail =
+    Netpkt.Pkt.tcp_flow
+      ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+      ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+      {
+        Netpkt.Flow.src = Netpkt.Ip4.of_string_exn "192.0.2.1";
+        dst = Netpkt.Ip4.of_string_exn "10.0.1.10";
+        proto = Netpkt.Ipv4.proto_tcp;
+        src_port = 1;
+        dst_port = 2;
+      }
+  in
+  Netpkt.Pkt.encode
+    (Netpkt.Pkt.Eth
+       (Netpkt.Eth.make ~dst:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+          Netpkt.Eth.ethertype_sfc)
+    :: Netpkt.Pkt.Sfc_raw (Sfc_header.encode hdr)
+    :: List.tl tail)
+
+let test_clear_cpu_mark () =
+  let hdr =
+    {
+      Sfc_header.default with
+      service_path_id = 10;
+      service_index = 3;
+      to_cpu = true;
+      context = [| (0, 0); (0, 0); (0, 0); (Sfc_header.ctx_key_cpu_reason, 77) |];
+    }
+  in
+  let frame = sfc_frame hdr in
+  let cleared = Runtime.clear_cpu_mark frame in
+  check Alcotest.bool "returns a fresh buffer" false (frame == cleared);
+  match Sfc_header.decode cleared ~off:Netpkt.Eth.size with
+  | Error e -> Alcotest.fail e
+  | Ok h ->
+      check Alcotest.bool "to_cpu cleared" false h.Sfc_header.to_cpu;
+      check Alcotest.(option int) "cpu reason gone" None
+        (Sfc_header.find_context h Sfc_header.ctx_key_cpu_reason);
+      check Alcotest.int "path preserved" 10 h.Sfc_header.service_path_id;
+      check Alcotest.int "index preserved" 3 h.Sfc_header.service_index
+
+let test_clear_cpu_mark_non_sfc () =
+  let frame = Bytes.of_string (String.make 20 'x') in
+  let cleared = Runtime.clear_cpu_mark frame in
+  check Alcotest.bytes "non-SFC frame untouched" frame cleared
+
+(* End-to-end: LB sessions stick, and the CPU is consulted once per flow. *)
+let runtime () =
+  let compiled =
+    Result.get_ok (Compiler.compile (Nflib.Catalog.edge_cloud_input ()))
+  in
+  let rt = Runtime.create compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  rt
+
+let vip_pkt ~src_port =
+  Netpkt.Pkt.tcp_flow
+    ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+    ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+    {
+      Netpkt.Flow.src = Netpkt.Ip4.of_string_exn "203.0.113.50";
+      dst = Nflib.Catalog.tenant1_vip;
+      proto = Netpkt.Ipv4.proto_tcp;
+      src_port;
+      dst_port = 80;
+    }
+
+let backend_of outcome =
+  match outcome.Ptf.decoded with
+  | Some layers -> (
+      match Netpkt.Pkt.find_ipv4 layers with
+      | Some ip -> ip.Netpkt.Ipv4.dst
+      | None -> Alcotest.fail "no ipv4 in output")
+  | None -> Alcotest.fail "no output frame"
+
+let test_lb_session_stickiness () =
+  let rt = runtime () in
+  let first = Result.get_ok (Ptf.send rt ~in_port:0 (vip_pkt ~src_port:7777)) in
+  check Alcotest.int "first packet consults the CPU" 1
+    first.Ptf.runtime.Runtime.cpu_round_trips;
+  let second = Result.get_ok (Ptf.send rt ~in_port:0 (vip_pkt ~src_port:7777)) in
+  check Alcotest.int "second packet hits the session" 0
+    second.Ptf.runtime.Runtime.cpu_round_trips;
+  check Alcotest.bool "same backend both times" true
+    (Netpkt.Ip4.equal (backend_of first) (backend_of second));
+  check Alcotest.bool "backend from the pool" true
+    (List.exists
+       (Netpkt.Ip4.equal (backend_of first))
+       Nflib.Catalog.tenant1_backends)
+
+let test_lb_spreads_flows () =
+  let rt = runtime () in
+  let backends =
+    List.init 24 (fun i ->
+        backend_of
+          (Result.get_ok (Ptf.send rt ~in_port:0 (vip_pkt ~src_port:(2000 + (i * 13))))))
+  in
+  let distinct = List.sort_uniq Netpkt.Ip4.compare backends in
+  check Alcotest.bool "multiple backends used" true (List.length distinct > 1)
+
+let test_unhandled_cpu_packet_terminates () =
+  (* No handlers registered: the To_cpu verdict must surface, not loop. *)
+  let compiled =
+    Result.get_ok (Compiler.compile (Nflib.Catalog.edge_cloud_input ()))
+  in
+  let rt = Runtime.create compiled in
+  match Ptf.send rt ~in_port:0 (vip_pkt ~src_port:1) with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.Ptf.runtime.Runtime.verdict with
+      | Asic.Chip.To_cpu _ -> ()
+      | _ -> Alcotest.fail "expected a to-CPU verdict")
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "helpers",
+        [
+          Alcotest.test_case "nf ids" `Quick test_default_nf_id_stable;
+          Alcotest.test_case "clear cpu mark" `Quick test_clear_cpu_mark;
+          Alcotest.test_case "clear non-sfc" `Quick test_clear_cpu_mark_non_sfc;
+        ] );
+      ( "lb_loop",
+        [
+          Alcotest.test_case "session stickiness" `Quick test_lb_session_stickiness;
+          Alcotest.test_case "spreads flows" `Quick test_lb_spreads_flows;
+          Alcotest.test_case "unhandled cpu packet" `Quick
+            test_unhandled_cpu_packet_terminates;
+        ] );
+    ]

@@ -1,0 +1,112 @@
+(* SFC header (Fig. 3) codec tests. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let sample =
+  {
+    Sfc_header.service_path_id = 0x1234;
+    service_index = 7;
+    in_port = 3;
+    out_port = 17;
+    resubmit = true;
+    recirc = false;
+    drop = false;
+    mirror = true;
+    to_cpu = false;
+    context = [| (1, 0xBEEF); (2, 42); (0, 0); (4, 0x7777) |];
+    next_protocol = 1;
+  }
+
+let test_size () =
+  check Alcotest.int "20 bytes on the wire" 20
+    (Bytes.length (Sfc_header.encode sample));
+  check Alcotest.int "decl is byte-aligned at 20" 20
+    (P4ir.Hdr.byte_size Sfc_header.decl)
+
+let test_roundtrip () =
+  match Sfc_header.decode (Sfc_header.encode sample) ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok decoded ->
+      check Alcotest.bool "encode/decode roundtrip" true
+        (Sfc_header.equal sample decoded)
+
+let gen_header =
+  QCheck.Gen.(
+    map
+      (fun ((path, idx, inp, outp), (flags, ctx, proto)) ->
+        {
+          Sfc_header.service_path_id = path land 0xffff;
+          service_index = idx land 0xff;
+          in_port = inp land 0x1ff;
+          out_port = outp land 0x1ff;
+          resubmit = flags land 1 = 1;
+          recirc = flags land 2 = 2;
+          drop = flags land 4 = 4;
+          mirror = flags land 8 = 8;
+          to_cpu = flags land 16 = 16;
+          context =
+            Array.init 4 (fun i ->
+                let v = (ctx lsr (i * 6)) land 0x3f in
+                (v land 0xf, v * 97 land 0xffff));
+          next_protocol = proto land 0xff;
+        })
+      (pair (quad nat nat nat nat) (triple nat nat nat)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random headers roundtrip" ~count:300
+    (QCheck.make gen_header)
+    (fun h ->
+      match Sfc_header.decode (Sfc_header.encode h) ~off:0 with
+      | Error _ -> false
+      | Ok decoded -> Sfc_header.equal h decoded)
+
+let prop_phv_roundtrip =
+  QCheck.Test.make ~name:"phv roundtrip" ~count:300 (QCheck.make gen_header)
+    (fun h ->
+      let phv = P4ir.Phv.create [] in
+      Sfc_header.to_phv h phv;
+      match Sfc_header.of_phv phv with
+      | None -> false
+      | Some h' -> Sfc_header.equal h h')
+
+let test_of_phv_invalid () =
+  let phv = P4ir.Phv.create [ Sfc_header.decl ] in
+  check Alcotest.bool "invalid header -> None" true
+    (Sfc_header.of_phv phv = None)
+
+let test_context_lookup () =
+  check Alcotest.(option int) "tenant ctx" (Some 0xBEEF)
+    (Sfc_header.find_context sample 1);
+  check Alcotest.(option int) "missing key" None (Sfc_header.find_context sample 9);
+  check Alcotest.(option int) "zero key never matches" None
+    (Sfc_header.find_context sample 0)
+
+let test_decode_truncated () =
+  check Alcotest.bool "truncated rejected" true
+    (Result.is_error (Sfc_header.decode (Bytes.make 10 '\000') ~off:0))
+
+let test_next_protocol_position () =
+  (* The wire position of next_protocol must match what Netpkt.Pkt's
+     decoder peeks at (byte 19). *)
+  let b = Sfc_header.encode { sample with next_protocol = 0xAB } in
+  check Alcotest.int "byte 19" 0xAB (Netpkt.Bytes_util.get_uint8 b 19)
+
+let () =
+  Alcotest.run "sfc_header"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          qtest prop_roundtrip;
+          qtest prop_phv_roundtrip;
+          Alcotest.test_case "invalid phv" `Quick test_of_phv_invalid;
+          Alcotest.test_case "context lookup" `Quick test_context_lookup;
+          Alcotest.test_case "truncated" `Quick test_decode_truncated;
+          Alcotest.test_case "next_protocol position" `Quick
+            test_next_protocol_position;
+        ] );
+    ]

@@ -1,0 +1,353 @@
+(* Stateful externs and the NFs built on them: register semantics, the
+   rate limiter (differential against its pure model), the count-min
+   sketch (its classic invariants), and both end-to-end on the chip. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Register --- *)
+
+let test_register_basics () =
+  let r = P4ir.Register.make ~name:"r" ~size:100 ~width:16 in
+  check Alcotest.int "size rounds to a power of two" 128 (P4ir.Register.size r);
+  check Alcotest.int "index mask" 127 (P4ir.Register.index_mask r);
+  P4ir.Register.write r 5 (P4ir.Bitval.of_int ~width:32 0x1FFFF);
+  check Alcotest.int "write truncates to cell width" 0xFFFF
+    (P4ir.Bitval.to_int (P4ir.Register.read r 5));
+  check Alcotest.int "other cells zero" 0 (P4ir.Bitval.to_int (P4ir.Register.read r 6));
+  P4ir.Register.write r 4096 (P4ir.Bitval.of_int ~width:16 1);
+  check Alcotest.int "out-of-range write dropped" 0
+    (P4ir.Bitval.to_int (P4ir.Register.read r 4096));
+  P4ir.Register.clear r;
+  check Alcotest.int "clear" 0 (P4ir.Bitval.to_int (P4ir.Register.read r 5))
+
+let test_register_fold () =
+  let r = P4ir.Register.make ~name:"r" ~size:8 ~width:8 in
+  P4ir.Register.write r 1 (P4ir.Bitval.of_int ~width:8 10);
+  P4ir.Register.write r 3 (P4ir.Bitval.of_int ~width:8 20);
+  let sum = P4ir.Register.fold (fun _ v acc -> acc + P4ir.Bitval.to_int v) r 0 in
+  check Alcotest.int "fold over nonzero cells" 30 sum
+
+let prop_register_rw =
+  QCheck.Test.make ~name:"register read-after-write" ~count:300
+    QCheck.(pair small_nat int64)
+    (fun (i, v) ->
+      let r = P4ir.Register.make ~name:"r" ~size:64 ~width:32 in
+      let i = i land P4ir.Register.index_mask r in
+      P4ir.Register.write r i (P4ir.Bitval.make ~width:64 v);
+      Int64.equal
+        (P4ir.Bitval.to_int64 (P4ir.Register.read r i))
+        (Int64.logand v 0xFFFFFFFFL))
+
+let test_action_register_prims () =
+  let reg = P4ir.Register.make ~name:"counters" ~size:16 ~width:32 in
+  let meta = P4ir.Hdr.decl "m" [ ("idx", 8); ("val", 32) ] in
+  let phv = P4ir.Phv.create [ meta ] in
+  P4ir.Phv.set_valid phv "m";
+  P4ir.Phv.set_int phv (P4ir.Fieldref.v "m" "idx") 3;
+  let bump =
+    P4ir.Action.make "bump"
+      [
+        P4ir.Action.Reg_read
+          (P4ir.Fieldref.v "m" "val", "counters", P4ir.Expr.field "m" "idx");
+        P4ir.Action.Reg_write
+          ( "counters",
+            P4ir.Expr.field "m" "idx",
+            P4ir.Expr.(Field (P4ir.Fieldref.v "m" "val") + const ~width:32 1) );
+      ]
+  in
+  let regs n = if n = "counters" then Some reg else None in
+  for _ = 1 to 5 do
+    P4ir.Action.run ~regs bump ~args:[] phv
+  done;
+  check Alcotest.int "five increments" 5
+    (P4ir.Bitval.to_int (P4ir.Register.read reg 3));
+  Alcotest.check_raises "unknown register"
+    (Invalid_argument "Action.run: unknown register counters") (fun () ->
+      P4ir.Action.run bump ~args:[] phv)
+
+let test_register_dependency_serializes () =
+  (* Two tables touching the same register must land in distinct stages
+     (conservative serialization through the $reg pseudo-field). *)
+  let reg_read t =
+    P4ir.Action.make ("a_" ^ t)
+      [
+        P4ir.Action.Reg_write
+          ("shared", P4ir.Expr.const ~width:8 0, P4ir.Expr.const ~width:32 1);
+      ]
+  in
+  let mk name =
+    P4ir.Table.make ~name ~keys:[]
+      ~actions:[ reg_read name ] ~default:("a_" ^ name, []) ()
+  in
+  let t1 = mk "t1" and t2 = mk "t2" in
+  let env n = List.find_opt (fun t -> P4ir.Table.name t = n) [ t1; t2 ] in
+  let control =
+    P4ir.Control.make "c" [ P4ir.Control.Apply "t1"; P4ir.Control.Apply "t2" ]
+  in
+  let stages, total = P4ir.Deps.min_stages env control in
+  check Alcotest.int "t2 in a later stage" 1 (List.assoc "t2" stages);
+  check Alcotest.int "two stages" 2 total
+
+(* --- rate limiter, differential --- *)
+
+open Nflib
+
+let budgets = [ { Rate_limiter.tenant = 5; limit = 4 } ]
+
+let rl_phv nf tenant =
+  let phv = P4ir.Phv.create [] in
+  ignore
+    (Result.get_ok
+       (P4ir.Parser_graph.parse nf.Nf.parser
+          (Netpkt.Pkt.encode
+             (Netpkt.Pkt.tcp_flow
+                ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+                ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+                {
+                  Netpkt.Flow.src = Netpkt.Ip4.of_string_exn "1.2.3.4";
+                  dst = Netpkt.Ip4.of_string_exn "10.0.5.5";
+                  proto = 6;
+                  src_port = 1;
+                  dst_port = 2;
+                }))
+          phv));
+  Asic.Stdmeta.attach phv;
+  Sfc_header.to_phv { Sfc_header.default with service_path_id = 1 } phv;
+  P4ir.Phv.set_int phv (Sfc_header.ctx_val 0) tenant;
+  phv
+
+let run_rl nf phv =
+  let regs n = Nf.find_register nf n in
+  P4ir.Control.exec ~regs (Nf.table_env nf) (Nf.control nf) phv
+
+let test_rate_limiter_differential () =
+  let nf = Rate_limiter.create budgets () in
+  let counts = Hashtbl.create 4 in
+  (* Interleave two tenants: 5 is limited to 4/window, 9 is unlimited. *)
+  List.iter
+    (fun tenant ->
+      let phv = rl_phv nf tenant in
+      run_rl nf phv;
+      let dropped = P4ir.Phv.get_int phv Sfc_header.drop_flag = 1 in
+      let expected = Rate_limiter.reference budgets ~counts ~tenant in
+      check Alcotest.bool
+        (Printf.sprintf "tenant %d verdict" tenant)
+        (expected = `Drop) dropped)
+    [ 5; 5; 9; 5; 5; 9; 5; 5; 5; 9; 5 ]
+
+let test_rate_limiter_window_reset () =
+  let nf = Rate_limiter.create budgets () in
+  let send () =
+    let phv = rl_phv nf 5 in
+    run_rl nf phv;
+    P4ir.Phv.get_int phv Sfc_header.drop_flag = 1
+  in
+  for _ = 1 to 4 do
+    check Alcotest.bool "within budget" false (send ())
+  done;
+  check Alcotest.bool "over budget" true (send ());
+  Option.iter P4ir.Register.clear (Nf.find_register nf Rate_limiter.register_name);
+  check Alcotest.bool "fresh window" false (send ())
+
+(* --- count-min sketch --- *)
+
+let sketch_phv nf src =
+  let phv = P4ir.Phv.create [] in
+  ignore
+    (Result.get_ok
+       (P4ir.Parser_graph.parse nf.Nf.parser
+          (Netpkt.Pkt.encode
+             (Netpkt.Pkt.tcp_flow
+                ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+                ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+                {
+                  Netpkt.Flow.src = src;
+                  dst = Netpkt.Ip4.of_string_exn "10.0.5.5";
+                  proto = 6;
+                  src_port = 1;
+                  dst_port = 2;
+                }))
+          phv));
+  Asic.Stdmeta.attach phv;
+  Sfc_header.to_phv { Sfc_header.default with service_path_id = 1 } phv;
+  phv
+
+let run_sketch nf phv =
+  let regs n = Nf.find_register nf n in
+  P4ir.Control.exec ~regs (Nf.table_env nf) (Nf.control nf) phv
+
+let test_sketch_flags_heavy_source () =
+  let threshold = 5 in
+  let nf = Ddos_sketch.create ~threshold () in
+  let heavy = Netpkt.Ip4.of_string_exn "198.51.100.66" in
+  let flagged = ref 0 in
+  for i = 1 to 10 do
+    let phv = sketch_phv nf heavy in
+    run_sketch nf phv;
+    if P4ir.Phv.get_int phv Sfc_header.mirror_flag = 1 then begin
+      incr flagged;
+      if i < threshold then
+        Alcotest.fail (Printf.sprintf "flagged too early at packet %d" i)
+    end
+  done;
+  check Alcotest.int "flagged from the threshold-th packet on" 6 !flagged
+
+let test_sketch_block_mode_drops () =
+  let nf = Ddos_sketch.create ~block:true ~threshold:3 () in
+  let heavy = Netpkt.Ip4.of_string_exn "198.51.100.66" in
+  let dropped = ref 0 in
+  for _ = 1 to 5 do
+    let phv = sketch_phv nf heavy in
+    run_sketch nf phv;
+    if P4ir.Phv.get_int phv Sfc_header.drop_flag = 1 then incr dropped
+  done;
+  check Alcotest.int "drops from packet 3" 3 !dropped
+
+let prop_sketch_never_underestimates =
+  QCheck.Test.make ~name:"count-min never underestimates" ~count:20
+    QCheck.(int_range 1 50)
+    (fun n_sources ->
+      let nf = Ddos_sketch.create ~threshold:1_000_000 () in
+      let st = Random.State.make [| n_sources |] in
+      let sources =
+        List.init n_sources (fun _ -> Netpkt.Ip4.random st)
+      in
+      let true_counts = Hashtbl.create 16 in
+      List.iter
+        (fun src ->
+          let reps = 1 + Random.State.int st 5 in
+          Hashtbl.replace true_counts src
+            (Option.value ~default:0 (Hashtbl.find_opt true_counts src) + reps);
+          for _ = 1 to reps do
+            run_sketch nf (sketch_phv nf src)
+          done)
+        sources;
+      (* Read estimates straight from the NF's registers, mirroring the
+         data plane hashes. *)
+      Hashtbl.fold
+        (fun src true_count ok ->
+          ok
+          &&
+          let est = ref max_int in
+          List.iter
+            (fun i ->
+              let reg = Option.get (Nf.find_register nf (Ddos_sketch.row_register i)) in
+              let phv = sketch_phv nf src in
+              (* Re-run to get the meta fields populated, then subtract
+                 this probe's own increment. *)
+              run_sketch nf phv;
+              let c =
+                P4ir.Phv.get_int phv
+                  (P4ir.Fieldref.v "cms_meta" (Printf.sprintf "c%d" i))
+              in
+              ignore reg;
+              est := min !est c)
+            [ 0; 1; 2 ];
+          (* The meta counts are pre-increment reads: for this source
+             they are at least its true count (collisions only add). *)
+          Ddos_sketch.reference_estimate_lower_bound ~true_count
+            ~estimate:!est
+          |> fun lower -> lower)
+        true_counts true)
+
+(* --- end to end: the protected chain on the chip --- *)
+
+let compile_protected () =
+  let input =
+    {
+      (Nflib.Catalog.edge_cloud_input ~strategy:Placement.Greedy ()) with
+      Compiler.chains = Nflib.Catalog.protected_chains ~exit_port:1;
+    }
+  in
+  Compiler.compile input
+
+let send rt ~src_last ~n =
+  let results = ref [] in
+  for i = 1 to n do
+    let pkt =
+      Netpkt.Pkt.tcp_flow
+        ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+        ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+        {
+          Netpkt.Flow.src = Netpkt.Ip4.of_octets 203 0 113 src_last;
+          dst = Netpkt.Ip4.of_octets 10 0 5 7;
+          proto = 6;
+          src_port = 1000 + i;
+          dst_port = 80;
+        }
+    in
+    match Ptf.send rt ~in_port:0 pkt with
+    | Ok o -> results := o.Ptf.runtime.Runtime.verdict :: !results
+    | Error e -> Alcotest.fail e
+  done;
+  List.rev !results
+
+let test_protected_chain_rate_limit_on_chip () =
+  let compiled = Result.get_ok (compile_protected ()) in
+  let rt = Runtime.create compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  let verdicts = send rt ~src_last:50 ~n:12 in
+  let emitted =
+    List.length
+      (List.filter (function Asic.Chip.Emitted _ -> true | _ -> false) verdicts)
+  in
+  let dropped =
+    List.length
+      (List.filter (function Asic.Chip.Dropped -> true | _ -> false) verdicts)
+  in
+  (* Budget is 8 packets per window for tenant 5. *)
+  check Alcotest.int "first 8 delivered" 8 emitted;
+  check Alcotest.int "rest dropped" 4 dropped;
+  (* Window reset restores service. *)
+  Rate_limiter.reset_window compiled;
+  let verdicts = send rt ~src_last:51 ~n:3 in
+  check Alcotest.int "fresh window delivers" 3
+    (List.length
+       (List.filter (function Asic.Chip.Emitted _ -> true | _ -> false) verdicts))
+
+let test_sketch_estimate_api_on_chip () =
+  let compiled = Result.get_ok (compile_protected ()) in
+  let rt = Runtime.create compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  let src = Netpkt.Ip4.of_octets 203 0 113 77 in
+  ignore (send rt ~src_last:77 ~n:5);
+  let est = Ddos_sketch.estimate compiled src in
+  check Alcotest.bool "estimate >= true count" true (est >= 5);
+  Ddos_sketch.reset compiled;
+  check Alcotest.int "reset clears" 0 (Ddos_sketch.estimate compiled src)
+
+let () =
+  Alcotest.run "stateful"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "basics" `Quick test_register_basics;
+          Alcotest.test_case "fold" `Quick test_register_fold;
+          qtest prop_register_rw;
+          Alcotest.test_case "action prims" `Quick test_action_register_prims;
+          Alcotest.test_case "dependency serializes" `Quick
+            test_register_dependency_serializes;
+        ] );
+      ( "rate_limiter",
+        [
+          Alcotest.test_case "differential" `Quick test_rate_limiter_differential;
+          Alcotest.test_case "window reset" `Quick test_rate_limiter_window_reset;
+        ] );
+      ( "ddos_sketch",
+        [
+          Alcotest.test_case "flags heavy source" `Quick
+            test_sketch_flags_heavy_source;
+          Alcotest.test_case "block mode" `Quick test_sketch_block_mode_drops;
+          qtest prop_sketch_never_underestimates;
+        ] );
+      ( "on_chip",
+        [
+          Alcotest.test_case "protected chain rate limit" `Quick
+            test_protected_chain_rate_limit_on_chip;
+          Alcotest.test_case "sketch estimate api" `Quick
+            test_sketch_estimate_api_on_chip;
+        ] );
+    ]
