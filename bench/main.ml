@@ -488,6 +488,127 @@ let microbench () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Placement solver benchmark: wall time and solution cost per solver   *)
+(* and spec size, plus the anneal fast-vs-reference head-to-head. The   *)
+(* results land in BENCH_placement.json so the perf trajectory is       *)
+(* machine-readable across PRs.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_placement () =
+  section "Placement solver benchmark -> BENCH_placement.json";
+  let anneal_iterations = 4000 in
+  let specs =
+    [
+      Asic.Spec.wedge_100b;
+      Asic.Spec.tofino_4pipe;
+      { Asic.Spec.tofino_4pipe with Asic.Spec.name = "tofino-8pipe"; n_pipelines = 8 };
+    ]
+  in
+  let nfs = [ "A"; "B"; "C"; "D"; "E"; "F" ] in
+  let chains =
+    [
+      Chain.make ~path_id:1 ~name:"full" ~nfs ~weight:0.5 ~exit_port:1 ();
+      Chain.make ~path_id:2 ~name:"odd" ~nfs:[ "A"; "C"; "E" ] ~weight:0.3
+        ~exit_port:17 ();
+      Chain.make ~path_id:3 ~name:"even" ~nfs:[ "B"; "D"; "F" ] ~weight:0.2
+        ~exit_port:1 ();
+    ]
+  in
+  let input_of spec =
+    {
+      Placement.spec;
+      resources_of =
+        (fun _ -> { P4ir.Resources.zero with P4ir.Resources.stages = 1 });
+      chains;
+      entry_pipeline = 0;
+      pinned = [];
+      framework_stages_per_nf = 2;
+      framework_stages_fixed = 1;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let anneal =
+    Placement.Anneal { iterations = anneal_iterations; seed = 1; initial_temp = 2.0 }
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"benchmark\": \"placement\",\n  \"anneal_iterations\": %d,\n  \"specs\": [\n"
+       anneal_iterations);
+  List.iteri
+    (fun si spec ->
+      let input = input_of spec in
+      Format.printf "@.%s (%d pipelines)@." spec.Asic.Spec.name
+        spec.Asic.Spec.n_pipelines;
+      Format.printf "%-12s %12s %10s@." "solver" "wall (ms)" "cost";
+      let solvers =
+        [ ("naive", Placement.Naive); ("greedy", Placement.Greedy); ("anneal", anneal) ]
+        @ (if spec.Asic.Spec.n_pipelines <= 2 then
+             [ ("exhaustive", Placement.Exhaustive) ]
+           else [])
+      in
+      let rows =
+        List.filter_map
+          (fun (name, strategy) ->
+            let dt, result = time (fun () -> Placement.solve input strategy) in
+            match result with
+            | Error e ->
+                Format.printf "%-12s failed: %s@." name e;
+                None
+            | Ok (_, cost) ->
+                Format.printf "%-12s %12.2f %10.3f@." name (dt *. 1000.0) cost;
+                Some (name, dt, cost))
+          solvers
+      in
+      (* Fast (heap + memo) vs reference (array-scan, no memo) anneal.
+         Min of 3 runs each: both solvers are deterministic, so run-to-
+         run wall-time spread is scheduler/GC noise and the minimum is
+         the cleanest estimate. *)
+      let time_min3 f =
+        let t1, r = time f in
+        let t2, _ = time f in
+        let t3, _ = time f in
+        (min t1 (min t2 t3), r)
+      in
+      let fast_s, fast = time_min3 (fun () -> Placement.solve input anneal) in
+      let ref_s, reference =
+        time_min3 (fun () -> Placement.solve ~reference:true input anneal)
+      in
+      let costs_equal =
+        match (fast, reference) with
+        | Ok (lf, cf), Ok (lr, cr) -> lf = lr && abs_float (cf -. cr) < 1e-9
+        | Error _, Error _ -> true
+        | _ -> false
+      in
+      let speedup = if fast_s > 0.0 then ref_s /. fast_s else 0.0 in
+      Format.printf
+        "anneal fast=%.2fms reference=%.2fms speedup=%.1fx identical=%b@."
+        (fast_s *. 1000.0) (ref_s *. 1000.0) speedup costs_equal;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\n      \"spec\": %S,\n      \"n_pipelines\": %d,\n      \"solvers\": [\n%s\n      ],\n      \"anneal_fast_s\": %.6f,\n      \"anneal_reference_s\": %.6f,\n      \"anneal_speedup\": %.2f,\n      \"anneal_results_identical\": %b\n    }%s\n"
+           spec.Asic.Spec.name spec.Asic.Spec.n_pipelines
+           (String.concat ",\n"
+              (List.map
+                 (fun (name, dt, cost) ->
+                   Printf.sprintf
+                     "        { \"solver\": %S, \"wall_s\": %.6f, \"cost\": %.6f }"
+                     name dt cost)
+                 rows))
+           fast_s ref_s speedup costs_equal
+           (if si < List.length specs - 1 then "," else "")))
+    specs;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_placement.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote BENCH_placement.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -504,6 +625,7 @@ let experiments =
     ("ablation-loopback", ablation_loopback);
     ("related-work", related_work);
     ("ablation-cluster", ablation_cluster);
+    ("placement", bench_placement);
     ("micro", microbench);
   ]
 

@@ -100,33 +100,31 @@ let solve t layout ~entry_pipeline ~exit_switch ~exit_pipeline chain =
     let base = s / (k + 1) and idx = s mod (k + 1) in
     ((if base < n then I base else E (base - n)), idx)
   in
-  dist.(state_id (I entry_pipeline) 0) <- 0;
+  let start = state_id (I entry_pipeline) 0 in
+  dist.(start) <- 0;
   let visited = Array.make n_states false in
-  let rec loop () =
-    let best = ref None in
-    Array.iteri
-      (fun s d ->
-        if (not visited.(s)) && d < max_int then
-          match !best with
-          | Some (_, bd) when bd <= d -> ()
-          | _ -> best := Some (s, d))
-      dist;
-    match !best with
+  let pq = Pqueue.create (2 * n_states) in
+  Pqueue.push pq ~prio:0 start;
+  let rec drain () =
+    match Pqueue.pop pq with
     | None -> ()
-    | Some (s, d) ->
-        visited.(s) <- true;
-        let loc, idx = decode s in
-        List.iter
-          (fun (c, (loc', idx'), steps) ->
-            let s' = state_id loc' idx' in
-            if d + c < dist.(s') then begin
-              dist.(s') <- d + c;
-              pred.(s') <- Some (s, steps)
-            end)
-          (edges loc idx);
-        loop ()
+    | Some (d, s) ->
+        if (not visited.(s)) && d <= dist.(s) then begin
+          visited.(s) <- true;
+          let loc, idx = decode s in
+          List.iter
+            (fun (c, (loc', idx'), steps) ->
+              let s' = state_id loc' idx' in
+              if d + c < dist.(s') then begin
+                dist.(s') <- d + c;
+                pred.(s') <- Some (s, steps);
+                Pqueue.push pq ~prio:(d + c) s'
+              end)
+            (edges loc idx)
+        end;
+        drain ()
   in
-  loop ();
+  drain ();
   (* Terminal: egress on the exit pipeline whose pass finishes the chain. *)
   let terminal = ref None in
   for s = 0 to n_states - 1 do

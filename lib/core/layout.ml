@@ -27,6 +27,22 @@ let position layout nf =
   in
   go 0 layout
 
+let index t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (id, layout) ->
+      List.iteri
+        (fun gi g ->
+          let kind = match g with Seq _ -> `Seq | Par _ -> `Par in
+          List.iteri
+            (fun si nf ->
+              if not (Hashtbl.mem tbl nf) then
+                Hashtbl.add tbl nf (id, gi, si, kind))
+            (group_members g))
+        layout)
+    t;
+  tbl
+
 let group_kind layout gi =
   match List.nth_opt layout gi with
   | Some (Seq _) -> `Seq

@@ -23,6 +23,14 @@ val position : pipelet_layout -> string -> (int * int) option
 
 val group_kind : pipelet_layout -> int -> [ `Seq | `Par ]
 
+val index :
+  t -> (string, Asic.Pipelet.id * int * int * [ `Seq | `Par ]) Hashtbl.t
+(** Whole-layout hash index: NF -> (pipelet, group index, slot, group
+    kind). One O(n) pass instead of repeated {!location}/{!position}
+    list scans — the lookup structure the traversal solver and its memo
+    cache build per layout. First occurrence wins, matching
+    {!location} and {!position}. *)
+
 val validate : t -> (unit, string) result
 (** Each NF appears at most once across the whole layout; no empty
     groups. *)

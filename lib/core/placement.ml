@@ -77,35 +77,38 @@ let canonical_order chains nfs =
   in
   topo [] by_rank
 
+(* The one fit rule for co-located NFs: chain-canonical order, [Seq]
+   when the stage budget allows, [Par] fallback otherwise. Shared by
+   [build_layout] and the naive solver's fit check so no strategy can
+   disagree with the evaluator about what fits. *)
+let fit_pipelet input nfs =
+  let ordered = canonical_order input.chains nfs in
+  let budget = input.spec.Asic.Spec.stages_per_pipelet in
+  let seq = [ Layout.Seq ordered ] in
+  if stages_needed input seq <= budget then Some seq
+  else if List.length ordered > 1 then begin
+    let par = [ Layout.Par ordered ] in
+    if stages_needed input par <= budget then Some par else None
+  end
+  else None
+
 let build_layout input assignment =
   let ids =
     List.sort_uniq Asic.Pipelet.compare_id (List.map snd assignment)
   in
-  let per_pipelet =
-    List.map
-      (fun id ->
+  let rec build acc = function
+    | [] -> Some (List.rev acc)
+    | id :: rest -> (
         let nfs =
           List.filter_map
             (fun (nf, i) -> if Asic.Pipelet.equal_id i id then Some nf else None)
             assignment
         in
-        (id, canonical_order input.chains nfs))
-      ids
+        match fit_pipelet input nfs with
+        | Some pl -> build ((id, pl) :: acc) rest
+        | None -> None)
   in
-  let budget = input.spec.Asic.Spec.stages_per_pipelet in
-  let rec build acc = function
-    | [] -> Some (List.rev acc)
-    | (id, nfs) :: rest ->
-        let seq = [ Layout.Seq nfs ] in
-        if stages_needed input seq <= budget then build ((id, seq) :: acc) rest
-        else if List.length nfs > 1 then begin
-          let par = [ Layout.Par nfs ] in
-          if stages_needed input par <= budget then build ((id, par) :: acc) rest
-          else None
-        end
-        else None
-  in
-  build [] per_pipelet
+  build [] ids
 
 let evaluate input layout =
   if not (feasible input layout) then None
@@ -113,11 +116,76 @@ let evaluate input layout =
     Traversal.cost input.spec layout ~entry_pipeline:input.entry_pipeline
       input.chains
 
-let evaluate_assignment input assignment =
-  match build_layout input assignment with
+(* Scoring backend: the heap solver with per-solve memo caches by
+   default, or the reference solver (no memo at all) as a bench/test
+   oracle. [fit] caches [fit_pipelet] results keyed by the co-located NF
+   list — valid only while [input.chains] is fixed, so callers that
+   rewrite chains (greedy's truncation) must drop it. *)
+type scorer = {
+  backend : [ `Fast of Traversal.cache | `Reference ];
+  fit : (string list, Layout.pipelet_layout option) Hashtbl.t option;
+}
+
+let make_scorer ~reference =
+  if reference then { backend = `Reference; fit = None }
+  else
+    {
+      backend = `Fast (Traversal.cache_create ());
+      fit = Some (Hashtbl.create 256);
+    }
+
+let score_layout scorer input layout =
+  match scorer.backend with
+  | `Fast cache ->
+      Traversal.cost_cached cache input.spec layout
+        ~entry_pipeline:input.entry_pipeline input.chains
+  | `Reference ->
+      Traversal.cost_reference input.spec layout
+        ~entry_pipeline:input.entry_pipeline input.chains
+
+let fit_pipelet_memo scorer input nfs =
+  match scorer with
+  | Some { fit = Some tbl; _ } -> (
+      match Hashtbl.find_opt tbl nfs with
+      | Some r -> r
+      | None ->
+          let r = fit_pipelet input nfs in
+          Hashtbl.add tbl nfs r;
+          r)
+  | Some { fit = None; _ } | None -> fit_pipelet input nfs
+
+let build_layout_memo ?scorer input assignment =
+  let ids =
+    List.sort_uniq Asic.Pipelet.compare_id (List.map snd assignment)
+  in
+  let rec build acc = function
+    | [] -> Some (List.rev acc)
+    | id :: rest -> (
+        let nfs =
+          List.filter_map
+            (fun (nf, i) -> if Asic.Pipelet.equal_id i id then Some nf else None)
+            assignment
+        in
+        match fit_pipelet_memo scorer input nfs with
+        | Some pl -> build ((id, pl) :: acc) rest
+        | None -> None)
+  in
+  build [] ids
+
+(* [build_layout] already enforces the per-pipelet stage budget, so a
+   built layout needs no second [feasible] pass — score it directly. *)
+let evaluate_assignment ?scorer input assignment =
+  match build_layout_memo ?scorer input assignment with
   | None -> None
   | Some layout ->
-      Option.map (fun c -> (layout, c)) (evaluate input layout)
+      let cost =
+        match scorer with
+        | Some s -> score_layout s input layout
+        | None ->
+            Traversal.cost input.spec layout
+              ~entry_pipeline:input.entry_pipeline input.chains
+      in
+      Option.map (fun c -> (layout, c)) cost
 
 let all_nf_names input = Chain.all_nfs input.chains
 
@@ -130,10 +198,13 @@ let free_nfs input =
 
 (* --- strategies --- *)
 
-let solve_naive input =
+let solve_naive ~scorer input =
   let order = pipelet_choices input in
   let n = List.length order in
-  (* Walk pipelets cyclically, advancing when the next NF no longer fits. *)
+  (* Walk pipelets cyclically, advancing when the next NF no longer
+     fits. The fit check is the same [fit_pipelet] the evaluator uses
+     ([Seq] with [Par] fallback), so naive never rejects an assignment
+     the evaluator would accept. *)
   let rec place assignment cursor tried nfs =
     match nfs with
     | [] -> Some assignment
@@ -147,15 +218,14 @@ let solve_naive input =
               (fun (f, i) -> if Asic.Pipelet.equal_id i id then Some f else None)
               candidate
           in
-          let layout = [ Layout.Seq (canonical_order input.chains pl_nfs) ] in
-          if stages_needed input layout <= input.spec.Asic.Spec.stages_per_pipelet
-          then place candidate (cursor + 1) 0 rest
+          if Option.is_some (fit_pipelet input pl_nfs) then
+            place candidate (cursor + 1) 0 rest
           else place assignment (cursor + 1) (tried + 1) (nf :: rest)
   in
   match place input.pinned 0 0 (free_nfs input) with
   | None -> Error "naive placement: NFs do not fit"
   | Some assignment -> (
-      match evaluate_assignment input assignment with
+      match evaluate_assignment ~scorer input assignment with
       | Some (layout, cost) -> Ok (layout, cost)
       | None -> Error "naive placement: produced an infeasible chain routing")
 
@@ -165,7 +235,10 @@ let better (a : float option) (b : float option) =
   | Some _, None -> true
   | None, (Some _ | None) -> false
 
-let solve_greedy input =
+let solve_greedy ~scorer input =
+  (* The truncated chains below change what [canonical_order] returns,
+     so the fit memo (keyed on NF lists alone) must not serve them. *)
+  let truncated_scorer = { scorer with fit = None } in
   let choices = pipelet_choices input in
   let rec place assignment = function
     | [] -> Ok assignment
@@ -192,7 +265,8 @@ let solve_greedy input =
               let candidate = assignment @ [ (nf, id) ] in
               let score =
                 Option.map snd
-                  (evaluate_assignment (truncated_input candidate) candidate)
+                  (evaluate_assignment ~scorer:truncated_scorer
+                     (truncated_input candidate) candidate)
               in
               match best with
               | Some (_, best_score) when not (better score (Some best_score)) ->
@@ -208,17 +282,17 @@ let solve_greedy input =
   match place input.pinned (free_nfs input) with
   | Error e -> Error e
   | Ok assignment -> (
-      match evaluate_assignment input assignment with
+      match evaluate_assignment ~scorer input assignment with
       | Some (layout, cost) -> Ok (layout, cost)
       | None -> Error "greedy placement: final layout infeasible")
 
-let solve_exhaustive input =
+let solve_exhaustive ~scorer input =
   let free = free_nfs input in
   let choices = pipelet_choices input in
   let best = ref None in
   let rec go assignment = function
     | [] -> (
-        match evaluate_assignment input assignment with
+        match evaluate_assignment ~scorer input assignment with
         | None -> ()
         | Some (layout, cost) -> (
             match !best with
@@ -232,10 +306,10 @@ let solve_exhaustive input =
   | Some (layout, _, cost) -> Ok (layout, cost)
   | None -> Error "exhaustive placement: no feasible assignment"
 
-let solve_anneal input ~iterations ~seed ~initial_temp =
+let solve_anneal ~scorer input ~iterations ~seed ~initial_temp =
   let free = Array.of_list (free_nfs input) in
   if Array.length free = 0 then
-    match evaluate_assignment input input.pinned with
+    match evaluate_assignment ~scorer input input.pinned with
     | Some (layout, cost) -> Ok (layout, cost)
     | None -> Error "anneal placement: pinned-only layout infeasible"
   else begin
@@ -248,7 +322,7 @@ let solve_anneal input ~iterations ~seed ~initial_temp =
       input.pinned @ Array.to_list (Array.mapi (fun i id -> (free.(i), id)) arr)
     in
     (* Start from greedy if it succeeds; otherwise from random. *)
-    (match solve_greedy input with
+    (match solve_greedy ~scorer input with
     | Ok (layout, _) ->
         Array.iteri
           (fun i nf ->
@@ -257,7 +331,12 @@ let solve_anneal input ~iterations ~seed ~initial_temp =
             | None -> ())
           free
     | Error _ -> ());
-    let score arr = Option.map snd (evaluate_assignment input (assignment_of arr)) in
+    (* With the [Fast] scorer a single-NF move re-solves only the chains
+       containing that NF; every other chain's fingerprint is unchanged
+       and hits the memo. *)
+    let score arr =
+      Option.map snd (evaluate_assignment ~scorer input (assignment_of arr))
+    in
     let best_arr = ref (Array.copy current) in
     let best_score = ref (score current) in
     let cur_score = ref !best_score in
@@ -287,18 +366,19 @@ let solve_anneal input ~iterations ~seed ~initial_temp =
       end
       else current.(i) <- old
     done;
-    match evaluate_assignment input (assignment_of !best_arr) with
+    match evaluate_assignment ~scorer input (assignment_of !best_arr) with
     | Some (layout, cost) -> Ok (layout, cost)
     | None -> Error "anneal placement: no feasible assignment found"
   end
 
-let solve input strategy =
+let solve ?(reference = false) input strategy =
+  let scorer = make_scorer ~reference in
   match strategy with
-  | Naive -> solve_naive input
-  | Greedy -> solve_greedy input
-  | Exhaustive -> solve_exhaustive input
+  | Naive -> solve_naive ~scorer input
+  | Greedy -> solve_greedy ~scorer input
+  | Exhaustive -> solve_exhaustive ~scorer input
   | Anneal { iterations; seed; initial_temp } ->
-      solve_anneal input ~iterations ~seed ~initial_temp
+      solve_anneal ~scorer input ~iterations ~seed ~initial_temp
 
 let pp_strategy ppf = function
   | Naive -> Format.pp_print_string ppf "naive"

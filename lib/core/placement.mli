@@ -47,7 +47,11 @@ val build_layout : input -> (string * Asic.Pipelet.id) list -> Layout.t option
 val evaluate : input -> Layout.t -> float option
 (** The optimizer objective; [None] when infeasible. *)
 
-val solve : input -> strategy -> (Layout.t * float, string) result
-(** Returns the layout and its objective value. *)
+val solve :
+  ?reference:bool -> input -> strategy -> (Layout.t * float, string) result
+(** Returns the layout and its objective value. [reference] (default
+    false) scores candidates with {!Traversal.solve_reference} and no
+    memo cache — the slow oracle path, kept for benchmarking and for
+    proving the memoized fast path returns identical results. *)
 
 val pp_strategy : Format.formatter -> strategy -> unit

@@ -101,62 +101,52 @@ let find_handler t sfc =
           | Some nf -> Hashtbl.find_opt t.handlers nf))
 
 let process t ~in_port frame =
-  let rec loop frame rounds recircs resubmits latency mirrored first =
-    if rounds > max_cpu_loops then
-      Error (Printf.sprintf "Runtime.process: exceeded %d CPU loops" max_cpu_loops)
-    else
-      let injected =
-        if first then Asic.Chip.inject (chip t) ~in_port frame
-        else
-          Asic.Chip.inject_cpu (chip t)
-            ~pipeline:(reinject_pipeline t frame)
-            frame
-      in
-      match injected with
-      | Error e -> Error e
-      | Ok r -> (
-          let recircs = recircs + r.Asic.Chip.recircs in
-          let resubmits = resubmits + r.Asic.Chip.resubmits in
-          let latency = latency +. r.Asic.Chip.latency_ns in
-          let mirrored = mirrored @ r.Asic.Chip.mirrored in
-          match r.Asic.Chip.verdict with
-          | Asic.Chip.To_cpu bytes -> (
-              let sfc = decode_sfc bytes in
-              match find_handler t sfc with
-              | None ->
-                  Ok
-                    {
-                      verdict = r.Asic.Chip.verdict;
-                      cpu_round_trips = rounds;
-                      recircs;
-                      resubmits;
-                      latency_ns = latency;
-                      mirrored;
-                    }
-              | Some handler -> (
-                  match handler sfc bytes with
-                  | Consume ->
-                      Ok
-                        {
-                          verdict = r.Asic.Chip.verdict;
-                          cpu_round_trips = rounds;
-                          recircs;
-                          resubmits;
-                          latency_ns = latency;
-                          mirrored;
-                        }
-                  | Reinject bytes ->
-                      loop bytes (rounds + 1) recircs resubmits latency mirrored
-                        false))
-          | Asic.Chip.Emitted _ | Asic.Chip.Dropped ->
-              Ok
-                {
-                  verdict = r.Asic.Chip.verdict;
-                  cpu_round_trips = rounds;
-                  recircs;
-                  resubmits;
-                  latency_ns = latency;
-                  mirrored;
-                })
+  (* [mirrored_rev] accumulates reversed (rev_append per pass, one final
+     [List.rev]) so an N-round flow costs O(total) instead of the
+     quadratic [acc @ round] append. [rounds] counts completed CPU
+     round trips; the handler runs at most [max_cpu_loops] times — the
+     bound is exact, checked before each dispatch. *)
+  let rec loop frame rounds recircs resubmits latency mirrored_rev first =
+    let injected =
+      if first then Asic.Chip.inject (chip t) ~in_port frame
+      else
+        Asic.Chip.inject_cpu (chip t)
+          ~pipeline:(reinject_pipeline t frame)
+          frame
+    in
+    match injected with
+    | Error e -> Error e
+    | Ok r -> (
+        let recircs = recircs + r.Asic.Chip.recircs in
+        let resubmits = resubmits + r.Asic.Chip.resubmits in
+        let latency = latency +. r.Asic.Chip.latency_ns in
+        let mirrored_rev = List.rev_append r.Asic.Chip.mirrored mirrored_rev in
+        let finish () =
+          Ok
+            {
+              verdict = r.Asic.Chip.verdict;
+              cpu_round_trips = rounds;
+              recircs;
+              resubmits;
+              latency_ns = latency;
+              mirrored = List.rev mirrored_rev;
+            }
+        in
+        match r.Asic.Chip.verdict with
+        | Asic.Chip.To_cpu bytes -> (
+            let sfc = decode_sfc bytes in
+            match find_handler t sfc with
+            | None -> finish ()
+            | Some _ when rounds >= max_cpu_loops ->
+                Error
+                  (Printf.sprintf "Runtime.process: exceeded %d CPU loops"
+                     max_cpu_loops)
+            | Some handler -> (
+                match handler sfc bytes with
+                | Consume -> finish ()
+                | Reinject bytes ->
+                    loop bytes (rounds + 1) recircs resubmits latency
+                      mirrored_rev false))
+        | Asic.Chip.Emitted _ | Asic.Chip.Dropped -> finish ())
   in
   loop frame 0 0 0 0.0 [] true

@@ -43,8 +43,10 @@ type outcome = {
 }
 
 val process : t -> in_port:int -> Bytes.t -> (outcome, string) result
-(** Inject a frame and resolve any to-CPU round trips (at most
-    {!max_cpu_loops}). Counters aggregate over all data-plane passes. *)
+(** Inject a frame and resolve any to-CPU round trips. Counters
+    aggregate over all data-plane passes. The handler is dispatched at
+    most {!max_cpu_loops} times — exactly; a packet still punting after
+    that is an error. *)
 
 val max_cpu_loops : int
 val chip : t -> Asic.Chip.t

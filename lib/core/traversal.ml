@@ -42,7 +42,29 @@ type loc = I of int | E of int
 let recirc_cost = 1000
 let resubmit_cost = 900
 
-let solve ?(start_idx = 0) spec layout ~entry_pipeline ~exit_port chain =
+let count_steps steps =
+  let recircs =
+    List.length
+      (List.filter
+         (function Egress_step { action = Recirc; _ } -> true | _ -> false)
+         steps)
+  in
+  let resubmits =
+    List.length
+      (List.filter
+         (function Ingress_step { action = Resubmit; _ } -> true | _ -> false)
+         steps)
+  in
+  (recircs, resubmits)
+
+(* --- reference solver ---------------------------------------------- *)
+
+(* The original array-scan Dijkstra: O(V^2) min-extraction, per-call
+   [Layout.position] list walks. Kept verbatim as the oracle the
+   heap-based [solve] is property-tested against. *)
+
+let solve_reference ?(start_idx = 0) spec layout ~entry_pipeline ~exit_port chain
+    =
   let k = List.length chain in
   let n = spec.Asic.Spec.n_pipelines in
   let exit_pipe = Asic.Spec.port_pipeline spec exit_port in
@@ -161,28 +183,236 @@ let solve ?(start_idx = 0) spec layout ~entry_pipeline ~exit_port chain =
         | Some (s', step) -> unwind s' (step :: acc)
       in
       let steps = unwind s [] @ [ final_step ] in
-      let recircs =
-        List.length
-          (List.filter
-             (function Egress_step { action = Recirc; _ } -> true | _ -> false)
-             steps)
-      in
-      let resubmits =
-        List.length
-          (List.filter
-             (function Ingress_step { action = Resubmit; _ } -> true | _ -> false)
-             steps)
-      in
+      let recircs, resubmits = count_steps steps in
       Some { steps; recircs; resubmits }
 
-let cost spec layout ~entry_pipeline chains =
+(* --- fast solver ---------------------------------------------------- *)
+
+(* Heap-based Dijkstra over the same state graph. The chain's NF
+   coordinates are hoisted into int arrays up front, so the inner loop
+   touches only ints: [adv.(l).(i)] is the chain position after one
+   pass through location [l] (ingress p = l, egress p = n + p) starting
+   at position [i]. Predecessors are stored as int codes (To_egress q =
+   q, Resubmit = n, Recirc = n + 1) so a solve allocates no step records
+   until a caller asks for the step list.
+
+   The solver core is parameterized by [lookup : nf -> (l, g, s, seq)
+   option] — the NF's location id, (group, slot) there, and whether the
+   group runs sequentially — instead of the layout itself, so the memo
+   cache can reuse the index it already builds for fingerprints. This
+   assumes each NF is placed at most once, which holds for every layout
+   the placement solvers and compiler produce. *)
+
+type core = {
+  k : int;
+  n : int;
+  exit_pipe : int;
+  adv : int array array;
+  dist : int array;
+  pred_state : int array;
+  pred_code : int array;
+  terminal : int;  (** terminal state id, or -1 when unroutable *)
+}
+
+(* [Layout.index] coordinates as the solver core's int lookup: location
+   id (ingress p = p, egress p = n + p), group, slot, seq?. *)
+let lookup_of_index n idx nf =
+  match Hashtbl.find_opt idx nf with
+  | None -> None
+  | Some ((id : Asic.Pipelet.id), g, s, kind) ->
+      let l =
+        match id.Asic.Pipelet.kind with
+        | Asic.Pipelet.Ingress -> id.Asic.Pipelet.pipeline
+        | Asic.Pipelet.Egress -> n + id.Asic.Pipelet.pipeline
+      in
+      Some (l, g, s, kind = `Seq)
+
+let solve_core ~start_idx ~n ~entry_pipeline ~exit_pipe ~lookup chain_arr =
+  let k = Array.length chain_arr in
+  let n_locs = 2 * n in
+  let sz = max k 1 in
+  let nf_loc = Array.make sz (-1) in
+  let nf_g = Array.make sz (-1) in
+  let nf_s = Array.make sz (-1) in
+  let nf_seq = Array.make sz false in
+  let used = Array.make n_locs false in
+  for i = 0 to k - 1 do
+    match lookup chain_arr.(i) with
+    | None -> nf_loc.(i) <- -1
+    | Some (l, g, s, seq) ->
+        nf_loc.(i) <- l;
+        nf_g.(i) <- g;
+        nf_s.(i) <- s;
+        nf_seq.(i) <- seq;
+        used.(l) <- true
+  done;
+  (* Per-pass advance rows, computed only for locations hosting chain
+     NFs; everything else shares the identity row (a pass there
+     consumes nothing). *)
+  let identity_row = Array.init (k + 1) (fun i -> i) in
+  let adv = Array.make n_locs identity_row in
+  for l = 0 to n_locs - 1 do
+    if used.(l) then begin
+      let row = Array.make (k + 1) 0 in
+      for idx0 = 0 to k do
+        let rec go idx gi si =
+          if idx >= k || nf_loc.(idx) <> l then idx
+          else
+            let g = nf_g.(idx) in
+            if g > gi then go (idx + 1) g nf_s.(idx)
+            else if g = gi && nf_seq.(idx) && nf_s.(idx) > si then
+              go (idx + 1) g nf_s.(idx)
+            else idx
+        in
+        row.(idx0) <- go idx0 (-1) (-1)
+      done;
+      adv.(l) <- row
+    end
+  done;
+  (* A detour through pipeline q hosting none of the chain's NFs (and
+     which is not the exit) never helps: an ingress can already reach
+     any egress directly. Prune those egress targets. *)
+  let useful = Array.make n false in
+  useful.(exit_pipe) <- true;
+  for q = 0 to n - 1 do
+    if used.(q) || used.(n + q) then useful.(q) <- true
+  done;
+  let n_states = n_locs * (k + 1) in
+  let state_id base idx = (base * (k + 1)) + idx in
+  let dist = Array.make n_states max_int in
+  let pred_state = Array.make n_states (-1) in
+  let pred_code = Array.make n_states (-1) in
+  let visited = Array.make n_states false in
+  let pq = Pqueue.create (2 * n_states) in
+  let start = state_id entry_pipeline (min start_idx k) in
+  dist.(start) <- 0;
+  Pqueue.push pq ~prio:0 start;
+  let rec drain () =
+    match Pqueue.pop pq with
+    | None -> ()
+    | Some (d, s) ->
+        if (not visited.(s)) && d <= dist.(s) then begin
+          visited.(s) <- true;
+          let base = s / (k + 1) and idx = s mod (k + 1) in
+          let idx' = adv.(base).(idx) in
+          if base < n then begin
+            let p = base in
+            for q = 0 to n - 1 do
+              if useful.(q) then begin
+                let s' = state_id (n + q) idx' in
+                if d < dist.(s') then begin
+                  dist.(s') <- d;
+                  pred_state.(s') <- s;
+                  pred_code.(s') <- q;
+                  Pqueue.push pq ~prio:d s'
+                end
+              end
+            done;
+            if adv.(p).(idx') > idx' then begin
+              let s' = state_id p idx' in
+              if d + resubmit_cost < dist.(s') then begin
+                dist.(s') <- d + resubmit_cost;
+                pred_state.(s') <- s;
+                pred_code.(s') <- n;
+                Pqueue.push pq ~prio:(d + resubmit_cost) s'
+              end
+            end
+          end
+          else begin
+            let q = base - n in
+            let s' = state_id q idx' in
+            if d + recirc_cost < dist.(s') then begin
+              dist.(s') <- d + recirc_cost;
+              pred_state.(s') <- s;
+              pred_code.(s') <- n + 1;
+              Pqueue.push pq ~prio:(d + recirc_cost) s'
+            end
+          end
+        end;
+        drain ()
+  in
+  drain ();
+  (* Terminal: an egress state on the exit pipeline whose pass completes
+     the chain. Scanned in state-id order, exactly like the reference. *)
+  let terminal = ref (-1) in
+  let exit_base = n + exit_pipe in
+  for idx = 0 to k do
+    let s = state_id exit_base idx in
+    if dist.(s) < max_int && adv.(exit_base).(idx) = k then
+      if !terminal < 0 || dist.(s) < dist.(!terminal) then terminal := s
+  done;
+  { k; n; exit_pipe; adv; dist; pred_state; pred_code; terminal = !terminal }
+
+let solve ?(start_idx = 0) spec layout ~entry_pipeline ~exit_port chain =
+  let n = spec.Asic.Spec.n_pipelines in
+  let exit_pipe = Asic.Spec.port_pipeline spec exit_port in
+  let idx = Layout.index layout in
+  let chain_arr = Array.of_list chain in
+  let c =
+    solve_core ~start_idx ~n ~entry_pipeline ~exit_pipe
+      ~lookup:(lookup_of_index n idx) chain_arr
+  in
+  if c.terminal < 0 then None
+  else begin
+    let rec unwind s acc =
+      let p = c.pred_state.(s) in
+      if p < 0 then acc
+      else
+        let base = p / (c.k + 1) and idx = p mod (c.k + 1) in
+        let idx' = c.adv.(base).(idx) in
+        let code = c.pred_code.(s) in
+        let step =
+          if base < c.n then
+            Ingress_step
+              {
+                pipeline = base;
+                idx_in = idx;
+                idx_out = idx';
+                action = (if code < c.n then To_egress code else Resubmit);
+              }
+          else
+            Egress_step
+              { pipeline = base - c.n; idx_in = idx; idx_out = idx'; action = Recirc }
+        in
+        unwind p (step :: acc)
+    in
+    let term_idx = c.terminal mod (c.k + 1) in
+    let final_step =
+      Egress_step
+        { pipeline = c.exit_pipe; idx_in = term_idx; idx_out = c.k; action = Emit }
+    in
+    let steps = unwind c.terminal [] @ [ final_step ] in
+    let recircs, resubmits = count_steps steps in
+    Some { steps; recircs; resubmits }
+  end
+
+(* (recircs, resubmits) only — the memoized scoring path needs no step
+   records, just a walk over the predecessor codes. *)
+let solve_counts ~start_idx ~n ~entry_pipeline ~exit_pipe ~lookup chain_arr =
+  let c = solve_core ~start_idx ~n ~entry_pipeline ~exit_pipe ~lookup chain_arr in
+  if c.terminal < 0 then None
+  else begin
+    let recircs = ref 0 and resubmits = ref 0 in
+    let s = ref c.terminal in
+    while c.pred_state.(!s) >= 0 do
+      let code = c.pred_code.(!s) in
+      if code = c.n then incr resubmits
+      else if code = c.n + 1 then incr recircs;
+      s := c.pred_state.(!s)
+    done;
+    Some (!recircs, !resubmits)
+  end
+
+(* --- weighted objective --------------------------------------------- *)
+
+let cost_with solver spec layout ~entry_pipeline chains =
   List.fold_left
     (fun acc (c : Chain.t) ->
       match acc with
       | None -> None
       | Some total -> (
           match
-            solve spec layout ~entry_pipeline ~exit_port:c.Chain.exit_port
+            solver spec layout ~entry_pipeline ~exit_port:c.Chain.exit_port
               c.Chain.nfs
           with
           | None -> None
@@ -192,6 +422,104 @@ let cost spec layout ~entry_pipeline chains =
                 +. c.Chain.weight
                    *. (float_of_int path.recircs
                       +. (0.9 *. float_of_int path.resubmits)))))
+    (Some 0.0) chains
+
+let cost spec layout ~entry_pipeline chains =
+  cost_with (fun spec layout ~entry_pipeline ~exit_port chain ->
+      solve spec layout ~entry_pipeline ~exit_port chain)
+    spec layout ~entry_pipeline chains
+
+let cost_reference spec layout ~entry_pipeline chains =
+  cost_with (fun spec layout ~entry_pipeline ~exit_port chain ->
+      solve_reference spec layout ~entry_pipeline ~exit_port chain)
+    spec layout ~entry_pipeline chains
+
+(* --- memo cache ------------------------------------------------------ *)
+
+(* A chain's cheapest traversal depends on the layout only through the
+   coordinates of the chain's own NFs: which pipelet each sits on, its
+   (group, slot) there, and that group's kind — everything [advance]
+   ever consults. Serializing those coordinates gives a fingerprint that
+   is stable under moves of unrelated NFs, so an annealer move
+   invalidates only the chains containing the moved NF. *)
+
+type cache = {
+  tbl : (string, (int * int) option) Hashtbl.t;
+      (** key = path_id + entry pipeline + per-NF coordinates *)
+  buf : Buffer.t;  (** scratch for key construction, reused across calls *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache_create () =
+  { tbl = Hashtbl.create 1024; buf = Buffer.create 64; hits = 0; misses = 0 }
+let cache_stats c = (c.hits, c.misses)
+
+(* Bound memory on pathological workloads; a reset just costs re-solves. *)
+let max_cache_entries = 65536
+
+let cost_cached cache spec layout ~entry_pipeline chains =
+  (* Index the whole layout once: the same [Layout.index] serves both
+     the fingerprints and any cache-miss re-solves, so a miss never
+     walks the layout again. *)
+  let n = spec.Asic.Spec.n_pipelines in
+  let where = Layout.index layout in
+  let fingerprint (c : Chain.t) =
+    let buf = cache.buf in
+    Buffer.clear buf;
+    Buffer.add_string buf (string_of_int c.Chain.path_id);
+    Buffer.add_char buf '@';
+    Buffer.add_string buf (string_of_int entry_pipeline);
+    List.iter
+      (fun nf ->
+        match Hashtbl.find_opt where nf with
+        | None -> Buffer.add_string buf "|-"
+        | Some (id, g, s, kind) ->
+            Buffer.add_char buf '|';
+            Buffer.add_string buf (string_of_int id.Asic.Pipelet.pipeline);
+            Buffer.add_char buf
+              (match id.Asic.Pipelet.kind with
+              | Asic.Pipelet.Ingress -> 'i'
+              | Asic.Pipelet.Egress -> 'e');
+            Buffer.add_string buf (string_of_int g);
+            Buffer.add_char buf ':';
+            Buffer.add_string buf (string_of_int s);
+            Buffer.add_char buf (match kind with `Seq -> 's' | `Par -> 'p'))
+      c.Chain.nfs;
+    Buffer.contents buf
+  in
+  List.fold_left
+    (fun acc (c : Chain.t) ->
+      match acc with
+      | None -> None
+      | Some total -> (
+          let key = fingerprint c in
+          let result =
+            match Hashtbl.find_opt cache.tbl key with
+            | Some r ->
+                cache.hits <- cache.hits + 1;
+                r
+            | None ->
+                cache.misses <- cache.misses + 1;
+                let r =
+                  solve_counts ~start_idx:0 ~n ~entry_pipeline
+                    ~exit_pipe:
+                      (Asic.Spec.port_pipeline spec c.Chain.exit_port)
+                    ~lookup:(lookup_of_index n where)
+                    (Array.of_list c.Chain.nfs)
+                in
+                if Hashtbl.length cache.tbl >= max_cache_entries then
+                  Hashtbl.reset cache.tbl;
+                Hashtbl.add cache.tbl key r;
+                r
+          in
+          match result with
+          | None -> None
+          | Some (recircs, resubmits) ->
+              Some
+                (total
+                +. c.Chain.weight
+                   *. (float_of_int recircs +. (0.9 *. float_of_int resubmits)))))
     (Some 0.0) chains
 
 let pp_step ppf = function

@@ -47,7 +47,22 @@ val solve :
     at [entry_pipeline]'s ingress — how routing entries for packets
     resuming after a control-plane round trip are derived. A resubmission costs 0.9 of a recirculation:
     both replay a pipe pass and cut effective throughput, but
-    recirculation additionally consumes loopback-port bandwidth. *)
+    recirculation additionally consumes loopback-port bandwidth.
+
+    Assumes each NF appears in at most one pipelet's layout — true of
+    every layout the placement strategies and compiler produce. *)
+
+val solve_reference :
+  ?start_idx:int ->
+  Asic.Spec.t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  exit_port:int ->
+  string list ->
+  path option
+(** The original O(V²) array-scan Dijkstra with per-call list walks,
+    kept as a test oracle and benchmark baseline for the heap-based
+    [solve]. Same contract; identical optimal costs. *)
 
 val cost :
   Asic.Spec.t ->
@@ -58,5 +73,35 @@ val cost :
 (** Weighted transition cost over all chains — the §3.3 objective
     (recirculations) extended with resubmissions at 0.9 weight; [None]
     if any chain is infeasible. *)
+
+val cost_reference :
+  Asic.Spec.t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  Chain.t list ->
+  float option
+(** [cost] computed with {!solve_reference} — the oracle scoring path. *)
+
+type cache
+(** Memo table for {!cost_cached}. A chain's cheapest traversal depends
+    on the layout only through its own NFs' coordinates (pipelet, group,
+    slot, group kind), so entries are keyed by [(path_id, fingerprint of
+    those coordinates)]: moving an NF re-solves only the chains that
+    contain it. Bounded; a full table resets and refills. *)
+
+val cache_create : unit -> cache
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] since creation. *)
+
+val cost_cached :
+  cache ->
+  Asic.Spec.t ->
+  Layout.t ->
+  entry_pipeline:int ->
+  Chain.t list ->
+  float option
+(** Same value as {!cost}, memoized per chain — the annealer's inner
+    loop. *)
 
 val pp_path : Format.formatter -> path -> unit

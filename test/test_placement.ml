@@ -108,6 +108,31 @@ let test_build_layout_seq_to_par_fallback () =
             (Format.asprintf "expected par group, got %a" Layout.pp_pipelet_layout
                other))
 
+let test_naive_par_fallback () =
+  (* Six 5-stage NFs round-robined over 4 pipelets: every co-located
+     pair overflows Seq (5+5+2*2+1 = 15 > 12) but fits Par
+     (max(5,5)+4+1 = 10 <= 12). The old naive fit check only tried Seq
+     and spuriously reported "NFs do not fit". *)
+  let inp = input ~stages_per_nf:(fun _ -> 5) ~chains:[ chain_af () ] () in
+  match Placement.solve inp Placement.Naive with
+  | Error e -> Alcotest.fail ("naive should place via the Par fallback: " ^ e)
+  | Ok (layout, _) ->
+      check Alcotest.bool "layout feasible" true (Placement.feasible inp layout)
+
+let test_anneal_matches_reference_scorer () =
+  (* The memoized fast scorer must produce bit-identical scores, so the
+     annealer walks the same accept/reject trajectory under either
+     backend: same final layout, same cost. *)
+  let inp = input ~chains:[ chain_af () ] () in
+  let strategy =
+    Placement.Anneal { iterations = 1000; seed = 7; initial_temp = 2.0 }
+  in
+  match (Placement.solve inp strategy, Placement.solve ~reference:true inp strategy) with
+  | Ok (l1, c1), Ok (l2, c2) ->
+      check Alcotest.(float 1e-12) "same cost" c2 c1;
+      check Alcotest.bool "same layout" true (l1 = l2)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
 let test_canonical_order_follows_chains () =
   (* lb-before-router ordering: the heavy chain visits B before A. *)
   let chains =
@@ -194,6 +219,12 @@ let () =
           Alcotest.test_case "infeasible reported" `Quick test_infeasible_reported;
           Alcotest.test_case "seq->par fallback" `Quick
             test_build_layout_seq_to_par_fallback;
+          Alcotest.test_case "naive par fallback" `Quick test_naive_par_fallback;
+        ] );
+      ( "scorer",
+        [
+          Alcotest.test_case "anneal fast = reference" `Quick
+            test_anneal_matches_reference_scorer;
         ] );
       ( "ordering",
         [

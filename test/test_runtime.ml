@@ -115,6 +115,34 @@ let test_lb_spreads_flows () =
   let distinct = List.sort_uniq Netpkt.Ip4.compare backends in
   check Alcotest.bool "multiple backends used" true (List.length distinct > 1)
 
+let test_reinject_loop_bounded () =
+  (* A handler that always reinjects without installing anything: the
+     packet punts forever and [process] must stop with an error after
+     dispatching the handler exactly [max_cpu_loops] times (the old
+     guard allowed one extra round trip). *)
+  let compiled =
+    Result.get_ok (Compiler.compile (Nflib.Catalog.edge_cloud_input ()))
+  in
+  let rt = Runtime.create compiled in
+  Runtime.register_nf_id rt "lb" (Runtime.default_nf_id "lb");
+  let count = ref 0 in
+  Runtime.on_to_cpu rt "lb" (fun _ bytes ->
+      incr count;
+      Runtime.Reinject (Runtime.clear_cpu_mark bytes));
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match
+    Runtime.process rt ~in_port:0 (Netpkt.Pkt.encode (vip_pkt ~src_port:4242))
+  with
+  | Ok _ -> Alcotest.fail "expected the CPU-loop bound to trip"
+  | Error e ->
+      check Alcotest.bool "error mentions CPU loops" true (contains e "CPU loops");
+      check Alcotest.int "handler ran exactly max_cpu_loops times"
+        Runtime.max_cpu_loops !count
+
 let test_unhandled_cpu_packet_terminates () =
   (* No handlers registered: the To_cpu verdict must surface, not loop. *)
   let compiled =
@@ -143,5 +171,7 @@ let () =
           Alcotest.test_case "spreads flows" `Quick test_lb_spreads_flows;
           Alcotest.test_case "unhandled cpu packet" `Quick
             test_unhandled_cpu_packet_terminates;
+          Alcotest.test_case "reinject loop bounded" `Quick
+            test_reinject_loop_bounded;
         ] );
     ]

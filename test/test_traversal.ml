@@ -213,6 +213,88 @@ let prop_solver_is_optimal =
           (1000 * p.Traversal.recircs) + (900 * p.Traversal.resubmits) >= 6000
       | None, Some _ -> false)
 
+(* --- heap solver vs reference oracle --- *)
+
+(* Random single-placement layouts (each NF on at most one pipelet —
+   the shape every placement strategy produces); some NFs stay unplaced
+   to exercise the unroutable path. *)
+let random_layout st pipelets chain =
+  let n_choices = List.length pipelets in
+  let assignment =
+    List.filter_map
+      (fun nf ->
+        let roll = Random.State.int st (n_choices + 1) in
+        if roll = n_choices then None else Some (nf, List.nth pipelets roll))
+      chain
+  in
+  List.filter_map
+    (fun id ->
+      let members =
+        List.filter_map
+          (fun (nf, i) -> if Asic.Pipelet.equal_id i id then Some nf else None)
+          assignment
+      in
+      if members = [] then None
+      else if Random.State.bool st then Some (id, [ Layout.Seq members ])
+      else Some (id, [ Layout.Par members ]))
+    pipelets
+
+let prop_fast_matches_reference =
+  QCheck.Test.make ~name:"heap solve = reference solve (2 and 4 pipelines)"
+    ~count:150
+    QCheck.(triple (int_range 0 6) (int_bound 1_000_000) bool)
+    (fun (k, seed, big) ->
+      let spec = if big then Asic.Spec.tofino_4pipe else spec in
+      let st = Random.State.make [| seed |] in
+      let chain = List.init k (fun i -> Printf.sprintf "N%d" i) in
+      let pipelets =
+        List.concat_map
+          (fun p -> [ ing p; eg p ])
+          (List.init spec.Asic.Spec.n_pipelines (fun p -> p))
+      in
+      let layout = random_layout st pipelets chain in
+      let entry_pipeline = Random.State.int st spec.Asic.Spec.n_pipelines in
+      let exit_port = if Random.State.bool st then 1 else 17 in
+      let fast = Traversal.solve spec layout ~entry_pipeline ~exit_port chain in
+      let oracle =
+        Traversal.solve_reference spec layout ~entry_pipeline ~exit_port chain
+      in
+      match (fast, oracle) with
+      | None, None -> true
+      | Some f, Some o ->
+          f.Traversal.recircs = o.Traversal.recircs
+          && f.Traversal.resubmits = o.Traversal.resubmits
+      | Some _, None | None, Some _ -> false)
+
+let prop_cached_cost_coherent =
+  QCheck.Test.make ~name:"cost_cached = cost, second pass all hits" ~count:60
+    QCheck.(pair (int_range 1 5) (int_bound 1_000_000))
+    (fun (k, seed) ->
+      let st = Random.State.make [| seed |] in
+      let nfs = List.init k (fun i -> Printf.sprintf "N%d" i) in
+      let layout = random_layout st [ ing 0; eg 0; ing 1; eg 1 ] nfs in
+      let chains =
+        [
+          Chain.make ~path_id:1 ~name:"fwd" ~nfs ~weight:0.7 ~exit_port:1 ();
+          Chain.make ~path_id:2 ~name:"rev" ~nfs:(List.rev nfs) ~weight:0.3
+            ~exit_port:17 ();
+        ]
+      in
+      let cache = Traversal.cache_create () in
+      let plain = Traversal.cost spec layout ~entry_pipeline:0 chains in
+      let c1 = Traversal.cost_cached cache spec layout ~entry_pipeline:0 chains in
+      let c2 = Traversal.cost_cached cache spec layout ~entry_pipeline:0 chains in
+      let hits, misses = Traversal.cache_stats cache in
+      let same a b =
+        match (a, b) with
+        | None, None -> true
+        | Some x, Some y -> abs_float (x -. y) < 1e-9
+        | _ -> false
+      in
+      (* An unroutable first chain short-circuits the fold, so each pass
+         touches 1 or 2 chains — but hit/miss counts must mirror. *)
+      same plain c1 && same plain c2 && hits = misses && hits >= 1 && hits <= 2)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -243,4 +325,6 @@ let () =
           Alcotest.test_case "weighted cost" `Quick test_cost_weights_chains;
           qtest prop_solver_is_optimal;
         ] );
+      ( "oracle",
+        [ qtest prop_fast_matches_reference; qtest prop_cached_cost_coherent ] );
     ]
