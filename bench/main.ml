@@ -489,14 +489,20 @@ let microbench () =
 
 (* ------------------------------------------------------------------ *)
 (* Placement solver benchmark: wall time and solution cost per solver   *)
-(* and spec size, plus the anneal fast-vs-reference head-to-head. The   *)
-(* results land in BENCH_placement.json so the perf trajectory is       *)
-(* machine-readable across PRs.                                         *)
+(* and spec size, the three-way anneal head-to-head (incremental        *)
+(* move-diff vs full rebuild vs reference oracle), and multi-domain     *)
+(* parallel restarts. The results land in BENCH_placement.json so the   *)
+(* perf trajectory is machine-readable across PRs.                      *)
 (* ------------------------------------------------------------------ *)
+
+(* --smoke (used by CI) shrinks the iteration count: still exercises
+   every code path and the identity checks, without the full-length
+   timing runs. *)
+let smoke = ref false
 
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
-  let anneal_iterations = 4000 in
+  let anneal_iterations = if !smoke then 400 else 4000 in
   let specs =
     [
       Asic.Spec.wedge_100b;
@@ -564,33 +570,87 @@ let bench_placement () =
                 Some (name, dt, cost))
           solvers
       in
-      (* Fast (heap + memo) vs reference (array-scan, no memo) anneal.
-         Min of 3 runs each: both solvers are deterministic, so run-to-
-         run wall-time spread is scheduler/GC noise and the minimum is
-         the cleanest estimate. *)
+      (* Three-way anneal head-to-head: incremental move-diff (the
+         production path), full rebuild with the memoized fast scorer
+         (PR-1's path, now the oracle baseline) and full rebuild with
+         the uncached reference scorer. Min of 3 runs each: all three
+         are deterministic, so run-to-run wall-time spread is
+         scheduler/GC noise and the minimum is the cleanest estimate. *)
       let time_min3 f =
         let t1, r = time f in
         let t2, _ = time f in
         let t3, _ = time f in
         (min t1 (min t2 t3), r)
       in
-      let fast_s, fast = time_min3 (fun () -> Placement.solve input anneal) in
-      let ref_s, reference =
-        time_min3 (fun () -> Placement.solve ~reference:true input anneal)
+      let incr_s, incremental =
+        time_min3 (fun () -> Placement.solve input anneal)
       in
-      let costs_equal =
-        match (fast, reference) with
-        | Ok (lf, cf), Ok (lr, cr) -> lf = lr && abs_float (cf -. cr) < 1e-9
+      let fast_s, fast =
+        time_min3 (fun () -> Placement.solve_rebuild input anneal)
+      in
+      let ref_s, reference =
+        time_min3 (fun () ->
+            Placement.solve_rebuild ~scorer:Placement.Reference input anneal)
+      in
+      let same a b =
+        match (a, b) with
+        | Ok (la, ca), Ok (lb, cb) -> la = lb && abs_float (ca -. cb) < 1e-9
         | Error _, Error _ -> true
         | _ -> false
       in
+      let costs_equal = same incremental fast && same incremental reference in
       let speedup = if fast_s > 0.0 then ref_s /. fast_s else 0.0 in
+      let incr_speedup = if incr_s > 0.0 then fast_s /. incr_s else 0.0 in
       Format.printf
-        "anneal fast=%.2fms reference=%.2fms speedup=%.1fx identical=%b@."
-        (fast_s *. 1000.0) (ref_s *. 1000.0) speedup costs_equal;
+        "anneal incremental=%.2fms rebuild-fast=%.2fms reference=%.2fms \
+         incr-speedup=%.1fx fast-speedup=%.1fx identical=%b@."
+        (incr_s *. 1000.0) (fast_s *. 1000.0) (ref_s *. 1000.0) incr_speedup
+        speedup costs_equal;
+      (* Parallel restarts: the full seed sweep on a 4-domain pool. *)
+      let restart_domains = 4 in
+      let restart_seeds = [ 1; 2; 3; 4; 5; 6 ] in
+      let par_s, par =
+        time (fun () ->
+            Placement.solve_parallel ~iterations:anneal_iterations
+              ~domains:restart_domains ~seeds:restart_seeds input)
+      in
+      let restarts_json =
+        match par with
+        | Error e ->
+            Format.printf "restarts failed: %s@." e;
+            Printf.sprintf
+              "      \"restarts\": { \"domains\": %d, \"error\": %S }\n"
+              restart_domains e
+        | Ok p ->
+            Format.printf "restarts (%d seeds, %d domains): best=%.3f in %.2fms@."
+              (List.length restart_seeds) restart_domains p.Placement.cost
+              (par_s *. 1000.0);
+            Printf.sprintf
+              "      \"restarts\": {\n\
+              \        \"domains\": %d,\n\
+              \        \"wall_s\": %.6f,\n\
+              \        \"best_cost\": %.6f,\n\
+              \        \"per_seed\": [\n%s\n\
+              \        ]\n\
+              \      }\n"
+              restart_domains par_s p.Placement.cost
+              (String.concat ",\n"
+                 (List.map
+                    (fun (r : Placement.restart) ->
+                      match r.Placement.cost with
+                      | Some c ->
+                          Printf.sprintf
+                            "          { \"seed\": %d, \"cost\": %.6f }"
+                            r.Placement.seed c
+                      | None ->
+                          Printf.sprintf
+                            "          { \"seed\": %d, \"cost\": null }"
+                            r.Placement.seed)
+                    p.Placement.restarts))
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\n      \"spec\": %S,\n      \"n_pipelines\": %d,\n      \"solvers\": [\n%s\n      ],\n      \"anneal_fast_s\": %.6f,\n      \"anneal_reference_s\": %.6f,\n      \"anneal_speedup\": %.2f,\n      \"anneal_results_identical\": %b\n    }%s\n"
+           "    {\n      \"spec\": %S,\n      \"n_pipelines\": %d,\n      \"solvers\": [\n%s\n      ],\n      \"anneal_incremental_s\": %.6f,\n      \"anneal_fast_s\": %.6f,\n      \"anneal_reference_s\": %.6f,\n      \"anneal_speedup\": %.2f,\n      \"anneal_incremental_speedup\": %.2f,\n      \"anneal_results_identical\": %b,\n%s    }%s\n"
            spec.Asic.Spec.name spec.Asic.Spec.n_pipelines
            (String.concat ",\n"
               (List.map
@@ -599,14 +659,17 @@ let bench_placement () =
                      "        { \"solver\": %S, \"wall_s\": %.6f, \"cost\": %.6f }"
                      name dt cost)
                  rows))
-           fast_s ref_s speedup costs_equal
+           incr_s fast_s ref_s speedup incr_speedup costs_equal restarts_json
            (if si < List.length specs - 1 then "," else "")))
     specs;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out "BENCH_placement.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  Format.printf "@.wrote BENCH_placement.json@."
+  if !smoke then Format.printf "@.--smoke: skipped writing BENCH_placement.json@."
+  else begin
+    let oc = open_out "BENCH_placement.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Format.printf "@.wrote BENCH_placement.json@."
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -630,7 +693,9 @@ let experiments =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let requested = List.filter (fun a -> a <> "--smoke") argv in
+  if List.mem "--smoke" argv then smoke := true;
   let to_run =
     match requested with
     | [] -> experiments

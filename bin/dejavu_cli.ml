@@ -6,7 +6,8 @@
      dejavu send --dst 10.0.1.10 [--src ...] [--trace]
      dejavu programs [--pipelet "ingress 0"]
      dejavu report
-     dejavu strategies *)
+     dejavu strategies
+     dejavu place [--domains 4] [--seeds 1,2,3] *)
 
 open Dejavu_core
 
@@ -182,6 +183,75 @@ let send_cmd =
       const run $ strategy_arg $ extended_arg $ dst_arg $ src_arg $ dport_arg
       $ in_port_arg $ trace_arg)
 
+(* --- place ---------------------------------------------------------- *)
+
+let place_cmd =
+  let domains_arg =
+    Cmdliner.Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Domains in the restart pool (1 = sequential).")
+  in
+  let seeds_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5; 6 ]
+      & info [ "seeds" ] ~docv:"S1,S2,..."
+          ~doc:"Annealing seeds, one independent restart each.")
+  in
+  let iterations_arg =
+    Cmdliner.Arg.(
+      value & opt int 4000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Annealing iterations per restart.")
+  in
+  let scorer_conv =
+    let parse = function
+      | "fast" -> Ok Placement.Fast
+      | "reference" -> Ok Placement.Reference
+      | s -> Error (`Msg (Printf.sprintf "unknown scorer %S" s))
+    in
+    let print ppf = function
+      | Placement.Fast -> Format.pp_print_string ppf "fast"
+      | Placement.Reference -> Format.pp_print_string ppf "reference"
+    in
+    Cmdliner.Arg.conv (parse, print)
+  in
+  let scorer_arg =
+    Cmdliner.Arg.(
+      value
+      & opt scorer_conv Placement.Fast
+      & info [ "scorer" ] ~docv:"SCORER"
+          ~doc:"Scoring backend: fast (memoized heap solver) or reference.")
+  in
+  let run extended domains seeds iterations scorer =
+    let input =
+      Nflib.Catalog.edge_cloud_input ~strategy:Placement.default_anneal
+        ~extended ()
+    in
+    let pinput = or_die (Compiler.placement_input input) in
+    let result =
+      or_die
+        (Placement.solve_parallel ~scorer ~iterations ~domains ~seeds pinput)
+    in
+    Format.printf "restarts (%d domains):@." domains;
+    List.iter
+      (fun (r : Placement.restart) ->
+        match r.Placement.cost with
+        | Some c -> Format.printf "  seed %-4d cost %.3f@." r.Placement.seed c
+        | None -> Format.printf "  seed %-4d infeasible@." r.Placement.seed)
+      result.Placement.restarts;
+    Format.printf "best (cost %.3f):@.%a@." result.Placement.cost Layout.pp
+      result.Placement.layout
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "place"
+       ~doc:
+         "Anneal the deployment's placement with parallel seeded restarts \
+          and print the per-seed costs and the best layout.")
+    Cmdliner.Term.(
+      const run $ extended_arg $ domains_arg $ seeds_arg $ iterations_arg
+      $ scorer_arg)
+
 (* --- cluster -------------------------------------------------------- *)
 
 let cluster_cmd =
@@ -265,5 +335,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
-            cluster_cmd;
+            place_cmd; cluster_cmd;
           ]))

@@ -110,4 +110,31 @@ let () =
           ("exhaustive", Placement.Exhaustive);
         ];
       Format.printf "@.")
-    policies
+    policies;
+
+  Format.printf "== Part 3: parallel seeded restarts ==@.@.";
+  (* One annealing run can get stuck in a local minimum; restarts from
+     several seeds explore independently and keep the cheapest layout.
+     The restarts run on an OCaml 5 domain pool, and the merge is
+     deterministic: same seeds -> same winner, whatever the domain
+     count or interleaving. *)
+  let _, spec, chains = List.nth policies 2 in
+  let inp = synthetic_input spec chains in
+  let seeds = [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun domains ->
+      let t0 = Sys.time () in
+      match Placement.solve_parallel ~domains ~seeds inp with
+      | Error e -> Format.printf "  %d domain(s): failed: %s@." domains e
+      | Ok r ->
+          Format.printf "  %d domain(s): best cost=%.3f (%.0f ms)  per seed:"
+            domains r.Placement.cost
+            ((Sys.time () -. t0) *. 1000.0);
+          List.iter
+            (fun (s : Placement.restart) ->
+              match s.Placement.cost with
+              | Some c -> Format.printf " %d->%.3f" s.Placement.seed c
+              | None -> Format.printf " %d->infeasible" s.Placement.seed)
+            r.Placement.restarts;
+          Format.printf "@.")
+    [ 1; 4 ]

@@ -38,10 +38,11 @@ let ( let* ) = Result.bind
 let framework_stages_per_nf = 2
 let framework_stages_fixed = 1
 
-let compile input =
+(* Validate the chains and instantiate fresh NF instances for this
+   deployment — the shared prefix of [placement_input] and [compile]. *)
+let instantiate_chains input =
   let* () = Chain.validate_against input.registry input.chains in
   let chains = Chain.normalize_weights input.chains in
-  (* Fresh NF instances for this deployment. *)
   let* nfs =
     List.fold_left
       (fun acc name ->
@@ -51,21 +52,13 @@ let compile input =
       (Ok [])
       (Chain.all_nfs chains)
   in
-  let nf_of name =
-    match List.assoc_opt name nfs with
-    | Some nf -> Ok nf
-    | None -> Error (Printf.sprintf "compiler: unknown NF %s" name)
-  in
-  (* Generic parser: the framework's own slice (it must always parse the
-     SFC header) merged with every NF's parser. *)
-  let framework_parser = Net_hdrs.base_parser ~with_vlan:true ~name:"dejavu" () in
-  let* generic_parser =
-    Result.map_error
-      (fun c -> "parser merge: " ^ Parser_merge.conflict_message c)
-      (Parser_merge.merge ~name:"generic"
-         (framework_parser :: List.map (fun (_, nf) -> nf.Nf.parser) nfs))
-  in
-  (* Placement. *)
+  Ok (chains, nfs)
+
+(* The placement problem induced by a deployment: per-NF resource
+   demands (memoized — the solvers call [resources_of] in their inner
+   loops), classifier-style NFs auto-pinned to the entry ingress, and
+   the framework's per-pipelet stage overheads. *)
+let placement_input_of input chains nfs =
   let resource_cache = Hashtbl.create 16 in
   let resources_of name =
     match Hashtbl.find_opt resource_cache name with
@@ -97,17 +90,37 @@ let compile input =
     auto_pins
     @ List.filter (fun (n, _) -> not (List.mem_assoc n auto_pins)) input.pinned
   in
-  let pinput =
-    {
-      Placement.spec = input.spec;
-      resources_of;
-      chains;
-      entry_pipeline = input.entry_pipeline;
-      pinned;
-      framework_stages_per_nf;
-      framework_stages_fixed;
-    }
+  {
+    Placement.spec = input.spec;
+    resources_of;
+    chains;
+    entry_pipeline = input.entry_pipeline;
+    pinned;
+    framework_stages_per_nf;
+    framework_stages_fixed;
+  }
+
+let placement_input input =
+  let* chains, nfs = instantiate_chains input in
+  Ok (placement_input_of input chains nfs)
+
+let compile input =
+  let* chains, nfs = instantiate_chains input in
+  let nf_of name =
+    match List.assoc_opt name nfs with
+    | Some nf -> Ok nf
+    | None -> Error (Printf.sprintf "compiler: unknown NF %s" name)
   in
+  (* Generic parser: the framework's own slice (it must always parse the
+     SFC header) merged with every NF's parser. *)
+  let framework_parser = Net_hdrs.base_parser ~with_vlan:true ~name:"dejavu" () in
+  let* generic_parser =
+    Result.map_error
+      (fun c -> "parser merge: " ^ Parser_merge.conflict_message c)
+      (Parser_merge.merge ~name:"generic"
+         (framework_parser :: List.map (fun (_, nf) -> nf.Nf.parser) nfs))
+  in
+  let pinput = placement_input_of input chains nfs in
   let* layout, objective = Placement.solve pinput input.strategy in
   (* Ports: requested pipelines into loopback. *)
   let ports = Asic.Port.make input.spec in

@@ -40,6 +40,14 @@ type t = {
   built : (Asic.Pipelet.id * Compose.built) list;
 }
 
+val placement_input : input -> (Placement.input, string) result
+(** The placement problem [compile] would solve for this deployment —
+    chains validated and weight-normalized, NFs instantiated for their
+    resource demands, classifier-style NFs auto-pinned to the entry
+    ingress. Lets callers drive the placement solvers directly (e.g.
+    [Placement.solve_parallel] from the CLI) without building programs
+    or loading the chip. *)
+
 val compile : input -> (t, string) result
 
 val path_of_chain : t -> Chain.t -> Traversal.path option

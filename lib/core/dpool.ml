@@ -1,0 +1,34 @@
+let run ~domains tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let domains = max 1 (min domains n) in
+  if domains <= 1 then
+    Array.to_list (Array.map (fun f -> f ()) tasks)
+  else begin
+    let next = Atomic.make 0 in
+    (* Each slot is written by exactly one domain (the one that claimed
+       its index from [next]) and read only after every domain is
+       joined, so plain array stores are race-free. *)
+    let results = Array.make n None in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            Some (try Ok (tasks.(i) ()) with e -> Error e);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok r) -> r
+           | Some (Error e) -> raise e
+           | None -> assert false (* every index was claimed *))
+         results)
+  end

@@ -1,0 +1,22 @@
+(** A minimal fixed-size domain pool (OCaml 5 [Domain]) for
+    embarrassingly parallel task lists — the execution substrate of
+    {!Placement.solve_parallel}'s multi-seed annealing restarts.
+
+    Tasks must not share mutable state unless they synchronize it
+    themselves; the intended idiom is that each task owns its whole
+    working state (scorer caches, RNG, ...) and only returns a value. *)
+
+val run : domains:int -> (unit -> 'a) list -> 'a list
+(** [run ~domains tasks] executes every task and returns their results
+    in task order, regardless of which domain ran what or in which
+    order they finished.
+
+    At most [max 1 (min domains (List.length tasks))] domains run at
+    once (the calling domain counts as one, so [domains:1] — or a
+    single task — executes sequentially on the caller with no spawn).
+    Tasks are handed out dynamically from a shared atomic counter, so
+    uneven task durations still balance.
+
+    If any task raises, the remaining tasks still run to completion,
+    every spawned domain is joined, and then the first raising task's
+    exception (in task order) is re-raised. *)

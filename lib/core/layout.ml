@@ -2,6 +2,13 @@ type group = Seq of string list | Par of string list
 type pipelet_layout = group list
 type t = (Asic.Pipelet.id * pipelet_layout) list
 
+type coord = {
+  pipelet : Asic.Pipelet.id;
+  group : int;
+  slot : int;
+  kind : [ `Seq | `Par ];
+}
+
 let group_members = function Seq nfs | Par nfs -> nfs
 let nfs_of_pipelet layout = List.concat_map group_members layout
 let all_nfs t = List.concat_map (fun (_, l) -> nfs_of_pipelet l) t
@@ -11,21 +18,34 @@ let layout_of t id =
   | Some (_, l) -> l
   | None -> []
 
-let location t nf =
-  List.find_map
-    (fun (id, l) -> if List.mem nf (nfs_of_pipelet l) then Some id else None)
-    t
-
-let position layout nf =
+(* The one lookup path: scan a pipelet's groups for an NF. [location],
+   [position], [coord] and [index] are all defined in terms of it, so
+   they cannot disagree about where an NF sits. *)
+let scan_pipelet layout nf =
   let rec go gi = function
     | [] -> None
     | g :: rest -> (
         let members = group_members g in
         match List.find_index (String.equal nf) members with
-        | Some si -> Some (gi, si)
+        | Some si ->
+            let kind = match g with Seq _ -> `Seq | Par _ -> `Par in
+            Some (gi, si, kind)
         | None -> go (gi + 1) rest)
   in
   go 0 layout
+
+let position layout nf =
+  Option.map (fun (gi, si, _) -> (gi, si)) (scan_pipelet layout nf)
+
+let coord t nf =
+  List.find_map
+    (fun (id, l) ->
+      Option.map
+        (fun (group, slot, kind) -> { pipelet = id; group; slot; kind })
+        (scan_pipelet l nf))
+    t
+
+let location t nf = Option.map (fun c -> c.pipelet) (coord t nf)
 
 let index t =
   let tbl = Hashtbl.create 32 in
@@ -37,7 +57,7 @@ let index t =
           List.iteri
             (fun si nf ->
               if not (Hashtbl.mem tbl nf) then
-                Hashtbl.add tbl nf (id, gi, si, kind))
+                Hashtbl.add tbl nf { pipelet = id; group = gi; slot = si; kind })
             (group_members g))
         layout)
     t;

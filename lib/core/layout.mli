@@ -11,25 +11,38 @@ type t = (Asic.Pipelet.id * pipelet_layout) list
 (** One entry per pipelet that hosts NFs; pipelets absent from the list
     are empty (pass-through). *)
 
+type coord = {
+  pipelet : Asic.Pipelet.id;
+  group : int;  (** group index within the pipelet's layout *)
+  slot : int;  (** slot within the group *)
+  kind : [ `Seq | `Par ];  (** the group's composition kind *)
+}
+(** Where an NF sits: everything the traversal solver consults about a
+    placement. {!location}, {!position}, {!coord} and {!index} all go
+    through one internal scan, so there is a single lookup path. *)
+
 val nfs_of_pipelet : pipelet_layout -> string list
 val all_nfs : t -> string list
 val layout_of : t -> Asic.Pipelet.id -> pipelet_layout
 (** Empty list when the pipelet hosts nothing. *)
 
+val coord : t -> string -> coord option
+(** First occurrence of the NF across the layout. *)
+
 val location : t -> string -> Asic.Pipelet.id option
+(** [coord]'s pipelet alone. *)
 
 val position : pipelet_layout -> string -> (int * int) option
 (** (group index, slot within group). *)
 
 val group_kind : pipelet_layout -> int -> [ `Seq | `Par ]
 
-val index :
-  t -> (string, Asic.Pipelet.id * int * int * [ `Seq | `Par ]) Hashtbl.t
-(** Whole-layout hash index: NF -> (pipelet, group index, slot, group
-    kind). One O(n) pass instead of repeated {!location}/{!position}
-    list scans — the lookup structure the traversal solver and its memo
-    cache build per layout. First occurrence wins, matching
-    {!location} and {!position}. *)
+val index : t -> (string, coord) Hashtbl.t
+(** Whole-layout hash index: NF -> {!coord}. One O(n) pass instead of
+    repeated {!location}/{!position} list scans — the lookup structure
+    the traversal solver and its memo cache build per layout, and the
+    structure {!Placement}'s move-diff annealer maintains incrementally.
+    First occurrence wins, matching {!coord}. *)
 
 val validate : t -> (unit, string) result
 (** Each NF appears at most once across the whole layout; no empty

@@ -116,23 +116,29 @@ let evaluate input layout =
     Traversal.cost input.spec layout ~entry_pipeline:input.entry_pipeline
       input.chains
 
-(* Scoring backend: the heap solver with per-solve memo caches by
-   default, or the reference solver (no memo at all) as a bench/test
-   oracle. [fit] caches [fit_pipelet] results keyed by the co-located NF
-   list — valid only while [input.chains] is fixed, so callers that
-   rewrite chains (greedy's truncation) must drop it. *)
-type scorer = {
+(* --- scorer ---------------------------------------------------------- *)
+
+(* The public backend selector: [Fast] is the production path (heap
+   solver, traversal memo cache, fit memo, move-diff annealing);
+   [Reference] is the uncached array-scan oracle every fast path is
+   proven against. *)
+type scorer = Fast | Reference
+
+(* Per-solve scorer state. [fit] caches [fit_pipelet] results keyed by
+   the co-located NF list — valid only while [input.chains] is fixed, so
+   callers that rewrite chains (greedy's truncation) must drop it. *)
+type scorer_state = {
   backend : [ `Fast of Traversal.cache | `Reference ];
   fit : (string list, Layout.pipelet_layout option) Hashtbl.t option;
 }
 
-let make_scorer ~reference =
-  if reference then { backend = `Reference; fit = None }
-  else
-    {
-      backend = `Fast (Traversal.cache_create ());
-      fit = Some (Hashtbl.create 256);
-    }
+let make_scorer = function
+  | Reference -> { backend = `Reference; fit = None }
+  | Fast ->
+      {
+        backend = `Fast (Traversal.cache_create ());
+        fit = Some (Hashtbl.create 256);
+      }
 
 let score_layout scorer input layout =
   match scorer.backend with
@@ -195,6 +201,383 @@ let free_nfs input =
   List.filter
     (fun nf -> not (List.mem_assoc nf input.pinned))
     (canonical_order input.chains (all_nf_names input))
+
+(* --- move diffs ------------------------------------------------------ *)
+
+module Move = struct
+  type t = { nf : string; src : Asic.Pipelet.id; dst : Asic.Pipelet.id }
+
+  let pp ppf t =
+    Format.fprintf ppf "%s: %a -> %a" t.nf Asic.Pipelet.pp_id t.src
+      Asic.Pipelet.pp_id t.dst
+end
+
+(* Incremental layout/scoring state for the annealer: the layout is held
+   as per-pipelet (NF list, fitted groups) slots in a [compare_id]-sorted
+   array over every pipelet of the spec, next to the live [Layout.index]
+   coordinate table and the per-chain transition counts. Applying a
+   [Move.t] re-fits only the two affected pipelets, re-indexes only
+   their NFs, and re-solves only the chains the move could change —
+   everything else (slots, coordinates, counts, memo entries) is reused
+   verbatim, so the resulting layout, index and cost are identical to a
+   from-scratch [build_layout]+score of the moved assignment
+   (QCheck-tested against exactly that oracle).
+
+   NF lists are kept in global assignment order ([d_order]), matching
+   the [List.filter_map] order [build_layout] derives from the
+   assignment list, so the memoized [fit_pipelet] sees byte-identical
+   keys on both paths. *)
+type diff = {
+  d_input : input;
+  d_scorer : scorer_state;
+  d_cache : Traversal.kcache;
+  d_order : (string, int) Hashtbl.t;  (** NF -> position in the assignment *)
+  d_chain_arr : Chain.t array;
+  d_chains_of : (string, int list) Hashtbl.t;  (** NF -> chain indices *)
+  d_ids : Asic.Pipelet.id array;  (** all pipelets, [compare_id]-sorted *)
+  d_ord : (Asic.Pipelet.id, int) Hashtbl.t;  (** id -> index in [d_ids] *)
+  d_slots : (string list * Layout.pipelet_layout option) option array;
+      (** per-pipelet residents and their fit; [None] = hosts nothing *)
+  mutable d_unfit : int;  (** pipelets whose fit failed *)
+  d_index : (string, Layout.coord) Hashtbl.t;
+      (** valid only while [d_unfit = 0] *)
+  d_counts : (int * int) option array;  (** per-chain, while [d_unfit = 0] *)
+  mutable d_cost : float option;
+  mutable d_pending : (unit -> unit) option;  (** undo of the staged move *)
+}
+
+(* Exactly [Traversal.cost_cached]'s fold, over stored counts: same
+   left-to-right adds via [chain_transition_cost], so incremental and
+   from-scratch scores are bit-identical. *)
+let cost_of_counts chains counts =
+  let rec go i total = function
+    | [] -> Some total
+    | (c : Chain.t) :: rest -> (
+        match counts.(i) with
+        | None -> None
+        | Some (recircs, resubmits) ->
+            go (i + 1)
+              (total +. Traversal.chain_transition_cost c ~recircs ~resubmits)
+              rest)
+  in
+  go 0 0.0 chains
+
+let index_add_pipelet index id groups =
+  List.iteri
+    (fun gi g ->
+      let kind, members =
+        match g with
+        | Layout.Seq nfs -> (`Seq, nfs)
+        | Layout.Par nfs -> (`Par, nfs)
+      in
+      List.iteri
+        (fun si nf ->
+          Hashtbl.replace index nf
+            { Layout.pipelet = id; group = gi; slot = si; kind })
+        members)
+    groups
+
+(* Recompute index, counts and cost from the per-pipelet fits; only
+   called while every pipelet fits. *)
+let diff_refresh d =
+  Hashtbl.reset d.d_index;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (_, Some groups) -> index_add_pipelet d.d_index d.d_ids.(i) groups
+      | Some (_, None) | None -> ())
+    d.d_slots;
+  Array.iteri
+    (fun i c ->
+      d.d_counts.(i) <-
+        Traversal.chain_counts_keyed d.d_cache d.d_input.spec ~index:d.d_index
+          ~entry_pipeline:d.d_input.entry_pipeline c)
+    d.d_chain_arr;
+  d.d_cost <- cost_of_counts d.d_input.chains d.d_counts
+
+let diff_of_assignment ~scorer input assignment =
+  (* The diff owns a canonicalized-key counts memo ({!Traversal.kcache});
+     the scorer's string-fingerprint cache stays with the full-rebuild
+     scoring path ([evaluate_assignment]). *)
+  let cache = Traversal.kcache_create () in
+  let order = Hashtbl.create 32 in
+  List.iteri (fun i (nf, _) -> Hashtbl.replace order nf i) assignment;
+  let chains_of = Hashtbl.create 32 in
+  List.iteri
+    (fun ci (c : Chain.t) ->
+      List.iter
+        (fun nf ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt chains_of nf) in
+          if not (List.mem ci cur) then Hashtbl.replace chains_of nf (ci :: cur))
+        c.Chain.nfs)
+    input.chains;
+  (* Every pipelet of the spec gets a slot (moves may target empty
+     ones); assignment ids outside the spec are merged in defensively
+     for the public [diff_create]. *)
+  let ids =
+    Array.of_list
+      (List.sort_uniq Asic.Pipelet.compare_id
+         (Asic.Pipelet.all_ids input.spec @ List.map snd assignment))
+  in
+  let ord = Hashtbl.create (2 * Array.length ids) in
+  Array.iteri (fun i id -> Hashtbl.replace ord id i) ids;
+  let slots = Array.make (Array.length ids) None in
+  List.iter
+    (fun (_, id) ->
+      let i = Hashtbl.find ord id in
+      if slots.(i) = None then begin
+        let nfs =
+          List.filter_map
+            (fun (nf, id') ->
+              if Asic.Pipelet.equal_id id' id then Some nf else None)
+            assignment
+        in
+        slots.(i) <- Some (nfs, fit_pipelet_memo (Some scorer) input nfs)
+      end)
+    assignment;
+  let unfit =
+    Array.fold_left
+      (fun acc s -> match s with Some (_, None) -> acc + 1 | _ -> acc)
+      0 slots
+  in
+  let d =
+    {
+      d_input = input;
+      d_scorer = scorer;
+      d_cache = cache;
+      d_order = order;
+      d_chain_arr = Array.of_list input.chains;
+      d_chains_of = chains_of;
+      d_ids = ids;
+      d_ord = ord;
+      d_slots = slots;
+      d_unfit = unfit;
+      d_index = Hashtbl.create 32;
+      d_counts = Array.make (List.length input.chains) None;
+      d_cost = None;
+      d_pending = None;
+    }
+  in
+  if unfit = 0 then diff_refresh d;
+  d
+
+let diff_create input assignment =
+  diff_of_assignment ~scorer:(make_scorer Fast) input assignment
+
+let diff_cost d = d.d_cost
+
+let diff_layout d =
+  if d.d_unfit > 0 then None
+  else begin
+    let acc = ref [] in
+    for i = Array.length d.d_slots - 1 downto 0 do
+      match d.d_slots.(i) with
+      | Some (_, Some pl) -> acc := (d.d_ids.(i), pl) :: !acc
+      | Some (_, None) -> assert false
+      | None -> ()
+    done;
+    Some !acc
+  end
+
+let diff_index d = d.d_index
+
+(* The grouping with [nf] deleted (empty groups dropped). When a
+   re-fitted pipelet equals the old grouping minus the moved NF, the
+   remaining NFs keep their relative order, group partition and kind —
+   exactly the data {!Traversal.chain_key} normalizes over — so every
+   chain not containing the moved NF keeps its counts and needs no
+   re-solve at all. *)
+let groups_minus groups nf =
+  List.filter_map
+    (fun gr ->
+      let kind, members =
+        match gr with
+        | Layout.Seq m -> (`Seq, m)
+        | Layout.Par m -> (`Par, m)
+      in
+      match List.filter (fun f -> not (String.equal f nf)) members with
+      | [] -> None
+      | m -> Some (match kind with `Seq -> Layout.Seq m | `Par -> Layout.Par m))
+    groups
+
+(* Stage a move: on [Some cost] the new state is live and must be
+   either [diff_commit]ted or [diff_revert]ed; on [None] the candidate
+   does not fit (or remains infeasible) and the state is unchanged
+   apart from a no-op pending marker. *)
+let diff_try d (m : Move.t) =
+  if d.d_pending <> None then
+    invalid_arg "Placement.diff: previous move neither committed nor reverted";
+  if Asic.Pipelet.equal_id m.Move.src m.Move.dst then begin
+    (* No-op move: candidate state = current state. *)
+    d.d_pending <- Some (fun () -> ());
+    d.d_cost
+  end
+  else begin
+    let ord_of id =
+      match Hashtbl.find_opt d.d_ord id with
+      | Some o -> o
+      | None -> invalid_arg "Placement.diff: unknown pipelet"
+    in
+    let so = ord_of m.Move.src in
+    let dst_o = ord_of m.Move.dst in
+    match d.d_slots.(so) with
+    | None -> invalid_arg "Placement.diff: move source hosts no NFs"
+    | Some (src_nfs, src_fit_old) ->
+        if not (List.mem m.Move.nf src_nfs) then
+          invalid_arg "Placement.diff: NF is not on the move source";
+        let input = d.d_input in
+        let src_nfs' =
+          List.filter (fun f -> not (String.equal f m.Move.nf)) src_nfs
+        in
+        let old_dst_slot = d.d_slots.(dst_o) in
+        let dst_nfs_old =
+          match old_dst_slot with Some (nfs, _) -> nfs | None -> []
+        in
+        let nf_ord = Hashtbl.find d.d_order m.Move.nf in
+        let rec insert = function
+          | [] -> [ m.Move.nf ]
+          | f :: rest ->
+              if Hashtbl.find d.d_order f > nf_ord then m.Move.nf :: f :: rest
+              else f :: insert rest
+        in
+        let dst_nfs' = insert dst_nfs_old in
+        let src_slot' =
+          match src_nfs' with
+          | [] -> None (* pipelet emptied *)
+          | l -> Some (l, fit_pipelet_memo (Some d.d_scorer) input l)
+        in
+        let dst_fit' = fit_pipelet_memo (Some d.d_scorer) input dst_nfs' in
+        let unfit' =
+          d.d_unfit
+          - (if src_fit_old = None then 1 else 0)
+          - (match old_dst_slot with Some (_, None) -> 1 | _ -> 0)
+          + (match src_slot' with Some (_, None) -> 1 | _ -> 0)
+          + (if dst_fit' = None then 1 else 0)
+        in
+        if unfit' > 0 then None (* candidate infeasible; nothing staged *)
+        else begin
+          let old_src_slot = d.d_slots.(so) in
+          let old_cost = d.d_cost in
+          let dst_slot' = Some (dst_nfs', dst_fit') in
+          if d.d_unfit > 0 then begin
+            (* Leaving an infeasible state: coordinates and counts were
+               never valid, so rebuild them wholesale (rare — only ever
+               right after an infeasible initial assignment). *)
+            let old_unfit = d.d_unfit in
+            let old_index =
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) d.d_index []
+            in
+            let old_counts = Array.copy d.d_counts in
+            d.d_slots.(so) <- src_slot';
+            d.d_slots.(dst_o) <- dst_slot';
+            d.d_unfit <- 0;
+            diff_refresh d;
+            d.d_pending <-
+              Some
+                (fun () ->
+                  d.d_slots.(so) <- old_src_slot;
+                  d.d_slots.(dst_o) <- old_dst_slot;
+                  d.d_unfit <- old_unfit;
+                  d.d_cost <- old_cost;
+                  Array.blit old_counts 0 d.d_counts 0 (Array.length old_counts);
+                  Hashtbl.reset d.d_index;
+                  List.iter (fun (k, v) -> Hashtbl.replace d.d_index k v) old_index);
+            d.d_cost
+          end
+          else begin
+            (* Incremental path: only the two touched pipelets change
+               coordinates, so at most their NFs' chains need
+               re-solving — and when both re-fits preserve the
+               co-residents' structure (the common case: the moved NF
+               slots out of / into an otherwise unchanged grouping),
+               only the moved NF's own chains do. *)
+            let touched = src_nfs @ dst_nfs_old in
+            let saved_index =
+              List.map (fun f -> (f, Hashtbl.find_opt d.d_index f)) touched
+            in
+            List.iter (fun f -> Hashtbl.remove d.d_index f) touched;
+            (match src_slot' with
+            | Some (_, Some groups) -> index_add_pipelet d.d_index m.Move.src groups
+            | Some (_, None) | None -> ());
+            (match dst_fit' with
+            | Some groups -> index_add_pipelet d.d_index m.Move.dst groups
+            | None -> ());
+            let src_preserved =
+              match (src_fit_old, src_slot') with
+              | Some old_groups, None -> groups_minus old_groups m.Move.nf = []
+              | Some old_groups, Some (_, Some new_groups) ->
+                  groups_minus old_groups m.Move.nf = new_groups
+              | _ -> false
+            in
+            let dst_preserved =
+              match dst_fit' with
+              | Some new_groups ->
+                  let old_groups =
+                    match old_dst_slot with
+                    | Some (_, Some g) -> g
+                    | Some (_, None) | None -> []
+                  in
+                  groups_minus new_groups m.Move.nf = old_groups
+              | None -> false
+            in
+            let affected =
+              if src_preserved && dst_preserved then
+                Option.value ~default:[]
+                  (Hashtbl.find_opt d.d_chains_of m.Move.nf)
+              else
+                List.sort_uniq compare
+                  (List.concat_map
+                     (fun f ->
+                       Option.value ~default:[]
+                         (Hashtbl.find_opt d.d_chains_of f))
+                     touched)
+            in
+            let saved_counts =
+              List.map (fun i -> (i, d.d_counts.(i))) affected
+            in
+            List.iter
+              (fun i ->
+                d.d_counts.(i) <-
+                  Traversal.chain_counts_keyed d.d_cache input.spec
+                    ~index:d.d_index ~entry_pipeline:input.entry_pipeline
+                    d.d_chain_arr.(i))
+              affected;
+            d.d_slots.(so) <- src_slot';
+            d.d_slots.(dst_o) <- dst_slot';
+            d.d_cost <- cost_of_counts input.chains d.d_counts;
+            d.d_pending <-
+              Some
+                (fun () ->
+                  d.d_slots.(so) <- old_src_slot;
+                  d.d_slots.(dst_o) <- old_dst_slot;
+                  d.d_cost <- old_cost;
+                  List.iter (fun (i, c) -> d.d_counts.(i) <- c) saved_counts;
+                  List.iter
+                    (fun (f, co) ->
+                      match co with
+                      | Some co -> Hashtbl.replace d.d_index f co
+                      | None -> Hashtbl.remove d.d_index f)
+                    saved_index);
+            d.d_cost
+          end
+        end
+  end
+
+let diff_commit d = d.d_pending <- None
+
+let diff_revert d =
+  (match d.d_pending with Some undo -> undo () | None -> ());
+  d.d_pending <- None
+
+let diff_apply d m =
+  match diff_try d m with
+  | Some cost ->
+      diff_commit d;
+      `Applied cost
+  | None ->
+      diff_revert d;
+      `Unfit
+
 
 (* --- strategies --- *)
 
@@ -306,31 +689,48 @@ let solve_exhaustive ~scorer input =
   | Some (layout, _, cost) -> Ok (layout, cost)
   | None -> Error "exhaustive placement: no feasible assignment"
 
-let solve_anneal ~scorer input ~iterations ~seed ~initial_temp =
+(* The two annealer loops share their prelude: random initial
+   assignment (seeded), improved to greedy's when greedy succeeds. Both
+   consume the RNG identically and score candidates to bit-identical
+   values, so per seed they walk the same accept/reject trajectory and
+   return the same layout. *)
+let anneal_setup ~scorer input ~seed =
   let free = Array.of_list (free_nfs input) in
-  if Array.length free = 0 then
+  let st = Random.State.make [| seed |] in
+  let choices = Array.of_list (pipelet_choices input) in
+  let current =
+    Array.map (fun _ -> choices.(Random.State.int st (Array.length choices))) free
+  in
+  (* Start from greedy if it succeeds; otherwise from random. *)
+  (match solve_greedy ~scorer input with
+  | Ok (layout, _) ->
+      Array.iteri
+        (fun i nf ->
+          match Layout.location layout nf with
+          | Some id -> current.(i) <- id
+          | None -> ())
+        free
+  | Error _ -> ());
+  (free, st, choices, current)
+
+let anneal_temp ~initial_temp ~iterations it =
+  initial_temp *. (1.0 -. (float_of_int it /. float_of_int iterations))
+
+(* The PR-1 path: every candidate re-groups the assignment and rebuilds
+   the layout, with only the fit memo and traversal cache (under [Fast])
+   to soften the cost. Kept verbatim as the oracle the move-diff
+   annealer is benchmarked and property-tested against, and as the only
+   annealing path for the [Reference] scorer. *)
+let solve_anneal_rebuild ~scorer input ~iterations ~seed ~initial_temp =
+  if free_nfs input = [] then
     match evaluate_assignment ~scorer input input.pinned with
     | Some (layout, cost) -> Ok (layout, cost)
     | None -> Error "anneal placement: pinned-only layout infeasible"
   else begin
-    let st = Random.State.make [| seed |] in
-    let choices = Array.of_list (pipelet_choices input) in
-    let current =
-      Array.map (fun _ -> choices.(Random.State.int st (Array.length choices))) free
-    in
+    let free, st, choices, current = anneal_setup ~scorer input ~seed in
     let assignment_of arr =
       input.pinned @ Array.to_list (Array.mapi (fun i id -> (free.(i), id)) arr)
     in
-    (* Start from greedy if it succeeds; otherwise from random. *)
-    (match solve_greedy ~scorer input with
-    | Ok (layout, _) ->
-        Array.iteri
-          (fun i nf ->
-            match Layout.location layout nf with
-            | Some id -> current.(i) <- id
-            | None -> ())
-          free
-    | Error _ -> ());
     (* With the [Fast] scorer a single-NF move re-solves only the chains
        containing that NF; every other chain's fingerprint is unchanged
        and hits the memo. *)
@@ -341,9 +741,7 @@ let solve_anneal ~scorer input ~iterations ~seed ~initial_temp =
     let best_score = ref (score current) in
     let cur_score = ref !best_score in
     for it = 0 to iterations - 1 do
-      let temp =
-        initial_temp *. (1.0 -. (float_of_int it /. float_of_int iterations))
-      in
+      let temp = anneal_temp ~initial_temp ~iterations it in
       let i = Random.State.int st (Array.length free) in
       let old = current.(i) in
       let candidate = choices.(Random.State.int st (Array.length choices)) in
@@ -371,14 +769,122 @@ let solve_anneal ~scorer input ~iterations ~seed ~initial_temp =
     | None -> Error "anneal placement: no feasible assignment found"
   end
 
-let solve ?(reference = false) input strategy =
-  let scorer = make_scorer ~reference in
+(* The production path: a [diff] carries the layout, coordinate index
+   and per-chain counts across iterations; each candidate move re-fits
+   two pipelets and re-solves only the chains it touched. *)
+let solve_anneal_incremental ~scorer input ~iterations ~seed ~initial_temp =
+  if free_nfs input = [] then
+    match evaluate_assignment ~scorer input input.pinned with
+    | Some (layout, cost) -> Ok (layout, cost)
+    | None -> Error "anneal placement: pinned-only layout infeasible"
+  else begin
+    let free, st, choices, current = anneal_setup ~scorer input ~seed in
+    let assignment_of arr =
+      input.pinned @ Array.to_list (Array.mapi (fun i id -> (free.(i), id)) arr)
+    in
+    let d = diff_of_assignment ~scorer input (assignment_of current) in
+    let best_arr = ref (Array.copy current) in
+    let best_score = ref (diff_cost d) in
+    let cur_score = ref !best_score in
+    for it = 0 to iterations - 1 do
+      let temp = anneal_temp ~initial_temp ~iterations it in
+      let i = Random.State.int st (Array.length free) in
+      let old = current.(i) in
+      let candidate = choices.(Random.State.int st (Array.length choices)) in
+      let s =
+        diff_try d { Move.nf = free.(i); src = old; dst = candidate }
+      in
+      let accept =
+        match (s, !cur_score) with
+        | Some new_c, Some old_c ->
+            new_c <= old_c
+            || Random.State.float st 1.0 < exp ((old_c -. new_c) /. max temp 1e-9)
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      if accept then begin
+        diff_commit d;
+        current.(i) <- candidate;
+        cur_score := s;
+        if better s !best_score then begin
+          best_score := s;
+          best_arr := Array.copy current
+        end
+      end
+      else diff_revert d
+    done;
+    match evaluate_assignment ~scorer input (assignment_of !best_arr) with
+    | Some (layout, cost) -> Ok (layout, cost)
+    | None -> Error "anneal placement: no feasible assignment found"
+  end
+
+let dispatch ~anneal ~scorer input strategy =
+  let ss = make_scorer scorer in
   match strategy with
-  | Naive -> solve_naive ~scorer input
-  | Greedy -> solve_greedy ~scorer input
-  | Exhaustive -> solve_exhaustive ~scorer input
+  | Naive -> solve_naive ~scorer:ss input
+  | Greedy -> solve_greedy ~scorer:ss input
+  | Exhaustive -> solve_exhaustive ~scorer:ss input
   | Anneal { iterations; seed; initial_temp } ->
-      solve_anneal ~scorer input ~iterations ~seed ~initial_temp
+      anneal ~scorer:ss input ~iterations ~seed ~initial_temp
+
+let solve ?(scorer = Fast) input strategy =
+  let anneal =
+    match scorer with
+    | Fast -> solve_anneal_incremental
+    | Reference -> solve_anneal_rebuild
+  in
+  dispatch ~anneal ~scorer input strategy
+
+let solve_rebuild ?(scorer = Fast) input strategy =
+  dispatch ~anneal:solve_anneal_rebuild ~scorer input strategy
+
+(* --- parallel restarts ----------------------------------------------- *)
+
+type restart = { seed : int; cost : float option }
+
+type parallel = {
+  layout : Layout.t;
+  cost : float;
+  restarts : restart list;
+}
+
+let solve_parallel ?(scorer = Fast) ?(iterations = 4000) ?(initial_temp = 2.0)
+    ~domains ~seeds input =
+  match seeds with
+  | [] -> Error "parallel placement: no seeds"
+  | _ ->
+      (* Each task builds its own scorer state inside [solve], so every
+         domain owns its caches outright — nothing is shared but the
+         immutable input. Results come back in seed order and ties keep
+         the earliest seed, so the merge is deterministic no matter how
+         the domains interleave. *)
+      let results =
+        Dpool.run ~domains
+          (List.map
+             (fun seed () ->
+               ( seed,
+                 solve ~scorer input
+                   (Anneal { iterations; seed; initial_temp }) ))
+             seeds)
+      in
+      let restarts =
+        List.map
+          (fun (seed, r) ->
+            { seed; cost = (match r with Ok (_, c) -> Some c | Error _ -> None) })
+          results
+      in
+      let best =
+        List.fold_left
+          (fun acc (_, r) ->
+            match (acc, r) with
+            | None, Ok lc -> Some lc
+            | Some (_, bc), Ok (l, c) when c < bc -> Some (l, c)
+            | _, (Ok _ | Error _) -> acc)
+          None results
+      in
+      (match best with
+      | Some (layout, cost) -> Ok { layout; cost; restarts }
+      | None -> Error "parallel placement: every restart failed")
 
 let pp_strategy ppf = function
   | Naive -> Format.pp_print_string ppf "naive"

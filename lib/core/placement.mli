@@ -4,7 +4,12 @@
 
     The paper leaves the general optimizer as ongoing work; we provide
     four strategies and cross-validate the heuristics against the
-    exhaustive optimum on small instances. *)
+    exhaustive optimum on small instances. The annealer comes in two
+    implementations with bit-identical per-seed trajectories: a
+    full-rebuild path ({!solve_rebuild}) and the production move-diff
+    path ({!solve}) that re-fits only the two pipelets a move touches.
+    {!solve_parallel} runs independent seeded restarts on a
+    {!Dpool.run} domain pool. *)
 
 type strategy =
   | Naive
@@ -47,11 +52,105 @@ val build_layout : input -> (string * Asic.Pipelet.id) list -> Layout.t option
 val evaluate : input -> Layout.t -> float option
 (** The optimizer objective; [None] when infeasible. *)
 
-val solve :
-  ?reference:bool -> input -> strategy -> (Layout.t * float, string) result
-(** Returns the layout and its objective value. [reference] (default
-    false) scores candidates with {!Traversal.solve_reference} and no
-    memo cache — the slow oracle path, kept for benchmarking and for
-    proving the memoized fast path returns identical results. *)
+(** {1 Scorer backends} *)
+
+type scorer =
+  | Fast
+      (** heap Dijkstra + traversal memo cache + fit memo; under
+          [Anneal], the incremental move-diff loop *)
+  | Reference
+      (** the uncached array-scan oracle ({!Traversal.cost_reference});
+          under [Anneal], the full-rebuild loop *)
+
+(** {1 Incremental move diffs}
+
+    The annealer's inner loop represents a candidate as a {!Move.t} and
+    applies it to a {!diff} — a live layout plus its {!Layout.coord}
+    index and per-chain transition counts. Applying a move re-fits only
+    the source and destination pipelets, re-indexes only their NFs, and
+    re-solves only the chains that touch them; the resulting layout,
+    index and cost are identical to a from-scratch {!build_layout} and
+    score of the moved assignment (property-tested against exactly
+    that oracle). *)
+
+module Move : sig
+  type t = {
+    nf : string;
+    src : Asic.Pipelet.id;  (** where [nf] currently sits *)
+    dst : Asic.Pipelet.id;  (** where to put it; [src = dst] is a no-op *)
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type diff
+
+val diff_create : input -> (string * Asic.Pipelet.id) list -> diff
+(** A fresh diff over an assignment (pinned NFs included, in the same
+    list form {!build_layout} takes), with its own [Fast] scorer
+    state. *)
+
+val diff_apply : diff -> Move.t -> [ `Applied of float | `Unfit ]
+(** Apply one move. [`Applied cost] commits the new state and returns
+    its objective value; [`Unfit] means the candidate is rejected — it
+    would overflow a pipelet's stage budget, leave a chain unroutable,
+    or not cure an infeasible starting state — and the diff is
+    unchanged. Raises [Invalid_argument] if [nf] is not on [src]. *)
+
+val diff_layout : diff -> Layout.t option
+(** The current layout; [None] while some pipelet's NFs do not fit
+    (possible only before the first applied move of a diff created from
+    an infeasible assignment). *)
+
+val diff_cost : diff -> float option
+(** The current objective value, maintained incrementally — always
+    equal to [evaluate] of {!diff_layout}. *)
+
+val diff_index : diff -> (string, Layout.coord) Hashtbl.t
+(** The live coordinate index (the incrementally-maintained
+    {!Layout.index} of {!diff_layout}). Read-only; exposed so tests can
+    fingerprint it against a freshly built index. *)
+
+(** {1 Solvers} *)
+
+val solve : ?scorer:scorer -> input -> strategy -> (Layout.t * float, string) result
+(** Returns the layout and its objective value. [scorer] (default
+    {!Fast}) selects the scoring backend; both backends return identical
+    results — [Reference] exists for benchmarking and for proving the
+    fast paths against the oracle. *)
+
+val solve_rebuild :
+  ?scorer:scorer -> input -> strategy -> (Layout.t * float, string) result
+(** Like {!solve}, but [Anneal] uses the full-rebuild loop (every
+    candidate rebuilt with {!build_layout} and scored whole) even under
+    [Fast]. Per seed this walks the exact trajectory of {!solve} and
+    returns the same layout; kept as the move-diff loop's oracle and
+    benchmark baseline. *)
+
+(** {1 Parallel restarts} *)
+
+type restart = { seed : int; cost : float option (** [None] = failed *) }
+
+type parallel = {
+  layout : Layout.t;  (** best layout over all seeds *)
+  cost : float;
+  restarts : restart list;  (** per-seed outcomes, in seed-list order *)
+}
+
+val solve_parallel :
+  ?scorer:scorer ->
+  ?iterations:int ->
+  ?initial_temp:float ->
+  domains:int ->
+  seeds:int list ->
+  input ->
+  (parallel, string) result
+(** Anneal once per seed on a domain pool of at most [domains] domains
+    ({!Dpool.run}) and keep the cheapest layout. Each restart owns its
+    scorer state, so nothing is shared across domains. Deterministic:
+    the result is independent of [domains] — restarts are reported in
+    seed-list order and cost ties keep the earliest seed. [iterations]
+    defaults to 4000 and [initial_temp] to 2.0 (the {!default_anneal}
+    parameters). Errors when [seeds] is empty or every restart fails. *)
 
 val pp_strategy : Format.formatter -> strategy -> unit

@@ -219,13 +219,13 @@ type core = {
 let lookup_of_index n idx nf =
   match Hashtbl.find_opt idx nf with
   | None -> None
-  | Some ((id : Asic.Pipelet.id), g, s, kind) ->
+  | Some (c : Layout.coord) ->
       let l =
-        match id.Asic.Pipelet.kind with
-        | Asic.Pipelet.Ingress -> id.Asic.Pipelet.pipeline
-        | Asic.Pipelet.Egress -> n + id.Asic.Pipelet.pipeline
+        match c.Layout.pipelet.Asic.Pipelet.kind with
+        | Asic.Pipelet.Ingress -> c.Layout.pipelet.Asic.Pipelet.pipeline
+        | Asic.Pipelet.Egress -> n + c.Layout.pipelet.Asic.Pipelet.pipeline
       in
-      Some (l, g, s, kind = `Seq)
+      Some (l, c.Layout.group, c.Layout.slot, c.Layout.kind = `Seq)
 
 let solve_core ~start_idx ~n ~entry_pipeline ~exit_pipe ~lookup chain_arr =
   let k = Array.length chain_arr in
@@ -405,6 +405,13 @@ let solve_counts ~start_idx ~n ~entry_pipeline ~exit_pipe ~lookup chain_arr =
 
 (* --- weighted objective --------------------------------------------- *)
 
+(* The single definition of a chain's contribution to the objective.
+   Every scoring path (reference, fast, memoized, incremental) adds
+   these left-to-right in chain order, so their floats are
+   bit-identical. *)
+let chain_transition_cost (c : Chain.t) ~recircs ~resubmits =
+  c.Chain.weight *. (float_of_int recircs +. (0.9 *. float_of_int resubmits))
+
 let cost_with solver spec layout ~entry_pipeline chains =
   List.fold_left
     (fun acc (c : Chain.t) ->
@@ -419,9 +426,8 @@ let cost_with solver spec layout ~entry_pipeline chains =
           | Some path ->
               Some
                 (total
-                +. c.Chain.weight
-                   *. (float_of_int path.recircs
-                      +. (0.9 *. float_of_int path.resubmits)))))
+                +. chain_transition_cost c ~recircs:path.recircs
+                     ~resubmits:path.resubmits)))
     (Some 0.0) chains
 
 let cost spec layout ~entry_pipeline chains =
@@ -458,68 +464,180 @@ let cache_stats c = (c.hits, c.misses)
 (* Bound memory on pathological workloads; a reset just costs re-solves. *)
 let max_cache_entries = 65536
 
+let fingerprint_into buf index ~entry_pipeline (c : Chain.t) =
+  Buffer.clear buf;
+  Buffer.add_string buf (string_of_int c.Chain.path_id);
+  Buffer.add_char buf '@';
+  Buffer.add_string buf (string_of_int entry_pipeline);
+  List.iter
+    (fun nf ->
+      match Hashtbl.find_opt index nf with
+      | None -> Buffer.add_string buf "|-"
+      | Some (co : Layout.coord) ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf
+            (string_of_int co.Layout.pipelet.Asic.Pipelet.pipeline);
+          Buffer.add_char buf
+            (match co.Layout.pipelet.Asic.Pipelet.kind with
+            | Asic.Pipelet.Ingress -> 'i'
+            | Asic.Pipelet.Egress -> 'e');
+          Buffer.add_string buf (string_of_int co.Layout.group);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int co.Layout.slot);
+          Buffer.add_char buf (match co.Layout.kind with `Seq -> 's' | `Par -> 'p'))
+    c.Chain.nfs;
+  Buffer.contents buf
+
+let chain_fingerprint index ~entry_pipeline c =
+  fingerprint_into (Buffer.create 64) index ~entry_pipeline c
+
+let chain_counts_cached cache spec ~index ~entry_pipeline (c : Chain.t) =
+  let n = spec.Asic.Spec.n_pipelines in
+  let key = fingerprint_into cache.buf index ~entry_pipeline c in
+  match Hashtbl.find_opt cache.tbl key with
+  | Some r ->
+      cache.hits <- cache.hits + 1;
+      r
+  | None ->
+      cache.misses <- cache.misses + 1;
+      let r =
+        solve_counts ~start_idx:0 ~n ~entry_pipeline
+          ~exit_pipe:(Asic.Spec.port_pipeline spec c.Chain.exit_port)
+          ~lookup:(lookup_of_index n index)
+          (Array.of_list c.Chain.nfs)
+      in
+      if Hashtbl.length cache.tbl >= max_cache_entries then
+        Hashtbl.reset cache.tbl;
+      Hashtbl.add cache.tbl key r;
+      r
+
+(* --- normalized keyed counts (the move-diff path) -------------------- *)
+
+(* The counts are invariant under two relabelings of the coordinates,
+   and the keyed cache canonicalizes both away:
+
+   - Groups and slots. [solve_core] only ever compares a chain NF's
+     (group, slot) against those of other chain NFs at the same location
+     ([go]'s [g > gi] and [g = gi && seq && s > si]), so any relabeling
+     preserving — per location, among the chain's own NFs — group order,
+     group equality, slot order within a group, and the seq flag keeps
+     the counts. The key stores group/slot {e ranks} among the chain's
+     NFs at that location: unrelated NFs leaving or joining a pipelet
+     shift absolute slots but leave every other chain's key unchanged,
+     which is what lets {!Placement}'s move-diff annealer skip
+     co-resident chains entirely.
+
+   - Pipelines. The transition graph is symmetric across pipelines (an
+     ingress reaches any egress at equal cost; recirculation and
+     resubmission stay within a pipeline; pipelines hosting no chain NF
+     are pruned unless they are the exit), so any permutation of
+     pipeline numbers fixing the entry and exit keeps the counts. The
+     key renames pipelines to first-use order: entry = 0, then each
+     pipeline as a chain NF first appears on it, the exit pipe last.
+     Isomorphic placements on different pipelines — the bulk of a
+     many-pipeline switch's move space — share one entry.
+
+   Counting NFs (not distinct values) as the rank is valid: it is
+   monotone in the ranked value and equal exactly when the values are.
+   The canonical instance a key describes determines the counts
+   outright, so equal keys imply equal counts. *)
+
+let chain_key index spec ~entry_pipeline (c : Chain.t) =
+  let n = spec.Asic.Spec.n_pipelines in
+  let nfs = Array.of_list c.Chain.nfs in
+  let k = Array.length nfs in
+  let sz = max k 1 in
+  let pipe = Array.make sz (-1) in
+  let egress = Array.make sz false in
+  let g = Array.make sz (-1) in
+  let s = Array.make sz (-1) in
+  let sq = Array.make sz false in
+  for i = 0 to k - 1 do
+    match Hashtbl.find_opt index nfs.(i) with
+    | None -> ()
+    | Some (co : Layout.coord) ->
+        pipe.(i) <- co.Layout.pipelet.Asic.Pipelet.pipeline;
+        egress.(i) <- co.Layout.pipelet.Asic.Pipelet.kind = Asic.Pipelet.Egress;
+        g.(i) <- co.Layout.group;
+        s.(i) <- co.Layout.slot;
+        sq.(i) <- co.Layout.kind = `Seq
+  done;
+  (* Canonical pipeline numbers, assigned in first-use order. *)
+  let canon = Array.make n (-1) in
+  let next = ref 0 in
+  let canon_of p =
+    if canon.(p) < 0 then begin
+      canon.(p) <- !next;
+      incr next
+    end;
+    canon.(p)
+  in
+  ignore (canon_of entry_pipeline);
+  let key = Array.make (k + 1) 0 in
+  (* radix k+1: grank/srank count chain NFs, so both are < k+1 *)
+  let radix = k + 1 in
+  for i = 0 to k - 1 do
+    if pipe.(i) < 0 then key.(i + 1) <- -1
+    else begin
+      let grank = ref 0 and srank = ref 0 in
+      for j = 0 to k - 1 do
+        if pipe.(j) = pipe.(i) && egress.(j) = egress.(i) then begin
+          if g.(j) < g.(i) then incr grank;
+          if g.(j) = g.(i) && s.(j) < s.(i) then incr srank
+        end
+      done;
+      let loc = (canon_of pipe.(i) * 2) + if egress.(i) then 1 else 0 in
+      key.(i + 1) <-
+        ((((loc * radix) + !grank) * radix) + !srank) * 2
+        + (if sq.(i) then 1 else 0)
+    end
+  done;
+  key.(0) <- canon_of (Asic.Spec.port_pipeline spec c.Chain.exit_port);
+  key
+
+type kcache = {
+  ktbl : (int array, (int * int) option) Hashtbl.t;
+  mutable khits : int;
+  mutable kmisses : int;
+}
+
+let kcache_create () = { ktbl = Hashtbl.create 1024; khits = 0; kmisses = 0 }
+let kcache_stats c = (c.khits, c.kmisses)
+
+let chain_counts_keyed cache spec ~index ~entry_pipeline (c : Chain.t) =
+  let n = spec.Asic.Spec.n_pipelines in
+  let key = chain_key index spec ~entry_pipeline c in
+  match Hashtbl.find_opt cache.ktbl key with
+  | Some r ->
+      cache.khits <- cache.khits + 1;
+      r
+  | None ->
+      cache.kmisses <- cache.kmisses + 1;
+      let r =
+        solve_counts ~start_idx:0 ~n ~entry_pipeline
+          ~exit_pipe:(Asic.Spec.port_pipeline spec c.Chain.exit_port)
+          ~lookup:(lookup_of_index n index)
+          (Array.of_list c.Chain.nfs)
+      in
+      if Hashtbl.length cache.ktbl >= max_cache_entries then
+        Hashtbl.reset cache.ktbl;
+      Hashtbl.add cache.ktbl key r;
+      r
+
 let cost_cached cache spec layout ~entry_pipeline chains =
   (* Index the whole layout once: the same [Layout.index] serves both
      the fingerprints and any cache-miss re-solves, so a miss never
      walks the layout again. *)
-  let n = spec.Asic.Spec.n_pipelines in
   let where = Layout.index layout in
-  let fingerprint (c : Chain.t) =
-    let buf = cache.buf in
-    Buffer.clear buf;
-    Buffer.add_string buf (string_of_int c.Chain.path_id);
-    Buffer.add_char buf '@';
-    Buffer.add_string buf (string_of_int entry_pipeline);
-    List.iter
-      (fun nf ->
-        match Hashtbl.find_opt where nf with
-        | None -> Buffer.add_string buf "|-"
-        | Some (id, g, s, kind) ->
-            Buffer.add_char buf '|';
-            Buffer.add_string buf (string_of_int id.Asic.Pipelet.pipeline);
-            Buffer.add_char buf
-              (match id.Asic.Pipelet.kind with
-              | Asic.Pipelet.Ingress -> 'i'
-              | Asic.Pipelet.Egress -> 'e');
-            Buffer.add_string buf (string_of_int g);
-            Buffer.add_char buf ':';
-            Buffer.add_string buf (string_of_int s);
-            Buffer.add_char buf (match kind with `Seq -> 's' | `Par -> 'p'))
-      c.Chain.nfs;
-    Buffer.contents buf
-  in
   List.fold_left
     (fun acc (c : Chain.t) ->
       match acc with
       | None -> None
       | Some total -> (
-          let key = fingerprint c in
-          let result =
-            match Hashtbl.find_opt cache.tbl key with
-            | Some r ->
-                cache.hits <- cache.hits + 1;
-                r
-            | None ->
-                cache.misses <- cache.misses + 1;
-                let r =
-                  solve_counts ~start_idx:0 ~n ~entry_pipeline
-                    ~exit_pipe:
-                      (Asic.Spec.port_pipeline spec c.Chain.exit_port)
-                    ~lookup:(lookup_of_index n where)
-                    (Array.of_list c.Chain.nfs)
-                in
-                if Hashtbl.length cache.tbl >= max_cache_entries then
-                  Hashtbl.reset cache.tbl;
-                Hashtbl.add cache.tbl key r;
-                r
-          in
-          match result with
+          match chain_counts_cached cache spec ~index:where ~entry_pipeline c with
           | None -> None
           | Some (recircs, resubmits) ->
-              Some
-                (total
-                +. c.Chain.weight
-                   *. (float_of_int recircs +. (0.9 *. float_of_int resubmits)))))
+              Some (total +. chain_transition_cost c ~recircs ~resubmits)))
     (Some 0.0) chains
 
 let pp_step ppf = function

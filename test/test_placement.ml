@@ -10,7 +10,7 @@ let qtest = QCheck_alcotest.to_alcotest
 let spec = Asic.Spec.wedge_100b
 
 (* Synthetic NFs with a controllable stage footprint. *)
-let input ?(stages_per_nf = fun _ -> 1) ?(chains = []) ?(pinned = []) () =
+let input ?(spec = spec) ?(stages_per_nf = fun _ -> 1) ?(chains = []) ?(pinned = []) () =
   {
     Placement.spec;
     resources_of =
@@ -120,18 +120,170 @@ let test_naive_par_fallback () =
       check Alcotest.bool "layout feasible" true (Placement.feasible inp layout)
 
 let test_anneal_matches_reference_scorer () =
-  (* The memoized fast scorer must produce bit-identical scores, so the
-     annealer walks the same accept/reject trajectory under either
-     backend: same final layout, same cost. *)
+  (* All three annealing paths — incremental move-diff ([solve] with
+     [Fast]), full rebuild with the memoized scorer ([solve_rebuild]
+     with [Fast]) and full rebuild with the uncached oracle
+     ([Reference]) — must score candidates bit-identically, so per seed
+     they walk the same accept/reject trajectory: same final layout,
+     same cost. *)
   let inp = input ~chains:[ chain_af () ] () in
   let strategy =
     Placement.Anneal { iterations = 1000; seed = 7; initial_temp = 2.0 }
   in
-  match (Placement.solve inp strategy, Placement.solve ~reference:true inp strategy) with
-  | Ok (l1, c1), Ok (l2, c2) ->
-      check Alcotest.(float 1e-12) "same cost" c2 c1;
-      check Alcotest.bool "same layout" true (l1 = l2)
-  | Error e, _ | _, Error e -> Alcotest.fail e
+  match
+    ( Placement.solve inp strategy,
+      Placement.solve_rebuild inp strategy,
+      Placement.solve ~scorer:Placement.Reference inp strategy )
+  with
+  | Ok (l1, c1), Ok (l2, c2), Ok (l3, c3) ->
+      check Alcotest.(float 1e-12) "incremental = rebuild cost" c2 c1;
+      check Alcotest.(float 1e-12) "incremental = reference cost" c3 c1;
+      check Alcotest.bool "incremental = rebuild layout" true (l1 = l2);
+      check Alcotest.bool "incremental = reference layout" true (l1 = l3)
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Alcotest.fail e
+
+(* Property: an incrementally maintained diff — random move sequence,
+   including rejected moves — always agrees with a from-scratch
+   [build_layout] + score of the same assignment: identical layout,
+   identical chain fingerprints, identical cost. Run on both a
+   2-pipeline and a 4-pipeline switch so moves cross pipelines. *)
+let prop_move_diff_matches_rebuild (spec_name, spec) =
+  let nfs = [ "A"; "B"; "C"; "D"; "E"; "F" ] in
+  let chains =
+    [
+      Chain.make ~path_id:1 ~name:"full" ~nfs ~weight:0.5 ~exit_port:1 ();
+      Chain.make ~path_id:2 ~name:"odd" ~nfs:[ "A"; "C"; "E" ] ~weight:0.3
+        ~exit_port:17 ();
+      Chain.make ~path_id:3 ~name:"even" ~nfs:[ "B"; "D"; "F" ] ~weight:0.2
+        ~exit_port:1 ();
+    ]
+  in
+  QCheck.Test.make
+    ~name:(Printf.sprintf "move diff = rebuild (%s)" spec_name)
+    ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let inp = input ~spec ~chains () in
+      let ids = Array.of_list (Asic.Pipelet.all_ids spec) in
+      let assignment =
+        ref (List.mapi (fun i nf -> (nf, ids.(i mod Array.length ids))) nfs)
+      in
+      let d = Placement.diff_create inp !assignment in
+      let ok = ref true in
+      let expect name b = if not b then (ok := false; Printf.eprintf "move-diff mismatch: %s\n" name) in
+      let check_state () =
+        let rebuilt = Placement.build_layout inp !assignment in
+        match (Placement.diff_layout d, rebuilt) with
+        | Some dl, Some rl ->
+            expect "layout" (dl = rl);
+            expect "cost" (Placement.diff_cost d = Placement.evaluate inp rl);
+            let fresh = Layout.index rl in
+            List.iter
+              (fun c ->
+                expect "fingerprint"
+                  (String.equal
+                     (Traversal.chain_fingerprint (Placement.diff_index d)
+                        ~entry_pipeline:inp.Placement.entry_pipeline c)
+                     (Traversal.chain_fingerprint fresh
+                        ~entry_pipeline:inp.Placement.entry_pipeline c)))
+              chains
+        | None, None -> ()
+        | Some _, None | None, Some _ -> expect "feasibility" false
+      in
+      check_state ();
+      for _ = 1 to 40 do
+        let nf = List.nth nfs (Random.State.int st (List.length nfs)) in
+        let src = List.assoc nf !assignment in
+        let dst = ids.(Random.State.int st (Array.length ids)) in
+        let moved =
+          List.map
+            (fun (f, id) -> if String.equal f nf then (f, dst) else (f, id))
+            !assignment
+        in
+        (match Placement.diff_apply d { Placement.Move.nf; src; dst } with
+        | `Applied cost ->
+            assignment := moved;
+            expect "applied cost"
+              (Placement.diff_cost d = Some cost)
+        | `Unfit ->
+            (* The oracle must agree the moved assignment is unusable. *)
+            expect "unfit agrees" (
+              match Placement.build_layout inp moved with
+              | None -> true
+              | Some l -> Placement.evaluate inp l = None));
+        check_state ()
+      done;
+      !ok)
+
+let seeds = [ 3; 5; 9; 11 ]
+
+let par_iterations = 800
+
+let solve_seed inp seed =
+  Placement.solve inp
+    (Placement.Anneal { iterations = par_iterations; seed; initial_temp = 2.0 })
+
+let test_parallel_single_domain_matches_sequential () =
+  (* [solve_parallel ~domains:1] is sequential restarts: per-seed costs
+     must equal the corresponding [solve] calls, and the winner must be
+     the cheapest of them. *)
+  let inp = input ~chains:[ chain_af () ] () in
+  match
+    Placement.solve_parallel ~iterations:par_iterations ~domains:1 ~seeds inp
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      check Alcotest.(list int) "restarts in seed order" seeds
+        (List.map (fun r -> r.Placement.seed) p.Placement.restarts);
+      List.iter2
+        (fun seed (r : Placement.restart) ->
+          match (solve_seed inp seed, r.Placement.cost) with
+          | Ok (_, c), Some c' ->
+              check Alcotest.(float 1e-12)
+                (Printf.sprintf "seed %d cost" seed) c c'
+          | Error _, None -> ()
+          | Ok _, None | Error _, Some _ ->
+              Alcotest.fail "restart outcome differs from sequential solve")
+        seeds p.Placement.restarts;
+      let best_seq =
+        List.fold_left
+          (fun acc seed ->
+            match (acc, solve_seed inp seed) with
+            | None, Ok lc -> Some lc
+            | Some (_, bc), Ok (l, c) when c < bc -> Some (l, c)
+            | _, _ -> acc)
+          None seeds
+      in
+      (match best_seq with
+      | Some (l, c) ->
+          check Alcotest.(float 1e-12) "best cost" c p.Placement.cost;
+          check Alcotest.bool "best layout" true (p.Placement.layout = l)
+      | None -> Alcotest.fail "sequential solves all failed")
+
+let test_parallel_domains_deterministic () =
+  (* The merged result must not depend on the domain count or on which
+     domain finishes first: 4 domains, 1 domain and a repeat run all
+     agree exactly. *)
+  let inp = input ~chains:[ chain_af () ] () in
+  let run domains =
+    match
+      Placement.solve_parallel ~iterations:par_iterations ~domains ~seeds inp
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let p4 = run 4 and p4' = run 4 and p1 = run 1 in
+  check Alcotest.bool "repeat run identical" true (p4 = p4');
+  check Alcotest.bool "domain count irrelevant" true (p4 = p1);
+  let min_cost =
+    List.fold_left
+      (fun acc (r : Placement.restart) ->
+        match r.Placement.cost with Some c -> min acc c | None -> acc)
+      infinity p4.Placement.restarts
+  in
+  check Alcotest.(float 1e-12) "winner is the min over seeds" min_cost
+    p4.Placement.cost
 
 let test_canonical_order_follows_chains () =
   (* lb-before-router ordering: the heavy chain visits B before A. *)
@@ -223,8 +375,17 @@ let () =
         ] );
       ( "scorer",
         [
-          Alcotest.test_case "anneal fast = reference" `Quick
+          Alcotest.test_case "anneal incremental = rebuild = reference" `Quick
             test_anneal_matches_reference_scorer;
+          qtest (prop_move_diff_matches_rebuild ("wedge_100b", Asic.Spec.wedge_100b));
+          qtest (prop_move_diff_matches_rebuild ("tofino_4pipe", Asic.Spec.tofino_4pipe));
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "domains:1 = sequential" `Quick
+            test_parallel_single_domain_matches_sequential;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_parallel_domains_deterministic;
         ] );
       ( "ordering",
         [

@@ -295,6 +295,42 @@ let prop_cached_cost_coherent =
          touches 1 or 2 chains — but hit/miss counts must mirror. *)
       same plain c1 && same plain c2 && hits = misses && hits >= 1 && hits <= 2)
 
+(* --- coordinate index coherence --- *)
+
+(* Layout.index, Layout.coord and the location/position pair all go
+   through one scan; random layouts must agree across all of them. *)
+let prop_index_matches_lookups =
+  QCheck.Test.make ~name:"Layout.index = coord = location/position" ~count:100
+    QCheck.(pair (int_range 0 8) (int_bound 1_000_000))
+    (fun (k, seed) ->
+      let st = Random.State.make [| seed |] in
+      let nfs = List.init k (fun i -> Printf.sprintf "N%d" i) in
+      let layout = random_layout st [ ing 0; eg 0; ing 1; eg 1 ] nfs in
+      let idx = Layout.index layout in
+      List.for_all
+        (fun nf ->
+          let via_index = Hashtbl.find_opt idx nf in
+          let via_coord = Layout.coord layout nf in
+          let via_pair =
+            match Layout.location layout nf with
+            | None -> None
+            | Some id -> (
+                let pl = Layout.layout_of layout id in
+                match Layout.position pl nf with
+                | None -> None
+                | Some (g, s) ->
+                    Some
+                      {
+                        Layout.pipelet = id;
+                        group = g;
+                        slot = s;
+                        kind = Layout.group_kind pl g;
+                      })
+          in
+          via_index = via_coord && via_coord = via_pair
+          && (via_index <> None || not (List.mem nf (Layout.all_nfs layout))))
+        nfs)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -327,4 +363,5 @@ let () =
         ] );
       ( "oracle",
         [ qtest prop_fast_matches_reference; qtest prop_cached_cost_coherent ] );
+      ("coords", [ qtest prop_index_matches_lookups ]);
     ]
