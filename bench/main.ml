@@ -672,6 +672,189 @@ let bench_placement () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Data-plane throughput benchmark: the same packet workload through    *)
+(* the precompiled fast path and the statement-tree reference           *)
+(* interpreter, with the batch digest proving both produced             *)
+(* byte-identical outputs. Results land in BENCH_runtime.json.          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_runtime () =
+  section "Runtime throughput benchmark -> BENCH_runtime.json";
+  let npkts = if !smoke then 200 else 4000 in
+  let flow ~src ~dst ~src_port ~dst_port =
+    Netpkt.Pkt.encode
+      (Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+         ~dst_mac:(mac "02:00:00:00:00:02")
+         {
+           Netpkt.Flow.src = ip src;
+           dst;
+           proto = Netpkt.Ipv4.proto_tcp;
+           src_port;
+           dst_port;
+         })
+  in
+  (* Mixed workload over the Fig. 2 policy: green (classifier-router),
+     orange (classifier-vgw-router) and red (the full 5-NF chain through
+     the LB, which punts each new flow to the CPU and installs a
+     connection entry — so the batch also exercises table growth and the
+     CPU round-trip path). *)
+  let workload =
+    List.init npkts (fun i ->
+        let frame =
+          match i mod 4 with
+          | 0 ->
+              flow ~src:"203.0.113.7"
+                ~dst:(ip (Printf.sprintf "10.0.3.%d" (1 + (i mod 200))))
+                ~src_port:(40000 + (i mod 97)) ~dst_port:443
+          | 1 ->
+              flow ~src:"203.0.113.8"
+                ~dst:(ip (Printf.sprintf "10.0.2.%d" (1 + (i mod 200))))
+                ~src_port:(41000 + (i mod 89)) ~dst_port:80
+          | 2 ->
+              flow ~src:"203.0.113.9" ~dst:Nflib.Catalog.tenant1_vip
+                ~src_port:(50000 + (i mod 61)) ~dst_port:80
+          | _ ->
+              flow ~src:"203.0.113.10" ~dst:(ip "10.0.3.50")
+                ~src_port:(42000 + (i mod 127)) ~dst_port:8080
+        in
+        (0, frame))
+  in
+  (* The LB handler installs entries statefully, so every timed run gets
+     a freshly compiled chip + runtime; min of [runs] for the cleanest
+     wall-time estimate. *)
+  (* A realistic FIB: 512 /24s + 32 /20s in 172.16.0.0/12, none covering
+     the workload's 10.0.0.0/16 destinations — outputs are unchanged, but
+     the router lookup runs at production table scale (the reference
+     interpreter scans every prefix per packet; the indexed path probes
+     one bucket per prefix length). Installed identically in both modes
+     before the clock starts. *)
+  let fib_extra = 512 + 32 in
+  let install_fib compiled =
+    match Compiler.find_nf_table compiled ~nf:"router" ~table:"routes" with
+    | None -> failwith "bench runtime: router__routes not found"
+    | Some table ->
+        let add ~prefix_len addr =
+          P4ir.Table.add_entry_exn table
+            {
+              P4ir.Table.priority = 0;
+              patterns =
+                [
+                  P4ir.Table.M_lpm
+                    { value = P4ir.Bitval.of_int ~width:32 addr; prefix_len };
+                ];
+              action = "route";
+              args =
+                [
+                  P4ir.Bitval.of_int ~width:48 0x020000aa0001;
+                  P4ir.Bitval.of_int ~width:48 0x0200000000fe;
+                ];
+            }
+        in
+        for i = 0 to 511 do
+          add ~prefix_len:24
+            ((172 lsl 24) lor ((16 + (i lsr 8)) lsl 16) lor ((i land 0xff) lsl 8))
+        done;
+        for i = 0 to 31 do
+          add ~prefix_len:20
+            ((172 lsl 24) lor ((24 + (i lsr 4)) lsl 16) lor ((i land 0xf) lsl 12))
+        done
+  in
+  let run_mode mode =
+    let compiled =
+      match compile_prototype () with Ok c -> c | Error e -> failwith e
+    in
+    let rt = Runtime.create compiled in
+    Nflib.Catalog.attach_handlers rt compiled;
+    install_fib compiled;
+    Asic.Chip.set_exec_mode compiled.Compiler.chip mode;
+    let t0 = Unix.gettimeofday () in
+    let stats = Runtime.process_batch rt workload in
+    (Unix.gettimeofday () -. t0, stats)
+  in
+  let runs = if !smoke then 1 else 3 in
+  let time_mode mode =
+    let results = List.init runs (fun _ -> run_mode mode) in
+    let stats = snd (List.hd results) in
+    (List.fold_left (fun acc (dt, _) -> min acc dt) infinity results, stats)
+  in
+  let fast_s, fast = time_mode Asic.Chip.Fast in
+  let ref_s, refr = time_mode Asic.Chip.Reference in
+  let identical =
+    fast.Runtime.digest = refr.Runtime.digest
+    && fast.Runtime.emitted = refr.Runtime.emitted
+    && fast.Runtime.dropped = refr.Runtime.dropped
+    && fast.Runtime.to_cpu = refr.Runtime.to_cpu
+    && fast.Runtime.errors = refr.Runtime.errors
+    && fast.Runtime.cpu_round_trips = refr.Runtime.cpu_round_trips
+    && fast.Runtime.recircs = refr.Runtime.recircs
+    && fast.Runtime.resubmits = refr.Runtime.resubmits
+  in
+  (* Spot-check trace-event equality on one chip walk per mode (the
+     QCheck suite does this exhaustively on random programs). *)
+  let traces_equal =
+    let walk mode =
+      let compiled =
+        match compile_prototype () with Ok c -> c | Error e -> failwith e
+      in
+      install_fib compiled;
+      Asic.Chip.set_exec_mode compiled.Compiler.chip mode;
+      match Asic.Chip.inject compiled.Compiler.chip ~in_port:0 (snd (List.hd workload)) with
+      | Ok r -> r.Asic.Chip.trace
+      | Error e -> failwith e
+    in
+    walk Asic.Chip.Fast = walk Asic.Chip.Reference
+  in
+  let rate dt = float_of_int npkts /. dt in
+  let ns_per_pkt dt = dt *. 1e9 /. float_of_int npkts in
+  let speedup = if fast_s > 0.0 then ref_s /. fast_s else 0.0 in
+  Format.printf
+    "%d packets (%d green/orange, %d red via LB + CPU), %d-prefix FIB, min of \
+     %d runs@."
+    npkts (fast.Runtime.packets - (npkts / 4)) (npkts / 4) (fib_extra + 2) runs;
+  Format.printf "%-12s %12s %14s %12s@." "mode" "wall (ms)" "pkts/sec" "ns/pkt";
+  Format.printf "%-12s %12.2f %14.0f %12.0f@." "fast" (fast_s *. 1000.0)
+    (rate fast_s) (ns_per_pkt fast_s);
+  Format.printf "%-12s %12.2f %14.0f %12.0f@." "reference" (ref_s *. 1000.0)
+    (rate ref_s) (ns_per_pkt ref_s);
+  Format.printf
+    "speedup=%.1fx identical=%b traces_equal=%b (emitted=%d dropped=%d \
+     to_cpu=%d cpu_round_trips=%d recircs=%d digest=%Lx)@."
+    speedup identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
+    fast.Runtime.to_cpu fast.Runtime.cpu_round_trips fast.Runtime.recircs
+    fast.Runtime.digest;
+  if not (identical && traces_equal) then begin
+    Format.printf "ERROR: fast and reference paths disagree!@.";
+    exit 1
+  end;
+  if !smoke then Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
+  else begin
+    let oc = open_out "BENCH_runtime.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"runtime\",\n\
+      \  \"packets\": %d,\n\
+      \  \"fib_prefixes\": %d,\n\
+      \  \"runs\": %d,\n\
+      \  \"fast\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
+      \  \"reference\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"identical\": %b,\n\
+      \  \"traces_equal\": %b,\n\
+      \  \"stats\": { \"emitted\": %d, \"dropped\": %d, \"to_cpu\": %d, \"errors\": %d,\n\
+      \              \"cpu_round_trips\": %d, \"recircs\": %d, \"resubmits\": %d,\n\
+      \              \"digest\": \"%Lx\" }\n\
+       }\n"
+      npkts (fib_extra + 2) runs fast_s (rate fast_s) (ns_per_pkt fast_s) ref_s
+      (rate ref_s)
+      (ns_per_pkt ref_s) speedup identical traces_equal fast.Runtime.emitted
+      fast.Runtime.dropped fast.Runtime.to_cpu fast.Runtime.errors
+      fast.Runtime.cpu_round_trips fast.Runtime.recircs fast.Runtime.resubmits
+      fast.Runtime.digest;
+    close_out oc;
+    Format.printf "@.wrote BENCH_runtime.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -689,6 +872,7 @@ let experiments =
     ("related-work", related_work);
     ("ablation-cluster", ablation_cluster);
     ("placement", bench_placement);
+    ("runtime", bench_runtime);
     ("micro", microbench);
   ]
 

@@ -6,12 +6,15 @@ type config = {
   mirror_port : int option;
 }
 
+type exec_mode = Fast | Reference
+
 type t = {
   spec : Spec.t;
   ingress : Pipelet.t array;
   egress : Pipelet.t array;
   ports : Port.t;
   mirror_port : int option;
+  mutable mode : exec_mode;
 }
 
 let load (config : config) =
@@ -47,10 +50,28 @@ let load (config : config) =
              egress;
              ports = config.ports;
              mirror_port = config.mirror_port;
+             mode = Fast;
            })
 
 let spec t = t.spec
 let ports t = t.ports
+let exec_mode t = t.mode
+let set_exec_mode t mode = t.mode <- mode
+
+let run_pipelet t pl ~trace phv =
+  match t.mode with
+  | Fast -> Pipelet.process ~trace pl phv
+  | Reference -> Pipelet.process_reference ~trace pl phv
+
+let parse_frame t pl frame =
+  match t.mode with
+  | Fast -> Pipelet.parse pl frame
+  | Reference -> Pipelet.parse_reference pl frame
+
+let deparse_frame t pl phv ~payload =
+  match t.mode with
+  | Fast -> Pipelet.deparse_fast pl phv ~payload
+  | Reference -> Pipelet.deparse pl phv ~payload
 
 let pipelet t (id : Pipelet.id) =
   match id.Pipelet.kind with
@@ -84,7 +105,17 @@ type walk_state = {
   mutable mirrored : (int * Bytes.t) list;  (* reversed *)
 }
 
-let flag phv r = P4ir.Phv.get_int phv r = 1
+(* Standard-metadata accessors compiled once for the whole chip: every
+   PHV layout shares the same header names, so these cache slots across
+   pipelet templates instead of hashing field names per pass. *)
+let get_drop = P4ir.Phv.fast_get_int Stdmeta.drop_flag
+let get_to_cpu = P4ir.Phv.fast_get_int Stdmeta.to_cpu_flag
+let get_resubmit = P4ir.Phv.fast_get_int Stdmeta.resubmit_flag
+let get_mirror = P4ir.Phv.fast_get_int Stdmeta.mirror_flag
+let get_egress_spec = P4ir.Phv.fast_get_int Stdmeta.egress_spec
+let set_ingress_port = P4ir.Phv.fast_set_int Stdmeta.ingress_port
+let set_egress_port = P4ir.Phv.fast_set_int Stdmeta.egress_port
+let set_resubmit = P4ir.Phv.fast_set_int Stdmeta.resubmit_flag
 
 let finish st verdict =
   Ok
@@ -108,36 +139,36 @@ let rec ingress_pass t st ~pipeline ~entry_port frame =
     let pl = t.ingress.(pipeline) in
     st.visits <- Pipelet.id pl :: st.visits;
     st.latency <- st.latency +. Latency.pipe_pass_ns t.spec;
-    match Pipelet.parse pl frame with
+    match parse_frame t pl frame with
     | Error e -> Error e
     | Ok (phv, payload) ->
-        P4ir.Phv.set_int phv Stdmeta.ingress_port entry_port;
-        Pipelet.process ~trace:st.trace pl phv;
+        set_ingress_port phv entry_port;
+        run_pipelet t pl ~trace:st.trace phv;
         (* Drop and punt-to-CPU decisions win over resubmission: an NF
            that punts mid-chain must not be replayed by the branching
            table's pending resubmit. *)
-        if flag phv Stdmeta.drop_flag then finish st Dropped
-        else if flag phv Stdmeta.to_cpu_flag then
-          finish st (To_cpu (Pipelet.deparse pl phv ~payload))
-        else if flag phv Stdmeta.resubmit_flag then begin
+        if get_drop phv = 1 then finish st Dropped
+        else if get_to_cpu phv = 1 then
+          finish st (To_cpu (deparse_frame t pl phv ~payload))
+        else if get_resubmit phv = 1 then begin
           (* Resubmission re-enters the same ingress parser with the
              ingress-deparsed packet. *)
           st.resubmits <- st.resubmits + 1;
-          P4ir.Phv.set_int phv Stdmeta.resubmit_flag 0;
-          let frame' = Pipelet.deparse pl phv ~payload in
+          set_resubmit phv 0;
+          let frame' = deparse_frame t pl phv ~payload in
           ingress_pass t st ~pipeline ~entry_port frame'
         end
         else
-          let out_port = P4ir.Phv.get_int phv Stdmeta.egress_spec in
+          let out_port = get_egress_spec phv in
           if not (Spec.valid_port t.spec out_port) then
             Error
               (Printf.sprintf
                  "Chip.inject: invalid egress port %d after ingress %d"
                  out_port pipeline)
           else if out_port = Spec.cpu_port then
-            finish st (To_cpu (Pipelet.deparse pl phv ~payload))
+            finish st (To_cpu (deparse_frame t pl phv ~payload))
           else
-            let frame' = Pipelet.deparse pl phv ~payload in
+            let frame' = deparse_frame t pl phv ~payload in
             let egress_pipe = Option.get (Spec.pipeline_of_any_port t.spec out_port) in
             st.latency <- st.latency +. t.spec.Spec.lat.Spec.tm_ns;
             egress_pass t st ~pipeline:egress_pipe ~out_port frame'
@@ -153,19 +184,19 @@ and egress_pass t st ~pipeline ~out_port frame =
     let pl = t.egress.(pipeline) in
     st.visits <- Pipelet.id pl :: st.visits;
     st.latency <- st.latency +. Latency.pipe_pass_ns t.spec;
-    match Pipelet.parse pl frame with
+    match parse_frame t pl frame with
     | Error e -> Error e
     | Ok (phv, payload) ->
-        P4ir.Phv.set_int phv Stdmeta.egress_port out_port;
-        Pipelet.process ~trace:st.trace pl phv;
-        if flag phv Stdmeta.drop_flag then finish st Dropped
-        else if flag phv Stdmeta.to_cpu_flag then
-          finish st (To_cpu (Pipelet.deparse pl phv ~payload))
+        set_egress_port phv out_port;
+        run_pipelet t pl ~trace:st.trace phv;
+        if get_drop phv = 1 then finish st Dropped
+        else if get_to_cpu phv = 1 then
+          finish st (To_cpu (deparse_frame t pl phv ~payload))
         else
-          let frame' = Pipelet.deparse pl phv ~payload in
+          let frame' = deparse_frame t pl phv ~payload in
           (* Mirroring: a copy of the departing frame goes to the
              analysis port; the original continues unchanged. *)
-          (match (t.mirror_port, flag phv Stdmeta.mirror_flag) with
+          (match (t.mirror_port, get_mirror phv = 1) with
           | Some mp, true -> st.mirrored <- (mp, Bytes.copy frame') :: st.mirrored
           | _ -> ());
           let loops_back =

@@ -26,6 +26,16 @@ val spec : t -> Spec.t
 val ports : t -> Port.t
 val pipelet : t -> Pipelet.id -> Pipelet.t
 
+type exec_mode =
+  | Fast  (** precompiled controls + indexed table lookups (default) *)
+  | Reference  (** interpret the statement trees — the oracle *)
+
+val exec_mode : t -> exec_mode
+val set_exec_mode : t -> exec_mode -> unit
+(** Switch how {!inject} executes pipelet controls. Both modes produce
+    identical verdicts, counters and trace events; [Reference] exists
+    for equivalence tests and as the benchmark baseline. *)
+
 type verdict =
   | Emitted of { port : int; frame : Bytes.t }
   | Dropped

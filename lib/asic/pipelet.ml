@@ -21,6 +21,14 @@ let all_ids spec =
 type t = {
   id : id;
   program : P4ir.Program.t;
+  compiled : P4ir.Control.compiled;
+  pcompiled : P4ir.Parser_graph.compiled;
+  (* Pristine PHV with every parser declaration plus standard metadata
+     attached; [parse] copies it instead of re-declaring per packet. *)
+  template : P4ir.Phv.t;
+  (* Cached-slot instance accessor + byte size per deparse-order header,
+     so [deparse_fast] walks an array instead of hashing names. *)
+  demit : ((P4ir.Phv.t -> P4ir.Hdr.inst) * int) array;
   stage_alloc : (string * int) list;
 }
 
@@ -129,7 +137,50 @@ let load spec id program =
       else
         match allocate_stages spec program with
         | Error e -> Error e
-        | Ok stage_alloc -> Ok { id; program; stage_alloc })
+        | Ok stage_alloc ->
+            let template = P4ir.Phv.create [] in
+            List.iter
+              (fun d -> P4ir.Phv.add_decl template d)
+              program.P4ir.Program.parser.P4ir.Parser_graph.decls;
+            Stdmeta.attach template;
+            let demit =
+              Array.of_list
+                (List.filter_map
+                   (fun name ->
+                     match
+                       List.find_opt
+                         (fun (d : P4ir.Hdr.decl) ->
+                           String.equal d.P4ir.Hdr.name name)
+                         program.P4ir.Program.parser.P4ir.Parser_graph.decls
+                     with
+                     | Some d ->
+                         Some (P4ir.Phv.fast_inst name, P4ir.Hdr.byte_size d)
+                     | None ->
+                         (* Not a parsed header (e.g. metadata): resolve
+                            the size per packet on the generic path. *)
+                         None)
+                   program.P4ir.Program.deparse_order)
+            in
+            (* The compiled emit plan only stands in for the generic walk
+               when it covers the whole deparse order. *)
+            let demit =
+              if
+                Array.length demit
+                = List.length program.P4ir.Program.deparse_order
+              then demit
+              else [||]
+            in
+            Ok
+              {
+                id;
+                program;
+                compiled = P4ir.Program.compile_control program;
+                pcompiled =
+                  P4ir.Parser_graph.compile program.P4ir.Program.parser;
+                template;
+                demit;
+                stage_alloc;
+              })
 
 let id t = t.id
 let program t = t.program
@@ -138,9 +189,22 @@ let stage_of_table t name = List.assoc_opt name t.stage_alloc
 let stages_used t =
   List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 t.stage_alloc
 
-let process ?trace t phv = P4ir.Program.exec_control ?trace t.program phv
+let process ?trace t phv = P4ir.Control.run_compiled ?trace t.compiled phv
+
+let process_reference ?trace t phv =
+  P4ir.Program.exec_control ?trace t.program phv
 
 let parse t frame =
+  let phv = P4ir.Phv.copy t.template in
+  match P4ir.Parser_graph.run_compiled t.pcompiled frame phv with
+  | Error e -> Error e
+  | Ok consumed ->
+      let payload =
+        Bytes.sub frame consumed (Bytes.length frame - consumed)
+      in
+      Ok (phv, payload)
+
+let parse_reference t frame =
   let phv = P4ir.Phv.create [] in
   match P4ir.Parser_graph.parse t.program.P4ir.Program.parser frame phv with
   | Error e -> Error e
@@ -154,3 +218,30 @@ let parse t frame =
 let deparse t phv ~payload =
   P4ir.Parser_graph.deparse
     ~order:t.program.P4ir.Program.deparse_order phv ~payload
+
+(* Fast-mode serialization over the precomputed emit plan: two array
+   walks (size, then emit) with no name hashing. Falls back to the
+   generic walk when no complete plan was precomputed at load. *)
+let deparse_fast t phv ~payload =
+  let n = Array.length t.demit in
+  if n = 0 then deparse t phv ~payload
+  else begin
+    let total = ref 0 in
+    for k = 0 to n - 1 do
+      let get, size = t.demit.(k) in
+      if P4ir.Hdr.is_valid (get phv) then total := !total + size
+    done;
+    let plen = Bytes.length payload in
+    let out = Bytes.make (!total + plen) '\000' in
+    let off = ref 0 in
+    for k = 0 to n - 1 do
+      let get, size = t.demit.(k) in
+      let i = get phv in
+      if P4ir.Hdr.is_valid i then begin
+        P4ir.Hdr.emit i out ~bit_off:(8 * !off);
+        off := !off + size
+      end
+    done;
+    Bytes.blit payload 0 out !off plen;
+    out
+  end

@@ -32,10 +32,29 @@ val stages_used : t -> int
 
 val process :
   ?trace:P4ir.Control.trace_event list ref -> t -> P4ir.Phv.t -> unit
+(** Run the control program precompiled at {!load} time (the fast
+    path). *)
+
+val process_reference :
+  ?trace:P4ir.Control.trace_event list ref -> t -> P4ir.Phv.t -> unit
+(** Interpret the control statement tree — the oracle {!process} is
+    equivalence-tested against. *)
 
 val parse :
   t -> Bytes.t -> (P4ir.Phv.t * Bytes.t, string) result
 (** Run the pipelet's parser over a frame; returns the PHV (with standard
-    metadata attached) and the unparsed payload. *)
+    metadata attached) and the unparsed payload. Uses the parse graph
+    compiled at {!load} time and a copied template PHV. *)
+
+val parse_reference :
+  t -> Bytes.t -> (P4ir.Phv.t * Bytes.t, string) result
+(** {!parse} through the interpretive parse-graph walk — the oracle
+    counterpart, used by the chip's reference execution mode. *)
 
 val deparse : t -> P4ir.Phv.t -> payload:Bytes.t -> Bytes.t
+(** Generic serialization: walks the deparse order resolving each header
+    by name. The reference-mode path. *)
+
+val deparse_fast : t -> P4ir.Phv.t -> payload:Bytes.t -> Bytes.t
+(** [deparse] over an emit plan precomputed at {!load} (cached-slot
+    header accessors, per-header sizes); byte-identical output. *)

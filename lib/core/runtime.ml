@@ -5,12 +5,50 @@ type t = {
   compiled : Compiler.t;
   handlers : (string, handler) Hashtbl.t;
   nf_ids : (int, string) Hashtbl.t;
+  (* (path_id, service_index) -> reinjection pipeline, precomputed from
+     the branching plan and the layout so per-CPU-reinject dispatch is a
+     single hash probe instead of two linear scans. *)
+  reinject : (int * int, int) Hashtbl.t;
 }
 
 let max_cpu_loops = 8
 
+(* Where to reinject a CPU-handled packet so routing resumes correctly:
+   prefer the ingress pipelet whose branching table knows the packet's
+   (path, index) state; else the pipeline hosting the pending NF. Both
+   sources are fixed once the chip is compiled, so the map is built
+   here, at creation. *)
+let build_reinject_map compiled =
+  let reinject = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Chain.t) ->
+      List.iteri
+        (fun index nf ->
+          match Layout.location compiled.Compiler.layout nf with
+          | Some id ->
+              Hashtbl.replace reinject
+                (c.Chain.path_id, index)
+                id.Asic.Pipelet.pipeline
+          | None -> ())
+        c.Chain.nfs)
+    compiled.Compiler.input.Compiler.chains;
+  (* Branching entries override the chain fallback; iterate reversed so
+     the plan's first entry for a (path, index) wins, as the old
+     List.find_map did. *)
+  List.iter
+    (fun (e : Branching.entry) ->
+      Hashtbl.replace reinject (e.Branching.path_id, e.Branching.index)
+        e.Branching.pipeline)
+    (List.rev compiled.Compiler.plan.Branching.branching);
+  reinject
+
 let create compiled =
-  { compiled; handlers = Hashtbl.create 8; nf_ids = Hashtbl.create 8 }
+  {
+    compiled;
+    handlers = Hashtbl.create 8;
+    nf_ids = Hashtbl.create 8;
+    reinject = build_reinject_map compiled;
+  }
 
 let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
 let register_nf_id t nf id = Hashtbl.replace t.nf_ids id nf
@@ -55,39 +93,17 @@ let clear_cpu_mark frame =
         Sfc_header.byte_size;
       frame
 
-(* Where to reinject a CPU-handled packet so routing resumes correctly:
-   prefer the ingress pipelet whose branching table knows the packet's
-   (path, index) state; else the pipeline hosting the pending NF. *)
 let reinject_pipeline t frame =
   let default = t.compiled.Compiler.input.Compiler.entry_pipeline in
   match decode_sfc frame with
   | None -> default
   | Some hdr -> (
-      let path_id = hdr.Sfc_header.service_path_id in
-      let index = hdr.Sfc_header.service_index in
-      let from_branching =
-        List.find_map
-          (fun (e : Branching.entry) ->
-            if e.Branching.path_id = path_id && e.Branching.index = index then
-              Some e.Branching.pipeline
-            else None)
-          t.compiled.Compiler.plan.Branching.branching
+      let key =
+        (hdr.Sfc_header.service_path_id, hdr.Sfc_header.service_index)
       in
-      match from_branching with
+      match Hashtbl.find_opt t.reinject key with
       | Some p -> p
-      | None -> (
-          let chain =
-            List.find_opt
-              (fun (c : Chain.t) -> c.Chain.path_id = path_id)
-              t.compiled.Compiler.input.Compiler.chains
-          in
-          match chain with
-          | Some c when index < Chain.length c -> (
-              let nf = List.nth c.Chain.nfs index in
-              match Layout.location t.compiled.Compiler.layout nf with
-              | Some id -> id.Asic.Pipelet.pipeline
-              | None -> default)
-          | Some _ | None -> default))
+      | None -> default)
 
 let find_handler t sfc =
   match sfc with
@@ -150,3 +166,91 @@ let process t ~in_port frame =
         | Asic.Chip.Emitted _ | Asic.Chip.Dropped -> finish ())
   in
   loop frame 0 0 0 0.0 [] true
+
+type batch_stats = {
+  packets : int;
+  emitted : int;
+  dropped : int;
+  to_cpu : int;
+  errors : int;
+  cpu_round_trips : int;
+  recircs : int;
+  resubmits : int;
+  total_latency_ns : float;
+  digest : int64;
+}
+
+(* The digest folds a verdict tag, the egress port and the full output
+   frame of every packet — in batch order — through CRC-32, so two runs
+   agree on the digest iff they produced byte-identical outputs in the
+   same order. *)
+let fold_digest acc tag port frame =
+  let head = Bytes.create 5 in
+  Bytes.set_uint8 head 0 tag;
+  Bytes.set_int32_be head 1 (Int32.of_int port);
+  let acc = Netpkt.Bytes_util.crc32 ~init:acc head ~off:0 ~len:5 in
+  match frame with
+  | None -> acc
+  | Some b -> Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len:(Bytes.length b)
+
+let process_batch t pkts =
+  let stats =
+    ref
+      {
+        packets = 0;
+        emitted = 0;
+        dropped = 0;
+        to_cpu = 0;
+        errors = 0;
+        cpu_round_trips = 0;
+        recircs = 0;
+        resubmits = 0;
+        total_latency_ns = 0.0;
+        digest = 0L;
+      }
+  in
+  List.iter
+    (fun (in_port, frame) ->
+      let s = !stats in
+      let s = { s with packets = s.packets + 1 } in
+      match process t ~in_port frame with
+      | Error e ->
+          let msg = Bytes.of_string e in
+          stats :=
+            {
+              s with
+              errors = s.errors + 1;
+              digest = fold_digest s.digest 4 0 (Some msg);
+            }
+      | Ok o ->
+          let s =
+            {
+              s with
+              cpu_round_trips = s.cpu_round_trips + o.cpu_round_trips;
+              recircs = s.recircs + o.recircs;
+              resubmits = s.resubmits + o.resubmits;
+              total_latency_ns = s.total_latency_ns +. o.latency_ns;
+            }
+          in
+          stats :=
+            (match o.verdict with
+            | Asic.Chip.Emitted { port; frame } ->
+                {
+                  s with
+                  emitted = s.emitted + 1;
+                  digest = fold_digest s.digest 1 port (Some frame);
+                }
+            | Asic.Chip.Dropped ->
+                {
+                  s with
+                  dropped = s.dropped + 1;
+                  digest = fold_digest s.digest 2 0 None;
+                }
+            | Asic.Chip.To_cpu frame ->
+                {
+                  s with
+                  to_cpu = s.to_cpu + 1;
+                  digest = fold_digest s.digest 3 0 (Some frame);
+                }))
+    pkts;
+  !stats

@@ -50,3 +50,23 @@ val process : t -> in_port:int -> Bytes.t -> (outcome, string) result
 
 val max_cpu_loops : int
 val chip : t -> Asic.Chip.t
+
+type batch_stats = {
+  packets : int;
+  emitted : int;
+  dropped : int;
+  to_cpu : int;  (** packets the control plane consumed or nobody handled *)
+  errors : int;
+  cpu_round_trips : int;
+  recircs : int;
+  resubmits : int;
+  total_latency_ns : float;  (** modelled data-plane latency, summed *)
+  digest : int64;
+      (** order-sensitive CRC-32 over every packet's verdict tag, egress
+          port and output frame — byte-identical runs agree on it *)
+}
+
+val process_batch : t -> (int * Bytes.t) list -> batch_stats
+(** Run [(in_port, frame)] packets through {!process} in order,
+    aggregating counters. Per-packet errors are counted (and folded into
+    the digest), not raised. *)

@@ -6,33 +6,74 @@ let check_range b ~bit_off ~width =
       (Printf.sprintf "Bytes_util: bit range [%d,%d) exceeds %d bytes" bit_off
          (bit_off + width) (Bytes.length b))
 
-let get_bit b i =
-  let byte = Char.code (Bytes.get b (i / 8)) in
-  (byte lsr (7 - (i mod 8))) land 1
-
-let set_bit b i v =
-  let idx = i / 8 in
-  let byte = Char.code (Bytes.get b idx) in
-  let mask = 1 lsl (7 - (i mod 8)) in
-  let byte = if v = 1 then byte lor mask else byte land lnot mask in
-  Bytes.set b idx (Char.chr byte)
+(* Both accessors work a byte at a time: up to 8 bits of the field live
+   in any one byte, so a width-w access costs at most ceil(w/8)+1 cheap
+   integer steps instead of the w per-bit get/set rounds the original
+   loops paid (which dominated every header extract/emit). *)
+let get_bits_slow b ~bit_off ~width =
+  let acc = ref 0L in
+  let pos = ref bit_off in
+  let remaining = ref width in
+  while !remaining > 0 do
+    let bit_in_byte = !pos land 7 in
+    let take = min !remaining (8 - bit_in_byte) in
+    let byte = Char.code (Bytes.unsafe_get b (!pos lsr 3)) in
+    let chunk = (byte lsr (8 - bit_in_byte - take)) land ((1 lsl take) - 1) in
+    acc := Int64.(logor (shift_left !acc take) (of_int chunk));
+    pos := !pos + take;
+    remaining := !remaining - take
+  done;
+  !acc
 
 let get_bits b ~bit_off ~width =
   check_range b ~bit_off ~width;
-  let rec loop acc i =
-    if i = width then acc
-    else
-      let bit = Int64.of_int (get_bit b (bit_off + i)) in
-      loop Int64.(logor (shift_left acc 1) bit) (i + 1)
-  in
-  loop 0L 0
+  if bit_off land 7 = 0 && width land 7 = 0 && width <= 32 then
+    (* Byte-aligned 8/16/24/32-bit fields — most header fields — read
+       directly. *)
+    let off = bit_off lsr 3 in
+    match width with
+    | 8 -> Int64.of_int (Char.code (Bytes.unsafe_get b off))
+    | 16 -> Int64.of_int (Bytes.get_uint16_be b off)
+    | 24 ->
+        Int64.of_int
+          ((Bytes.get_uint16_be b off lsl 8)
+          lor Char.code (Bytes.unsafe_get b (off + 2)))
+    | _ -> Int64.logand (Int64.of_int32 (Bytes.get_int32_be b off)) 0xFFFFFFFFL
+  else get_bits_slow b ~bit_off ~width
+
+let set_bits_slow b ~bit_off ~width v =
+  let pos = ref bit_off in
+  let remaining = ref width in
+  while !remaining > 0 do
+    let bit_in_byte = !pos land 7 in
+    let take = min !remaining (8 - bit_in_byte) in
+    let keep = lnot (((1 lsl take) - 1) lsl (8 - bit_in_byte - take)) land 0xff in
+    let chunk =
+      Int64.(to_int (logand (shift_right_logical v (!remaining - take))
+                       (of_int ((1 lsl take) - 1))))
+    in
+    let idx = !pos lsr 3 in
+    let old = Char.code (Bytes.unsafe_get b idx) in
+    Bytes.unsafe_set b idx
+      (Char.unsafe_chr
+         ((old land keep) lor (chunk lsl (8 - bit_in_byte - take))));
+    pos := !pos + take;
+    remaining := !remaining - take
+  done
 
 let set_bits b ~bit_off ~width v =
   check_range b ~bit_off ~width;
-  for i = 0 to width - 1 do
-    let bit = Int64.(to_int (logand (shift_right_logical v (width - 1 - i)) 1L)) in
-    set_bit b (bit_off + i) bit
-  done
+  if bit_off land 7 = 0 && width land 7 = 0 && width <= 32 then
+    let off = bit_off lsr 3 in
+    match width with
+    | 8 -> Bytes.unsafe_set b off (Char.unsafe_chr (Int64.to_int v land 0xff))
+    | 16 -> Bytes.set_uint16_be b off (Int64.to_int v land 0xffff)
+    | 24 ->
+        let x = Int64.to_int v in
+        Bytes.set_uint16_be b off ((x lsr 8) land 0xffff);
+        Bytes.unsafe_set b (off + 2) (Char.unsafe_chr (x land 0xff))
+    | _ -> Bytes.set_int32_be b off (Int64.to_int32 v)
+  else set_bits_slow b ~bit_off ~width v
 
 let get_uint8 b off = Char.code (Bytes.get b off)
 let set_uint8 b off v = Bytes.set b off (Char.chr (v land 0xff))

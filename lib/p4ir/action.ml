@@ -23,16 +23,16 @@ let find_reg regs name =
 let reg_index reg env idx_expr =
   Bitval.to_int (Expr.eval env idx_expr) land Register.index_mask reg
 
-let run ?(regs = no_regs) t ~args phv =
+let bind_args t args =
   if List.length args <> List.length t.params then
     invalid_arg
       (Printf.sprintf "Action.run %s: expected %d args, got %d" t.name
          (List.length t.params) (List.length args));
-  let params =
-    List.map2
-      (fun (name, width) v -> (name, Bitval.resize v width))
-      t.params args
-  in
+  List.map2
+    (fun (name, width) v -> (name, Bitval.resize v width))
+    t.params args
+
+let run_bound ?(regs = no_regs) t ~params phv =
   let env = { Expr.phv; params } in
   List.iter
     (fun prim ->
@@ -48,6 +48,49 @@ let run ?(regs = no_regs) t ~args phv =
           Register.write reg (reg_index reg env idx) (Expr.eval env value)
       | No_op -> ())
     t.body
+
+let run ?regs t ~args phv = run_bound ?regs t ~params:(bind_args t args) phv
+
+(* Compiled form: the prim list resolved once to an array of closures
+   with cached-slot field accessors and precompiled expressions.
+   Registers still resolve per call — the register environment arrives
+   with the packet, not at compile time. *)
+type compiled = reg_env -> (string * Bitval.t) list -> Phv.t -> unit
+
+let compile t : compiled =
+  let prims =
+    Array.of_list
+      (List.map
+         (fun prim ->
+           match prim with
+           | Assign (r, e) ->
+               let set = Phv.fast_set r in
+               let f = Expr.compile_env e in
+               fun _regs env -> set env.Expr.phv (f env)
+           | Set_valid h -> fun _regs env -> Phv.set_valid env.Expr.phv h
+           | Set_invalid h -> fun _regs env -> Phv.set_invalid env.Expr.phv h
+           | Reg_read (dst, rname, idx) ->
+               let set = Phv.fast_set dst in
+               let fidx = Expr.compile_env idx in
+               fun regs env ->
+                 let reg = find_reg regs rname in
+                 set env.Expr.phv
+                   (Register.read reg
+                      (Bitval.to_int (fidx env) land Register.index_mask reg))
+           | Reg_write (rname, idx, value) ->
+               let fidx = Expr.compile_env idx in
+               let fv = Expr.compile_env value in
+               fun regs env ->
+                 let reg = find_reg regs rname in
+                 Register.write reg
+                   (Bitval.to_int (fidx env) land Register.index_mask reg)
+                   (fv env)
+           | No_op -> fun _regs _env -> ())
+         t.body)
+  in
+  fun regs params phv ->
+    let env = { Expr.phv; params } in
+    Array.iter (fun f -> f regs env) prims
 
 let reg_field name = Fieldref.v "$reg" name
 

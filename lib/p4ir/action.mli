@@ -29,6 +29,23 @@ val run : ?regs:reg_env -> t -> args:Bitval.t list -> Phv.t -> unit
     the body. Raises [Invalid_argument] on arity mismatch or on a
     register primitive whose register [regs] does not know. *)
 
+val bind_args : t -> Bitval.t list -> (string * Bitval.t) list
+(** The binding step of {!run} alone: positional zip with widths
+    enforced. Raises [Invalid_argument] on arity mismatch. Table entries
+    bind their action data once at insert time and reuse the binding on
+    every packet. *)
+
+val run_bound : ?regs:reg_env -> t -> params:(string * Bitval.t) list -> Phv.t -> unit
+(** Execute the body against pre-bound parameters (from {!bind_args}),
+    skipping the per-call arity check and resize. *)
+
+type compiled = reg_env -> (string * Bitval.t) list -> Phv.t -> unit
+(** A precompiled body: primitives resolved to closures with cached-slot
+    field accessors. Registers are still resolved per call (they arrive
+    with the packet), with the same errors as {!run_bound}. *)
+
+val compile : t -> compiled
+
 val registers_used : t -> string list
 
 val reads : t -> Fieldref.Set.t

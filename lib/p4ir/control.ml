@@ -28,7 +28,7 @@ let exec ?trace ?(regs = Action.no_regs) env t phv =
   let record ev = match trace with Some r -> r := ev :: !r | None -> () in
   let apply name =
     let table = find_table env name in
-    let action_run, hit = Table.apply ~regs table phv in
+    let action_run, hit = Table.apply_reference ~regs table phv in
     record (T_table (name, action_run, hit));
     (action_run, hit)
   in
@@ -45,7 +45,11 @@ let exec ?trace ?(regs = Action.no_regs) env t phv =
         | None -> run_block default)
     | If (cond, then_, else_) ->
         let v = Expr.eval_bool { Expr.phv; params = [] } cond in
-        record (T_gateway (Format.asprintf "%a" Expr.pp cond, v));
+        (* Render the condition only when someone is collecting the
+           trace — the asprintf is pure hot-path overhead otherwise. *)
+        (match trace with
+        | Some r -> r := T_gateway (Format.asprintf "%a" Expr.pp cond, v) :: !r
+        | None -> ());
         run_block (if v then then_ else else_)
     | Run prims ->
         Action.run ~regs (Action.make "$inline" prims) ~args:[] phv
@@ -54,6 +58,77 @@ let exec ?trace ?(regs = Action.no_regs) env t phv =
         run_block block
   in
   run_block t.body
+
+(* --- Precompiled controls: resolve table names, action dispatch and
+   gateway expressions once, execute closures per packet. The structure
+   (and trace event order) mirrors [exec] statement for statement; the
+   QCheck equivalence property in test_p4ir pins that. --- *)
+
+type compiled = (trace_event list ref option -> Phv.t -> unit) array
+
+let compile ?(regs = Action.no_regs) env t =
+  let record trace ev =
+    match trace with Some r -> r := ev :: !r | None -> ()
+  in
+  let rec compile_block block : compiled =
+    Array.of_list (List.map compile_stmt block)
+  and run_block (c : compiled) trace phv =
+    Array.iter (fun f -> f trace phv) c
+  and compile_stmt = function
+    | Apply name ->
+        let table = find_table env name in
+        fun trace phv ->
+          let action_run, hit = Table.apply ~regs table phv in
+          record trace (T_table (name, action_run, hit))
+    | Apply_hit (name, then_, else_) ->
+        let table = find_table env name in
+        let cthen = compile_block then_ in
+        let celse = compile_block else_ in
+        fun trace phv ->
+          let action_run, hit = Table.apply ~regs table phv in
+          record trace (T_table (name, action_run, hit));
+          run_block (if hit then cthen else celse) trace phv
+    | Apply_switch (name, branches, default) ->
+        let table = find_table env name in
+        let dispatch = Hashtbl.create (List.length branches) in
+        List.iter
+          (fun (act, blk) ->
+            (* first branch wins, like [List.assoc_opt] in [exec] *)
+            if not (Hashtbl.mem dispatch act) then
+              Hashtbl.add dispatch act (compile_block blk))
+          branches;
+        let cdefault = compile_block default in
+        fun trace phv ->
+          let action_run, hit = Table.apply ~regs table phv in
+          record trace (T_table (name, action_run, hit));
+          let blk =
+            match Hashtbl.find_opt dispatch action_run with
+            | Some b -> b
+            | None -> cdefault
+          in
+          run_block blk trace phv
+    | If (cond, then_, else_) ->
+        let test = Expr.compile_bool cond in
+        let rendered = Format.asprintf "%a" Expr.pp cond in
+        let cthen = compile_block then_ in
+        let celse = compile_block else_ in
+        fun trace phv ->
+          let v = test phv in
+          record trace (T_gateway (rendered, v));
+          run_block (if v then cthen else celse) trace phv
+    | Run prims ->
+        let crun = Action.compile (Action.make "$inline" prims) in
+        fun _ phv -> crun regs [] phv
+    | Label (name, blk) ->
+        let cblk = compile_block blk in
+        fun trace phv ->
+          record trace (T_enter name);
+          run_block cblk trace phv
+  in
+  compile_block t.body
+
+let run_compiled ?trace (c : compiled) phv =
+  Array.iter (fun f -> f trace phv) c
 
 let tables_used t =
   let seen = Hashtbl.create 16 in

@@ -32,8 +32,25 @@ val exec :
   t ->
   Phv.t ->
   unit
-(** Execute against a PHV. Raises [Invalid_argument] for unknown tables
-    or registers. *)
+(** Execute against a PHV by interpreting the statement tree. Raises
+    [Invalid_argument] for unknown tables or registers. Kept as the
+    reference oracle for {!compile}. *)
+
+type compiled
+(** A control precompiled to closures: table names, action dispatch,
+    gateway expressions and trace strings are resolved once; per-packet
+    execution touches no statement tree and allocates no trace strings.
+    Table entries added after compilation are seen — the closures hold
+    live table handles. *)
+
+val compile : ?regs:Action.reg_env -> table_env -> t -> compiled
+(** Raises [Invalid_argument] for a table name the environment does not
+    know (including in unreached branches — [exec] would only raise on
+    first use). *)
+
+val run_compiled : ?trace:trace_event list ref -> compiled -> Phv.t -> unit
+(** Same observable behavior as {!exec} with the environments captured
+    at compile time: identical PHV effects and identical trace events. *)
 
 val tables_used : t -> string list
 (** Every table name applied anywhere in the body, in first-use order. *)

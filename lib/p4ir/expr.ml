@@ -91,6 +91,81 @@ let rec eval env expr =
 
 let eval_bool env e = Bitval.to_bool (eval env e)
 
+(* Compile an expression to a closure over the environment, resolving
+   the tree walk once and every field reference to a cached-slot
+   accessor. A [Param] node looks its value up at run time and fails
+   exactly like [eval] when unbound. *)
+let rec compile_env expr =
+  match expr with
+  | Const v -> fun _ -> v
+  | Field r ->
+      let g = Phv.fast_get r in
+      fun env -> g env.phv
+  | Param name -> (
+      fun env ->
+        match List.assoc_opt name env.params with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "Expr.eval: unbound param %s" name))
+  | Valid h ->
+      let v = Phv.fast_valid h in
+      fun env -> Bitval.of_bool (v env.phv)
+  | Un (BNot, e) ->
+      let f = compile_env e in
+      fun env -> Bitval.lognot (f env)
+  | Un (LNot, e) ->
+      let f = compile_env e in
+      fun env -> Bitval.of_bool (not (Bitval.to_bool (f env)))
+  | Hash (alg, out_width, inputs) ->
+      let fs = List.map compile_env inputs in
+      fun env ->
+        Bitval.make ~width:out_width (hash_bytes alg (List.map (fun f -> f env) fs))
+  | Bin (op, a, b) -> (
+      let fa = compile_env a in
+      let fb = compile_env b in
+      let lift2 g = fun env -> g (fa env) (fb env) in
+      match op with
+      | Add -> lift2 Bitval.add
+      | Sub -> lift2 Bitval.sub
+      | Mul -> lift2 Bitval.mul
+      | BAnd -> lift2 Bitval.logand
+      | BOr -> lift2 Bitval.logor
+      | BXor -> lift2 Bitval.logxor
+      | Shl -> lift2 (fun va vb -> Bitval.shift_left va (Bitval.to_int vb))
+      | Shr -> lift2 (fun va vb -> Bitval.shift_right va (Bitval.to_int vb))
+      | Eq ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Bitval.equal_value va (Bitval.resize vb (Bitval.width va))))
+      | Neq ->
+          lift2 (fun va vb ->
+              Bitval.of_bool
+                (not (Bitval.equal_value va (Bitval.resize vb (Bitval.width va)))))
+      | Lt ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Bitval.lt va (Bitval.resize vb (Bitval.width va))))
+      | Le ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Bitval.le va (Bitval.resize vb (Bitval.width va))))
+      | Gt ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Bitval.lt (Bitval.resize vb (Bitval.width va)) va))
+      | Ge ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Bitval.le (Bitval.resize vb (Bitval.width va)) va))
+      | LAnd ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Stdlib.( && ) (Bitval.to_bool va) (Bitval.to_bool vb)))
+      | LOr ->
+          lift2 (fun va vb ->
+              Bitval.of_bool (Stdlib.( || ) (Bitval.to_bool va) (Bitval.to_bool vb))))
+
+let compile e =
+  let f = compile_env e in
+  fun phv -> f { phv; params = [] }
+
+let compile_bool e =
+  let f = compile_env e in
+  fun phv -> Bitval.to_bool (f { phv; params = [] })
+
 let rec reads = function
   | Const _ | Param _ -> Fieldref.Set.empty
   | Field r -> Fieldref.Set.singleton r

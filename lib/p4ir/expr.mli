@@ -39,6 +39,16 @@ val eval : env -> t -> Bitval.t
     fields and [Invalid_argument] on unbound parameters. *)
 
 val eval_bool : env -> t -> bool
+
+val compile_env : t -> env -> Bitval.t
+(** Resolve the tree walk once — field references become cached-slot
+    accessors — returning a closure equivalent to [eval]. *)
+
+val compile : t -> Phv.t -> Bitval.t
+(** [compile_env] with no bound parameters — used for gateway
+    conditions, which never reference action parameters. *)
+
+val compile_bool : t -> Phv.t -> bool
 val reads : t -> Fieldref.Set.t
 (** Every field the expression reads (validity tests included, as a
     pseudo-field ["<hdr>.$valid"]). *)

@@ -1,5 +1,18 @@
 type field = { name : string; width : int }
-type decl = { name : string; fields : field list }
+
+(* Everything a per-packet operation needs is precomputed here, once per
+   declaration: fields as an array, a name -> position table, per-field
+   bit offsets for extract/emit, and a pristine value array instances
+   copy instead of rebuilding. *)
+type decl = {
+  name : string;
+  fields : field list;
+  farr : field array;
+  findex : (string, int) Hashtbl.t;
+  foffs : int array;
+  zeros : Bitval.t array;
+  nbits : int;
+}
 
 let decl name fields =
   let seen = Hashtbl.create 8 in
@@ -17,23 +30,44 @@ let decl name fields =
         { name = fname; width })
       fields
   in
-  { name; fields }
+  let farr = Array.of_list fields in
+  let n = Array.length farr in
+  let findex = Hashtbl.create (max 8 n) in
+  let foffs = Array.make n 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i (f : field) ->
+      Hashtbl.replace findex f.name i;
+      foffs.(i) <- !off;
+      off := !off + f.width)
+    farr;
+  {
+    name;
+    fields;
+    farr;
+    findex;
+    foffs;
+    zeros = Array.map (fun (f : field) -> Bitval.zero f.width) farr;
+    nbits = !off;
+  }
 
-let total_width d = List.fold_left (fun acc f -> acc + f.width) 0 d.fields
+let total_width d = d.nbits
 
 let byte_size d =
-  let w = total_width d in
-  if w mod 8 <> 0 then
-    invalid_arg (Printf.sprintf "Hdr.byte_size %s: %d bits not byte-aligned" d.name w)
-  else w / 8
+  if d.nbits mod 8 <> 0 then
+    invalid_arg
+      (Printf.sprintf "Hdr.byte_size %s: %d bits not byte-aligned" d.name
+         d.nbits)
+  else d.nbits / 8
+
+let field_index d fname = Hashtbl.find d.findex fname
 
 let field_width d fname =
-  match List.find_opt (fun (f : field) -> String.equal f.name fname) d.fields with
-  | Some f -> f.width
+  match Hashtbl.find_opt d.findex fname with
+  | Some i -> d.farr.(i).width
   | None -> raise Not_found
 
-let has_field d fname =
-  List.exists (fun (f : field) -> String.equal f.name fname) d.fields
+let has_field d fname = Hashtbl.mem d.findex fname
 
 let equal_decl a b =
   String.equal a.name b.name
@@ -50,13 +84,10 @@ let pp_decl ppf d =
 type inst = {
   idecl : decl;
   mutable valid : bool;
-  values : (string, Bitval.t) Hashtbl.t;
+  vals : Bitval.t array;
 }
 
-let inst d =
-  let values = Hashtbl.create (List.length d.fields) in
-  List.iter (fun (f : field) -> Hashtbl.replace values f.name (Bitval.zero f.width)) d.fields;
-  { idecl = d; valid = false; values }
+let inst d = { idecl = d; valid = false; vals = Array.copy d.zeros }
 
 let inst_valid d =
   let i = inst d in
@@ -68,47 +99,48 @@ let is_valid i = i.valid
 let set_valid i = i.valid <- true
 let set_invalid i = i.valid <- false
 
-let get i fname =
-  match Hashtbl.find_opt i.values fname with
-  | Some v -> v
-  | None -> raise Not_found
+let get i fname = i.vals.(Hashtbl.find i.idecl.findex fname)
 
-let set i fname v =
-  let w = field_width i.idecl fname in
-  Hashtbl.replace i.values fname (Bitval.resize v w)
+let get_at i k = i.vals.(k)
 
-let copy i =
-  { idecl = i.idecl; valid = i.valid; values = Hashtbl.copy i.values }
+let set_at i k v = i.vals.(k) <- Bitval.resize v i.idecl.farr.(k).width
+
+let set i fname v = set_at i (Hashtbl.find i.idecl.findex fname) v
+
+let copy i = { idecl = i.idecl; valid = i.valid; vals = Array.copy i.vals }
 
 let extract i b ~bit_off =
-  let off = ref bit_off in
-  List.iter
-    (fun (f : field) ->
-      let v = Netpkt.Bytes_util.get_bits b ~bit_off:!off ~width:f.width in
-      Hashtbl.replace i.values f.name (Bitval.make ~width:f.width v);
-      off := !off + f.width)
-    i.idecl.fields;
+  let d = i.idecl in
+  let n = Array.length d.farr in
+  for k = 0 to n - 1 do
+    let w = d.farr.(k).width in
+    i.vals.(k) <-
+      Bitval.make ~width:w
+        (Netpkt.Bytes_util.get_bits b ~bit_off:(bit_off + d.foffs.(k)) ~width:w)
+  done;
   i.valid <- true
 
 let emit i b ~bit_off =
-  let off = ref bit_off in
-  List.iter
-    (fun (f : field) ->
-      let v = get i f.name in
-      Netpkt.Bytes_util.set_bits b ~bit_off:!off ~width:f.width
-        (Bitval.to_int64 v);
-      off := !off + f.width)
-    i.idecl.fields
+  let d = i.idecl in
+  let n = Array.length d.farr in
+  for k = 0 to n - 1 do
+    Netpkt.Bytes_util.set_bits b
+      ~bit_off:(bit_off + d.foffs.(k))
+      ~width:d.farr.(k).width
+      (Bitval.to_int64 i.vals.(k))
+  done
 
 let equal_inst a b =
   equal_decl a.idecl b.idecl && a.valid = b.valid
-  && List.for_all
-       (fun (f : field) -> Bitval.equal (get a f.name) (get b f.name))
-       a.idecl.fields
+  &&
+  let n = Array.length a.vals in
+  let rec go k = k >= n || (Bitval.equal a.vals.(k) b.vals.(k) && go (k + 1)) in
+  go 0
 
 let pp_inst ppf i =
   Format.fprintf ppf "%s%s{" i.idecl.name (if i.valid then "" else "(invalid)");
-  List.iter
-    (fun (f : field) -> Format.fprintf ppf " %s=%Lu" f.name (Bitval.to_int64 (get i f.name)))
-    i.idecl.fields;
+  Array.iteri
+    (fun k (f : field) ->
+      Format.fprintf ppf " %s=%Lu" f.name (Bitval.to_int64 i.vals.(k)))
+    i.idecl.farr;
   Format.fprintf ppf " }"

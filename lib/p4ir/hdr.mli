@@ -5,7 +5,17 @@
 
 type field = { name : string; width : int }
 
-type decl = { name : string; fields : field list }
+type decl = private {
+  name : string;
+  fields : field list;
+  farr : field array;  (** [fields], indexable *)
+  findex : (string, int) Hashtbl.t;  (** field name -> position *)
+  foffs : int array;  (** per-field bit offset within the header *)
+  zeros : Bitval.t array;  (** pristine value template *)
+  nbits : int;  (** total width *)
+}
+(** Built exclusively by {!decl}, which precomputes the indexed views the
+    per-packet operations rely on. *)
 
 val decl : string -> (string * int) list -> decl
 (** [decl name fields] builds a declaration; raises [Invalid_argument] on
@@ -44,6 +54,15 @@ val get : inst -> string -> Bitval.t
 
 val set : inst -> string -> Bitval.t -> unit
 (** The value is resized to the declared field width. *)
+
+val field_index : decl -> string -> int
+(** Position of a field for {!get_at}/{!set_at}; raises [Not_found]. *)
+
+val get_at : inst -> int -> Bitval.t
+(** {!get} by precomputed position — no name lookup. *)
+
+val set_at : inst -> int -> Bitval.t -> unit
+(** {!set} by precomputed position; resizes to the declared width. *)
 
 val copy : inst -> inst
 val extract : inst -> Bytes.t -> bit_off:int -> unit

@@ -116,6 +116,114 @@ let parse t bytes phv =
   in
   step t.start 0
 
+(* --- Compiled form: state ids resolved to direct references, header
+   sizes and select fields precomputed, so the per-packet walk does no
+   list searching. The interpretive {!parse} above stays as the
+   reference-mode parser. --- *)
+
+type cnext =
+  | C_accept
+  | C_reject
+  | C_error of string
+  | C_state of cstate
+
+and cstate = {
+  c_header : string;
+  c_inst : Phv.t -> Hdr.inst;  (* cached-slot accessor for [c_header] *)
+  c_size : int;
+  c_select : cselect option;
+}
+
+and cselect = {
+  c_on : (Phv.t -> Bitval.t) array;
+  c_cases : (int64 array * cnext) array;
+  c_default : cnext;
+}
+
+type compiled = { c_name : string; c_start : cnext }
+
+let compile t =
+  let memo = Hashtbl.create 16 in
+  let rec next = function
+    | Accept -> C_accept
+    | Reject -> C_reject
+    | Goto id -> (
+        match find_state t id with
+        | None ->
+            C_error (Printf.sprintf "parser %s: missing state %s" t.name id)
+        | Some s -> C_state (state s))
+  and state s =
+    match Hashtbl.find_opt memo s.id with
+    | Some c -> c
+    | None ->
+        let decl = Option.get (decl_for t s.header) in
+        let c =
+          {
+            c_header = s.header;
+            c_inst = Phv.fast_inst s.header;
+            c_size = Hdr.byte_size decl;
+            c_select =
+              Option.map
+                (fun sel ->
+                  {
+                    c_on = Array.of_list (List.map Phv.fast_get sel.on);
+                    c_cases =
+                      Array.of_list
+                        (List.map
+                           (fun c -> (Array.of_list c.values, next c.next))
+                           sel.cases);
+                    c_default = next sel.default;
+                  })
+                s.select;
+          }
+        in
+        Hashtbl.add memo s.id c;
+        c
+  in
+  { c_name = t.name; c_start = next t.start }
+
+let run_compiled c bytes phv =
+  let blen = Bytes.length bytes in
+  let rec step n off =
+    match n with
+    | C_accept -> Ok off
+    | C_reject -> Error (Printf.sprintf "parser %s: packet rejected" c.c_name)
+    | C_error e -> Error e
+    | C_state s ->
+        if off + s.c_size > blen then
+          Error
+            (Printf.sprintf "parser %s: truncated %s at offset %d" c.c_name
+               s.c_header off)
+        else begin
+          Hdr.extract (s.c_inst phv) bytes ~bit_off:(8 * off);
+          let off = off + s.c_size in
+          match s.c_select with
+          | None -> Ok off
+          | Some sel ->
+              let n_on = Array.length sel.c_on in
+              let vals =
+                Array.init n_on (fun i -> Bitval.to_int64 (sel.c_on.(i) phv))
+              in
+              let eq cv =
+                Array.length cv = n_on
+                &&
+                let rec go i =
+                  i >= n_on || (Int64.equal cv.(i) vals.(i) && go (i + 1))
+                in
+                go 0
+              in
+              let ncases = Array.length sel.c_cases in
+              let rec find i =
+                if i >= ncases then step sel.c_default off
+                else
+                  let cv, nxt = sel.c_cases.(i) in
+                  if eq cv then step nxt off else find (i + 1)
+              in
+              find 0
+        end
+  in
+  step c.c_start 0
+
 let deparse ~order phv ~payload =
   let valid =
     List.filter_map

@@ -41,7 +41,19 @@ val validate : t -> (unit, string) result
 val parse : t -> Bytes.t -> Phv.t -> (int, string) result
 (** Run the parser over a frame, filling the PHV. Returns the number of
     bytes consumed (the payload starts there). [Error] on [Reject], a
-    truncated packet, or a missing transition. *)
+    truncated packet, or a missing transition. Adds the parser's header
+    declarations to the PHV first. *)
+
+type compiled
+(** The parse graph with state ids resolved to direct references and
+    header sizes precomputed — the per-packet fast path. *)
+
+val compile : t -> compiled
+
+val run_compiled : compiled -> Bytes.t -> Phv.t -> (int, string) result
+(** Like {!parse}, but over the compiled graph, and the PHV must already
+    hold every header declaration (copy a template PHV; unlike {!parse}
+    no declarations are added). Same results and errors as {!parse}. *)
 
 val deparse : order:string list -> Phv.t -> payload:Bytes.t -> Bytes.t
 (** Emit the valid headers among [order] (in that order) followed by the

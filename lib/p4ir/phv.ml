@@ -1,37 +1,57 @@
-type t = { insts : (string, Hdr.inst) Hashtbl.t; mutable order : string list }
+(* Slot-indexed PHV: [names] maps header name -> slot in [insts]. Copies
+   share the (immutable-in-practice) [names] table — [add_decl] clones it
+   first when this PHV doesn't own it — so the compiled fast accessors
+   below can cache a slot per physically-distinct table and hit an array
+   read on every packet instead of hashing strings. *)
+type t = {
+  mutable names : (string, int) Hashtbl.t;
+  mutable owned : bool;
+  mutable insts : Hdr.inst array;
+  mutable rev_order : string list;
+}
+
+let order t = List.rev t.rev_order
 
 let add_decl t (d : Hdr.decl) =
-  match Hashtbl.find_opt t.insts d.Hdr.name with
-  | Some existing ->
-      if not (Hdr.equal_decl (Hdr.decl_of existing) d) then
+  match Hashtbl.find_opt t.names d.Hdr.name with
+  | Some slot ->
+      if not (Hdr.equal_decl (Hdr.decl_of t.insts.(slot)) d) then
         invalid_arg
           (Printf.sprintf "Phv.add_decl: conflicting declaration for %s"
              d.Hdr.name)
   | None ->
-      Hashtbl.replace t.insts d.Hdr.name (Hdr.inst d);
-      t.order <- t.order @ [ d.Hdr.name ]
+      if not t.owned then begin
+        t.names <- Hashtbl.copy t.names;
+        t.owned <- true
+      end;
+      let slot = Array.length t.insts in
+      Hashtbl.replace t.names d.Hdr.name slot;
+      t.insts <- Array.append t.insts [| Hdr.inst d |];
+      t.rev_order <- d.Hdr.name :: t.rev_order
 
 let create decls =
-  let t = { insts = Hashtbl.create 16; order = [] } in
+  let t =
+    { names = Hashtbl.create 16; owned = true; insts = [||]; rev_order = [] }
+  in
   List.iter
     (fun (d : Hdr.decl) ->
-      if Hashtbl.mem t.insts d.Hdr.name then
+      if Hashtbl.mem t.names d.Hdr.name then
         invalid_arg
           (Printf.sprintf "Phv.create: duplicate declaration %s" d.Hdr.name)
       else add_decl t d)
     decls;
   t
 
-let decls t = List.map (fun n -> Hdr.decl_of (Hashtbl.find t.insts n)) t.order
+let decls t =
+  List.map (fun n -> Hdr.decl_of t.insts.(Hashtbl.find t.names n)) (order t)
 
-let inst t name =
-  match Hashtbl.find_opt t.insts name with
-  | Some i -> i
-  | None -> raise Not_found
+let inst t name = t.insts.(Hashtbl.find t.names name)
 
-let has t name = Hashtbl.mem t.insts name
-let is_valid t name = match Hashtbl.find_opt t.insts name with
-  | Some i -> Hdr.is_valid i
+let has t name = Hashtbl.mem t.names name
+
+let is_valid t name =
+  match Hashtbl.find_opt t.names name with
+  | Some slot -> Hdr.is_valid t.insts.(slot)
   | None -> false
 
 let set_valid t name = Hdr.set_valid (inst t name)
@@ -45,22 +65,137 @@ let set_int t r v =
   set t r (Bitval.of_int ~width:w v)
 
 let copy t =
-  let insts = Hashtbl.create (Hashtbl.length t.insts) in
-  Hashtbl.iter (fun k v -> Hashtbl.replace insts k (Hdr.copy v)) t.insts;
-  { insts; order = t.order }
+  (* The source loses ownership too: once a copy shares [names], neither
+     side may mutate it in place. *)
+  t.owned <- false;
+  {
+    names = t.names;
+    owned = false;
+    insts = Array.map Hdr.copy t.insts;
+    rev_order = t.rev_order;
+  }
 
 let equal a b =
-  List.length a.order = List.length b.order
+  List.length a.rev_order = List.length b.rev_order
   && List.for_all
        (fun name ->
-         match Hashtbl.find_opt b.insts name with
-         | Some bi -> Hdr.equal_inst (Hashtbl.find a.insts name) bi
+         match Hashtbl.find_opt b.names name with
+         | Some slot -> Hdr.equal_inst (inst a name) b.insts.(slot)
          | None -> false)
-       a.order
+       a.rev_order
+
+(* --- Compiled accessors: a closure per field reference with a small
+   cache of (names table identity -> slot, field position). A packet
+   pipeline alternates between a handful of template layouts (one per
+   pipelet), so 4 entries cover the working set; a miss falls back to
+   the hash lookups and refills round-robin. --- *)
+
+let cache_size = 8
+
+type slot_cache = {
+  ctbl : (string, int) Hashtbl.t option array;
+  cslot : int array;
+  cidx : int array;
+  mutable victim : int;
+}
+
+let fresh_cache () =
+  {
+    ctbl = Array.make cache_size None;
+    cslot = Array.make cache_size 0;
+    cidx = Array.make cache_size 0;
+    victim = 0;
+  }
+
+(* Returns [slot * 65536 + field_index]; raises [Not_found] like the
+   uncached path for an unknown header or field. *)
+let resolve cache (r : Fieldref.t) t =
+  let rec probe i =
+    if i >= cache_size then begin
+      let slot = Hashtbl.find t.names r.Fieldref.hdr in
+      let fidx =
+        Hdr.field_index (Hdr.decl_of t.insts.(slot)) r.Fieldref.field
+      in
+      let k = cache.victim in
+      cache.victim <- (k + 1) mod cache_size;
+      cache.ctbl.(k) <- Some t.names;
+      cache.cslot.(k) <- slot;
+      cache.cidx.(k) <- fidx;
+      (slot lsl 16) lor fidx
+    end
+    else
+      match cache.ctbl.(i) with
+      | Some tb when tb == t.names -> (cache.cslot.(i) lsl 16) lor cache.cidx.(i)
+      | _ -> probe (i + 1)
+  in
+  probe 0
+
+(* Header-validity accessor: caches name -> slot; an absent header is
+   not cached (and reports invalid, like {!is_valid}). *)
+let fast_valid h =
+  let cache = fresh_cache () in
+  fun t ->
+    let rec probe i =
+      if i >= cache_size then
+        match Hashtbl.find_opt t.names h with
+        | None -> false
+        | Some slot ->
+            let k = cache.victim in
+            cache.victim <- (k + 1) mod cache_size;
+            cache.ctbl.(k) <- Some t.names;
+            cache.cslot.(k) <- slot;
+            Hdr.is_valid t.insts.(slot)
+      else
+        match cache.ctbl.(i) with
+        | Some tb when tb == t.names -> Hdr.is_valid t.insts.(cache.cslot.(i))
+        | _ -> probe (i + 1)
+    in
+    probe 0
+
+(* Header-instance accessor: caches name -> slot; raises [Not_found]
+   for an unknown header like {!inst}. *)
+let fast_inst h =
+  let cache = fresh_cache () in
+  fun t ->
+    let rec probe i =
+      if i >= cache_size then begin
+        let slot = Hashtbl.find t.names h in
+        let k = cache.victim in
+        cache.victim <- (k + 1) mod cache_size;
+        cache.ctbl.(k) <- Some t.names;
+        cache.cslot.(k) <- slot;
+        t.insts.(slot)
+      end
+      else
+        match cache.ctbl.(i) with
+        | Some tb when tb == t.names -> t.insts.(cache.cslot.(i))
+        | _ -> probe (i + 1)
+    in
+    probe 0
+
+let fast_get r =
+  let cache = fresh_cache () in
+  fun t ->
+    let p = resolve cache r t in
+    Hdr.get_at t.insts.(p lsr 16) (p land 0xffff)
+
+let fast_set r =
+  let cache = fresh_cache () in
+  fun t v ->
+    let p = resolve cache r t in
+    Hdr.set_at t.insts.(p lsr 16) (p land 0xffff) v
+
+let fast_get_int r =
+  let g = fast_get r in
+  fun t -> Bitval.to_int (g t)
+
+let fast_set_int r =
+  let s = fast_set r in
+  fun t v -> s t (Bitval.of_int ~width:64 v)
 
 let pp ppf t =
   List.iter
     (fun name ->
-      let i = Hashtbl.find t.insts name in
+      let i = inst t name in
       if Hdr.is_valid i then Format.fprintf ppf "%a@\n" Hdr.pp_inst i)
-    t.order
+    (order t)

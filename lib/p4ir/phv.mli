@@ -30,5 +30,26 @@ val set_int : t -> Fieldref.t -> int -> unit
 (** Resizes to the declared width. *)
 
 val copy : t -> t
+(** Copies share the internal name -> slot layout with the source; both
+    sides clone it on a later [add_decl] (copy-on-write). *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {2 Compiled accessors}
+
+    Each returns a closure that caches the slot resolution per PHV
+    layout, so repeated calls on PHVs copied from the same template cost
+    an identity check and two array reads — no string hashing. Raise
+    [Not_found] like their uncached counterparts. *)
+
+val fast_get : Fieldref.t -> t -> Bitval.t
+val fast_set : Fieldref.t -> t -> Bitval.t -> unit
+val fast_get_int : Fieldref.t -> t -> int
+val fast_set_int : Fieldref.t -> t -> int -> unit
+
+val fast_valid : string -> t -> bool
+(** Like {!is_valid} ([false] when the header is absent). *)
+
+val fast_inst : string -> t -> Hdr.inst
+(** Like {!inst} (raises [Not_found] when the header is absent). *)

@@ -74,6 +74,9 @@ let validate t =
 let exec_control ?trace t phv =
   Control.exec ?trace ~regs:(reg_env t) (table_env t) t.control phv
 
+let compile_control t =
+  Control.compile ~regs:(reg_env t) (table_env t) t.control
+
 let resources t =
   let base = Resources.of_control (table_env t) t.control in
   let reg_srams =

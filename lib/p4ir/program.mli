@@ -33,6 +33,12 @@ val validate : t -> (unit, string) result
     declared register. *)
 
 val exec_control : ?trace:Control.trace_event list ref -> t -> Phv.t -> unit
+(** Interpret the control against the program's own table and register
+    environments — the reference path. *)
+
+val compile_control : t -> Control.compiled
+(** Precompile the control against the same environments; run with
+    {!Control.run_compiled}. *)
 
 val resources : t -> Resources.t
 (** Control demand plus register SRAM. *)

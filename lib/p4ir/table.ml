@@ -15,38 +15,178 @@ type entry = {
   args : Bitval.t list;
 }
 
-type store = { mutable entries : entry list; mutable next_seq : int }
+(* A pattern lowered against the declared key width: masks (including
+   LPM prefix masks) folded to raw int64 pairs, so the linear partition
+   compares words instead of re-deriving masks per candidate. Only
+   sound when the looked-up value carries the declared width — the
+   width-mismatch fallback keeps the [Bitval.t]-level [matches]. *)
+type ipat =
+  | I_any
+  | I_eq of int64
+  | I_masked of int64 * int64  (* pre-masked value, mask *)
+  | I_range of int64 * int64
 
+let compile_pattern kw p =
+  match p with
+  | M_any -> I_any
+  | M_exact v -> I_eq (Bitval.to_int64 v)
+  | M_ternary { value; mask } ->
+      let m = Bitval.to_int64 mask in
+      I_masked (Int64.logand (Bitval.to_int64 value) m, m)
+  | M_lpm { value; prefix_len } ->
+      let m = Bitval.to_int64 (Bitval.mask_of_prefix ~width:kw prefix_len) in
+      I_masked (Int64.logand (Bitval.to_int64 (Bitval.resize value kw)) m, m)
+  | M_range { lo; hi } -> I_range (Bitval.to_int64 lo, Bitval.to_int64 hi)
+
+let ipat_matches p v =
+  match p with
+  | I_any -> true
+  | I_eq pv -> Int64.equal v pv
+  | I_masked (pv, m) -> Int64.equal (Int64.logand v m) pv
+  | I_range (lo, hi) ->
+      Int64.unsigned_compare lo v <= 0 && Int64.unsigned_compare v hi <= 0
+
+(* An installed entry with everything a lookup needs precomputed:
+   insertion sequence (tie-break), total prefix length (tie-break),
+   lowered patterns, resolved action and pre-bound action data. The
+   naive path recomputed all of this per candidate per packet. *)
+type ientry = {
+  e : entry;
+  seq : int;
+  lpm : int;
+  ipats : ipat array;
+  act : Action.t;
+  bound : (string * Bitval.t) list;
+  crun : Action.compiled;
+}
+
+module H64 = Hashtbl.Make (struct
+  type t = int64 array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Int64.equal a.(i) b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  (* Direct word mixing — the polymorphic hash walks the boxed array. *)
+  let hash a =
+    let h = ref 5381 in
+    for i = 0 to Array.length a - 1 do
+      let x = a.(i) in
+      h :=
+        (!h * 33)
+        lxor Int64.to_int x
+        lxor Int64.to_int (Int64.shift_right_logical x 32)
+    done;
+    !h land max_int
+end)
+
+module HI64 = Hashtbl.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+
+  let hash x =
+    (Int64.to_int x lxor Int64.to_int (Int64.shift_right_logical x 32))
+    land max_int
+end)
+
+(* One prefix length of the single-key LPM index. [gmask] is the prefix
+   mask over the declared key width; buckets key on the masked value. *)
+type lpm_group = { plen : int; gmask : int64; buckets : ientry list ref HI64.t }
+
+(* Staged index, rebuilt incrementally on insert:
+   - [exact1]: single-key [M_exact] entries hashed on the bare value —
+     the common case (FIB next-hop, session, flag tables) skips the
+     key-array allocation entirely.
+   - [exact]: multi-key all-[M_exact] entries, hashed on the
+     concatenated key values (numeric, like [Bitval.equal_value]).
+   - [lpm]: single-key [M_lpm] entries bucketed by prefix length,
+     probed longest-first.
+   - [linear]: everything else (ternary, range, wildcards, mixed
+     multi-key prefixes) — scanned with precomputed entry data.
+   - [rev_all]: every installed entry, for the width-mismatch fallback. *)
+type index = {
+  exact1 : ientry list ref HI64.t;
+  exact : ientry list ref H64.t;
+  mutable lpm : lpm_group list; (* sorted by plen, longest first *)
+  mutable linear : ientry list;
+  mutable rev_all : ientry list;
+}
+
+type store = {
+  mutable rev_entries : entry list;
+  mutable rev_seqs : (entry * int) list;
+  mutable count : int;
+  mutable next_seq : int;
+  index : index;
+}
+
+(* The index and entry store live behind [store], which {!rename}d
+   handles share: entries installed through any handle are visible — and
+   indexed — through all of them. *)
 type t = {
   name : string;
   keys : key list;
+  kfields : Fieldref.t array;
+  kgets : (Phv.t -> Bitval.t) array;
+  kwidths : int array;
   actions : Action.t list;
   default : string * Bitval.t list;
+  default_act : Action.t;
+  default_bound : (string * Bitval.t) list;
+  default_crun : Action.compiled;
   max_size : int;
   store : store;
-  (* Sequence numbers parallel to [store.entries], for stable tie-breaks. *)
-  mutable seqs : (entry * int) list;
 }
+
+let fresh_index () =
+  {
+    exact1 = HI64.create 16;
+    exact = H64.create 16;
+    lpm = [];
+    linear = [];
+    rev_all = [];
+  }
 
 let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
   let dname, dargs = default in
-  (match List.find_opt (fun (a : Action.t) -> String.equal a.Action.name dname) actions with
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Table.make %s: default action %s not declared" name dname)
-  | Some a ->
-      if List.length a.Action.params <> List.length dargs then
+  let default_act =
+    match
+      List.find_opt (fun (a : Action.t) -> String.equal a.Action.name dname) actions
+    with
+    | None ->
         invalid_arg
-          (Printf.sprintf "Table.make %s: default action %s arity mismatch" name
-             dname));
+          (Printf.sprintf "Table.make %s: default action %s not declared" name
+             dname)
+    | Some a ->
+        if List.length a.Action.params <> List.length dargs then
+          invalid_arg
+            (Printf.sprintf "Table.make %s: default action %s arity mismatch"
+               name dname);
+        a
+  in
   {
     name;
     keys;
+    kfields = Array.of_list (List.map (fun k -> k.field) keys);
+    kgets = Array.of_list (List.map (fun k -> Phv.fast_get k.field) keys);
+    kwidths = Array.of_list (List.map (fun k -> k.width) keys);
     actions;
     default;
+    default_act;
+    default_bound = Action.bind_args default_act dargs;
+    default_crun = Action.compile default_act;
     max_size;
-    store = { entries = []; next_seq = 0 };
-    seqs = [];
+    store =
+      {
+        rev_entries = [];
+        rev_seqs = [];
+        count = 0;
+        next_seq = 0;
+        index = fresh_index ();
+      };
   }
 
 let name t = t.name
@@ -54,8 +194,8 @@ let keys t = t.keys
 let actions t = t.actions
 let default t = t.default
 let max_size t = t.max_size
-let entries t = t.store.entries
-let size t = List.length t.store.entries
+let entries t = List.rev t.store.rev_entries
+let size t = t.store.count
 let rename t name = { t with name }
 
 let find_action t aname =
@@ -69,6 +209,57 @@ let pattern_kind_ok kind pattern =
   | Lpm, (M_exact _ | M_lpm _) -> true
   | Range, (M_exact _ | M_range _) -> true
   | (Exact | Ternary | Lpm | Range), _ -> false
+
+let lpm_len entry =
+  (* Longest prefix across LPM patterns; exact = full width. *)
+  List.fold_left
+    (fun acc p ->
+      match p with
+      | M_lpm { prefix_len; _ } -> acc + prefix_len
+      | M_exact v -> acc + Bitval.width v
+      | M_ternary _ | M_range _ | M_any -> acc)
+    0 entry.patterns
+
+let bucket_push tbl find add key ie =
+  match find tbl key with
+  | Some l -> l := ie :: !l
+  | None -> add tbl key (ref [ ie ])
+
+(* Route one installed entry into its index partition. *)
+let index_entry t ie =
+  let idx = t.store.index in
+  idx.rev_all <- ie :: idx.rev_all;
+  let all_exact =
+    List.for_all (function M_exact _ -> true | _ -> false) ie.e.patterns
+  in
+  if all_exact then
+    match ie.e.patterns with
+    | [ M_exact v ] ->
+        bucket_push idx.exact1 HI64.find_opt HI64.add (Bitval.to_int64 v) ie
+    | _ ->
+        let key =
+          Array.of_list
+            (List.map
+               (function M_exact v -> Bitval.to_int64 v | _ -> assert false)
+               ie.e.patterns)
+        in
+        bucket_push idx.exact H64.find_opt H64.add key ie
+  else
+    match (ie.e.patterns, t.kwidths) with
+    | [ M_lpm { value; prefix_len } ], [| w |] when prefix_len <= w ->
+        let gmask = Bitval.to_int64 (Bitval.mask_of_prefix ~width:w prefix_len) in
+        let masked = Int64.logand (Bitval.to_int64 (Bitval.resize value w)) gmask in
+        let group =
+          match List.find_opt (fun g -> g.plen = prefix_len) idx.lpm with
+          | Some g -> g
+          | None ->
+              let g = { plen = prefix_len; gmask; buckets = HI64.create 16 } in
+              idx.lpm <-
+                List.sort (fun a b -> compare b.plen a.plen) (g :: idx.lpm);
+              g
+        in
+        bucket_push group.buckets HI64.find_opt HI64.add masked ie
+    | _ -> idx.linear <- ie :: idx.linear
 
 let add_entry t entry =
   if size t >= t.max_size then
@@ -91,9 +282,25 @@ let add_entry t entry =
                (List.length a.Action.params)
                (List.length entry.args))
         else begin
-          t.store.entries <- t.store.entries @ [ entry ];
-          t.seqs <- t.seqs @ [ (entry, t.store.next_seq) ];
-          t.store.next_seq <- t.store.next_seq + 1;
+          let seq = t.store.next_seq in
+          t.store.rev_entries <- entry :: t.store.rev_entries;
+          t.store.rev_seqs <- (entry, seq) :: t.store.rev_seqs;
+          t.store.count <- t.store.count + 1;
+          t.store.next_seq <- seq + 1;
+          index_entry t
+            {
+              e = entry;
+              seq;
+              lpm = lpm_len entry;
+              ipats =
+                Array.of_list
+                  (List.map2
+                     (fun k p -> compile_pattern k.width p)
+                     t.keys entry.patterns);
+              act = a;
+              bound = Action.bind_args a entry.args;
+              crun = Action.compile a;
+            };
           Ok ()
         end
 
@@ -101,8 +308,15 @@ let add_entry_exn t entry =
   match add_entry t entry with Ok () -> () | Error e -> invalid_arg e
 
 let clear t =
-  t.store.entries <- [];
-  t.seqs <- []
+  t.store.rev_entries <- [];
+  t.store.rev_seqs <- [];
+  t.store.count <- 0;
+  let idx = t.store.index in
+  HI64.reset idx.exact1;
+  H64.reset idx.exact;
+  idx.lpm <- [];
+  idx.linear <- [];
+  idx.rev_all <- []
 
 let pattern_matches pattern value =
   match pattern with
@@ -118,22 +332,17 @@ let pattern_matches pattern value =
 let matches entry values =
   List.for_all2 pattern_matches entry.patterns values
 
-let lpm_len entry =
-  (* Longest prefix across LPM patterns; exact = full width. *)
-  List.fold_left
-    (fun acc p ->
-      match p with
-      | M_lpm { prefix_len; _ } -> acc + prefix_len
-      | M_exact v -> acc + Bitval.width v
-      | M_ternary _ | M_range _ | M_any -> acc)
-    0 entry.patterns
+(* --- Reference lookup: the pre-index linear scan, kept verbatim as the
+   oracle the indexed path is QCheck-equivalence-tested against. The
+   scan order differs (insertion-reversed) but [better] is a strict
+   total order — sequence numbers are distinct — so the winner is
+   order-independent. --- *)
 
-let lookup t phv =
-  let values = List.map (fun k -> Phv.get phv k.field) t.keys in
+let lookup_reference_values t values =
   let candidates =
     List.filter_map
       (fun (e, seq) -> if matches e values then Some (e, seq) else None)
-      t.seqs
+      t.store.rev_seqs
   in
   let better (e1, s1) (e2, s2) =
     if e1.priority <> e2.priority then e1.priority > e2.priority
@@ -146,16 +355,147 @@ let lookup t phv =
       let best = List.fold_left (fun b c -> if better c b then c else b) first rest in
       `Hit (fst best)
 
+let lookup_reference t phv =
+  lookup_reference_values t (List.map (fun k -> Phv.get phv k.field) t.keys)
+
+(* --- Indexed lookup --- *)
+
+let ibetter a b =
+  if a.e.priority <> b.e.priority then a.e.priority > b.e.priority
+  else if a.lpm <> b.lpm then a.lpm > b.lpm
+  else a.seq < b.seq
+
+let fold_best best l =
+  List.fold_left
+    (fun best ie ->
+      match best with
+      | None -> Some ie
+      | Some b -> if ibetter ie b then Some ie else best)
+    best l
+
+(* The LPM masks were precomputed over the declared key widths; a PHV
+   whose fields carry different widths (never the case for composed
+   programs, whose keys mirror the header declarations) falls back to a
+   precomputed-but-linear scan over every entry. *)
+let widths_match t vals =
+  let n = Array.length vals in
+  let rec go i = i >= n || (Bitval.width vals.(i) = t.kwidths.(i) && go (i + 1)) in
+  go 0
+
+let fold_matching best values l =
+  List.fold_left
+    (fun best ie ->
+      if matches ie.e values then
+        match best with
+        | None -> Some ie
+        | Some b -> if ibetter ie b then Some ie else best
+      else best)
+    best l
+
+let imatch1 ie v = ipat_matches ie.ipats.(0) v
+
+let imatch ie raw =
+  let n = Array.length ie.ipats in
+  let rec go i = i >= n || (ipat_matches ie.ipats.(i) raw.(i) && go (i + 1)) in
+  go 0
+
+let fold_imatch1 best v l =
+  List.fold_left
+    (fun best ie ->
+      if imatch1 ie v then
+        match best with
+        | None -> Some ie
+        | Some b -> if ibetter ie b then Some ie else best
+      else best)
+    best l
+
+let fold_imatch best raw l =
+  List.fold_left
+    (fun best ie ->
+      if imatch ie raw then
+        match best with
+        | None -> Some ie
+        | Some b -> if ibetter ie b then Some ie else best
+      else best)
+    best l
+
+let probe_lpm idx best v0 =
+  List.fold_left
+    (fun best g ->
+      match HI64.find_opt g.buckets (Int64.logand v0 g.gmask) with
+      | Some l -> fold_best best !l
+      | None -> best)
+    best idx.lpm
+
+let lookup_ientry t phv =
+  let n = Array.length t.kgets in
+  let idx = t.store.index in
+  if n = 1 then begin
+    (* Scalar path: no key arrays, value hashed directly. *)
+    let v = t.kgets.(0) phv in
+    if Bitval.width v <> t.kwidths.(0) then
+      fold_matching None [ v ] idx.rev_all
+    else begin
+      let v0 = Bitval.to_int64 v in
+      let best =
+        match HI64.find_opt idx.exact1 v0 with
+        | Some l -> fold_best None !l
+        | None -> None
+      in
+      let best = if idx.lpm == [] then best else probe_lpm idx best v0 in
+      if idx.linear == [] then best else fold_imatch1 best v0 idx.linear
+    end
+  end
+  else begin
+    let vals = Array.init n (fun i -> t.kgets.(i) phv) in
+    if not (widths_match t vals) then
+      fold_matching None (Array.to_list vals) idx.rev_all
+    else begin
+      let raw = Array.map Bitval.to_int64 vals in
+      let best =
+        match H64.find_opt idx.exact raw with
+        | Some l -> fold_best None !l
+        | None -> None
+      in
+      let best =
+        if idx.lpm == [] then best else probe_lpm idx best raw.(0)
+      in
+      if idx.linear == [] then best else fold_imatch best raw idx.linear
+    end
+  end
+
+let lookup t phv =
+  match lookup_ientry t phv with None -> `Miss | Some ie -> `Hit ie.e
+
 let apply ?(regs = Action.no_regs) t phv =
-  match lookup t phv with
-  | `Hit entry ->
-      let action = Option.get (find_action t entry.action) in
-      Action.run ~regs action ~args:entry.args phv;
-      (entry.action, true)
+  match lookup_ientry t phv with
+  | Some ie ->
+      ie.crun regs ie.bound phv;
+      (ie.e.action, true)
+  | None ->
+      t.default_crun regs t.default_bound phv;
+      (fst t.default, false)
+
+(* The pre-index apply: linear candidate scan, action resolved by name
+   and argument list re-validated on every invocation. The reference
+   interpreter runs on this so the oracle shares no code with the staged
+   index or the pre-bound action data. *)
+let apply_reference ?(regs = Action.no_regs) t phv =
+  match lookup_reference t phv with
+  | `Hit e ->
+      let act =
+        match find_action t e.action with
+        | Some a -> a
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Table.apply %s: unknown action %s" t.name
+                 e.action)
+      in
+      Action.run ~regs act ~args:e.args phv;
+      (e.action, true)
   | `Miss ->
       let dname, dargs = t.default in
-      let action = Option.get (find_action t dname) in
-      Action.run ~regs action ~args:dargs phv;
+      Action.run ~regs t.default_act ~args:dargs phv;
       (dname, false)
 
 let key_bits t = List.fold_left (fun acc k -> acc + k.width) 0 t.keys

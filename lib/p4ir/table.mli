@@ -39,7 +39,8 @@ val max_size : t -> int
 val entries : t -> entry list
 val size : t -> int
 val rename : t -> string -> t
-(** Same definition and shared entry store under a new name. *)
+(** Same definition and shared entry store (and index) under a new name:
+    entries added through either handle are seen by both. *)
 
 val find_action : t -> string -> Action.t option
 
@@ -55,11 +56,30 @@ val matches : entry -> Bitval.t list -> bool
 
 val lookup : t -> Phv.t -> [ `Hit of entry | `Miss ]
 (** Highest priority wins; among equal priorities the longest LPM prefix,
-    then earliest insertion. *)
+    then earliest insertion.
+
+    Served by a staged index maintained incrementally on
+    {!add_entry}/{!clear}: all-exact entries are hash-indexed on their
+    concatenated key values, single-key LPM entries are bucketed by
+    prefix length (probed longest-first), and only ternary/range/
+    wildcard entries take a linear scan — with per-entry masks, prefix
+    lengths, resolved actions and bound action data precomputed at
+    insert time. *)
+
+val lookup_reference : t -> Phv.t -> [ `Hit of entry | `Miss ]
+(** The pre-index linear scan over every entry, kept as the oracle the
+    indexed {!lookup} is equivalence-tested against. *)
 
 val apply : ?regs:Action.reg_env -> t -> Phv.t -> string * bool
 (** Run the matching entry's action (or the default on miss) against the
-    PHV. Returns [(action_run, hit)]. *)
+    PHV. Returns [(action_run, hit)]. Lookup goes through the staged
+    index; the action runs with its pre-bound data. *)
+
+val apply_reference : ?regs:Action.reg_env -> t -> Phv.t -> string * bool
+(** {!apply} the pre-index way: linear {!lookup_reference} scan, action
+    resolved by name and arguments re-validated per invocation. The
+    reference control interpreter uses this, so fast and reference modes
+    share no lookup code. *)
 
 val key_bits : t -> int
 (** Total match key width in bits. *)

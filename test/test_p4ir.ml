@@ -317,6 +317,80 @@ let prop_ternary_lookup_model =
       | `Hit e, Some p -> e.Table.priority = p
       | `Hit _, None | `Miss, Some _ -> false)
 
+(* Differential property: the staged index (single-key exact hash,
+   multi-key exact hash, LPM prefix-length buckets, precompiled linear
+   remainder) must agree with the untouched linear-scan reference on
+   every table shape — same hit entry (physically the same record), so
+   priority, LPM longest-prefix and insertion-order tie-breaks all
+   match. *)
+let lookup_key_configs =
+  [|
+    [ { Table.field = fr "m" "a"; kind = Table.Exact; width = 8 } ];
+    [
+      { Table.field = fr "m" "a"; kind = Table.Exact; width = 8 };
+      { Table.field = fr "m" "b"; kind = Table.Exact; width = 16 };
+    ];
+    [ { Table.field = fr "m" "c"; kind = Table.Lpm; width = 32 } ];
+    [ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ];
+    [
+      { Table.field = fr "m" "b"; kind = Table.Lpm; width = 16 };
+      { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 };
+    ];
+    [ { Table.field = fr "m" "b"; kind = Table.Range; width = 16 } ];
+  |]
+
+let lookup_pattern_for (k : Table.key) ~v ~m =
+  let w = k.Table.width in
+  let maxv = (1 lsl w) - 1 in
+  match k.Table.kind with
+  | Table.Exact -> Table.M_exact (bv w (v land maxv))
+  | Table.Lpm ->
+      let plen = m mod (w + 1) in
+      let pmask = if plen = 0 then 0 else ((1 lsl plen) - 1) lsl (w - plen) in
+      Table.M_lpm { value = bv w (v land pmask); prefix_len = plen }
+  | Table.Ternary ->
+      if m mod 5 = 0 then Table.M_any
+      else Table.M_ternary { value = bv w (v land maxv); mask = bv w (m land maxv) }
+  | Table.Range ->
+      let lo = v land maxv in
+      Table.M_range { lo = bv w lo; hi = bv w (min maxv (lo + (m land 0xff))) }
+
+let prop_indexed_lookup_matches_reference =
+  QCheck.Test.make ~name:"indexed lookup = reference scan" ~count:500
+    QCheck.(
+      pair
+        (pair (int_bound 5)
+           (list_of_size Gen.(int_bound 24)
+              (quad small_nat small_nat small_nat (int_bound 0xffffff))))
+        (triple small_nat small_nat small_nat))
+    (fun ((cfg, raw_entries), (pa, pb, pc)) ->
+      let keys = lookup_key_configs.(cfg) in
+      let t =
+        Table.make ~name:"t" ~keys ~actions:[ Action.no_op ]
+          ~default:("NoAction", []) ~max_size:64 ()
+      in
+      List.iter
+        (fun (p, v1, v2, m) ->
+          let patterns =
+            List.mapi
+              (fun i k ->
+                lookup_pattern_for k
+                  ~v:(if i = 0 then v1 else v2)
+                  ~m:(m lsr (i * 7)))
+              keys
+          in
+          Table.add_entry_exn t
+            { Table.priority = p land 3; patterns; action = "NoAction"; args = [] })
+        raw_entries;
+      let phv = fresh_phv () in
+      Phv.set_int phv (fr "m" "a") (pa land 0xff);
+      Phv.set_int phv (fr "m" "b") (pb land 0xffff);
+      Phv.set_int phv (fr "m" "c") pc;
+      match (Table.lookup t phv, Table.lookup_reference t phv) with
+      | `Miss, `Miss -> true
+      | `Hit e1, `Hit e2 -> e1 == e2
+      | `Hit _, `Miss | `Miss, `Hit _ -> false)
+
 (* --- Control --- *)
 
 let mk_env tables name = List.find_opt (fun t -> Table.name t = name) tables
@@ -400,6 +474,57 @@ let test_gateway_count () =
       ]
   in
   check Alcotest.int "nested ifs counted" 2 (Control.gateway_count control)
+
+(* Differential property: a precompiled control must have the same
+   observable behavior as the statement-tree interpreter — identical
+   PHV effects and identical trace events (including rendered gateway
+   condition strings) on random programs and random packet state. *)
+let control_stmt_of_code code =
+  let set f w v = Control.Run [ Action.Assign (fr "m" f, Expr.const ~width:w v) ] in
+  match code mod 6 with
+  | 0 -> Control.Apply "t"
+  | 1 ->
+      Control.Run
+        [
+          Action.Assign
+            ( fr "m" "c",
+              Expr.(Field (fr "m" "c") + const ~width:32 (code land 0xff)) );
+        ]
+  | 2 ->
+      Control.If
+        ( Expr.(Field (fr "m" "a") < const ~width:8 ((code lsr 3) land 0xff)),
+          [ Control.Apply "t" ],
+          [ set "b" 16 (code land 0xffff) ] )
+  | 3 -> Control.Apply_hit ("t", [ set "c" 32 1 ], [ set "c" 32 2 ])
+  | 4 ->
+      Control.Apply_switch
+        ("t", [ ("set_b", [ set "c" 32 (code land 0xff) ]) ], [ set "c" 32 99 ])
+  | _ -> Control.Label ("nf", [ Control.Apply "t" ])
+
+let prop_compiled_control_matches_exec =
+  QCheck.Test.make ~name:"compiled control = interpreter" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 12) (int_bound 0xffff))
+        (pair small_nat small_nat))
+    (fun (codes, (pa, pb)) ->
+      let t = mk_table () in
+      List.iter
+        (fun v ->
+          Table.add_entry_exn t
+            { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
+              action = "set_b"; args = [ bv 16 (100 + v) ] })
+        [ 1; 2; 3 ];
+      let env = mk_env [ t ] in
+      let control = Control.make "c" (List.map control_stmt_of_code codes) in
+      let phv1 = fresh_phv () in
+      Phv.set_int phv1 (fr "m" "a") (pa land 0xff);
+      Phv.set_int phv1 (fr "m" "b") (pb land 0xffff);
+      let phv2 = Phv.copy phv1 in
+      let tr1 = ref [] and tr2 = ref [] in
+      Control.exec ~trace:tr1 env control phv1;
+      Control.run_compiled ~trace:tr2 (Control.compile env control) phv2;
+      Phv.equal phv1 phv2 && !tr1 = !tr2)
 
 (* --- Deps / Resources --- *)
 
@@ -530,6 +655,7 @@ let () =
           Alcotest.test_case "entry validation" `Quick test_table_entry_validation;
           Alcotest.test_case "keyless default" `Quick test_keyless_table_runs_default;
           qtest prop_ternary_lookup_model;
+          qtest prop_indexed_lookup_matches_reference;
         ] );
       ( "control",
         [
@@ -538,6 +664,7 @@ let () =
           Alcotest.test_case "trace and rename" `Quick test_control_trace_and_rename;
           Alcotest.test_case "validate" `Quick test_control_validate;
           Alcotest.test_case "gateway count" `Quick test_gateway_count;
+          qtest prop_compiled_control_matches_exec;
         ] );
       ( "deps_resources",
         [

@@ -143,6 +143,60 @@ let test_reinject_loop_bounded () =
       check Alcotest.int "handler ran exactly max_cpu_loops times"
         Runtime.max_cpu_loops !count
 
+(* --- Batch processing: determinism and Fast/Reference equivalence --- *)
+
+(* Same 4-class mix the runtime benchmark drives: two pre-provisioned
+   tenants, orange web traffic, and LB flows that punt to the CPU on
+   first packet. *)
+let mixed_workload n =
+  List.init n (fun i ->
+      let ip = Netpkt.Ip4.of_string_exn in
+      let dst, dst_port =
+        match i mod 4 with
+        | 0 -> (ip "10.0.3.17", 443)
+        | 1 -> (ip "10.0.2.33", 80)
+        | 2 -> (Nflib.Catalog.tenant1_vip, 80)
+        | _ -> (ip "10.0.3.50", 8080)
+      in
+      let frame =
+        Netpkt.Pkt.encode
+          (Netpkt.Pkt.tcp_flow
+             ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+             ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+             {
+               Netpkt.Flow.src = ip "203.0.113.7";
+               dst;
+               proto = Netpkt.Ipv4.proto_tcp;
+               src_port = 1024 + i;
+               dst_port;
+             })
+      in
+      (0, frame))
+
+let test_batch_deterministic () =
+  (* Two fresh runtimes over the same workload must agree on every
+     counter and on the output digest (an order-sensitive CRC over each
+     packet's verdict, port and frame bytes). *)
+  let run () = Runtime.process_batch (runtime ()) (mixed_workload 48) in
+  let s1 = run () and s2 = run () in
+  check Alcotest.bool "batch stats identical across runs" true (s1 = s2);
+  check Alcotest.int "all packets emitted" 48 s1.Runtime.emitted;
+  check Alcotest.bool "LB flows consulted the CPU" true
+    (s1.Runtime.cpu_round_trips > 0)
+
+let test_batch_fast_matches_reference () =
+  (* The compiled fast data plane and the interpretive reference must
+     produce byte-identical outputs and identical counters. *)
+  let run mode =
+    let rt = runtime () in
+    Asic.Chip.set_exec_mode (Runtime.chip rt) mode;
+    Runtime.process_batch rt (mixed_workload 48)
+  in
+  let fast = run Asic.Chip.Fast and reference = run Asic.Chip.Reference in
+  check Alcotest.bool "fast = reference (digest and counters)" true
+    (fast = reference);
+  check Alcotest.int "no errors" 0 fast.Runtime.errors
+
 let test_unhandled_cpu_packet_terminates () =
   (* No handlers registered: the To_cpu verdict must surface, not loop. *)
   let compiled =
@@ -173,5 +227,11 @@ let () =
             test_unhandled_cpu_packet_terminates;
           Alcotest.test_case "reinject loop bounded" `Quick
             test_reinject_loop_bounded;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "deterministic" `Quick test_batch_deterministic;
+          Alcotest.test_case "fast = reference" `Quick
+            test_batch_fast_matches_reference;
         ] );
     ]
