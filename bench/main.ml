@@ -500,6 +500,12 @@ let microbench () =
    timing runs. *)
 let smoke = ref false
 
+(* --telemetry adds a third timed mode to the runtime benchmark (fast
+   path with Counters instrumentation), prints the registry, and records
+   the measured overhead in BENCH_runtime.json — which is then written
+   even under --smoke, so CI can archive it. *)
+let telemetry = ref false
+
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
   let anneal_iterations = if !smoke then 400 else 4000 in
@@ -807,6 +813,130 @@ let bench_runtime () =
   let rate dt = float_of_int npkts /. dt in
   let ns_per_pkt dt = dt *. 1e9 /. float_of_int npkts in
   let speedup = if fast_s > 0.0 then ref_s /. fast_s else 0.0 in
+  (* On divergence: rerun both modes in lockstep with the flight
+     recorder on, find the first packet whose outcome differs, and dump
+     its journey through each mode (divergence.json) plus the raw frame
+     (divergence.pcap) for offline replay. *)
+  let dump_divergence () =
+    let mk mode =
+      let compiled =
+        match compile_prototype () with Ok c -> c | Error e -> failwith e
+      in
+      let rt = Runtime.create compiled in
+      Nflib.Catalog.attach_handlers rt compiled;
+      install_fib compiled;
+      Asic.Chip.set_exec_mode compiled.Compiler.chip mode;
+      Runtime.set_telemetry ~ring_capacity:4 rt Telemetry.Level.Journeys;
+      rt
+    in
+    let frt = mk Asic.Chip.Fast and rrt = mk Asic.Chip.Reference in
+    let signature rt (in_port, frame) =
+      match Runtime.process rt ~in_port frame with
+      | Error e -> "error:" ^ e
+      | Ok o -> (
+          match o.Runtime.verdict with
+          | Asic.Chip.Emitted { port; frame } ->
+              Printf.sprintf "emitted:%d:%s" port
+                (Digest.to_hex (Digest.bytes frame))
+          | Asic.Chip.Dropped -> "dropped"
+          | Asic.Chip.To_cpu b ->
+              "to_cpu:" ^ Digest.to_hex (Digest.bytes b))
+    in
+    let offender =
+      List.find_mapi
+        (fun i pkt ->
+          let fs = signature frt pkt and rs = signature rrt pkt in
+          if String.equal fs rs then None else Some (i, pkt, fs, rs))
+        workload
+    in
+    match offender with
+    | None ->
+        Format.printf
+          "divergence did not reproduce in lockstep replay (stateful \
+           interleaving?) - no dump written@."
+    | Some (i, (in_port, frame), fs, rs) ->
+        let last_journey rt =
+          match Runtime.telemetry rt with
+          | None -> "null"
+          | Some o -> (
+              match Telemetry.Ring.last (Observe.ring o) with
+              | None -> "null"
+              | Some j -> Telemetry.Journey.to_json ~indent:2 j)
+        in
+        let oc = open_out "divergence.json" in
+        Printf.fprintf oc
+          "{\n\
+          \  \"packet_index\": %d,\n\
+          \  \"in_port\": %d,\n\
+          \  \"fast_outcome\": %S,\n\
+          \  \"reference_outcome\": %S,\n\
+          \  \"fast_journey\": %s,\n\
+          \  \"reference_journey\": %s\n\
+           }\n"
+          i in_port fs rs (last_journey frt) (last_journey rrt);
+        close_out oc;
+        Netpkt.Pcap.write_file "divergence.pcap"
+          [ Netpkt.Pcap.packet ~ts_sec:0 ~ts_usec:i frame ];
+        Format.printf
+          "wrote divergence.json + divergence.pcap (packet %d, fast=%s \
+           reference=%s)@."
+          i fs rs
+  in
+  (* The Counters-overhead measurement: fast path with and without
+     Counters instrumentation. The two are interleaved (fast, counters,
+     fast, counters, ...) and each side takes its min, so a slow window
+     on a noisy machine hits both sides instead of biasing whichever
+     phase ran second. *)
+  let run_counters () =
+    let compiled =
+      match compile_prototype () with Ok c -> c | Error e -> failwith e
+    in
+    let rt = Runtime.create compiled in
+    Nflib.Catalog.attach_handlers rt compiled;
+    install_fib compiled;
+    Runtime.set_telemetry rt Telemetry.Level.Counters;
+    let t0 = Unix.gettimeofday () in
+    let stats = Runtime.process_batch rt workload in
+    (Unix.gettimeofday () -. t0, stats, rt)
+  in
+  let measure_overhead () =
+    begin
+      let pairs =
+        List.init 5 (fun _ -> (run_mode Asic.Chip.Fast, run_counters ()))
+      in
+      let tele_s =
+        List.fold_left
+          (fun acc (_, (dt, _, _)) -> min acc dt)
+          infinity pairs
+      in
+      let _, (_, tele_stats, tele_rt) = List.hd pairs in
+      let base_s =
+        List.fold_left
+          (fun acc ((dt, _), _) -> min acc dt)
+          fast_s pairs
+      in
+      let pct = 100.0 *. (tele_s -. base_s) /. base_s in
+      let same_outputs = tele_stats.Runtime.digest = fast.Runtime.digest in
+      Format.printf
+        "%-12s %12.2f %14.0f %12.0f@." "counters" (tele_s *. 1000.0)
+        (rate tele_s) (ns_per_pkt tele_s);
+      Format.printf
+        "counters overhead vs fast: %+.1f%% (budget 5%%), outputs identical=%b@."
+        pct same_outputs;
+      (match Runtime.telemetry tele_rt with
+      | None -> ()
+      | Some o ->
+          Format.printf "@.telemetry registry after the counters run:@.";
+          Format.printf "%t@." (fun ppf -> Observe.pp ppf o (Runtime.chip tele_rt));
+          Format.printf "@.as JSON:@.%s@."
+            (Observe.json ~indent:2 o (Runtime.chip tele_rt)));
+      if not same_outputs then begin
+        Format.printf "ERROR: Counters telemetry changed batch outputs!@.";
+        exit 1
+      end;
+      Some (tele_s, base_s, pct)
+    end
+  in
   Format.printf
     "%d packets (%d green/orange, %d red via LB + CPU), %d-prefix FIB, min of \
      %d runs@."
@@ -816,6 +946,7 @@ let bench_runtime () =
     (rate fast_s) (ns_per_pkt fast_s);
   Format.printf "%-12s %12.2f %14.0f %12.0f@." "reference" (ref_s *. 1000.0)
     (rate ref_s) (ns_per_pkt ref_s);
+  let overhead = if !telemetry then measure_overhead () else None in
   Format.printf
     "speedup=%.1fx identical=%b traces_equal=%b (emitted=%d dropped=%d \
      to_cpu=%d cpu_round_trips=%d recircs=%d digest=%Lx)@."
@@ -824,10 +955,31 @@ let bench_runtime () =
     fast.Runtime.digest;
   if not (identical && traces_equal) then begin
     Format.printf "ERROR: fast and reference paths disagree!@.";
+    dump_divergence ();
     exit 1
   end;
-  if !smoke then Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
+  if fast.Runtime.error_log <> [] then begin
+    Format.printf "first batch errors:@.";
+    List.iter
+      (fun (port, msg) -> Format.printf "  in_port=%d %s@." port msg)
+      fast.Runtime.error_log
+  end;
+  (* --telemetry keeps the JSON even under --smoke: the overhead numbers
+     are the point and CI archives the file. *)
+  if !smoke && not !telemetry then
+    Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
   else begin
+    let overhead_json =
+      match overhead with
+      | None -> ""
+      | Some (tele_s, base_s, pct) ->
+          Printf.sprintf
+            "  \"overhead\": { \"counters_wall_s\": %.6f, \"fast_wall_s\": \
+             %.6f,\n\
+            \                \"counters_ns_per_pkt\": %.1f, \"pct_vs_fast\": \
+             %.2f },\n"
+            tele_s base_s (ns_per_pkt tele_s) pct
+    in
     let oc = open_out "BENCH_runtime.json" in
     Printf.fprintf oc
       "{\n\
@@ -835,8 +987,10 @@ let bench_runtime () =
       \  \"packets\": %d,\n\
       \  \"fib_prefixes\": %d,\n\
       \  \"runs\": %d,\n\
+      \  \"smoke\": %b,\n\
       \  \"fast\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
       \  \"reference\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
+       %s\
       \  \"speedup\": %.2f,\n\
       \  \"identical\": %b,\n\
       \  \"traces_equal\": %b,\n\
@@ -844,15 +998,23 @@ let bench_runtime () =
       \              \"cpu_round_trips\": %d, \"recircs\": %d, \"resubmits\": %d,\n\
       \              \"digest\": \"%Lx\" }\n\
        }\n"
-      npkts (fib_extra + 2) runs fast_s (rate fast_s) (ns_per_pkt fast_s) ref_s
-      (rate ref_s)
-      (ns_per_pkt ref_s) speedup identical traces_equal fast.Runtime.emitted
-      fast.Runtime.dropped fast.Runtime.to_cpu fast.Runtime.errors
-      fast.Runtime.cpu_round_trips fast.Runtime.recircs fast.Runtime.resubmits
-      fast.Runtime.digest;
+      npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
+      ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json speedup identical
+      traces_equal fast.Runtime.emitted fast.Runtime.dropped fast.Runtime.to_cpu
+      fast.Runtime.errors fast.Runtime.cpu_round_trips fast.Runtime.recircs
+      fast.Runtime.resubmits fast.Runtime.digest;
     close_out oc;
     Format.printf "@.wrote BENCH_runtime.json@."
-  end
+  end;
+  (* Smoke-mode regression gate (CI): a Counters overhead way past the
+     5% budget fails the run. The smoke threshold is looser (15%)
+     because 200-packet timings are noisy. *)
+  match overhead with
+  | Some (_, _, pct) when !smoke && pct > 15.0 ->
+      Format.printf "ERROR: Counters overhead %.1f%% exceeds the 15%% smoke gate@."
+        pct;
+      exit 1
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 
@@ -878,8 +1040,11 @@ let experiments =
 
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
-  let requested = List.filter (fun a -> a <> "--smoke") argv in
+  let requested =
+    List.filter (fun a -> a <> "--smoke" && a <> "--telemetry") argv
+  in
   if List.mem "--smoke" argv then smoke := true;
+  if List.mem "--telemetry" argv then telemetry := true;
   let to_run =
     match requested with
     | [] -> experiments

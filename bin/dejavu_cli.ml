@@ -302,6 +302,134 @@ let cluster_cmd =
        ~doc:"Place a synthetic chain on a multi-switch cluster (Sec. 7).")
     Cmdliner.Term.(const run $ switches_arg $ nfs_arg $ stages_arg)
 
+(* --- stats ---------------------------------------------------------- *)
+
+let stats_cmd =
+  let packets_arg =
+    Cmdliner.Arg.(
+      value & opt int 200
+      & info [ "packets" ] ~docv:"N"
+          ~doc:"Packets in the mixed green/orange/red workload.")
+  in
+  let level_conv =
+    Cmdliner.Arg.conv
+      ( (fun s ->
+          Result.map_error (fun e -> `Msg e) (Telemetry.Level.of_string s)),
+        Telemetry.Level.pp )
+  in
+  let level_arg =
+    Cmdliner.Arg.(
+      value
+      & opt level_conv Telemetry.Level.Counters
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Instrumentation level: counters or journeys.")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the registry as JSON instead of a table.")
+  in
+  let journeys_arg =
+    Cmdliner.Arg.(
+      value & opt int 0
+      & info [ "journeys" ] ~docv:"K"
+          ~doc:
+            "Also print the last K packet journeys from the flight recorder \
+             (implies --level journeys).")
+  in
+  let entries_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "entries" ] ~doc:"Also print per-entry hit counts (hit > 0).")
+  in
+  let run strategy extended packets level json n_journeys entries =
+    let compiled = or_die (compile ~strategy ~extended) in
+    let rt = Runtime.create compiled in
+    Nflib.Catalog.attach_handlers rt compiled;
+    let level =
+      if n_journeys > 0 then Telemetry.Level.Journeys else level
+    in
+    Runtime.set_telemetry rt level;
+    let ip = Netpkt.Ip4.of_string_exn in
+    let flow ~src ~dst ~src_port ~dst_port =
+      Netpkt.Pkt.encode
+        (Netpkt.Pkt.tcp_flow
+           ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+           ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+           {
+             Netpkt.Flow.src = ip src;
+             dst;
+             proto = Netpkt.Ipv4.proto_tcp;
+             src_port;
+             dst_port;
+           })
+    in
+    let workload =
+      List.init packets (fun i ->
+          let frame =
+            match i mod 3 with
+            | 0 ->
+                flow ~src:"203.0.113.7"
+                  ~dst:(ip (Printf.sprintf "10.0.3.%d" (1 + (i mod 200))))
+                  ~src_port:(40000 + (i mod 97)) ~dst_port:443
+            | 1 ->
+                flow ~src:"203.0.113.8"
+                  ~dst:(ip (Printf.sprintf "10.0.2.%d" (1 + (i mod 200))))
+                  ~src_port:(41000 + (i mod 89)) ~dst_port:80
+            | _ ->
+                flow ~src:"203.0.113.9" ~dst:Nflib.Catalog.tenant1_vip
+                  ~src_port:(50000 + (i mod 61)) ~dst_port:80
+          in
+          (0, frame))
+    in
+    let stats = Runtime.process_batch rt workload in
+    if stats.Runtime.error_log <> [] then begin
+      Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
+      List.iter
+        (fun (port, msg) -> Format.eprintf "  in_port=%d %s@." port msg)
+        stats.Runtime.error_log
+    end;
+    match Runtime.telemetry rt with
+    | None -> ()
+    | Some o ->
+        let chip = Runtime.chip rt in
+        if json then print_string (Observe.json ~indent:2 o chip ^ "\n")
+        else Format.printf "%t@." (fun ppf -> Observe.pp ppf o chip);
+        if entries then begin
+          Format.printf "@.per-entry hits (hit > 0):@.";
+          List.iter
+            (fun (where, hits) ->
+              List.iteri
+                (fun i ((e : P4ir.Table.entry), n) ->
+                  if n > 0 then
+                    Format.printf "  %-40s entry %-3d %-16s %8d@." where i
+                      e.P4ir.Table.action n)
+                hits)
+            (Observe.table_entry_hits chip)
+        end;
+        if n_journeys > 0 then begin
+          let js = Observe.journeys o in
+          let len = List.length js in
+          let js = List.filteri (fun i _ -> i >= len - n_journeys) js in
+          if json then
+            print_string (Telemetry.Journey.list_to_json js ^ "\n")
+          else begin
+            Format.printf "@.flight recorder (last %d of %d captured):@."
+              (List.length js)
+              (Telemetry.Ring.pushed (Observe.ring o));
+            List.iter (Format.printf "%a@." Telemetry.Journey.pp) js
+          end
+        end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "stats"
+       ~doc:
+         "Run a sample workload with telemetry on and print the metrics \
+          registry (and optionally the packet flight recorder).")
+    Cmdliner.Term.(
+      const run $ strategy_arg $ extended_arg $ packets_arg $ level_arg
+      $ json_arg $ journeys_arg $ entries_arg)
+
 (* --- strategies ---------------------------------------------------- *)
 
 let strategies_cmd =
@@ -335,5 +463,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
-            place_cmd; cluster_cmd;
+            place_cmd; cluster_cmd; stats_cmd;
           ]))

@@ -15,6 +15,11 @@ type t = {
   ports : Port.t;
   mirror_port : int option;
   mutable mode : exec_mode;
+  mutable telem : Telemetry.Level.t;
+  (* Reads per-hop metadata (SFC position, valid headers) off the PHV
+     after each pipelet pass. Injected by the runtime layer: the chip
+     cannot depend on the SFC header definition, which lives above it. *)
+  mutable probe : P4ir.Phv.t -> Telemetry.Journey.hop_meta;
 }
 
 let load (config : config) =
@@ -51,12 +56,28 @@ let load (config : config) =
              ports = config.ports;
              mirror_port = config.mirror_port;
              mode = Fast;
+             telem = Telemetry.Level.Off;
+             probe = (fun _ -> Telemetry.Journey.no_meta);
            })
 
 let spec t = t.spec
 let ports t = t.ports
 let exec_mode t = t.mode
 let set_exec_mode t mode = t.mode <- mode
+let pipelets t = Array.to_list t.ingress @ Array.to_list t.egress
+let telemetry t = t.telem
+let set_sfc_probe t probe = t.probe <- probe
+
+let set_telemetry ?label_counters t level =
+  t.telem <- level;
+  let on = Telemetry.Level.counters_on level in
+  let counters = if on then label_counters else None in
+  let each pl =
+    List.iter (fun tbl -> P4ir.Table.set_stats_enabled tbl on) (Pipelet.tables pl);
+    Pipelet.set_label_counters pl counters
+  in
+  Array.iter each t.ingress;
+  Array.iter each t.egress
 
 let run_pipelet t pl ~trace phv =
   match t.mode with
@@ -91,6 +112,7 @@ type result = {
   latency_ns : float;
   trace : P4ir.Control.trace_event list;
   mirrored : (int * Bytes.t) list;
+  marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
 }
 
 let pass_limit = 64
@@ -103,6 +125,8 @@ type walk_state = {
   mutable latency : float;
   trace : P4ir.Control.trace_event list ref;
   mutable mirrored : (int * Bytes.t) list;  (* reversed *)
+  mutable marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
+      (* reversed; one per pipelet pass in Journeys mode *)
 }
 
 (* Standard-metadata accessors compiled once for the whole chip: every
@@ -127,7 +151,15 @@ let finish st verdict =
       latency_ns = st.latency;
       trace = List.rev !(st.trace);
       mirrored = List.rev st.mirrored;
+      marks = List.rev st.marks;
     }
+
+(* In Journeys mode, remember where this pipelet pass ends in the trace
+   and what the PHV looked like, so the flat trace can be segmented into
+   per-hop spans after the fact. *)
+let mark_pass t st pl phv =
+  if Telemetry.Level.journeys_on t.telem then
+    st.marks <- (Pipelet.id pl, List.length !(st.trace), t.probe phv) :: st.marks
 
 let rec ingress_pass t st ~pipeline ~entry_port frame =
   if st.passes >= pass_limit then
@@ -144,6 +176,7 @@ let rec ingress_pass t st ~pipeline ~entry_port frame =
     | Ok (phv, payload) ->
         set_ingress_port phv entry_port;
         run_pipelet t pl ~trace:st.trace phv;
+        mark_pass t st pl phv;
         (* Drop and punt-to-CPU decisions win over resubmission: an NF
            that punts mid-chain must not be replayed by the branching
            table's pending resubmit. *)
@@ -189,6 +222,7 @@ and egress_pass t st ~pipeline ~out_port frame =
     | Ok (phv, payload) ->
         set_egress_port phv out_port;
         run_pipelet t pl ~trace:st.trace phv;
+        mark_pass t st pl phv;
         if get_drop phv = 1 then finish st Dropped
         else if get_to_cpu phv = 1 then
           finish st (To_cpu (deparse_frame t pl phv ~payload))
@@ -220,6 +254,7 @@ let fresh_state spec =
     latency = 0.0;
     trace = ref [];
     mirrored = [];
+    marks = [];
   }
 
 let inject t ~in_port frame =

@@ -36,6 +36,26 @@ val set_exec_mode : t -> exec_mode -> unit
     identical verdicts, counters and trace events; [Reference] exists
     for equivalence tests and as the benchmark baseline. *)
 
+val pipelets : t -> Pipelet.t list
+(** All loaded pipelets, ingress then egress (for telemetry walks). *)
+
+val telemetry : t -> Telemetry.Level.t
+
+val set_telemetry :
+  ?label_counters:(string -> int ref) -> t -> Telemetry.Level.t -> unit
+(** Select the instrumentation level. [Counters] and above enable table
+    hit/miss + per-entry stats and recompile controls with per-NF label
+    counters (from [label_counters]); [Journeys] additionally records a
+    per-pipelet-pass mark in each {!result}. [Off] disables everything
+    and recompiles the uninstrumented fast path — Off costs nothing per
+    packet. Observable packet behavior is identical at every level. *)
+
+val set_sfc_probe : t -> (P4ir.Phv.t -> Telemetry.Journey.hop_meta) -> unit
+(** Install the per-hop PHV reader used in [Journeys] mode. The default
+    probe returns {!Telemetry.Journey.no_meta}; the runtime installs one
+    that decodes the SFC header (the chip itself cannot: that header is
+    defined a layer up). *)
+
 type verdict =
   | Emitted of { port : int; frame : Bytes.t }
   | Dropped
@@ -50,6 +70,11 @@ type result = {
   trace : P4ir.Control.trace_event list;  (** oldest first *)
   mirrored : (int * Bytes.t) list;
       (** copies sent to the mirror port, oldest first *)
+  marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
+      (** [Journeys] mode only (else []): one mark per pipelet pass, in
+          order — the pipelet, the trace length when its pass ended, and
+          the probe's read of the PHV — enough to segment [trace] into
+          per-hop spans *)
 }
 
 val inject : t -> in_port:int -> Bytes.t -> (result, string) Stdlib.result

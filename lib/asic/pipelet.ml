@@ -21,7 +21,11 @@ let all_ids spec =
 type t = {
   id : id;
   program : P4ir.Program.t;
-  compiled : P4ir.Control.compiled;
+  (* Mutable so telemetry can swap in a control recompiled with label
+     counters (and back): instrumentation is selected at compile time,
+     not branched per packet. *)
+  mutable compiled : P4ir.Control.compiled;
+  mutable label_counters : (string -> int ref) option;
   pcompiled : P4ir.Parser_graph.compiled;
   (* Pristine PHV with every parser declaration plus standard metadata
      attached; [parse] copies it instead of re-declaring per packet. *)
@@ -175,6 +179,7 @@ let load spec id program =
                 id;
                 program;
                 compiled = P4ir.Program.compile_control program;
+                label_counters = None;
                 pcompiled =
                   P4ir.Parser_graph.compile program.P4ir.Program.parser;
                 template;
@@ -184,15 +189,22 @@ let load spec id program =
 
 let id t = t.id
 let program t = t.program
+let tables t = t.program.P4ir.Program.tables
 let stage_of_table t name = List.assoc_opt name t.stage_alloc
+let stage_allocation t = t.stage_alloc
 
 let stages_used t =
   List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 t.stage_alloc
 
+let set_label_counters t counters =
+  t.label_counters <- counters;
+  t.compiled <- P4ir.Program.compile_control ?label_counters:counters t.program
+
 let process ?trace t phv = P4ir.Control.run_compiled ?trace t.compiled phv
 
 let process_reference ?trace t phv =
-  P4ir.Program.exec_control ?trace t.program phv
+  P4ir.Program.exec_control ?trace ?label_counters:t.label_counters t.program
+    phv
 
 let parse t frame =
   let phv = P4ir.Phv.copy t.template in

@@ -26,9 +26,22 @@ val allocate_stages :
 
 val id : t -> id
 val program : t -> P4ir.Program.t
+val tables : t -> P4ir.Table.t list
+(** The loaded program's (live) table handles — what telemetry walks to
+    enable stats and read hit/miss tallies. *)
+
 val stage_of_table : t -> string -> int option
+val stage_allocation : t -> (string * int) list
+(** Every (table, stage) pair — the pipelet's stage occupancy. *)
+
 val stages_used : t -> int
 (** Highest occupied stage + 1 (0 when the program has no tables). *)
+
+val set_label_counters : t -> (string -> int ref) option -> unit
+(** Recompile the control with (or without) per-NF label counters —
+    both {!process} and {!process_reference} honor the setting. The
+    resolver is consulted once per label at recompile time for the fast
+    path. *)
 
 val process :
   ?trace:P4ir.Control.trace_event list ref -> t -> P4ir.Phv.t -> unit

@@ -1,0 +1,157 @@
+(* The glue between the generic telemetry library and this data plane:
+   owns the registry and the flight-recorder ring, installs the chip
+   hooks (table stats, per-NF label counters, the SFC journey probe),
+   and turns raw chip results into journey spans and JSON. *)
+
+type t = {
+  level : Telemetry.Level.t;
+  reg : Telemetry.Registry.t;
+  ring : Telemetry.Journey.t Telemetry.Ring.t;
+  mutable next_id : int;
+}
+
+let default_ring_capacity = 256
+
+let create ?(ring_capacity = default_ring_capacity) level =
+  {
+    level;
+    reg = Telemetry.Registry.create ();
+    ring = Telemetry.Ring.create ring_capacity;
+    next_id = 0;
+  }
+
+let level t = t.level
+let registry t = t.reg
+let ring t = t.ring
+
+let next_journey_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let nf_counter_name nf = "nf." ^ nf ^ ".applies"
+
+(* The journey probe: reads the SFC position and the set of valid
+   header instances (the parser path) off a PHV after a pipelet pass.
+   Installed into the chip, which cannot decode the SFC header itself. *)
+let sfc_probe phv =
+  let sfc =
+    match Sfc_header.of_phv phv with
+    | Some h -> Some (h.Sfc_header.service_path_id, h.Sfc_header.service_index)
+    | None -> None
+  in
+  let headers =
+    List.filter_map
+      (fun (d : P4ir.Hdr.decl) ->
+        let n = d.P4ir.Hdr.name in
+        if P4ir.Phv.is_valid phv n then Some n else None)
+      (P4ir.Phv.decls phv)
+  in
+  { Telemetry.Journey.sfc; headers }
+
+let attach t chip =
+  Asic.Chip.set_telemetry
+    ~label_counters:(fun nf -> Telemetry.Registry.counter t.reg (nf_counter_name nf))
+    chip t.level;
+  Asic.Chip.set_sfc_probe chip sfc_probe
+
+let detach chip = Asic.Chip.set_telemetry chip Telemetry.Level.Off
+
+(* Coarse error classes for the drop-reason counters; keyed off the
+   stable prefixes of the runtime's own error strings. *)
+let error_class msg =
+  let has sub =
+    let n = String.length sub and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+    go 0
+  in
+  if has "CPU loops" then "cpu_loop"
+  else if has "pass limit" then "pass_limit"
+  else if has "egress port" then "bad_egress"
+  else if has "parse" then "parse"
+  else "other"
+
+let pipelet_name (id : Asic.Pipelet.id) =
+  Format.asprintf "%a" Asic.Pipelet.pp_id id
+
+(* Segment one chip result's flat trace into per-pass hops using the
+   marks the chip recorded in Journeys mode: mark k says "this pass's
+   events end at trace position k". *)
+let hops_of_result (r : Asic.Chip.result) =
+  let trace = Array.of_list r.Asic.Chip.trace in
+  let hop_of pid start stop meta =
+    let nfs = ref [] and tables = ref [] and gateways = ref 0 in
+    for i = stop - 1 downto start do
+      match trace.(i) with
+      | P4ir.Control.T_enter nf -> nfs := nf :: !nfs
+      | P4ir.Control.T_table (tbl, act, hit) ->
+          tables := (tbl, act, hit) :: !tables
+      | P4ir.Control.T_gateway _ -> incr gateways
+    done;
+    {
+      Telemetry.Journey.pipelet = pipelet_name pid;
+      nfs = !nfs;
+      tables = !tables;
+      gateways = !gateways;
+      meta;
+    }
+  in
+  let rec go start = function
+    | [] -> []
+    | (pid, stop, meta) :: rest -> hop_of pid start stop meta :: go stop rest
+  in
+  go 0 r.Asic.Chip.marks
+
+let verdict_string = function
+  | Asic.Chip.Emitted { port; _ } -> Printf.sprintf "emitted:%d" port
+  | Asic.Chip.Dropped -> "dropped"
+  | Asic.Chip.To_cpu _ -> "to_cpu"
+
+let record_journey t j = Telemetry.Ring.push t.ring j
+let journeys t = Telemetry.Ring.to_list t.ring
+
+(* Copy the live table tallies (kept in each table's entry store, where
+   the lookup paths can bump them cheaply) into registry counters so a
+   snapshot sees one namespace. *)
+let sync_tables t chip =
+  List.iter
+    (fun pl ->
+      let where = pipelet_name (Asic.Pipelet.id pl) in
+      let where = String.map (fun c -> if c = ' ' then '_' else c) where in
+      List.iter
+        (fun tbl ->
+          match P4ir.Table.stats tbl with
+          | None -> ()
+          | Some s ->
+              let base =
+                Printf.sprintf "table.%s.%s" where (P4ir.Table.name tbl)
+              in
+              Telemetry.Registry.counter t.reg (base ^ ".hits") := s.P4ir.Table.hits;
+              Telemetry.Registry.counter t.reg (base ^ ".misses")
+              := s.P4ir.Table.misses)
+        (Asic.Pipelet.tables pl))
+    (Asic.Chip.pipelets chip)
+
+let snapshot t chip =
+  sync_tables t chip;
+  Telemetry.Registry.snapshot t.reg
+
+let table_entry_hits chip =
+  List.concat_map
+    (fun pl ->
+      let where = pipelet_name (Asic.Pipelet.id pl) in
+      List.filter_map
+        (fun tbl ->
+          match P4ir.Table.stats tbl with
+          | None -> None
+          | Some _ ->
+              Some
+                ( Printf.sprintf "%s/%s" where (P4ir.Table.name tbl),
+                  P4ir.Table.entry_hits tbl ))
+        (Asic.Pipelet.tables pl))
+    (Asic.Chip.pipelets chip)
+
+let json ?indent t chip =
+  Telemetry.Registry.to_json ?indent (snapshot t chip)
+
+let pp ppf t chip = Telemetry.Registry.pp ppf (snapshot t chip)

@@ -1,0 +1,57 @@
+(** Telemetry glue for the Dejavu data plane: one registry + flight
+    recorder per observer, chip hook installation, journey assembly from
+    chip trace marks, and snapshot/JSON export. The runtime owns an
+    observer when telemetry is on (see {!Runtime.set_telemetry}); the
+    hot-path counters it bumps live in this observer's registry. *)
+
+type t
+
+val create : ?ring_capacity:int -> Telemetry.Level.t -> t
+(** A fresh registry and an empty flight recorder ([ring_capacity]
+    journeys, default 256). *)
+
+val level : t -> Telemetry.Level.t
+val registry : t -> Telemetry.Registry.t
+val ring : t -> Telemetry.Journey.t Telemetry.Ring.t
+
+val attach : t -> Asic.Chip.t -> unit
+(** Enable chip-level instrumentation at this observer's level: table
+    stats, per-NF label counters backed by this registry
+    ([nf.<name>.applies]), and the SFC journey probe. *)
+
+val detach : Asic.Chip.t -> unit
+(** Back to [Off]: stats discarded, uninstrumented controls recompiled. *)
+
+val sfc_probe : P4ir.Phv.t -> Telemetry.Journey.hop_meta
+(** Reads (service_path_id, service_index) and the valid-header list off
+    a PHV — what {!attach} installs into the chip. *)
+
+val error_class : string -> string
+(** Coarse class of a runtime error message ([cpu_loop], [pass_limit],
+    [bad_egress], [parse], [other]) — the error/drop-reason counter
+    suffix. *)
+
+val hops_of_result : Asic.Chip.result -> Telemetry.Journey.hop list
+(** Segment a chip result's flat trace into per-pipelet-pass hops using
+    its Journeys-mode marks (empty when marks are empty). *)
+
+val verdict_string : Asic.Chip.verdict -> string
+val next_journey_id : t -> int
+val record_journey : t -> Telemetry.Journey.t -> unit
+val journeys : t -> Telemetry.Journey.t list
+(** Flight-recorder contents, oldest first. *)
+
+val sync_tables : t -> Asic.Chip.t -> unit
+(** Copy live per-table hit/miss tallies into registry counters
+    ([table.<pipelet>.<name>.hits/.misses]). *)
+
+val snapshot : t -> Asic.Chip.t -> Telemetry.Registry.snapshot
+(** {!sync_tables} then snapshot the registry. *)
+
+val table_entry_hits :
+  Asic.Chip.t -> (string * (P4ir.Table.entry * int) list) list
+(** Per stats-enabled table ("<pipelet>/<table>"), the installed entries
+    with hit counts in insertion order. *)
+
+val json : ?indent:int -> t -> Asic.Chip.t -> string
+val pp : Format.formatter -> t -> Asic.Chip.t -> unit

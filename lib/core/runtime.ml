@@ -1,6 +1,24 @@
 type action = Reinject of Bytes.t | Consume
 type handler = Sfc_header.t option -> Bytes.t -> action
 
+(* Counter refs resolved once at enable time, so the per-packet cost of
+   Counters mode is plain [incr]s and two clock reads. *)
+type obs_state = {
+  o : Observe.t;
+  rx : int ref array;  (* per Ethernet port *)
+  tx : int ref array;
+  c_emitted : int ref;
+  c_dropped : int ref;
+  c_to_cpu : int ref;
+  c_errors : int ref;
+  c_punts : int ref;  (* every to-CPU verdict, incl. resolved round trips *)
+  c_round_trips : int ref;
+  c_recircs : int ref;
+  c_resubmits : int ref;
+  c_drop_dp : int ref;
+  h_ns : Telemetry.Histogram.t;
+}
+
 type t = {
   compiled : Compiler.t;
   handlers : (string, handler) Hashtbl.t;
@@ -9,6 +27,7 @@ type t = {
      the branching plan and the layout so per-CPU-reinject dispatch is a
      single hash probe instead of two linear scans. *)
   reinject : (int * int, int) Hashtbl.t;
+  mutable obs : obs_state option;
 }
 
 let max_cpu_loops = 8
@@ -48,6 +67,7 @@ let create compiled =
     handlers = Hashtbl.create 8;
     nf_ids = Hashtbl.create 8;
     reinject = build_reinject_map compiled;
+    obs = None;
   }
 
 let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
@@ -61,6 +81,58 @@ let default_nf_id name =
   if h = 0 then 1 else h
 
 let chip t = t.compiled.Compiler.chip
+
+let set_telemetry ?ring_capacity t level =
+  match level with
+  | Telemetry.Level.Off ->
+      Observe.detach (chip t);
+      t.obs <- None
+  | Telemetry.Level.Counters | Telemetry.Level.Journeys ->
+      let o = Observe.create ?ring_capacity level in
+      Observe.attach o (chip t);
+      let reg = Observe.registry o in
+      let c = Telemetry.Registry.counter reg in
+      let n_ports = Asic.Spec.n_eth_ports (Asic.Chip.spec (chip t)) in
+      (* Bound one by one so registration (= display) order is sensible:
+         record fields would evaluate right-to-left. *)
+      let c_emitted = c "verdict.emitted" in
+      let c_dropped = c "verdict.dropped" in
+      let c_to_cpu = c "verdict.to_cpu" in
+      let c_errors = c "verdict.error" in
+      let c_punts = c "path.cpu_punts" in
+      let c_round_trips = c "path.cpu_round_trips" in
+      let c_recircs = c "path.recircs" in
+      let c_resubmits = c "path.resubmits" in
+      let c_drop_dp = c "drop.data_plane" in
+      let h_ns = Telemetry.Registry.histogram reg "runtime.ns_per_packet" in
+      let rx =
+        Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.rx" p))
+      in
+      let tx =
+        Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.tx" p))
+      in
+      t.obs <-
+        Some
+          {
+            o;
+            rx;
+            tx;
+            c_emitted;
+            c_dropped;
+            c_to_cpu;
+            c_errors;
+            c_punts;
+            c_round_trips;
+            c_recircs;
+            c_resubmits;
+            c_drop_dp;
+            h_ns;
+          }
+
+let telemetry t = Option.map (fun os -> os.o) t.obs
+
+let telemetry_level t =
+  match t.obs with None -> Telemetry.Level.Off | Some os -> Observe.level os.o
 
 type outcome = {
   verdict : Asic.Chip.verdict;
@@ -122,6 +194,19 @@ let process t ~in_port frame =
      quadratic [acc @ round] append. [rounds] counts completed CPU
      round trips; the handler runs at most [max_cpu_loops] times — the
      bound is exact, checked before each dispatch. *)
+  let jr =
+    match t.obs with
+    | Some os when Telemetry.Level.journeys_on (Observe.level os.o) ->
+        Some (ref [])
+    | _ -> None
+  in
+  let t0 =
+    match t.obs with
+    | None -> 0L
+    | Some os ->
+        if in_port >= 0 && in_port < Array.length os.rx then incr os.rx.(in_port);
+        Telemetry.Tclock.now_ns ()
+  in
   let rec loop frame rounds recircs resubmits latency mirrored_rev first =
     let injected =
       if first then Asic.Chip.inject (chip t) ~in_port frame
@@ -133,6 +218,7 @@ let process t ~in_port frame =
     match injected with
     | Error e -> Error e
     | Ok r -> (
+        (match jr with Some l -> l := r :: !l | None -> ());
         let recircs = recircs + r.Asic.Chip.recircs in
         let resubmits = resubmits + r.Asic.Chip.resubmits in
         let latency = latency +. r.Asic.Chip.latency_ns in
@@ -150,6 +236,7 @@ let process t ~in_port frame =
         in
         match r.Asic.Chip.verdict with
         | Asic.Chip.To_cpu bytes -> (
+            (match t.obs with Some os -> incr os.c_punts | None -> ());
             let sfc = decode_sfc bytes in
             match find_handler t sfc with
             | None -> finish ()
@@ -165,7 +252,69 @@ let process t ~in_port frame =
                       mirrored_rev false))
         | Asic.Chip.Emitted _ | Asic.Chip.Dropped -> finish ())
   in
-  loop frame 0 0 0 0.0 [] true
+  let res = loop frame 0 0 0 0.0 [] true in
+  (match t.obs with
+  | None -> ()
+  | Some os -> (
+      let wall = Int64.to_int (Int64.sub (Telemetry.Tclock.now_ns ()) t0) in
+      Telemetry.Histogram.observe os.h_ns wall;
+      (match res with
+      | Error e ->
+          incr os.c_errors;
+          incr
+            (Telemetry.Registry.counter (Observe.registry os.o)
+               ("error." ^ Observe.error_class e))
+      | Ok o -> (
+          os.c_round_trips := !(os.c_round_trips) + o.cpu_round_trips;
+          os.c_recircs := !(os.c_recircs) + o.recircs;
+          os.c_resubmits := !(os.c_resubmits) + o.resubmits;
+          match o.verdict with
+          | Asic.Chip.Emitted { port; _ } ->
+              incr os.c_emitted;
+              if port >= 0 && port < Array.length os.tx then incr os.tx.(port)
+          | Asic.Chip.Dropped ->
+              incr os.c_dropped;
+              incr os.c_drop_dp
+          | Asic.Chip.To_cpu _ -> incr os.c_to_cpu));
+      match jr with
+      | None -> ()
+      | Some l ->
+          let results = List.rev !l in
+          let hops = List.concat_map Observe.hops_of_result results in
+          let verdict, rounds, recircs, resubmits, latency =
+            match res with
+            | Ok o ->
+                ( Observe.verdict_string o.verdict,
+                  o.cpu_round_trips,
+                  o.recircs,
+                  o.resubmits,
+                  o.latency_ns )
+            | Error e ->
+                (* The failed injection produced no result — reconstruct
+                   what we can from the completed passes. *)
+                ( "error:" ^ e,
+                  max 0 (List.length results - 1),
+                  List.fold_left (fun a r -> a + r.Asic.Chip.recircs) 0 results,
+                  List.fold_left
+                    (fun a r -> a + r.Asic.Chip.resubmits)
+                    0 results,
+                  List.fold_left
+                    (fun a r -> a +. r.Asic.Chip.latency_ns)
+                    0.0 results )
+          in
+          Observe.record_journey os.o
+            {
+              Telemetry.Journey.id = Observe.next_journey_id os.o;
+              in_port;
+              verdict;
+              cpu_round_trips = rounds;
+              recircs;
+              resubmits;
+              latency_ns = latency;
+              wall_ns = wall;
+              hops;
+            }));
+  res
 
 type batch_stats = {
   packets : int;
@@ -178,7 +327,10 @@ type batch_stats = {
   resubmits : int;
   total_latency_ns : float;
   digest : int64;
+  error_log : (int * string) list;
 }
+
+let max_error_log = 8
 
 (* The digest folds a verdict tag, the egress port and the full output
    frame of every packet — in batch order — through CRC-32, so two runs
@@ -207,6 +359,7 @@ let process_batch t pkts =
         resubmits = 0;
         total_latency_ns = 0.0;
         digest = 0L;
+        error_log = [];
       }
   in
   List.iter
@@ -216,11 +369,19 @@ let process_batch t pkts =
       match process t ~in_port frame with
       | Error e ->
           let msg = Bytes.of_string e in
+          (* Keep the first few messages (with the offending in_port)
+             instead of swallowing them into a bare count: a batch that
+             "just" reports errors=3 is undebuggable. *)
+          let error_log =
+            if s.errors < max_error_log then (in_port, e) :: s.error_log
+            else s.error_log
+          in
           stats :=
             {
               s with
               errors = s.errors + 1;
               digest = fold_digest s.digest 4 0 (Some msg);
+              error_log;
             }
       | Ok o ->
           let s =
@@ -253,4 +414,5 @@ let process_batch t pkts =
                   digest = fold_digest s.digest 3 0 (Some frame);
                 }))
     pkts;
-  !stats
+  let s = !stats in
+  { s with error_log = List.rev s.error_log }

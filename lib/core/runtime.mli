@@ -51,6 +51,20 @@ val process : t -> in_port:int -> Bytes.t -> (outcome, string) result
 val max_cpu_loops : int
 val chip : t -> Asic.Chip.t
 
+(** {2 Telemetry} *)
+
+val set_telemetry : ?ring_capacity:int -> t -> Telemetry.Level.t -> unit
+(** Instrument this runtime (and its chip) at the given level. A fresh
+    {!Observe.t} is created per call: per-port rx/tx, verdict and packet-
+    path counters, error-class counters, an ns-per-packet histogram
+    ([runtime.ns_per_packet], measured with two monotonic-clock reads
+    around {!process}), and — at [Journeys] — a per-packet journey span
+    pushed into the flight recorder ([ring_capacity] entries). [Off]
+    detaches everything and restores the uninstrumented fast path. *)
+
+val telemetry : t -> Observe.t option
+val telemetry_level : t -> Telemetry.Level.t
+
 type batch_stats = {
   packets : int;
   emitted : int;
@@ -64,7 +78,12 @@ type batch_stats = {
   digest : int64;
       (** order-sensitive CRC-32 over every packet's verdict tag, egress
           port and output frame — byte-identical runs agree on it *)
+  error_log : (int * string) list;
+      (** the first {!max_error_log} per-packet errors, oldest first, as
+          [(in_port, message)] — previously only the count survived *)
 }
+
+val max_error_log : int
 
 val process_batch : t -> (int * Bytes.t) list -> batch_stats
 (** Run [(in_port, frame)] packets through {!process} in order,

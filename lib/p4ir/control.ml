@@ -24,7 +24,7 @@ let find_table env name =
   | Some t -> t
   | None -> invalid_arg (Printf.sprintf "Control.exec: unknown table %s" name)
 
-let exec ?trace ?(regs = Action.no_regs) env t phv =
+let exec ?trace ?label_counters ?(regs = Action.no_regs) env t phv =
   let record ev = match trace with Some r -> r := ev :: !r | None -> () in
   let apply name =
     let table = find_table env name in
@@ -54,6 +54,9 @@ let exec ?trace ?(regs = Action.no_regs) env t phv =
     | Run prims ->
         Action.run ~regs (Action.make "$inline" prims) ~args:[] phv
     | Label (name, block) ->
+        (match label_counters with
+        | Some f -> incr (f name)
+        | None -> ());
         record (T_enter name);
         run_block block
   in
@@ -66,7 +69,7 @@ let exec ?trace ?(regs = Action.no_regs) env t phv =
 
 type compiled = (trace_event list ref option -> Phv.t -> unit) array
 
-let compile ?(regs = Action.no_regs) env t =
+let compile ?label_counters ?(regs = Action.no_regs) env t =
   let record trace ev =
     match trace with Some r -> r := ev :: !r | None -> ()
   in
@@ -119,11 +122,22 @@ let compile ?(regs = Action.no_regs) env t =
     | Run prims ->
         let crun = Action.compile (Action.make "$inline" prims) in
         fun _ phv -> crun regs [] phv
-    | Label (name, blk) ->
+    | Label (name, blk) -> (
         let cblk = compile_block blk in
-        fun trace phv ->
-          record trace (T_enter name);
-          run_block cblk trace phv
+        (* The NF counter is resolved at compile time, so the per-packet
+           cost of telemetry here is one [incr] — and recompiling
+           without [label_counters] removes even that. *)
+        match label_counters with
+        | None ->
+            fun trace phv ->
+              record trace (T_enter name);
+              run_block cblk trace phv
+        | Some f ->
+            let c = f name in
+            fun trace phv ->
+              incr c;
+              record trace (T_enter name);
+              run_block cblk trace phv)
   in
   compile_block t.body
 

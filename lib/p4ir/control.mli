@@ -27,6 +27,7 @@ type trace_event =
 
 val exec :
   ?trace:trace_event list ref ->
+  ?label_counters:(string -> int ref) ->
   ?regs:Action.reg_env ->
   table_env ->
   t ->
@@ -34,7 +35,9 @@ val exec :
   unit
 (** Execute against a PHV by interpreting the statement tree. Raises
     [Invalid_argument] for unknown tables or registers. Kept as the
-    reference oracle for {!compile}. *)
+    reference oracle for {!compile}. [label_counters] resolves a label
+    name to its apply counter, bumped each time the labeled region is
+    entered — the per-NF telemetry hook. *)
 
 type compiled
 (** A control precompiled to closures: table names, action dispatch,
@@ -43,10 +46,16 @@ type compiled
     Table entries added after compilation are seen — the closures hold
     live table handles. *)
 
-val compile : ?regs:Action.reg_env -> table_env -> t -> compiled
+val compile :
+  ?label_counters:(string -> int ref) ->
+  ?regs:Action.reg_env ->
+  table_env ->
+  t ->
+  compiled
 (** Raises [Invalid_argument] for a table name the environment does not
     know (including in unreached branches — [exec] would only raise on
-    first use). *)
+    first use). [label_counters] is resolved once per [Label] at compile
+    time; each entry into the region then costs a single [incr]. *)
 
 val run_compiled : ?trace:trace_event list ref -> compiled -> Phv.t -> unit
 (** Same observable behavior as {!exec} with the environments captured

@@ -71,11 +71,12 @@ let validate t =
              t.name name))
     (Ok ()) t.deparse_order
 
-let exec_control ?trace t phv =
-  Control.exec ?trace ~regs:(reg_env t) (table_env t) t.control phv
+let exec_control ?trace ?label_counters t phv =
+  Control.exec ?trace ?label_counters ~regs:(reg_env t) (table_env t) t.control
+    phv
 
-let compile_control t =
-  Control.compile ~regs:(reg_env t) (table_env t) t.control
+let compile_control ?label_counters t =
+  Control.compile ?label_counters ~regs:(reg_env t) (table_env t) t.control
 
 let resources t =
   let base = Resources.of_control (table_env t) t.control in

@@ -32,13 +32,19 @@ val validate : t -> (unit, string) result
     covers only declared headers, every register primitive references a
     declared register. *)
 
-val exec_control : ?trace:Control.trace_event list ref -> t -> Phv.t -> unit
+val exec_control :
+  ?trace:Control.trace_event list ref ->
+  ?label_counters:(string -> int ref) ->
+  t ->
+  Phv.t ->
+  unit
 (** Interpret the control against the program's own table and register
     environments — the reference path. *)
 
-val compile_control : t -> Control.compiled
+val compile_control : ?label_counters:(string -> int ref) -> t -> Control.compiled
 (** Precompile the control against the same environments; run with
-    {!Control.run_compiled}. *)
+    {!Control.run_compiled}. [label_counters] (the per-NF telemetry
+    hook) is resolved per label at compile time. *)
 
 val resources : t -> Resources.t
 (** Control demand plus register SRAM. *)

@@ -58,6 +58,10 @@ type ientry = {
   act : Action.t;
   bound : (string * Bitval.t) list;
   crun : Action.compiled;
+  (* Telemetry: hits attributed to this entry while stats are enabled.
+     Lives on the installed entry so the hot path bumps a field it
+     already holds — no side lookup. *)
+  mutable ehits : int;
 }
 
 module H64 = Hashtbl.Make (struct
@@ -115,12 +119,18 @@ type index = {
   mutable rev_all : ientry list;
 }
 
+type stats = { mutable hits : int; mutable misses : int }
+
 type store = {
   mutable rev_entries : entry list;
   mutable rev_seqs : (entry * int) list;
   mutable count : int;
   mutable next_seq : int;
   index : index;
+  (* [None] = telemetry off: both lookup paths pay one immediate-field
+     match and nothing else. Lives in the shared store so {!rename}d
+     handles count into the same tallies. *)
+  mutable stats : stats option;
 }
 
 (* The index and entry store live behind [store], which {!rename}d
@@ -186,6 +196,7 @@ let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
         count = 0;
         next_seq = 0;
         index = fresh_index ();
+        stats = None;
       };
   }
 
@@ -300,6 +311,7 @@ let add_entry t entry =
               act = a;
               bound = Action.bind_args a entry.args;
               crun = Action.compile a;
+              ehits = 0;
             };
           Ok ()
         end
@@ -338,6 +350,24 @@ let matches entry values =
    total order — sequence numbers are distinct — so the winner is
    order-independent. --- *)
 
+(* Stats hooks shared by both lookup paths: one immediate-field match
+   when telemetry is off. The reference path attributes per-entry hits
+   through a seq scan over [rev_all] — linear, but the interpretive
+   oracle is not a perf path. *)
+let stat_hit_seq t seq =
+  match t.store.stats with
+  | None -> ()
+  | Some s ->
+      s.hits <- s.hits + 1;
+      List.iter
+        (fun ie -> if ie.seq = seq then ie.ehits <- ie.ehits + 1)
+        t.store.index.rev_all
+
+let stat_miss t =
+  match t.store.stats with
+  | None -> ()
+  | Some s -> s.misses <- s.misses + 1
+
 let lookup_reference_values t values =
   let candidates =
     List.filter_map
@@ -350,9 +380,12 @@ let lookup_reference_values t values =
     else s1 < s2
   in
   match candidates with
-  | [] -> `Miss
+  | [] ->
+      stat_miss t;
+      `Miss
   | first :: rest ->
       let best = List.fold_left (fun b c -> if better c b then c else b) first rest in
+      stat_hit_seq t (snd best);
       `Hit (fst best)
 
 let lookup_reference t phv =
@@ -427,7 +460,7 @@ let probe_lpm idx best v0 =
       | None -> best)
     best idx.lpm
 
-let lookup_ientry t phv =
+let lookup_ientry_raw t phv =
   let n = Array.length t.kgets in
   let idx = t.store.index in
   if n = 1 then begin
@@ -464,6 +497,19 @@ let lookup_ientry t phv =
     end
   end
 
+let lookup_ientry t phv =
+  match lookup_ientry_raw t phv with
+  | Some ie as r ->
+      (match t.store.stats with
+      | None -> ()
+      | Some s ->
+          s.hits <- s.hits + 1;
+          ie.ehits <- ie.ehits + 1);
+      r
+  | None as r ->
+      stat_miss t;
+      r
+
 let lookup t phv =
   match lookup_ientry t phv with None -> `Miss | Some ie -> `Hit ie.e
 
@@ -497,6 +543,29 @@ let apply_reference ?(regs = Action.no_regs) t phv =
       let dname, dargs = t.default in
       Action.run ~regs t.default_act ~args:dargs phv;
       (dname, false)
+
+(* --- Telemetry --- *)
+
+let set_stats_enabled t on =
+  if on then begin
+    (* (Re)enabling starts a fresh tally. *)
+    List.iter (fun ie -> ie.ehits <- 0) t.store.index.rev_all;
+    t.store.stats <- Some { hits = 0; misses = 0 }
+  end
+  else t.store.stats <- None
+
+let stats t = t.store.stats
+
+let reset_stats t =
+  match t.store.stats with
+  | None -> ()
+  | Some s ->
+      s.hits <- 0;
+      s.misses <- 0;
+      List.iter (fun ie -> ie.ehits <- 0) t.store.index.rev_all
+
+let entry_hits t =
+  List.rev_map (fun ie -> (ie.e, ie.ehits)) t.store.index.rev_all
 
 let key_bits t = List.fold_left (fun acc k -> acc + k.width) 0 t.keys
 

@@ -81,6 +81,26 @@ val apply_reference : ?regs:Action.reg_env -> t -> Phv.t -> string * bool
     reference control interpreter uses this, so fast and reference modes
     share no lookup code. *)
 
+(** {2 Telemetry}
+
+    Hit/miss tallies and per-entry hit counts, maintained by both
+    {!lookup}/{!apply} and the reference pair when enabled. Off by
+    default; when off the lookup paths pay a single immediate-field
+    match. Counters live in the shared entry store, so {!rename}d
+    handles tally together. *)
+
+type stats = { mutable hits : int; mutable misses : int }
+
+val set_stats_enabled : t -> bool -> unit
+(** Enabling (re)starts all tallies from zero; disabling discards
+    them. *)
+
+val stats : t -> stats option
+val reset_stats : t -> unit
+val entry_hits : t -> (entry * int) list
+(** Installed entries with their hit counts, insertion order. All zero
+    when stats were never enabled. *)
+
 val key_bits : t -> int
 (** Total match key width in bits. *)
 

@@ -1,0 +1,8 @@
+(** The hand-rolled JSON the repo already uses for BENCH_*.json — just
+    enough to serialize snapshots without a dependency. *)
+
+val esc : string -> string
+(** Escape for use inside a double-quoted JSON string. *)
+
+val str : string -> string
+(** A quoted, escaped JSON string literal. *)

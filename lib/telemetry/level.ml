@@ -1,0 +1,17 @@
+type t = Off | Counters | Journeys
+
+let counters_on = function Off -> false | Counters | Journeys -> true
+let journeys_on = function Journeys -> true | Off | Counters -> false
+
+let to_string = function
+  | Off -> "off"
+  | Counters -> "counters"
+  | Journeys -> "journeys"
+
+let of_string = function
+  | "off" -> Ok Off
+  | "counters" -> Ok Counters
+  | "journeys" -> Ok Journeys
+  | s -> Error (Printf.sprintf "unknown telemetry level %S" s)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

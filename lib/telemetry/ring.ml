@@ -1,0 +1,36 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;  (* slot the next push writes *)
+  mutable pushed : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity < 1";
+  { slots = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.slots
+let pushed t = t.pushed
+let length t = min t.pushed (capacity t)
+
+let push t x =
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod capacity t;
+  t.pushed <- t.pushed + 1
+
+let to_list t =
+  let cap = capacity t in
+  let n = length t in
+  let start = (t.next - n + cap) mod cap in
+  List.init n (fun i ->
+      match t.slots.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let last t =
+  if t.pushed = 0 then None
+  else t.slots.((t.next - 1 + capacity t) mod capacity t)
+
+let clear t =
+  Array.fill t.slots 0 (capacity t) None;
+  t.next <- 0;
+  t.pushed <- 0

@@ -1,0 +1,20 @@
+(** Bounded ring buffer — the flight recorder's storage. Pushing past
+    capacity silently evicts the oldest element, so the last N packet
+    journeys survive for post-mortem no matter how long the run was. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** Raises [Invalid_argument] on capacity < 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val pushed : 'a t -> int
+(** Total pushes over the ring's lifetime (>= [length]). *)
+
+val push : 'a t -> 'a -> unit
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val last : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -1,0 +1,5 @@
+(** Monotonic nanosecond clock (CLOCK_MONOTONIC via bechamel's noalloc
+    stub) — read once at packet entry and once at exit; never
+    wall-clock, so histograms survive NTP steps. *)
+
+val now_ns : unit -> int64
