@@ -245,9 +245,10 @@ let validation () =
         (fun (name, pkt, expect) ->
           match Ptf.send_expect rt ~in_port:0 pkt ~expect () with
           | Ok o ->
+              let c = o.Ptf.runtime.Runtime.counters in
               Format.printf "  [pass] %-36s (recircs=%d, cpu=%d, %.0f ns)@." name
-                o.Ptf.runtime.Runtime.recircs o.Ptf.runtime.Runtime.cpu_round_trips
-                o.Ptf.runtime.Runtime.latency_ns
+                c.Runtime.Counters.recircs c.Runtime.Counters.cpu_round_trips
+                c.Runtime.Counters.latency_ns
           | Error e -> Format.printf "  [FAIL] %-36s %s@." name e)
         cases
 
@@ -506,6 +507,12 @@ let smoke = ref false
    even under --smoke, so CI can archive it. *)
 let telemetry = ref false
 
+(* --domains N adds a sharded section to the runtime benchmark: the same
+   workload through Runtime.process_batch_parallel for each domain count
+   in {1, 2, 4, ..., N}, with per-packet equivalence against the
+   sequential run enforced (CI runs --smoke --domains 2). *)
+let bench_domains = ref 1
+
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
   let anneal_iterations = if !smoke then 400 else 4000 in
@@ -739,40 +746,48 @@ let bench_runtime () =
     match Compiler.find_nf_table compiled ~nf:"router" ~table:"routes" with
     | None -> failwith "bench runtime: router__routes not found"
     | Some table ->
-        let add ~prefix_len addr =
-          P4ir.Table.add_entry_exn table
-            {
-              P4ir.Table.priority = 0;
-              patterns =
-                [
-                  P4ir.Table.M_lpm
-                    { value = P4ir.Bitval.of_int ~width:32 addr; prefix_len };
-                ];
-              action = "route";
-              args =
-                [
-                  P4ir.Bitval.of_int ~width:48 0x020000aa0001;
-                  P4ir.Bitval.of_int ~width:48 0x0200000000fe;
-                ];
-            }
+        let entry ~prefix_len addr =
+          {
+            P4ir.Table.priority = 0;
+            patterns =
+              [
+                P4ir.Table.M_lpm
+                  { value = P4ir.Bitval.of_int ~width:32 addr; prefix_len };
+              ];
+            action = "route";
+            args =
+              [
+                P4ir.Bitval.of_int ~width:48 0x020000aa0001;
+                P4ir.Bitval.of_int ~width:48 0x0200000000fe;
+              ];
+          }
         in
-        for i = 0 to 511 do
-          add ~prefix_len:24
-            ((172 lsl 24) lor ((16 + (i lsr 8)) lsl 16) lor ((i land 0xff) lsl 8))
-        done;
-        for i = 0 to 31 do
-          add ~prefix_len:20
-            ((172 lsl 24) lor ((24 + (i lsr 4)) lsl 16) lor ((i land 0xf) lsl 12))
-        done
+        let entries =
+          List.init 512 (fun i ->
+              entry ~prefix_len:24
+                ((172 lsl 24)
+                lor ((16 + (i lsr 8)) lsl 16)
+                lor ((i land 0xff) lsl 8)))
+          @ List.init 32 (fun i ->
+                entry ~prefix_len:20
+                  ((172 lsl 24)
+                  lor ((24 + (i lsr 4)) lsl 16)
+                  lor ((i land 0xf) lsl 12)))
+        in
+        (match P4ir.Table.add_entries table entries with
+        | Ok () -> ()
+        | Error e -> failwith ("bench runtime: FIB install failed: " ^ e))
+  in
+  let engine_for ?(domains = 1) mode =
+    { Runtime.Engine.default with Runtime.Engine.exec_mode = mode; domains }
   in
   let run_mode mode =
     let compiled =
       match compile_prototype () with Ok c -> c | Error e -> failwith e
     in
-    let rt = Runtime.create compiled in
+    let rt = Runtime.create ~engine:(engine_for mode) compiled in
     Nflib.Catalog.attach_handlers rt compiled;
     install_fib compiled;
-    Asic.Chip.set_exec_mode compiled.Compiler.chip mode;
     let t0 = Unix.gettimeofday () in
     let stats = Runtime.process_batch rt workload in
     (Unix.gettimeofday () -. t0, stats)
@@ -785,15 +800,17 @@ let bench_runtime () =
   in
   let fast_s, fast = time_mode Asic.Chip.Fast in
   let ref_s, refr = time_mode Asic.Chip.Reference in
+  let fast_c = fast.Runtime.counters and refr_c = refr.Runtime.counters in
   let identical =
     fast.Runtime.digest = refr.Runtime.digest
     && fast.Runtime.emitted = refr.Runtime.emitted
     && fast.Runtime.dropped = refr.Runtime.dropped
     && fast.Runtime.to_cpu = refr.Runtime.to_cpu
     && fast.Runtime.errors = refr.Runtime.errors
-    && fast.Runtime.cpu_round_trips = refr.Runtime.cpu_round_trips
-    && fast.Runtime.recircs = refr.Runtime.recircs
-    && fast.Runtime.resubmits = refr.Runtime.resubmits
+    && fast_c.Runtime.Counters.cpu_round_trips
+       = refr_c.Runtime.Counters.cpu_round_trips
+    && fast_c.Runtime.Counters.recircs = refr_c.Runtime.Counters.recircs
+    && fast_c.Runtime.Counters.resubmits = refr_c.Runtime.Counters.resubmits
   in
   (* Spot-check trace-event equality on one chip walk per mode (the
      QCheck suite does this exhaustively on random programs). *)
@@ -822,10 +839,9 @@ let bench_runtime () =
       let compiled =
         match compile_prototype () with Ok c -> c | Error e -> failwith e
       in
-      let rt = Runtime.create compiled in
+      let rt = Runtime.create ~engine:(engine_for mode) compiled in
       Nflib.Catalog.attach_handlers rt compiled;
       install_fib compiled;
-      Asic.Chip.set_exec_mode compiled.Compiler.chip mode;
       Runtime.set_telemetry ~ring_capacity:4 rt Telemetry.Level.Journeys;
       rt
     in
@@ -951,8 +967,8 @@ let bench_runtime () =
     "speedup=%.1fx identical=%b traces_equal=%b (emitted=%d dropped=%d \
      to_cpu=%d cpu_round_trips=%d recircs=%d digest=%Lx)@."
     speedup identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
-    fast.Runtime.to_cpu fast.Runtime.cpu_round_trips fast.Runtime.recircs
-    fast.Runtime.digest;
+    fast.Runtime.to_cpu fast_c.Runtime.Counters.cpu_round_trips
+    fast_c.Runtime.Counters.recircs fast.Runtime.digest;
   if not (identical && traces_equal) then begin
     Format.printf "ERROR: fast and reference paths disagree!@.";
     dump_divergence ();
@@ -964,9 +980,102 @@ let bench_runtime () =
       (fun (port, msg) -> Format.printf "  in_port=%d %s@." port msg)
       fast.Runtime.error_log
   end;
-  (* --telemetry keeps the JSON even under --smoke: the overhead numbers
-     are the point and CI archives the file. *)
-  if !smoke && not !telemetry then
+  (* --domains: the same workload sharded over k worker domains (each
+     one a private chip replica), gated on per-packet equivalence with
+     the sequential run. Latency sums are float and order-dependent
+     across shards, so the gate compares int counters and per-packet
+     outcome signatures only. *)
+  let signature_of = function
+    | Error e -> "error:" ^ e
+    | Ok (o : Runtime.outcome) -> (
+        match o.Runtime.verdict with
+        | Asic.Chip.Emitted { port; frame } ->
+            Printf.sprintf "emitted:%d:%s" port
+              (Digest.to_hex (Digest.bytes frame))
+        | Asic.Chip.Dropped -> "dropped"
+        | Asic.Chip.To_cpu b -> "to_cpu:" ^ Digest.to_hex (Digest.bytes b))
+  in
+  let parallel_results =
+    if !bench_domains <= 1 then []
+    else begin
+      Format.printf "@.sharded data plane (process_batch_parallel):@.";
+      Format.printf "%-12s %12s %14s %12s@." "domains" "wall (ms)" "pkts/sec"
+        "ns/pkt";
+      let fresh_runtime ~domains =
+        let compiled =
+          match compile_prototype () with Ok c -> c | Error e -> failwith e
+        in
+        let rt =
+          Runtime.create ~engine:(engine_for ~domains Asic.Chip.Fast) compiled
+        in
+        Nflib.Catalog.attach_handlers rt compiled;
+        install_fib compiled;
+        rt
+      in
+      let oracle = Array.make npkts "" in
+      let rt = fresh_runtime ~domains:1 in
+      let seq =
+        Runtime.process_batch
+          ~each:(fun i r -> oracle.(i) <- signature_of r)
+          rt workload
+      in
+      let seq_c = seq.Runtime.counters in
+      let domain_counts =
+        List.filter (fun d -> d <= !bench_domains) [ 1; 2; 4 ]
+        @ if List.mem !bench_domains [ 1; 2; 4 ] then [] else [ !bench_domains ]
+      in
+      List.map
+        (fun d ->
+          let rt = fresh_runtime ~domains:d in
+          let sigs = Array.make npkts "" in
+          let t0 = Unix.gettimeofday () in
+          let stats =
+            Runtime.process_batch_parallel
+              ~each:(fun i r -> sigs.(i) <- signature_of r)
+              rt workload
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          let c = stats.Runtime.counters in
+          let same =
+            stats.Runtime.emitted = seq.Runtime.emitted
+            && stats.Runtime.dropped = seq.Runtime.dropped
+            && stats.Runtime.to_cpu = seq.Runtime.to_cpu
+            && stats.Runtime.errors = seq.Runtime.errors
+            && c.Runtime.Counters.cpu_round_trips
+               = seq_c.Runtime.Counters.cpu_round_trips
+            && c.Runtime.Counters.recircs = seq_c.Runtime.Counters.recircs
+            && c.Runtime.Counters.resubmits = seq_c.Runtime.Counters.resubmits
+            && sigs = oracle
+          in
+          Format.printf "%-12d %12.2f %14.0f %12.0f%s@." d (dt *. 1000.0)
+            (rate dt) (ns_per_pkt dt)
+            (if same then "" else "  DIVERGED");
+          if not same then begin
+            let mismatches = ref 0 in
+            Array.iteri
+              (fun i s ->
+                if not (String.equal s oracle.(i)) then begin
+                  incr mismatches;
+                  if !mismatches <= 3 then
+                    Format.printf
+                      "  packet %d: sequential=%s domains-%d=%s@." i oracle.(i)
+                      d s
+                end)
+              sigs;
+            if !mismatches > 0 then
+              Format.printf "  (%d per-packet mismatches)@." !mismatches
+          end;
+          (d, dt, same))
+        domain_counts
+    end
+  in
+  if not (List.for_all (fun (_, _, same) -> same) parallel_results) then begin
+    Format.printf "ERROR: sharded runs diverge from the sequential data plane!@.";
+    exit 1
+  end;
+  (* --telemetry and --domains keep the JSON even under --smoke: the
+     overhead / scaling numbers are the point and CI archives the file. *)
+  if !smoke && not !telemetry && !bench_domains <= 1 then
     Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
   else begin
     let overhead_json =
@@ -980,6 +1089,22 @@ let bench_runtime () =
              %.2f },\n"
             tele_s base_s (ns_per_pkt tele_s) pct
     in
+    let parallel_json =
+      match parallel_results with
+      | [] -> ""
+      | results ->
+          let rows =
+            List.map
+              (fun (d, dt, same) ->
+                Printf.sprintf
+                  "    { \"domains\": %d, \"wall_s\": %.6f, \"pkts_per_sec\": \
+                   %.0f, \"ns_per_pkt\": %.1f, \"identical\": %b }"
+                  d dt (rate dt) (ns_per_pkt dt) same)
+              results
+          in
+          Printf.sprintf "  \"parallel\": [\n%s\n  ],\n"
+            (String.concat ",\n" rows)
+    in
     let oc = open_out "BENCH_runtime.json" in
     Printf.fprintf oc
       "{\n\
@@ -991,6 +1116,7 @@ let bench_runtime () =
       \  \"fast\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
       \  \"reference\": { \"wall_s\": %.6f, \"pkts_per_sec\": %.0f, \"ns_per_pkt\": %.1f },\n\
        %s\
+       %s\
       \  \"speedup\": %.2f,\n\
       \  \"identical\": %b,\n\
       \  \"traces_equal\": %b,\n\
@@ -999,10 +1125,11 @@ let bench_runtime () =
       \              \"digest\": \"%Lx\" }\n\
        }\n"
       npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
-      ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json speedup identical
-      traces_equal fast.Runtime.emitted fast.Runtime.dropped fast.Runtime.to_cpu
-      fast.Runtime.errors fast.Runtime.cpu_round_trips fast.Runtime.recircs
-      fast.Runtime.resubmits fast.Runtime.digest;
+      ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json parallel_json speedup
+      identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
+      fast.Runtime.to_cpu fast.Runtime.errors
+      fast_c.Runtime.Counters.cpu_round_trips fast_c.Runtime.Counters.recircs
+      fast_c.Runtime.Counters.resubmits fast.Runtime.digest;
     close_out oc;
     Format.printf "@.wrote BENCH_runtime.json@."
   end;
@@ -1040,11 +1167,24 @@ let experiments =
 
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
-  let requested =
-    List.filter (fun a -> a <> "--smoke" && a <> "--telemetry") argv
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--smoke" :: rest ->
+        smoke := true;
+        strip_flags acc rest
+    | "--telemetry" :: rest ->
+        telemetry := true;
+        strip_flags acc rest
+    | "--domains" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some d when d >= 1 -> bench_domains := d
+        | _ ->
+            Format.printf "invalid --domains value %S@." n;
+            exit 2);
+        strip_flags acc rest
+    | a :: rest -> strip_flags (a :: acc) rest
   in
-  if List.mem "--smoke" argv then smoke := true;
-  if List.mem "--telemetry" argv then telemetry := true;
+  let requested = strip_flags [] argv in
   let to_run =
     match requested with
     | [] -> experiments

@@ -4,6 +4,7 @@
 
      dejavu compile [--strategy greedy] [--extended]
      dejavu send --dst 10.0.1.10 [--src ...] [--trace]
+     dejavu run [--packets 200] [--domains 4]
      dejavu programs [--pipelet "ingress 0"]
      dejavu report
      dejavu strategies
@@ -171,10 +172,11 @@ let send_cmd =
           | Asic.Chip.Emitted { port; _ } -> Printf.sprintf "emitted on port %d" port
           | Asic.Chip.Dropped -> "dropped"
           | Asic.Chip.To_cpu _ -> "to CPU");
+        let c = o.Ptf.runtime.Runtime.counters in
         Format.printf
           "recirculations=%d resubmissions=%d cpu-round-trips=%d latency=%.0f ns@."
-          o.Ptf.runtime.Runtime.recircs o.Ptf.runtime.Runtime.resubmits
-          o.Ptf.runtime.Runtime.cpu_round_trips o.Ptf.runtime.Runtime.latency_ns;
+          c.Runtime.Counters.recircs c.Runtime.Counters.resubmits
+          c.Runtime.Counters.cpu_round_trips c.Runtime.Counters.latency_ns;
         Option.iter (Format.printf "packet out: %a@." Netpkt.Pkt.pp) o.Ptf.decoded
   in
   Cmdliner.Cmd.v
@@ -302,15 +304,94 @@ let cluster_cmd =
        ~doc:"Place a synthetic chain on a multi-switch cluster (Sec. 7).")
     Cmdliner.Term.(const run $ switches_arg $ nfs_arg $ stages_arg)
 
+(* --- shared workload ------------------------------------------------ *)
+
+(* The mixed green/orange/red workload used by `stats` and `run`. *)
+let mixed_workload packets =
+  let ip = Netpkt.Ip4.of_string_exn in
+  let flow ~src ~dst ~src_port ~dst_port =
+    Netpkt.Pkt.encode
+      (Netpkt.Pkt.tcp_flow
+         ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+         ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+         {
+           Netpkt.Flow.src = ip src;
+           dst;
+           proto = Netpkt.Ipv4.proto_tcp;
+           src_port;
+           dst_port;
+         })
+  in
+  List.init packets (fun i ->
+      let frame =
+        match i mod 3 with
+        | 0 ->
+            flow ~src:"203.0.113.7"
+              ~dst:(ip (Printf.sprintf "10.0.3.%d" (1 + (i mod 200))))
+              ~src_port:(40000 + (i mod 97)) ~dst_port:443
+        | 1 ->
+            flow ~src:"203.0.113.8"
+              ~dst:(ip (Printf.sprintf "10.0.2.%d" (1 + (i mod 200))))
+              ~src_port:(41000 + (i mod 89)) ~dst_port:80
+        | _ ->
+            flow ~src:"203.0.113.9" ~dst:Nflib.Catalog.tenant1_vip
+              ~src_port:(50000 + (i mod 61)) ~dst_port:80
+      in
+      (0, frame))
+
+let packets_arg =
+  Cmdliner.Arg.(
+    value & opt int 200
+    & info [ "packets" ] ~docv:"N"
+        ~doc:"Packets in the mixed green/orange/red workload.")
+
+(* --- run ------------------------------------------------------------ *)
+
+let run_cmd =
+  let domains_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sharded data plane (1 = sequential \
+             in-place execution).")
+  in
+  let run strategy extended packets domains =
+    let compiled = or_die (compile ~strategy ~extended) in
+    let rt =
+      Runtime.create
+        ~engine:{ Runtime.Engine.default with Runtime.Engine.domains }
+        compiled
+    in
+    Nflib.Catalog.attach_handlers rt compiled;
+    let stats = Runtime.process_batch_parallel rt (mixed_workload packets) in
+    if stats.Runtime.error_log <> [] then begin
+      Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
+      List.iter
+        (fun (port, msg) -> Format.eprintf "  in_port=%d %s@." port msg)
+        stats.Runtime.error_log
+    end;
+    let c = stats.Runtime.counters in
+    Format.printf
+      "domains=%d packets=%d emitted=%d dropped=%d to-cpu=%d errors=%d@."
+      domains stats.Runtime.packets stats.Runtime.emitted stats.Runtime.dropped
+      stats.Runtime.to_cpu stats.Runtime.errors;
+    Format.printf
+      "cpu-round-trips=%d recirculations=%d resubmissions=%d digest=%08Lx@."
+      c.Runtime.Counters.cpu_round_trips c.Runtime.Counters.recircs
+      c.Runtime.Counters.resubmits stats.Runtime.digest
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run"
+       ~doc:
+         "Push the sample workload through the deployment, optionally \
+          sharded over several domains.")
+    Cmdliner.Term.(
+      const run $ strategy_arg $ extended_arg $ packets_arg $ domains_arg)
+
 (* --- stats ---------------------------------------------------------- *)
 
 let stats_cmd =
-  let packets_arg =
-    Cmdliner.Arg.(
-      value & opt int 200
-      & info [ "packets" ] ~docv:"N"
-          ~doc:"Packets in the mixed green/orange/red workload.")
-  in
   let level_conv =
     Cmdliner.Arg.conv
       ( (fun s ->
@@ -350,39 +431,7 @@ let stats_cmd =
       if n_journeys > 0 then Telemetry.Level.Journeys else level
     in
     Runtime.set_telemetry rt level;
-    let ip = Netpkt.Ip4.of_string_exn in
-    let flow ~src ~dst ~src_port ~dst_port =
-      Netpkt.Pkt.encode
-        (Netpkt.Pkt.tcp_flow
-           ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
-           ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
-           {
-             Netpkt.Flow.src = ip src;
-             dst;
-             proto = Netpkt.Ipv4.proto_tcp;
-             src_port;
-             dst_port;
-           })
-    in
-    let workload =
-      List.init packets (fun i ->
-          let frame =
-            match i mod 3 with
-            | 0 ->
-                flow ~src:"203.0.113.7"
-                  ~dst:(ip (Printf.sprintf "10.0.3.%d" (1 + (i mod 200))))
-                  ~src_port:(40000 + (i mod 97)) ~dst_port:443
-            | 1 ->
-                flow ~src:"203.0.113.8"
-                  ~dst:(ip (Printf.sprintf "10.0.2.%d" (1 + (i mod 200))))
-                  ~src_port:(41000 + (i mod 89)) ~dst_port:80
-            | _ ->
-                flow ~src:"203.0.113.9" ~dst:Nflib.Catalog.tenant1_vip
-                  ~src_port:(50000 + (i mod 61)) ~dst_port:80
-          in
-          (0, frame))
-    in
-    let stats = Runtime.process_batch rt workload in
+    let stats = Runtime.process_batch rt (mixed_workload packets) in
     if stats.Runtime.error_log <> [] then begin
       Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
       List.iter
@@ -463,5 +512,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
-            place_cmd; cluster_cmd; stats_cmd;
+            place_cmd; cluster_cmd; stats_cmd; run_cmd;
           ]))

@@ -35,30 +35,34 @@ let geo_fence ~(fenced : (Netpkt.Ip4.prefix * int) list) () =
       ~actions:[ deny; Action.no_op ]
       ~default:("NoAction", []) ~max_size:256 ()
   in
-  List.iter
-    (fun ((p : Netpkt.Ip4.prefix), tenant) ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns =
-            [
-              Table.M_ternary
-                {
-                  value = Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
-                  mask = Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
-                };
-              Table.M_exact (Bitval.of_int ~width:16 tenant);
-            ];
-          action = "geo_deny";
-          args = [];
-        })
-    fenced;
-  Nf.make ~name:geo_fence_name
-    ~description:"per-tenant geo-fence on source prefixes"
-    ~parser:(Net_hdrs.base_parser ~name:geo_fence_name ())
-    ~tables:[ table ]
-    ~body:[ P4ir.Control.Apply "fence" ]
-    ()
+  Result.map
+    (fun () ->
+      Nf.make ~name:geo_fence_name
+        ~description:"per-tenant geo-fence on source prefixes"
+        ~parser:(Net_hdrs.base_parser ~name:geo_fence_name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply "fence" ]
+        ())
+    (Table.add_entries table
+       (List.map
+          (fun ((p : Netpkt.Ip4.prefix), tenant) ->
+            {
+              Table.priority = 0;
+              patterns =
+                [
+                  Table.M_ternary
+                    {
+                      value =
+                        Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
+                      mask =
+                        Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
+                    };
+                  Table.M_exact (Bitval.of_int ~width:16 tenant);
+                ];
+              action = "geo_deny";
+              args = [];
+            })
+          fenced))
 
 (* --- deployment ---------------------------------------------------- *)
 

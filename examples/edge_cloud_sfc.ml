@@ -94,10 +94,11 @@ let () =
         match Ptf.send runtime ~in_port:(i mod 16) pkt with
         | Error e -> Format.printf "  !! %s: %s@." name e
         | Ok o ->
+            let c = o.Ptf.runtime.Runtime.counters in
             acc.cpu_round_trips <-
-              acc.cpu_round_trips + o.Ptf.runtime.Runtime.cpu_round_trips;
-            acc.recircs <- acc.recircs + o.Ptf.runtime.Runtime.recircs;
-            acc.latency_sum <- acc.latency_sum +. o.Ptf.runtime.Runtime.latency_ns;
+              acc.cpu_round_trips + c.Runtime.Counters.cpu_round_trips;
+            acc.recircs <- acc.recircs + c.Runtime.Counters.recircs;
+            acc.latency_sum <- acc.latency_sum +. c.Runtime.Counters.latency_ns;
             (match o.Ptf.runtime.Runtime.verdict with
             | Asic.Chip.Emitted { frame; _ } ->
                 acc.delivered <- acc.delivered + 1;

@@ -38,9 +38,10 @@ let () =
   in
   (match Ptf.send runtime ~in_port:0 pkt with
   | Ok o ->
+      let c = o.Ptf.runtime.Runtime.counters in
       Format.printf "@.green-path packet: recircs=%d resubmits=%d latency=%.0f ns@."
-        o.Ptf.runtime.Runtime.recircs o.Ptf.runtime.Runtime.resubmits
-        o.Ptf.runtime.Runtime.latency_ns;
+        c.Runtime.Counters.recircs c.Runtime.Counters.resubmits
+        c.Runtime.Counters.latency_ns;
       Option.iter (Format.printf "  out: %a@." Netpkt.Pkt.pp) o.Ptf.decoded
   | Error e -> Format.printf "green-path packet failed: %s@." e);
   (* 4. A packet to the load-balanced VIP: the full red chain, with a
@@ -60,9 +61,10 @@ let () =
   in
   match Ptf.send runtime ~in_port:0 pkt with
   | Ok o ->
+      let c = o.Ptf.runtime.Runtime.counters in
       Format.printf
         "@.red-path packet: cpu_round_trips=%d recircs=%d latency=%.0f ns@."
-        o.Ptf.runtime.Runtime.cpu_round_trips o.Ptf.runtime.Runtime.recircs
-        o.Ptf.runtime.Runtime.latency_ns;
+        c.Runtime.Counters.cpu_round_trips c.Runtime.Counters.recircs
+        c.Runtime.Counters.latency_ns;
       Option.iter (Format.printf "  out: %a@." Netpkt.Pkt.pp) o.Ptf.decoded
   | Error e -> Format.printf "red-path packet failed: %s@." e

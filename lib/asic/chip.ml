@@ -68,6 +68,53 @@ let pipelets t = Array.to_list t.ingress @ Array.to_list t.egress
 let telemetry t = t.telem
 let set_sfc_probe t probe = t.probe <- probe
 
+let find_table t name =
+  List.find_map
+    (fun pl -> P4ir.Program.find_table (Pipelet.program pl) name)
+    (pipelets t)
+
+(* A share-nothing clone for per-domain parallel execution: every
+   pipelet program is deep-copied (installed table entries, register
+   cells) and re-loaded, which re-allocates stages and recompiles
+   controls/parsers against the copied state. Telemetry starts Off —
+   the runtime attaches a per-domain observer if it wants one — and the
+   exec mode carries over so a replica runs the same path as its
+   original. *)
+let replicate t =
+  let side pls = Array.map (fun pl -> P4ir.Program.copy (Pipelet.program pl)) pls in
+  load
+    {
+      spec = t.spec;
+      ingress_programs = side t.ingress;
+      egress_programs = side t.egress;
+      ports = Port.copy t.ports;
+      mirror_port = t.mirror_port;
+    }
+  |> Result.map (fun r ->
+         r.mode <- t.mode;
+         r)
+
+(* Fold a replica's table tallies back into this chip's: pipelet arrays
+   have identical shapes by construction, tables pair by name. The
+   tallies land in the live [Table.stats] records, so a later
+   [Observe.sync_tables] naturally sees the merged counts. *)
+let merge_stats ~into src =
+  let each a b =
+    let tbls_b = Pipelet.tables b in
+    List.iter
+      (fun ta ->
+        match
+          List.find_opt
+            (fun tb -> String.equal (P4ir.Table.name tb) (P4ir.Table.name ta))
+            tbls_b
+        with
+        | Some tb -> P4ir.Table.merge_stats_from ta ~src:tb
+        | None -> ())
+      (Pipelet.tables a)
+  in
+  Array.iter2 each into.ingress src.ingress;
+  Array.iter2 each into.egress src.egress
+
 let set_telemetry ?label_counters t level =
   t.telem <- level;
   let on = Telemetry.Level.counters_on level in

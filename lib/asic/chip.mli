@@ -39,6 +39,26 @@ val set_exec_mode : t -> exec_mode -> unit
 val pipelets : t -> Pipelet.t list
 (** All loaded pipelets, ingress then egress (for telemetry walks). *)
 
+val find_table : t -> string -> P4ir.Table.t option
+(** The live handle of the first table with this (composed) name across
+    all pipelet programs — how chip-bound control-plane handlers locate
+    the table they install into on a {!replicate}d chip. *)
+
+val replicate : t -> (t, string) result
+(** A share-nothing clone: every pipelet program's mutable state
+    (installed table entries, register cells) is deep-copied and
+    re-loaded, so the replica and the original can process packets from
+    different domains concurrently without touching a shared cell. The
+    exec mode carries over; telemetry starts [Off] (attach a per-domain
+    observer explicitly). *)
+
+val merge_stats : into:t -> t -> unit
+(** [merge_stats ~into replica] adds the replica's per-table hit/miss
+    and per-entry tallies into [into]'s live stats (tables paired by
+    pipelet position and name; no-op for tables without stats enabled).
+    Used after a parallel run so one telemetry snapshot covers all
+    domains. *)
+
 val telemetry : t -> Telemetry.Level.t
 
 val set_telemetry :
@@ -48,7 +68,11 @@ val set_telemetry :
     counters (from [label_counters]); [Journeys] additionally records a
     per-pipelet-pass mark in each {!result}. [Off] disables everything
     and recompiles the uninstrumented fast path — Off costs nothing per
-    packet. Observable packet behavior is identical at every level. *)
+    packet. Observable packet behavior is identical at every level.
+
+    This is chip-internal plumbing: application code configures
+    telemetry through {!Runtime.set_telemetry} (or the runtime's engine
+    config), which owns the registry the label counters land in. *)
 
 val set_sfc_probe : t -> (P4ir.Phv.t -> Telemetry.Journey.hop_meta) -> unit
 (** Install the per-hop PHV reader used in [Journeys] mode. The default

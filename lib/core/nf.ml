@@ -61,9 +61,10 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>// NF %s: %s@,%a@,%a@]" t.name t.description
     P4ir.Parser_graph.pp t.parser P4ir.Control.pp (control t)
 
-type registry = (string * (unit -> t)) list
+type registry = (string * (unit -> (t, string) result)) list
 
 let instantiate registry name =
   match List.assoc_opt name registry with
-  | Some create -> Ok (create ())
+  | Some create ->
+      Result.map_error (fun e -> Printf.sprintf "NF %S: %s" name e) (create ())
   | None -> Error (Printf.sprintf "unknown NF %S" name)

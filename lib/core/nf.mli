@@ -53,8 +53,13 @@ val resources : t -> P4ir.Resources.t
 val find_table : t -> string -> P4ir.Table.t option
 val pp : Format.formatter -> t -> unit
 
-type registry = (string * (unit -> t)) list
+type registry = (string * (unit -> (t, string) result)) list
 (** NF constructors by name; a fresh instance per compile so table state
-    is never shared between deployments. *)
+    is never shared between deployments. Constructors return [Error]
+    when seeding their tables fails (capacity, malformed rule) — the
+    result-form {!P4ir.Table.add_entry} convention — rather than
+    raising. *)
 
 val instantiate : registry -> string -> (t, string) result
+(** Run the named constructor; its error (if any) is prefixed with the
+    NF name. *)

@@ -49,11 +49,17 @@ let sfc_probe phv =
   in
   { Telemetry.Journey.sfc; headers }
 
-let attach t chip =
+(* The registry is an explicit argument — nothing global: each observer
+   (one per domain in a parallel run) wires its own registry into the
+   chip it instruments. *)
+let attach ~registry ~level chip =
   Asic.Chip.set_telemetry
-    ~label_counters:(fun nf -> Telemetry.Registry.counter t.reg (nf_counter_name nf))
-    chip t.level;
+    ~label_counters:(fun nf ->
+      Telemetry.Registry.counter registry (nf_counter_name nf))
+    chip level;
   Asic.Chip.set_sfc_probe chip sfc_probe
+
+let attach_observer t chip = attach ~registry:t.reg ~level:t.level chip
 
 let detach chip = Asic.Chip.set_telemetry chip Telemetry.Level.Off
 

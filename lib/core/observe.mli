@@ -6,18 +6,26 @@
 
 type t
 
+val default_ring_capacity : int
+(** 256 — what {!create} uses when [ring_capacity] is omitted. *)
+
 val create : ?ring_capacity:int -> Telemetry.Level.t -> t
 (** A fresh registry and an empty flight recorder ([ring_capacity]
-    journeys, default 256). *)
+    journeys, default {!default_ring_capacity}). *)
 
 val level : t -> Telemetry.Level.t
 val registry : t -> Telemetry.Registry.t
 val ring : t -> Telemetry.Journey.t Telemetry.Ring.t
 
-val attach : t -> Asic.Chip.t -> unit
-(** Enable chip-level instrumentation at this observer's level: table
-    stats, per-NF label counters backed by this registry
-    ([nf.<name>.applies]), and the SFC journey probe. *)
+val attach :
+  registry:Telemetry.Registry.t -> level:Telemetry.Level.t -> Asic.Chip.t -> unit
+(** Enable chip-level instrumentation at [level]: table stats, per-NF
+    label counters backed by the given registry ([nf.<name>.applies]),
+    and the SFC journey probe. The registry is explicit — no global
+    state — so per-domain observers each wire their own. *)
+
+val attach_observer : t -> Asic.Chip.t -> unit
+(** {!attach} with this observer's own registry and level. *)
 
 val detach : Asic.Chip.t -> unit
 (** Back to [Off]: stats discarded, uninstrumented controls recompiled. *)

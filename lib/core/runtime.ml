@@ -1,6 +1,50 @@
 type action = Reinject of Bytes.t | Consume
 type handler = Sfc_header.t option -> Bytes.t -> action
 
+(* The counter quadruple shared by per-packet outcomes and batch
+   aggregates — one definition, added component-wise when batches (or
+   shards) merge. *)
+module Counters = struct
+  type t = {
+    cpu_round_trips : int;
+    recircs : int;
+    resubmits : int;
+    latency_ns : float;
+  }
+
+  let zero =
+    { cpu_round_trips = 0; recircs = 0; resubmits = 0; latency_ns = 0.0 }
+
+  let add a b =
+    {
+      cpu_round_trips = a.cpu_round_trips + b.cpu_round_trips;
+      recircs = a.recircs + b.recircs;
+      resubmits = a.resubmits + b.resubmits;
+      latency_ns = a.latency_ns +. b.latency_ns;
+    }
+end
+
+(* The whole runtime configuration in one record: how packets execute
+   (exec_mode), how much is observed (telemetry + ring_capacity), and
+   how batches parallelize (domains). One [configure] call replaces the
+   scattered per-knob setters. *)
+module Engine = struct
+  type t = {
+    exec_mode : Asic.Chip.exec_mode;
+    telemetry : Telemetry.Level.t;
+    domains : int;
+    ring_capacity : int;
+  }
+
+  let default =
+    {
+      exec_mode = Asic.Chip.Fast;
+      telemetry = Telemetry.Level.Off;
+      domains = 1;
+      ring_capacity = Observe.default_ring_capacity;
+    }
+end
+
 (* Counter refs resolved once at enable time, so the per-packet cost of
    Counters mode is plain [incr]s and two clock reads. *)
 type obs_state = {
@@ -21,12 +65,19 @@ type obs_state = {
 
 type t = {
   compiled : Compiler.t;
+  (* The chip this runtime injects into: the compiled chip for the
+     primary runtime, a [Chip.replicate] clone for a shard runtime. *)
+  chip : Asic.Chip.t;
   handlers : (string, handler) Hashtbl.t;
+  (* Chip-bound handler factories, kept so shard replicas can re-bind
+     each handler to their own chip's table handles. *)
+  chip_handlers : (string, Asic.Chip.t -> handler) Hashtbl.t;
   nf_ids : (int, string) Hashtbl.t;
   (* (path_id, service_index) -> reinjection pipeline, precomputed from
      the branching plan and the layout so per-CPU-reinject dispatch is a
      single hash probe instead of two linear scans. *)
   reinject : (int * int, int) Hashtbl.t;
+  mutable engine : Engine.t;
   mutable obs : obs_state option;
 }
 
@@ -61,16 +112,89 @@ let build_reinject_map compiled =
     (List.rev compiled.Compiler.plan.Branching.branching);
   reinject
 
-let create compiled =
-  {
-    compiled;
-    handlers = Hashtbl.create 8;
-    nf_ids = Hashtbl.create 8;
-    reinject = build_reinject_map compiled;
-    obs = None;
-  }
+let chip t = t.chip
 
+let enable_obs t level ring_capacity =
+  let o = Observe.create ~ring_capacity level in
+  Observe.attach_observer o t.chip;
+  let reg = Observe.registry o in
+  let c = Telemetry.Registry.counter reg in
+  let n_ports = Asic.Spec.n_eth_ports (Asic.Chip.spec t.chip) in
+  (* Bound one by one so registration (= display) order is sensible:
+     record fields would evaluate right-to-left. *)
+  let c_emitted = c "verdict.emitted" in
+  let c_dropped = c "verdict.dropped" in
+  let c_to_cpu = c "verdict.to_cpu" in
+  let c_errors = c "verdict.error" in
+  let c_punts = c "path.cpu_punts" in
+  let c_round_trips = c "path.cpu_round_trips" in
+  let c_recircs = c "path.recircs" in
+  let c_resubmits = c "path.resubmits" in
+  let c_drop_dp = c "drop.data_plane" in
+  let h_ns = Telemetry.Registry.histogram reg "runtime.ns_per_packet" in
+  let rx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.rx" p)) in
+  let tx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.tx" p)) in
+  t.obs <-
+    Some
+      {
+        o;
+        rx;
+        tx;
+        c_emitted;
+        c_dropped;
+        c_to_cpu;
+        c_errors;
+        c_punts;
+        c_round_trips;
+        c_recircs;
+        c_resubmits;
+        c_drop_dp;
+        h_ns;
+      }
+
+let configure t (e : Engine.t) =
+  let e = { e with Engine.domains = max 1 e.Engine.domains } in
+  let prev = t.engine in
+  t.engine <- e;
+  Asic.Chip.set_exec_mode t.chip e.Engine.exec_mode;
+  (* Re-attach only when an observation knob changed: reconfiguring
+     exec_mode or domains must not wipe accumulated counters. *)
+  let reattach =
+    e.Engine.telemetry <> prev.Engine.telemetry
+    || e.Engine.ring_capacity <> prev.Engine.ring_capacity
+    || (Option.is_none t.obs && e.Engine.telemetry <> Telemetry.Level.Off)
+  in
+  if reattach then
+    match e.Engine.telemetry with
+    | Telemetry.Level.Off ->
+        Observe.detach t.chip;
+        t.obs <- None
+    | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
+        enable_obs t level e.Engine.ring_capacity
+
+let create ?(engine = Engine.default) compiled =
+  let t =
+    {
+      compiled;
+      chip = compiled.Compiler.chip;
+      handlers = Hashtbl.create 8;
+      chip_handlers = Hashtbl.create 8;
+      nf_ids = Hashtbl.create 8;
+      reinject = build_reinject_map compiled;
+      engine = Engine.default;
+      obs = None;
+    }
+  in
+  configure t engine;
+  t
+
+let engine t = t.engine
 let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
+
+let on_to_cpu_chip t nf factory =
+  Hashtbl.replace t.chip_handlers nf factory;
+  Hashtbl.replace t.handlers nf (factory t.chip)
+
 let register_nf_id t nf id = Hashtbl.replace t.nf_ids id nf
 
 let default_nf_id name =
@@ -80,54 +204,13 @@ let default_nf_id name =
   in
   if h = 0 then 1 else h
 
-let chip t = t.compiled.Compiler.chip
-
 let set_telemetry ?ring_capacity t level =
-  match level with
-  | Telemetry.Level.Off ->
-      Observe.detach (chip t);
-      t.obs <- None
-  | Telemetry.Level.Counters | Telemetry.Level.Journeys ->
-      let o = Observe.create ?ring_capacity level in
-      Observe.attach o (chip t);
-      let reg = Observe.registry o in
-      let c = Telemetry.Registry.counter reg in
-      let n_ports = Asic.Spec.n_eth_ports (Asic.Chip.spec (chip t)) in
-      (* Bound one by one so registration (= display) order is sensible:
-         record fields would evaluate right-to-left. *)
-      let c_emitted = c "verdict.emitted" in
-      let c_dropped = c "verdict.dropped" in
-      let c_to_cpu = c "verdict.to_cpu" in
-      let c_errors = c "verdict.error" in
-      let c_punts = c "path.cpu_punts" in
-      let c_round_trips = c "path.cpu_round_trips" in
-      let c_recircs = c "path.recircs" in
-      let c_resubmits = c "path.resubmits" in
-      let c_drop_dp = c "drop.data_plane" in
-      let h_ns = Telemetry.Registry.histogram reg "runtime.ns_per_packet" in
-      let rx =
-        Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.rx" p))
-      in
-      let tx =
-        Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.tx" p))
-      in
-      t.obs <-
-        Some
-          {
-            o;
-            rx;
-            tx;
-            c_emitted;
-            c_dropped;
-            c_to_cpu;
-            c_errors;
-            c_punts;
-            c_round_trips;
-            c_recircs;
-            c_resubmits;
-            c_drop_dp;
-            h_ns;
-          }
+  let ring_capacity =
+    match ring_capacity with
+    | Some r -> r
+    | None -> t.engine.Engine.ring_capacity
+  in
+  configure t { t.engine with Engine.telemetry = level; ring_capacity }
 
 let telemetry t = Option.map (fun os -> os.o) t.obs
 
@@ -136,10 +219,7 @@ let telemetry_level t =
 
 type outcome = {
   verdict : Asic.Chip.verdict;
-  cpu_round_trips : int;
-  recircs : int;
-  resubmits : int;
-  latency_ns : float;
+  counters : Counters.t;
   mirrored : (int * Bytes.t) list;
 }
 
@@ -209,9 +289,9 @@ let process t ~in_port frame =
   in
   let rec loop frame rounds recircs resubmits latency mirrored_rev first =
     let injected =
-      if first then Asic.Chip.inject (chip t) ~in_port frame
+      if first then Asic.Chip.inject t.chip ~in_port frame
       else
-        Asic.Chip.inject_cpu (chip t)
+        Asic.Chip.inject_cpu t.chip
           ~pipeline:(reinject_pipeline t frame)
           frame
     in
@@ -227,10 +307,13 @@ let process t ~in_port frame =
           Ok
             {
               verdict = r.Asic.Chip.verdict;
-              cpu_round_trips = rounds;
-              recircs;
-              resubmits;
-              latency_ns = latency;
+              counters =
+                {
+                  Counters.cpu_round_trips = rounds;
+                  recircs;
+                  resubmits;
+                  latency_ns = latency;
+                };
               mirrored = List.rev mirrored_rev;
             }
         in
@@ -265,9 +348,10 @@ let process t ~in_port frame =
             (Telemetry.Registry.counter (Observe.registry os.o)
                ("error." ^ Observe.error_class e))
       | Ok o -> (
-          os.c_round_trips := !(os.c_round_trips) + o.cpu_round_trips;
-          os.c_recircs := !(os.c_recircs) + o.recircs;
-          os.c_resubmits := !(os.c_resubmits) + o.resubmits;
+          os.c_round_trips :=
+            !(os.c_round_trips) + o.counters.Counters.cpu_round_trips;
+          os.c_recircs := !(os.c_recircs) + o.counters.Counters.recircs;
+          os.c_resubmits := !(os.c_resubmits) + o.counters.Counters.resubmits;
           match o.verdict with
           | Asic.Chip.Emitted { port; _ } ->
               incr os.c_emitted;
@@ -285,10 +369,10 @@ let process t ~in_port frame =
             match res with
             | Ok o ->
                 ( Observe.verdict_string o.verdict,
-                  o.cpu_round_trips,
-                  o.recircs,
-                  o.resubmits,
-                  o.latency_ns )
+                  o.counters.Counters.cpu_round_trips,
+                  o.counters.Counters.recircs,
+                  o.counters.Counters.resubmits,
+                  o.counters.Counters.latency_ns )
             | Error e ->
                 (* The failed injection produced no result — reconstruct
                    what we can from the completed passes. *)
@@ -322,15 +406,24 @@ type batch_stats = {
   dropped : int;
   to_cpu : int;
   errors : int;
-  cpu_round_trips : int;
-  recircs : int;
-  resubmits : int;
-  total_latency_ns : float;
+  counters : Counters.t;
   digest : int64;
   error_log : (int * string) list;
 }
 
 let max_error_log = 8
+
+let empty_stats =
+  {
+    packets = 0;
+    emitted = 0;
+    dropped = 0;
+    to_cpu = 0;
+    errors = 0;
+    counters = Counters.zero;
+    digest = 0L;
+    error_log = [];
+  }
 
 (* The digest folds a verdict tag, the egress port and the full output
    frame of every packet — in batch order — through CRC-32, so two runs
@@ -345,28 +438,15 @@ let fold_digest acc tag port frame =
   | None -> acc
   | Some b -> Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len:(Bytes.length b)
 
-let process_batch t pkts =
-  let stats =
-    ref
-      {
-        packets = 0;
-        emitted = 0;
-        dropped = 0;
-        to_cpu = 0;
-        errors = 0;
-        cpu_round_trips = 0;
-        recircs = 0;
-        resubmits = 0;
-        total_latency_ns = 0.0;
-        digest = 0L;
-        error_log = [];
-      }
-  in
-  List.iter
-    (fun (in_port, frame) ->
+let process_batch ?each t pkts =
+  let stats = ref empty_stats in
+  List.iteri
+    (fun i (in_port, frame) ->
       let s = !stats in
       let s = { s with packets = s.packets + 1 } in
-      match process t ~in_port frame with
+      let res = process t ~in_port frame in
+      (match each with Some f -> f i res | None -> ());
+      match res with
       | Error e ->
           let msg = Bytes.of_string e in
           (* Keep the first few messages (with the offending in_port)
@@ -384,15 +464,7 @@ let process_batch t pkts =
               error_log;
             }
       | Ok o ->
-          let s =
-            {
-              s with
-              cpu_round_trips = s.cpu_round_trips + o.cpu_round_trips;
-              recircs = s.recircs + o.recircs;
-              resubmits = s.resubmits + o.resubmits;
-              total_latency_ns = s.total_latency_ns +. o.latency_ns;
-            }
-          in
+          let s = { s with counters = Counters.add s.counters o.counters } in
           stats :=
             (match o.verdict with
             | Asic.Chip.Emitted { port; frame } ->
@@ -416,3 +488,148 @@ let process_batch t pkts =
     pkts;
   let s = !stats in
   { s with error_log = List.rev s.error_log }
+
+(* --- Sharded parallel execution --- *)
+
+(* Flow-affinity shard assignment: the CRC-32 of the outer 5-tuple, mod
+   the domain count — every packet of a flow (and therefore every
+   stateful interaction keyed on that flow: LB sessions, NAT lookups)
+   lands on the same domain, in arrival order. Frames with no parseable
+   IPv4 5-tuple shard by input port, which at least keeps a port's
+   unparseable traffic ordered. *)
+let shard_of_packet ~domains in_port frame =
+  if domains <= 1 then 0
+  else
+    match Netpkt.Pkt.decode frame with
+    | Error _ -> (in_port land max_int) mod domains
+    | Ok layers -> (
+        match Netpkt.Pkt.five_tuple_of layers with
+        | Some ft ->
+            Int64.to_int
+              (Int64.rem (Netpkt.Flow.hash_five_tuple ft) (Int64.of_int domains))
+        | None -> (in_port land max_int) mod domains)
+
+(* A shard runtime: a share-nothing chip replica, the same compiled
+   metadata (read-only during a batch), chip-bound handlers re-bound to
+   the replica's table handles, and — when the parent observes — a
+   private observer whose registry merges back after the run. *)
+let replica_of t =
+  match Asic.Chip.replicate t.chip with
+  | Error e -> failwith ("Runtime.process_batch_parallel: " ^ e)
+  | Ok rchip ->
+      let rt =
+        {
+          compiled = t.compiled;
+          chip = rchip;
+          handlers = Hashtbl.copy t.handlers;
+          chip_handlers = t.chip_handlers;
+          nf_ids = t.nf_ids;
+          reinject = t.reinject;
+          engine = { t.engine with Engine.domains = 1 };
+          obs = None;
+        }
+      in
+      Hashtbl.iter
+        (fun nf factory -> Hashtbl.replace rt.handlers nf (factory rchip))
+        t.chip_handlers;
+      (match t.engine.Engine.telemetry with
+      | Telemetry.Level.Off -> ()
+      | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
+          enable_obs rt level t.engine.Engine.ring_capacity);
+      rt
+
+(* Shard-major merge. The combined digest chains the per-shard digests
+   in shard order through CRC-32: deterministic for a fixed [domains]
+   (shard assignment and intra-shard order are both deterministic), and
+   different from the sequential digest by construction — cross-count
+   equivalence is checked on totals and per-packet outcomes instead. *)
+let merge_shards per_shard =
+  let digest =
+    List.fold_left
+      (fun acc s ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_be b 0 s.digest;
+        Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len:8)
+      0L per_shard
+  in
+  let merged =
+    List.fold_left
+      (fun acc s ->
+        {
+          packets = acc.packets + s.packets;
+          emitted = acc.emitted + s.emitted;
+          dropped = acc.dropped + s.dropped;
+          to_cpu = acc.to_cpu + s.to_cpu;
+          errors = acc.errors + s.errors;
+          counters = Counters.add acc.counters s.counters;
+          digest = 0L;
+          error_log = acc.error_log @ s.error_log;
+        })
+      empty_stats per_shard
+  in
+  {
+    merged with
+    digest;
+    error_log = List.filteri (fun i _ -> i < max_error_log) merged.error_log;
+  }
+
+let process_batch_parallel ?domains ?each t pkts =
+  let domains =
+    max 1 (match domains with Some d -> d | None -> t.engine.Engine.domains)
+  in
+  if domains = 1 then
+    (* The sequential path, bit-identical to [process_batch] — including
+       its state persistence on the primary chip. *)
+    process_batch ?each t pkts
+  else begin
+    let buckets = Array.make domains [] in
+    List.iteri
+      (fun i (in_port, frame) ->
+        let s = shard_of_packet ~domains in_port frame in
+        buckets.(s) <- (i, in_port, frame) :: buckets.(s))
+      pkts;
+    let shards = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+    let replicas = Array.init domains (fun _ -> replica_of t) in
+    let tasks =
+      List.init domains (fun d () ->
+          let sh = shards.(d) in
+          let each =
+            (* Remap the in-shard index back to the packet's position in
+               the caller's list. *)
+            Option.map
+              (fun f j r ->
+                let i, _, _ = sh.(j) in
+                f i r)
+              each
+          in
+          process_batch ?each replicas.(d)
+            (Array.to_list (Array.map (fun (_, p, f) -> (p, f)) sh)))
+    in
+    let per_shard = Dpool.run ~domains tasks in
+    (match t.obs with
+    | None -> ()
+    | Some os ->
+        Array.iter
+          (fun rt ->
+            match rt.obs with
+            | None -> ()
+            | Some ros ->
+                (* Table tallies fold into the primary chip's live stats
+                   (so a later snapshot's sync_tables sees them); pure
+                   registry counters and histograms merge directly;
+                   journeys re-enter the primary ring with fresh ids. *)
+                Asic.Chip.merge_stats ~into:t.chip rt.chip;
+                Telemetry.Registry.merge
+                  ~into:(Observe.registry os.o)
+                  (Observe.registry ros.o);
+                List.iter
+                  (fun j ->
+                    Observe.record_journey os.o
+                      {
+                        j with
+                        Telemetry.Journey.id = Observe.next_journey_id os.o;
+                      })
+                  (Observe.journeys ros.o))
+          replicas);
+    merge_shards per_shard
+  end

@@ -1,8 +1,10 @@
-(** Minimal control plane: NFs punt packets to the CPU by setting the
-    SFC header's to-CPU flag (Fig. 4's [toCpu] default action); the
-    runtime dispatches to a per-NF handler — which typically installs a
-    table entry — and reinjects the packet into the data plane, looping
-    until the packet is emitted or dropped. *)
+(** Minimal control plane and batch engine: NFs punt packets to the CPU
+    by setting the SFC header's to-CPU flag (Fig. 4's [toCpu] default
+    action); the runtime dispatches to a per-NF handler — which
+    typically installs a table entry — and reinjects the packet into
+    the data plane, looping until the packet is emitted or dropped.
+    Batches run sequentially ({!process_batch}) or sharded across OCaml
+    domains onto private chip replicas ({!process_batch_parallel}). *)
 
 type action =
   | Reinject of Bytes.t  (** put (possibly rewritten) bytes back into the
@@ -12,12 +14,65 @@ type action =
 type handler = Sfc_header.t option -> Bytes.t -> action
 (** Receives the decoded SFC header (when present) and the raw frame. *)
 
+(** The counter quadruple every packet path accumulates — shared by
+    {!outcome} (one packet) and {!batch_stats} (a batch), merged
+    component-wise. *)
+module Counters : sig
+  type t = {
+    cpu_round_trips : int;
+    recircs : int;
+    resubmits : int;
+    latency_ns : float;  (** modelled data-plane latency (summed) *)
+  }
+
+  val zero : t
+  val add : t -> t -> t
+end
+
+(** The runtime's whole configuration as one value — replaces scattered
+    per-knob mutators. Apply with {!configure}; read back with
+    {!engine}. *)
+module Engine : sig
+  type t = {
+    exec_mode : Asic.Chip.exec_mode;  (** default [Fast] *)
+    telemetry : Telemetry.Level.t;  (** default [Off] *)
+    domains : int;
+        (** default shard count for {!process_batch_parallel} when its
+            [?domains] is omitted; clamped to >= 1 *)
+    ring_capacity : int;
+        (** flight-recorder depth when telemetry is [Journeys] *)
+  }
+
+  val default : t
+end
+
 type t
 
-val create : Compiler.t -> t
+val create : ?engine:Engine.t -> Compiler.t -> t
+(** A runtime over the compiled chip, configured per [engine]
+    (default {!Engine.default}). *)
+
+val configure : t -> Engine.t -> unit
+(** Apply a full configuration: exec mode takes effect immediately;
+    telemetry re-attaches (fresh registry and ring) only when the
+    telemetry level or ring capacity actually changed, so flipping
+    [exec_mode] or [domains] never wipes accumulated counters. *)
+
+val engine : t -> Engine.t
+
 val on_to_cpu : t -> string -> handler -> unit
 (** Register the handler for an NF (keyed by the [ctx_key_cpu_reason]
-    context value carrying the NF's id). *)
+    context value carrying the NF's id). The handler is shared as-is
+    with shard replicas in parallel runs, so it must not capture chip
+    state (table handles, registers) — use {!on_to_cpu_chip} for
+    that. *)
+
+val on_to_cpu_chip : t -> string -> (Asic.Chip.t -> handler) -> unit
+(** Register a chip-bound handler factory: the factory is applied to
+    this runtime's chip now, and re-applied to each replica chip when a
+    parallel batch spins up shard runtimes — so a handler that installs
+    into a table (found via {!Asic.Chip.find_table}) always installs
+    into the chip that punted the packet. *)
 
 val register_nf_id : t -> string -> int -> unit
 (** Associate an NF name with the id it writes into the CPU-reason
@@ -34,10 +89,7 @@ val clear_cpu_mark : Bytes.t -> Bytes.t
 
 type outcome = {
   verdict : Asic.Chip.verdict;
-  cpu_round_trips : int;
-  recircs : int;
-  resubmits : int;
-  latency_ns : float;
+  counters : Counters.t;  (** aggregated over all data-plane passes *)
   mirrored : (int * Bytes.t) list;
       (** analysis-port copies across all data-plane passes *)
 }
@@ -54,16 +106,21 @@ val chip : t -> Asic.Chip.t
 (** {2 Telemetry} *)
 
 val set_telemetry : ?ring_capacity:int -> t -> Telemetry.Level.t -> unit
-(** Instrument this runtime (and its chip) at the given level. A fresh
-    {!Observe.t} is created per call: per-port rx/tx, verdict and packet-
-    path counters, error-class counters, an ns-per-packet histogram
+(** The single telemetry front door — shorthand for {!configure} with
+    only the telemetry fields changed. Enabling instruments this
+    runtime and its chip: per-port rx/tx, verdict and packet-path
+    counters, error-class counters, an ns-per-packet histogram
     ([runtime.ns_per_packet], measured with two monotonic-clock reads
     around {!process}), and — at [Journeys] — a per-packet journey span
     pushed into the flight recorder ([ring_capacity] entries). [Off]
-    detaches everything and restores the uninstrumented fast path. *)
+    detaches everything and restores the uninstrumented fast path.
+    ({!Asic.Chip.set_telemetry} is internal plumbing this calls; don't
+    use it directly.) *)
 
 val telemetry : t -> Observe.t option
 val telemetry_level : t -> Telemetry.Level.t
+
+(** {2 Batches} *)
 
 type batch_stats = {
   packets : int;
@@ -71,13 +128,12 @@ type batch_stats = {
   dropped : int;
   to_cpu : int;  (** packets the control plane consumed or nobody handled *)
   errors : int;
-  cpu_round_trips : int;
-  recircs : int;
-  resubmits : int;
-  total_latency_ns : float;  (** modelled data-plane latency, summed *)
+  counters : Counters.t;
   digest : int64;
-      (** order-sensitive CRC-32 over every packet's verdict tag, egress
-          port and output frame — byte-identical runs agree on it *)
+      (** sequential: order-sensitive CRC-32 over every packet's verdict
+          tag, egress port and output frame — byte-identical runs agree
+          on it. Parallel (domains >= 2): the per-shard digests chained
+          in shard order (see {!process_batch_parallel}). *)
   error_log : (int * string) list;
       (** the first {!max_error_log} per-packet errors, oldest first, as
           [(in_port, message)] — previously only the count survived *)
@@ -85,7 +141,53 @@ type batch_stats = {
 
 val max_error_log : int
 
-val process_batch : t -> (int * Bytes.t) list -> batch_stats
+val process_batch :
+  ?each:(int -> (outcome, string) result -> unit) ->
+  t ->
+  (int * Bytes.t) list ->
+  batch_stats
 (** Run [(in_port, frame)] packets through {!process} in order,
     aggregating counters. Per-packet errors are counted (and folded into
-    the digest), not raised. *)
+    the digest), not raised. [each] observes every packet's result with
+    its position in the input list. *)
+
+val shard_of_packet : domains:int -> int -> Bytes.t -> int
+(** The flow-affinity shard of an [(in_port, frame)] packet: CRC-32 of
+    the outer IPv4 5-tuple mod [domains]; packets with no parseable
+    5-tuple shard by input port. (Exposed so tests and tools can
+    reproduce the partition.) *)
+
+val process_batch_parallel :
+  ?domains:int ->
+  ?each:(int -> (outcome, string) result -> unit) ->
+  t ->
+  (int * Bytes.t) list ->
+  batch_stats
+(** Shard the batch by {!shard_of_packet} and run every shard on its own
+    OCaml domain against a private {!Asic.Chip.replicate} clone of the
+    chip (share-nothing: table entries and register cells are deep
+    copies; chip-bound handlers from {!on_to_cpu_chip} re-bind to the
+    replica). [domains] defaults to the engine's; [domains:1] is exactly
+    {!process_batch} — same digest, same state persistence on the
+    primary chip.
+
+    Determinism contract: flow affinity gives every flow one owner
+    domain processing its packets in arrival order, so per-packet
+    outcomes match the sequential run whenever flows don't interact
+    through shared NF state (cross-flow state — e.g. a rate-limiter
+    bucket fed by several flows — is only deterministic if those flows
+    hash to the same shard). Results merge in shard order: totals are
+    sums, the digest chains per-shard digests, so repeated runs with the
+    same [domains] agree bit-for-bit. Replicas are discarded after the
+    run — control-plane installs during a parallel batch do not persist
+    on the primary chip, which is what keeps repeated runs identical.
+
+    With telemetry on, each shard gets a private observer; counters and
+    histograms merge back into this runtime's registry afterwards
+    ({!Telemetry.Registry.merge}), table tallies fold into the primary
+    chip's live stats, and shard journeys re-enter the primary flight
+    recorder with fresh ids.
+
+    [each] runs on worker domains (for distinct packet indices,
+    concurrently) — it must tolerate that, e.g. by writing to distinct
+    array slots. *)

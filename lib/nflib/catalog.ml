@@ -173,11 +173,14 @@ let edge_cloud_input ?(spec = Asic.Spec.wedge_100b)
     ~chains:(if extended then extended_chains ~exit_port else chains ~exit_port)
     ()
 
-let attach_handlers runtime compiled =
+let attach_handlers runtime _compiled =
   Runtime.register_nf_id runtime Lb.name Lb.nf_id;
   Runtime.register_nf_id runtime Classifier.name Classifier.nf_id;
-  match Compiler.find_nf_table compiled ~nf:Lb.name ~table:Lb.table_name with
-  | Some table ->
-      Runtime.on_to_cpu runtime Lb.name
-        (Lb.handler ~backends:tenant1_backends ~table)
-  | None -> ()
+  (* The LB handler installs session entries into the chip it serves, so
+     it binds per chip: parallel replicas each get a handler over their
+     own copy of the session table. *)
+  let lb_table = Compose.nf_table_name ~nf:Lb.name Lb.table_name in
+  Runtime.on_to_cpu_chip runtime Lb.name (fun chip ->
+      match Asic.Chip.find_table chip lb_table with
+      | Some table -> Lb.handler ~backends:tenant1_backends ~table
+      | None -> fun _sfc _frame -> Runtime.Consume)

@@ -66,48 +66,53 @@ let make_table rules =
       ~actions:[ set_path_action; unclassified_action ]
       ~default:("unclassified", []) ~max_size:512 ()
   in
-  List.iter
-    (fun rule ->
-      let proto_pattern =
-        match rule.proto with
-        | Some p ->
-            Table.M_ternary
-              {
-                value = Bitval.of_int ~width:8 p;
-                mask = Bitval.max_value 8;
-              }
-        | None -> Table.M_any
-      in
-      Table.add_entry_exn table
-        {
-          Table.priority = (match rule.proto with Some _ -> 1 | None -> 0);
-          patterns =
-            [
-              Table.M_lpm
-                {
-                  value =
-                    Bitval.make ~width:32
-                      (Netpkt.Ip4.to_int64 rule.dst_prefix.Netpkt.Ip4.addr);
-                  prefix_len = rule.dst_prefix.Netpkt.Ip4.len;
-                };
-              proto_pattern;
-            ];
-          action = "set_path";
-          args =
-            [
-              Bitval.of_int ~width:16 rule.path_id;
-              Bitval.of_int ~width:16 rule.tenant;
-            ];
-        })
-    rules;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun rule ->
+            let proto_pattern =
+              match rule.proto with
+              | Some p ->
+                  Table.M_ternary
+                    {
+                      value = Bitval.of_int ~width:8 p;
+                      mask = Bitval.max_value 8;
+                    }
+              | None -> Table.M_any
+            in
+            {
+              Table.priority = (match rule.proto with Some _ -> 1 | None -> 0);
+              patterns =
+                [
+                  Table.M_lpm
+                    {
+                      value =
+                        Bitval.make ~width:32
+                          (Netpkt.Ip4.to_int64 rule.dst_prefix.Netpkt.Ip4.addr);
+                      prefix_len = rule.dst_prefix.Netpkt.Ip4.len;
+                    };
+                  proto_pattern;
+                ];
+              action = "set_path";
+              args =
+                [
+                  Bitval.of_int ~width:16 rule.path_id;
+                  Bitval.of_int ~width:16 rule.tenant;
+                ];
+            })
+          rules))
 
 let create rules () =
-  Nf.make ~name ~description:"SFC traffic classifier (pushes the SFC header)"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table rules ]
-    ~body:[ P4ir.Control.Apply table_name ]
-    ~gate:Nf.On_missing_sfc ()
+  Result.map
+    (fun table ->
+      Nf.make ~name
+        ~description:"SFC traffic classifier (pushes the SFC header)"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply table_name ]
+        ~gate:Nf.On_missing_sfc ())
+    (make_table rules)
 
 type ref_input = { dst : Netpkt.Ip4.t; proto : int; ingress_port : int }
 

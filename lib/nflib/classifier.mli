@@ -12,7 +12,7 @@ type rule = {
 }
 
 val name : string
-val create : rule list -> unit -> Dejavu_core.Nf.t
+val create : rule list -> unit -> (Dejavu_core.Nf.t, string) result
 val table_name : string
 val nf_id : int
 (** The id written into the CPU-reason context when traffic is

@@ -78,14 +78,17 @@ let parser_with_meta () =
   { p with P4ir.Parser_graph.decls = p.P4ir.Parser_graph.decls @ [ meta_decl ] }
 
 let create ?(block = false) ~threshold () =
-  if threshold < 1 then invalid_arg "Ddos_sketch.create: threshold must be >= 1";
-  Nf.make ~name ~description:"count-min sketch heavy-source detector"
-    ~parser:(parser_with_meta ()) ~tables:[]
-    ~registers:
-      (List.init rows (fun i ->
-           P4ir.Register.make ~name:(row_register i) ~size:row_size ~width:32))
-    ~body:(body ~block ~threshold)
-    ()
+  if threshold < 1 then Error "Ddos_sketch.create: threshold must be >= 1"
+  else
+    Ok
+      (Nf.make ~name ~description:"count-min sketch heavy-source detector"
+         ~parser:(parser_with_meta ()) ~tables:[]
+         ~registers:
+           (List.init rows (fun i ->
+                P4ir.Register.make ~name:(row_register i) ~size:row_size
+                  ~width:32))
+         ~body:(body ~block ~threshold)
+         ())
 
 let reset compiled =
   List.iter

@@ -8,7 +8,7 @@ val name : string
 val rows : int
 val row_register : int -> string
 val meta_decl : P4ir.Hdr.decl
-val create : ?block:bool -> threshold:int -> unit -> Dejavu_core.Nf.t
+val create : ?block:bool -> threshold:int -> unit -> (Dejavu_core.Nf.t, string) result
 
 val reset : Dejavu_core.Compiler.t -> unit
 (** Clear the sketch (periodic decay from the control plane). *)

@@ -16,24 +16,28 @@ let make_table assignments =
       ~actions:[ mark_action; Action.no_op ]
       ~default:("NoAction", []) ~max_size:1024 ()
   in
-  List.iter
-    (fun (tenant, dscp) ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns = [ Table.M_exact (Bitval.of_int ~width:16 tenant) ];
-          action = "mark";
-          args = [ Bitval.of_int ~width:6 dscp ];
-        })
-    assignments;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun (tenant, dscp) ->
+            {
+              Table.priority = 0;
+              patterns = [ Table.M_exact (Bitval.of_int ~width:16 tenant) ];
+              action = "mark";
+              args = [ Bitval.of_int ~width:6 dscp ];
+            })
+          assignments))
 
 let create assignments () =
-  Nf.make ~name ~description:"per-tenant DSCP marking from SFC context"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table assignments ]
-    ~body:[ P4ir.Control.Apply table_name ]
-    ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"per-tenant DSCP marking from SFC context"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply table_name ]
+        ())
+    (make_table assignments)
 
 let reference assignments ~tenant ~dscp =
   match List.assoc_opt tenant assignments with Some d -> d | None -> dscp

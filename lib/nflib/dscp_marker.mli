@@ -5,7 +5,7 @@
 
 val name : string
 val table_name : string
-val create : (int * int) list -> unit -> Dejavu_core.Nf.t
+val create : (int * int) list -> unit -> (Dejavu_core.Nf.t, string) result
 (** [(tenant, dscp)] assignments; unknown tenants keep their marking. *)
 
 val reference : (int * int) list -> tenant:int -> dscp:int -> int

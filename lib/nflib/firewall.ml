@@ -54,30 +54,35 @@ let make_table ?(default = Permit) rules =
       ~default:((match default with Permit -> "permit" | Deny -> "deny"), [])
       ~max_size:1024 ()
   in
-  List.iter
-    (fun rule ->
-      Table.add_entry_exn table
-        {
-          Table.priority = rule.priority;
-          patterns =
-            [
-              prefix_pattern rule.src;
-              prefix_pattern rule.dst;
-              opt_exact_pattern 8 rule.proto;
-              opt_exact_pattern 16 rule.dst_port;
-            ];
-          action = (match rule.action with Permit -> "permit" | Deny -> "deny");
-          args = [];
-        })
-    rules;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun rule ->
+            {
+              Table.priority = rule.priority;
+              patterns =
+                [
+                  prefix_pattern rule.src;
+                  prefix_pattern rule.dst;
+                  opt_exact_pattern 8 rule.proto;
+                  opt_exact_pattern 16 rule.dst_port;
+                ];
+              action =
+                (match rule.action with Permit -> "permit" | Deny -> "deny");
+              args = [];
+            })
+          rules))
 
 let create ?(default = Permit) rules () =
-  Nf.make ~name ~description:"packet-filtering firewall (ternary ACL)"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table ~default rules ]
-    ~body:[ P4ir.Control.Apply table_name ]
-    ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"packet-filtering firewall (ternary ACL)"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply table_name ]
+        ())
+    (make_table ~default rules)
 
 type ref_input = {
   src : Netpkt.Ip4.t;

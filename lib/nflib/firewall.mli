@@ -15,7 +15,7 @@ type rule = {
 
 val name : string
 val table_name : string
-val create : ?default:action -> rule list -> unit -> Dejavu_core.Nf.t
+val create : ?default:action -> rule list -> unit -> (Dejavu_core.Nf.t, string) result
 
 type ref_input = {
   src : Netpkt.Ip4.t;

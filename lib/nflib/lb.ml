@@ -72,8 +72,9 @@ let parser_with_meta () =
   { p with P4ir.Parser_graph.decls = p.P4ir.Parser_graph.decls @ [ meta_decl ] }
 
 let create () =
-  Nf.make ~name ~description:"L4 load balancer (CRC32 session table)"
-    ~parser:(parser_with_meta ()) ~tables:[ make_table () ] ~body ()
+  Ok
+    (Nf.make ~name ~description:"L4 load balancer (CRC32 session table)"
+       ~parser:(parser_with_meta ()) ~tables:[ make_table () ] ~body ())
 
 let session_hash = Netpkt.Flow.hash_five_tuple
 

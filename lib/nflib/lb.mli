@@ -9,7 +9,7 @@ val nf_id : int
 val meta_decl : P4ir.Hdr.decl
 (** NF-local metadata carrying the computed session hash. *)
 
-val create : unit -> Dejavu_core.Nf.t
+val create : unit -> (Dejavu_core.Nf.t, string) result
 
 val session_hash : Netpkt.Flow.five_tuple -> int64
 (** The hash the data plane computes (identical to

@@ -33,24 +33,28 @@ let make_table selectors =
       ~actions:[ tap_action; Action.no_op ]
       ~default:("NoAction", []) ~max_size:256 ()
   in
-  List.iter
-    (fun s ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns = [ prefix_pattern s.src; prefix_pattern s.dst ];
-          action = "tap";
-          args = [];
-        })
-    selectors;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun s ->
+            {
+              Table.priority = 0;
+              patterns = [ prefix_pattern s.src; prefix_pattern s.dst ];
+              action = "tap";
+              args = [];
+            })
+          selectors))
 
 let create selectors () =
-  Nf.make ~name ~description:"monitoring tap (sets the mirror flag)"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table selectors ]
-    ~body:[ P4ir.Control.Apply table_name ]
-    ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"monitoring tap (sets the mirror flag)"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply table_name ]
+        ())
+    (make_table selectors)
 
 let reference selectors ~src ~dst =
   List.exists

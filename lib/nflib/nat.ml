@@ -17,25 +17,32 @@ let make_table bindings =
       ~actions:[ snat_action; Action.no_op ]
       ~default:("NoAction", []) ~max_size:8192 ()
   in
-  List.iter
-    (fun b ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns =
-            [ Table.M_exact (Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.internal)) ];
-          action = "snat";
-          args = [ Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.public) ];
-        })
-    bindings;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun b ->
+            {
+              Table.priority = 0;
+              patterns =
+                [
+                  Table.M_exact
+                    (Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.internal));
+                ];
+              action = "snat";
+              args = [ Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.public) ];
+            })
+          bindings))
 
 let create bindings () =
-  Nf.make ~name ~description:"static source NAT"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table bindings ]
-    ~body:[ P4ir.Control.Apply table_name ]
-    ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"static source NAT"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ]
+        ~body:[ P4ir.Control.Apply table_name ]
+        ())
+    (make_table bindings)
 
 let reference bindings src =
   match List.find_opt (fun b -> Netpkt.Ip4.equal b.internal src) bindings with

@@ -5,6 +5,6 @@ type binding = { internal : Netpkt.Ip4.t; public : Netpkt.Ip4.t }
 
 val name : string
 val table_name : string
-val create : binding list -> unit -> Dejavu_core.Nf.t
+val create : binding list -> unit -> (Dejavu_core.Nf.t, string) result
 val reference : binding list -> Netpkt.Ip4.t -> Netpkt.Ip4.t
 (** Identity for unbound sources. *)

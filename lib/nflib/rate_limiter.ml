@@ -42,17 +42,18 @@ let make_table budgets =
       ~actions:[ enforce_action; unlimited_action ]
       ~default:("unlimited", []) ~max_size:1024 ()
   in
-  List.iter
-    (fun b ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns = [ Table.M_exact (Bitval.of_int ~width:16 b.tenant) ];
-          action = "enforce";
-          args = [ Bitval.of_int ~width:32 b.limit ];
-        })
-    budgets;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun b ->
+            {
+              Table.priority = 0;
+              patterns = [ Table.M_exact (Bitval.of_int ~width:16 b.tenant) ];
+              action = "enforce";
+              args = [ Bitval.of_int ~width:32 b.limit ];
+            })
+          budgets))
 
 let parser_with_meta () =
   let p = Net_hdrs.base_parser ~name () in
@@ -72,12 +73,15 @@ let body =
   ]
 
 let create budgets () =
-  Nf.make ~name ~description:"per-tenant packet-budget rate limiter"
-    ~parser:(parser_with_meta ())
-    ~tables:[ make_table budgets ]
-    ~registers:
-      [ P4ir.Register.make ~name:register_name ~size:register_size ~width:32 ]
-    ~body ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"per-tenant packet-budget rate limiter"
+        ~parser:(parser_with_meta ())
+        ~tables:[ table ]
+        ~registers:
+          [ P4ir.Register.make ~name:register_name ~size:register_size ~width:32 ]
+        ~body ())
+    (make_table budgets)
 
 let reset_window compiled =
   Option.iter P4ir.Register.clear (Compiler.find_register compiled register_name)

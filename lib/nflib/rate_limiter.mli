@@ -11,7 +11,7 @@ val name : string
 val table_name : string
 val register_name : string
 val meta_decl : P4ir.Hdr.decl
-val create : budget list -> unit -> Dejavu_core.Nf.t
+val create : budget list -> unit -> (Dejavu_core.Nf.t, string) result
 (** Tenants without a budget are unlimited. *)
 
 val reset_window : Dejavu_core.Compiler.t -> unit

@@ -32,30 +32,31 @@ let make_table routes =
       ~actions:[ route_action; no_route_action ]
       ~default:("no_route", []) ~max_size:4096 ()
   in
-  List.iter
-    (fun r ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns =
-            [
-              Table.M_lpm
-                {
-                  value =
-                    Bitval.make ~width:32
-                      (Netpkt.Ip4.to_int64 r.prefix.Netpkt.Ip4.addr);
-                  prefix_len = r.prefix.Netpkt.Ip4.len;
-                };
-            ];
-          action = "route";
-          args =
-            [
-              Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.next_hop_mac);
-              Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.src_mac);
-            ];
-        })
-    routes;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun r ->
+            {
+              Table.priority = 0;
+              patterns =
+                [
+                  Table.M_lpm
+                    {
+                      value =
+                        Bitval.make ~width:32
+                          (Netpkt.Ip4.to_int64 r.prefix.Netpkt.Ip4.addr);
+                      prefix_len = r.prefix.Netpkt.Ip4.len;
+                    };
+                ];
+              action = "route";
+              args =
+                [
+                  Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.next_hop_mac);
+                  Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.src_mac);
+                ];
+            })
+          routes))
 
 let body =
   let open P4ir in
@@ -70,9 +71,12 @@ let body =
   ]
 
 let create routes () =
-  Nf.make ~name ~description:"IP router (LPM, MAC rewrite, TTL)"
-    ~parser:(Net_hdrs.base_parser ~name ())
-    ~tables:[ make_table routes ] ~body ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"IP router (LPM, MAC rewrite, TTL)"
+        ~parser:(Net_hdrs.base_parser ~name ())
+        ~tables:[ table ] ~body ())
+    (make_table routes)
 
 type ref_output =
   | Forward of { next_hop_mac : Netpkt.Mac.t; src_mac : Netpkt.Mac.t; ttl : int }

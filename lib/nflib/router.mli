@@ -11,7 +11,7 @@ type route = {
 
 val name : string
 val table_name : string
-val create : route list -> unit -> Dejavu_core.Nf.t
+val create : route list -> unit -> (Dejavu_core.Nf.t, string) result
 
 type ref_output =
   | Forward of { next_hop_mac : Netpkt.Mac.t; src_mac : Netpkt.Mac.t; ttl : int }

@@ -43,57 +43,67 @@ let make_tables mappings =
       ~actions:[ do_encap; Action.no_op ]
       ~default:("NoAction", []) ~max_size:1024 ()
   in
-  List.iter
-    (fun m ->
-      Table.add_entry_exn encap
-        {
-          Table.priority = 0;
-          patterns =
-            [
-              Table.M_lpm
-                {
-                  value =
-                    Bitval.make ~width:32
-                      (Netpkt.Ip4.to_int64 m.dst_prefix.Netpkt.Ip4.addr);
-                  prefix_len = m.dst_prefix.Netpkt.Ip4.len;
-                };
-            ];
-          action = "do_encap";
-          args =
-            [ Bitval.of_int ~width:12 m.vid; Bitval.of_int ~width:16 m.tenant ];
-        })
-    mappings;
+  let ( let* ) = Result.bind in
+  let* () =
+    Table.add_entries encap
+      (List.map
+         (fun m ->
+           {
+             Table.priority = 0;
+             patterns =
+               [
+                 Table.M_lpm
+                   {
+                     value =
+                       Bitval.make ~width:32
+                         (Netpkt.Ip4.to_int64 m.dst_prefix.Netpkt.Ip4.addr);
+                     prefix_len = m.dst_prefix.Netpkt.Ip4.len;
+                   };
+               ];
+             action = "do_encap";
+             args =
+               [
+                 Bitval.of_int ~width:12 m.vid; Bitval.of_int ~width:16 m.tenant;
+               ];
+           })
+         mappings)
+  in
   let decap =
     Table.make ~name:decap_table
       ~keys:[ { Table.field = Net_hdrs.vlan_vid; kind = Table.Exact; width = 12 } ]
       ~actions:[ do_decap; Action.no_op ]
       ~default:("NoAction", []) ~max_size:1024 ()
   in
-  List.iter
-    (fun m ->
-      Table.add_entry_exn decap
-        {
-          Table.priority = 0;
-          patterns = [ Table.M_exact (Bitval.of_int ~width:12 m.vid) ];
-          action = "do_decap";
-          args = [];
-        })
-    mappings;
-  [ encap; decap ]
+  let* () =
+    Table.add_entries decap
+      (List.map
+         (fun m ->
+           {
+             Table.priority = 0;
+             patterns = [ Table.M_exact (Bitval.of_int ~width:12 m.vid) ];
+             action = "do_decap";
+             args = [];
+           })
+         mappings)
+  in
+  Ok [ encap; decap ]
 
 let create mappings () =
-  Nf.make ~name
-    ~description:"virtualization gateway (overlay tag push/pop)"
-    ~parser:(Net_hdrs.base_parser ~with_vlan:true ~name ())
-    ~tables:(make_tables mappings)
-    ~body:
-      [
-        P4ir.Control.If
-          ( P4ir.Expr.Valid "vlan",
-            [ P4ir.Control.Apply decap_table ],
-            [ P4ir.Control.Apply encap_table ] );
-      ]
-    ()
+  Result.map
+    (fun tables ->
+      Nf.make ~name
+        ~description:"virtualization gateway (overlay tag push/pop)"
+        ~parser:(Net_hdrs.base_parser ~with_vlan:true ~name ())
+        ~tables
+        ~body:
+          [
+            P4ir.Control.If
+              ( P4ir.Expr.Valid "vlan",
+                [ P4ir.Control.Apply decap_table ],
+                [ P4ir.Control.Apply encap_table ] );
+          ]
+        ())
+    (make_tables mappings)
 
 type ref_effect = Encap of { vid : int; tenant : int } | Decap | Pass
 

@@ -94,31 +94,32 @@ let make_encap_table tunnels =
       ~actions:[ encap_action; Action.no_op ]
       ~default:("NoAction", []) ~max_size:1024 ()
   in
-  List.iter
-    (fun t ->
-      Table.add_entry_exn table
-        {
-          Table.priority = 0;
-          patterns =
-            [
-              Table.M_lpm
-                {
-                  value =
-                    Bitval.make ~width:32
-                      (Netpkt.Ip4.to_int64 t.dst_prefix.Netpkt.Ip4.addr);
-                  prefix_len = t.dst_prefix.Netpkt.Ip4.len;
-                };
-            ];
-          action = "tunnel_to";
-          args =
-            [
-              Bitval.of_int ~width:24 t.vni;
-              Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.local_vtep);
-              Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.remote_vtep);
-            ];
-        })
-    tunnels;
-  table
+  Result.map
+    (fun () -> table)
+    (Table.add_entries table
+       (List.map
+          (fun t ->
+            {
+              Table.priority = 0;
+              patterns =
+                [
+                  Table.M_lpm
+                    {
+                      value =
+                        Bitval.make ~width:32
+                          (Netpkt.Ip4.to_int64 t.dst_prefix.Netpkt.Ip4.addr);
+                      prefix_len = t.dst_prefix.Netpkt.Ip4.len;
+                    };
+                ];
+              action = "tunnel_to";
+              args =
+                [
+                  Bitval.of_int ~width:24 t.vni;
+                  Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.local_vtep);
+                  Bitval.make ~width:32 (Netpkt.Ip4.to_int64 t.remote_vtep);
+                ];
+            })
+          tunnels))
 
 (* After the encap action ran, the inner transport's validity must
    mirror what the packet carried before (actions cannot branch); the
@@ -152,10 +153,13 @@ let body =
   ]
 
 let create tunnels () =
-  Nf.make ~name ~description:"VXLAN tunnel gateway (full encap/decap)"
-    ~parser:(Net_hdrs.base_parser ~with_vxlan:true ~name ())
-    ~tables:[ make_encap_table tunnels ]
-    ~body ()
+  Result.map
+    (fun table ->
+      Nf.make ~name ~description:"VXLAN tunnel gateway (full encap/decap)"
+        ~parser:(Net_hdrs.base_parser ~with_vxlan:true ~name ())
+        ~tables:[ table ]
+        ~body ())
+    (make_encap_table tunnels)
 
 let reference_decap (layers : Netpkt.Pkt.t) =
   let rec strip acc = function

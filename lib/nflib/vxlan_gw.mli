@@ -18,7 +18,7 @@ type tunnel = {
 
 val name : string
 val encap_table : string
-val create : tunnel list -> unit -> Dejavu_core.Nf.t
+val create : tunnel list -> unit -> (Dejavu_core.Nf.t, string) result
 
 val reference_decap : Netpkt.Pkt.t -> Netpkt.Pkt.t
 (** Pure model of decapsulation on the layered representation: strips

@@ -18,6 +18,18 @@ let make ?(registers = []) ~name ~decls ~parser ~tables ~control ~deparse_order 
     invalid_arg (Printf.sprintf "Program.make %s: duplicate register names" name);
   { name; decls; parser; tables; registers; control; deparse_order }
 
+(* Tables and registers are the only mutable state a program owns; the
+   parser, control tree and declarations are shared structurally. A
+   reload of the copy recompiles controls against the copied state,
+   because compilation resolves tables and registers by name through
+   [table_env]/[reg_env]. *)
+let copy t =
+  {
+    t with
+    tables = List.map Table.copy t.tables;
+    registers = List.map Register.copy t.registers;
+  }
+
 let find_table t name =
   List.find_opt (fun tbl -> String.equal (Table.name tbl) name) t.tables
 

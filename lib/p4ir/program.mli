@@ -23,6 +23,13 @@ val make :
   t
 (** Raises [Invalid_argument] on duplicate table or register names. *)
 
+val copy : t -> t
+(** Deep-copy the program's mutable state — installed table entries
+    ({!Table.copy}) and register cells ({!Register.copy}) — sharing the
+    immutable parser/control structure. Loading the copy binds its
+    controls to the copied state, since compilation resolves tables and
+    registers by name. *)
+
 val table_env : t -> Control.table_env
 val reg_env : t -> Action.reg_env
 val find_table : t -> string -> Table.t option

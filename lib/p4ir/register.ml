@@ -12,15 +12,17 @@ let name t = t.name
 let size t = Array.length t.cells
 let width t = t.width
 
-let read t i =
-  if i < 0 || i >= Array.length t.cells then Bitval.zero t.width
-  else Bitval.make ~width:t.width t.cells.(i)
+let index_mask t = Array.length t.cells - 1
+
+(* Out-of-range indices wrap through [index_mask], matching the
+   hardware (cell counts are powers of two, addresses are masked).
+   Read and write must agree on this: an asymmetric pair (saturating
+   read, dropped write) makes a wrapped write invisible to its own
+   read-back. *)
+let read t i = Bitval.make ~width:t.width t.cells.(i land index_mask t)
 
 let write t i v =
-  if i >= 0 && i < Array.length t.cells then
-    t.cells.(i) <- Bitval.to_int64 (Bitval.resize v t.width)
-
-let index_mask t = Array.length t.cells - 1
+  t.cells.(i land index_mask t) <- Bitval.to_int64 (Bitval.resize v t.width)
 let clear t = Array.fill t.cells 0 (Array.length t.cells) 0L
 
 let fold f t init =
@@ -31,6 +33,7 @@ let fold f t init =
   !acc
 
 let rename t name = { t with name }
+let copy t = { t with cells = Array.copy t.cells }
 
 (* Matches Resources.sram_block_bits; kept literal to avoid a module
    cycle (Resources models tables, which use actions, which use

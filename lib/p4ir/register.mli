@@ -13,17 +13,18 @@ val size : t -> int
 val width : t -> int
 
 val read : t -> int -> Bitval.t
-(** Out-of-range indices read as zero (hardware wraps; we saturate to a
-    harmless default and mask the index in {!val-index_mask}). *)
+(** Out-of-range indices wrap: the index is AND-ed with
+    {!val-index_mask}, exactly as the hardware addresses a
+    power-of-two-sized SRAM array. *)
 
 val write : t -> int -> Bitval.t -> unit
-(** Out-of-range writes are dropped. The value is resized to the cell
-    width. *)
+(** Same wrap rule as {!read} — the two always address the same cell
+    for the same index. The value is resized to the cell width. *)
 
 val index_mask : t -> int
 (** Registers are sized to powers of two on the chip; indices are
-    masked with [size' - 1] where [size'] is [size] rounded up. Hash
-    outputs are AND-ed with this before access. *)
+    masked with [size' - 1] where [size'] is [size] rounded up. Both
+    access paths and hash outputs are AND-ed with this. *)
 
 val clear : t -> unit
 val fold : (int -> Bitval.t -> 'a -> 'a) -> t -> 'a -> 'a
@@ -31,6 +32,11 @@ val fold : (int -> Bitval.t -> 'a -> 'a) -> t -> 'a -> 'a
 
 val rename : t -> string -> t
 (** Same backing cells under a new name (used by composition). *)
+
+val copy : t -> t
+(** A deep copy: same name and width, private cell array initialized to
+    the current contents. Used by {!Asic.Chip.replicate} to give each
+    domain its own register state. *)
 
 val sram_blocks : t -> int
 (** SRAM demand: cells x width over the block size, at least 1. *)

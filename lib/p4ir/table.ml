@@ -319,6 +319,29 @@ let add_entry t entry =
 let add_entry_exn t entry =
   match add_entry t entry with Ok () -> () | Error e -> invalid_arg e
 
+let add_entries t entries =
+  List.fold_left
+    (fun acc e -> Result.bind acc (fun () -> add_entry t e))
+    (Ok ()) entries
+
+(* A deep copy re-installs the source's entries, in insertion order,
+   into a fresh store: sequence numbers (the lookup tie-break) are
+   reproduced exactly, so the copy resolves every lookup the way the
+   original does. Re-adding cannot fail — the entries already passed
+   this table definition's validation once. *)
+let copy t =
+  let c =
+    make ~name:t.name ~keys:t.keys ~actions:t.actions ~default:t.default
+      ~max_size:t.max_size ()
+  in
+  List.iter
+    (fun e ->
+      match add_entry c e with
+      | Ok () -> ()
+      | Error msg -> invalid_arg (Printf.sprintf "Table.copy %s: %s" t.name msg))
+    (entries t);
+  c
+
 let clear t =
   t.store.rev_entries <- [];
   t.store.rev_seqs <- [];
@@ -566,6 +589,27 @@ let reset_stats t =
 
 let entry_hits t =
   List.rev_map (fun ie -> (ie.e, ie.ehits)) t.store.index.rev_all
+
+(* Fold a replica's tallies into this table's (both must have stats
+   enabled, else no-op). Per-entry hits are matched by sequence number —
+   a replica made with {!copy} reproduces them — so entries the replica
+   installed after the copy (absent here) are simply skipped. *)
+let merge_stats_from t ~src =
+  match (t.store.stats, src.store.stats) with
+  | Some d, Some s ->
+      d.hits <- d.hits + s.hits;
+      d.misses <- d.misses + s.misses;
+      let by_seq = Hashtbl.create 16 in
+      List.iter
+        (fun ie -> Hashtbl.replace by_seq ie.seq ie)
+        t.store.index.rev_all;
+      List.iter
+        (fun sie ->
+          match Hashtbl.find_opt by_seq sie.seq with
+          | Some ie -> ie.ehits <- ie.ehits + sie.ehits
+          | None -> ())
+        src.store.index.rev_all
+  | None, _ | _, None -> ()
 
 let key_bits t = List.fold_left (fun acc k -> acc + k.width) 0 t.keys
 

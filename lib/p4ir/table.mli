@@ -44,12 +44,33 @@ val rename : t -> string -> t
 
 val find_action : t -> string -> Action.t option
 
+(** {2 Entry installation}
+
+    The convention throughout the tree: library code, NF constructors,
+    control-plane handlers and CLI/bench front-ends install entries with
+    the result-returning {!add_entry} (or {!add_entries}) and propagate
+    the error — an install that fails on capacity or a malformed pattern
+    is an operational condition, not a programming bug. {!add_entry_exn}
+    is for tests and throwaway scripts, where an [Invalid_argument] with
+    the same message is the most useful outcome. *)
+
 val add_entry : t -> entry -> (unit, string) result
 (** Validates pattern arity against keys, pattern kind against match kind,
     action existence and argument arity, and capacity. *)
 
+val add_entries : t -> entry list -> (unit, string) result
+(** {!add_entry} in order, stopping at the first error. *)
+
 val add_entry_exn : t -> entry -> unit
+(** {!add_entry}, raising [Invalid_argument] on error — test code only
+    (see the convention above). *)
+
 val clear : t -> unit
+
+val copy : t -> t
+(** A deep copy: same definition, fresh store holding the source's
+    current entries with their sequence numbers (lookup tie-breaks)
+    reproduced. Stats start disabled. Used by {!Asic.Chip.replicate}. *)
 
 val matches : entry -> Bitval.t list -> bool
 (** Does the entry match these key values? (Exposed for testing.) *)
@@ -100,6 +121,12 @@ val reset_stats : t -> unit
 val entry_hits : t -> (entry * int) list
 (** Installed entries with their hit counts, insertion order. All zero
     when stats were never enabled. *)
+
+val merge_stats_from : t -> src:t -> unit
+(** Add [src]'s hit/miss tallies (and per-entry hits, matched by
+    sequence number) into this table's. No-op unless both tables have
+    stats enabled. Used to fold a {!copy}-based replica's telemetry back
+    into the original after a parallel run. *)
 
 val key_bits : t -> int
 (** Total match key width in bits. *)

@@ -35,6 +35,19 @@ let find_counter t name =
 let find_histogram t name =
   match Hashtbl.find_opt t.items name with Some (H h) -> Some h | _ -> None
 
+(* Fold [src] into [into]: counters add, histograms merge bucket-wise.
+   Iterating src in registration order keeps the merged registry's
+   display order sensible when [into] sees a name for the first time. *)
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find src.items name with
+      | C r ->
+          let d = counter into name in
+          d := !d + !r
+      | H h -> Histogram.merge_into ~dst:(histogram into name) h)
+    (List.rev src.rev_order)
+
 let reset t =
   Hashtbl.iter
     (fun _ item ->

@@ -20,6 +20,12 @@ val find_histogram : t -> string -> Histogram.t option
 val reset : t -> unit
 (** Zero every counter and histogram (registrations survive). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src] into [into]: counters are summed,
+    histograms added bucket-wise (count and sum included). Names absent
+    from [into] are created. [src] is not modified. This is how
+    per-domain registries from a parallel run collapse into one. *)
+
 (** {2 Snapshots} *)
 
 type value =

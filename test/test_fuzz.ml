@@ -17,7 +17,8 @@ let acc_field = Sfc_header.ctx_val 1
 
 (* acc <- acc * 7 + tag, in 16 bits. *)
 let stamp_nf ~name ~tag () =
-  Nf.make ~name
+  Ok
+    (Nf.make ~name
     ~description:(Printf.sprintf "synthetic stamp NF (tag %d)" tag)
     ~parser:(Net_hdrs.base_parser ~name ())
     ~tables:[]
@@ -34,20 +35,21 @@ let stamp_nf ~name ~tag () =
                       const ~width:16 tag )) );
           ];
       ]
-    ()
+    ())
 
 (* Copies the accumulator into eth.src so the assertion survives the
    SFC strip on the exit pass. *)
 let probe_nf () =
-  Nf.make ~name:"probe" ~description:"copies the accumulator into eth.src"
-    ~parser:(Net_hdrs.base_parser ~name:"probe" ())
-    ~tables:[]
-    ~body:
-      [
-        P4ir.Control.Run
-          [ P4ir.Action.Assign (Net_hdrs.eth_src, P4ir.Expr.Field acc_field) ];
-      ]
-    ()
+  Ok
+    (Nf.make ~name:"probe" ~description:"copies the accumulator into eth.src"
+       ~parser:(Net_hdrs.base_parser ~name:"probe" ())
+       ~tables:[]
+       ~body:
+         [
+           P4ir.Control.Run
+             [ P4ir.Action.Assign (Net_hdrs.eth_src, P4ir.Expr.Field acc_field) ];
+         ]
+       ())
 
 let expected_signature tags =
   List.fold_left (fun acc tag -> ((acc * 7) + tag) land 0xFFFF) 0 tags

@@ -365,7 +365,7 @@ let test_cpu_resume_with_lb_on_far_egress () =
       with
       | Ok o ->
           check Alcotest.int "one CPU round trip" 1
-            o.Ptf.runtime.Runtime.cpu_round_trips
+            o.Ptf.runtime.Runtime.counters.Runtime.Counters.cpu_round_trips
       | Error e -> Alcotest.fail e)
 
 let test_loopback_ports_refuse_traffic () =

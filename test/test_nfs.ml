@@ -68,7 +68,7 @@ let classifier_rules =
 let prop_classifier_differential =
   QCheck.Test.make ~name:"classifier vs reference" ~count:300 QCheck.unit
     (fun () ->
-      let nf = Classifier.create classifier_rules () in
+      let nf = Result.get_ok (Classifier.create classifier_rules ()) in
       let dst =
         match Random.State.int st 4 with
         | 0 -> random_ip_in (pfx "10.0.0.0/16")
@@ -101,7 +101,7 @@ let prop_classifier_differential =
       | None, _ -> false)
 
 let test_classifier_pushes_header () =
-  let nf = Classifier.create classifier_rules () in
+  let nf = Result.get_ok (Classifier.create classifier_rules ()) in
   let tuple =
     { Netpkt.Flow.src = ip "1.2.3.4"; dst = ip "10.0.1.9";
       proto = Netpkt.Ipv4.proto_tcp; src_port = 5; dst_port = 6 }
@@ -129,7 +129,7 @@ let fw_rules =
 let prop_firewall_differential =
   QCheck.Test.make ~name:"firewall vs reference" ~count:300 QCheck.unit
     (fun () ->
-      let nf = Firewall.create fw_rules () in
+      let nf = Result.get_ok (Firewall.create fw_rules ()) in
       let src =
         if Random.State.bool st then random_ip_in (pfx "198.51.100.0/24")
         else Netpkt.Ip4.random st
@@ -153,7 +153,7 @@ let prop_firewall_differential =
 
 let test_firewall_priority_permit_overrides () =
   (* The /25 permit at priority 20 shadows the /24 deny at 10. *)
-  let nf = Firewall.create fw_rules () in
+  let nf = Result.get_ok (Firewall.create fw_rules ()) in
   let tuple =
     { Netpkt.Flow.src = ip "198.51.100.200"; dst = ip "8.8.8.8";
       proto = Netpkt.Ipv4.proto_tcp; src_port = 1; dst_port = 80 }
@@ -172,7 +172,7 @@ let vgw_maps =
 
 let prop_vgw_differential =
   QCheck.Test.make ~name:"vgw vs reference" ~count:300 QCheck.unit (fun () ->
-      let nf = Vgw.create vgw_maps () in
+      let nf = Result.get_ok (Vgw.create vgw_maps ()) in
       let dst =
         if Random.State.bool st then random_ip_in (pfx "10.0.0.0/16")
         else Netpkt.Ip4.random st
@@ -192,7 +192,7 @@ let prop_vgw_differential =
       | Vgw.Decap -> false)
 
 let test_vgw_decap () =
-  let nf = Vgw.create vgw_maps () in
+  let nf = Result.get_ok (Vgw.create vgw_maps ()) in
   (* A tagged packet arriving: eth/vlan/ipv4. *)
   let pkt =
     [
@@ -208,7 +208,7 @@ let test_vgw_decap () =
   check Alcotest.bool "vlan stripped" false (P4ir.Phv.is_valid phv "vlan")
 
 let test_vgw_unknown_vid_passes () =
-  let nf = Vgw.create vgw_maps () in
+  let nf = Result.get_ok (Vgw.create vgw_maps ()) in
   let pkt =
     [
       Netpkt.Pkt.Eth (Netpkt.Eth.make ~dst:(mac "02:00:00:00:00:02") Netpkt.Eth.ethertype_vlan);
@@ -226,7 +226,7 @@ let test_vgw_unknown_vid_passes () =
 
 let prop_lb_differential =
   QCheck.Test.make ~name:"lb vs reference" ~count:200 QCheck.unit (fun () ->
-      let nf = Lb.create () in
+      let nf = Result.get_ok (Lb.create ()) in
       let table = Option.get (Nf.find_table nf Lb.table_name) in
       let sessions =
         List.init 8 (fun _ ->
@@ -253,7 +253,7 @@ let prop_lb_differential =
       | `To_cpu -> P4ir.Phv.get_int phv Sfc_header.to_cpu_flag = 1)
 
 let test_lb_udp_flows_hash () =
-  let nf = Lb.create () in
+  let nf = Result.get_ok (Lb.create ()) in
   let table = Option.get (Nf.find_table nf Lb.table_name) in
   let tuple =
     { Netpkt.Flow.src = ip "1.1.1.1"; dst = ip "2.2.2.2";
@@ -284,7 +284,7 @@ let routes =
 
 let prop_router_differential =
   QCheck.Test.make ~name:"router vs reference" ~count:300 QCheck.unit (fun () ->
-      let nf = Router.create routes () in
+      let nf = Result.get_ok (Router.create routes ()) in
       let dst =
         if Random.State.bool st then random_ip_in (pfx "10.0.0.0/8")
         else Netpkt.Ip4.random st
@@ -314,7 +314,7 @@ let prop_router_differential =
           P4ir.Phv.get_int phv Sfc_header.drop_flag = 1)
 
 let test_router_longest_prefix () =
-  let nf = Router.create routes () in
+  let nf = Result.get_ok (Router.create routes ()) in
   let tuple =
     { Netpkt.Flow.src = ip "1.1.1.1"; dst = ip "10.1.2.3";
       proto = Netpkt.Ipv4.proto_tcp; src_port = 1; dst_port = 2 }
@@ -332,7 +332,7 @@ let nat_bindings =
 
 let prop_nat_differential =
   QCheck.Test.make ~name:"nat vs reference" ~count:200 QCheck.unit (fun () ->
-      let nf = Nat.create nat_bindings () in
+      let nf = Result.get_ok (Nat.create nat_bindings ()) in
       let src =
         if Random.State.bool st then ip "192.168.0.10" else Netpkt.Ip4.random st
       in
@@ -348,7 +348,7 @@ let prop_nat_differential =
         (Nat.reference nat_bindings src))
 
 let test_dscp_marker_uses_context () =
-  let nf = Dscp_marker.create [ (1, 46); (2, 26) ] () in
+  let nf = Result.get_ok (Dscp_marker.create [ (1, 46); (2, 26) ] ()) in
   let tuple =
     { Netpkt.Flow.src = ip "1.1.1.1"; dst = ip "2.2.2.2";
       proto = Netpkt.Ipv4.proto_tcp; src_port = 1; dst_port = 2 }
@@ -364,7 +364,7 @@ let test_dscp_marker_uses_context () =
 
 let test_mirror_tap () =
   let selectors = [ { Mirror_tap.src = None; dst = Some (pfx "10.0.4.0/24") } ] in
-  let nf = Mirror_tap.create selectors () in
+  let nf = Result.get_ok (Mirror_tap.create selectors ()) in
   let run dst =
     let tuple =
       { Netpkt.Flow.src = ip "1.1.1.1"; dst; proto = Netpkt.Ipv4.proto_tcp;

@@ -94,10 +94,10 @@ let test_lb_session_stickiness () =
   let rt = runtime () in
   let first = Result.get_ok (Ptf.send rt ~in_port:0 (vip_pkt ~src_port:7777)) in
   check Alcotest.int "first packet consults the CPU" 1
-    first.Ptf.runtime.Runtime.cpu_round_trips;
+    first.Ptf.runtime.Runtime.counters.Runtime.Counters.cpu_round_trips;
   let second = Result.get_ok (Ptf.send rt ~in_port:0 (vip_pkt ~src_port:7777)) in
   check Alcotest.int "second packet hits the session" 0
-    second.Ptf.runtime.Runtime.cpu_round_trips;
+    second.Ptf.runtime.Runtime.counters.Runtime.Counters.cpu_round_trips;
   check Alcotest.bool "same backend both times" true
     (Netpkt.Ip4.equal (backend_of first) (backend_of second));
   check Alcotest.bool "backend from the pool" true
@@ -182,14 +182,15 @@ let test_batch_deterministic () =
   check Alcotest.bool "batch stats identical across runs" true (s1 = s2);
   check Alcotest.int "all packets emitted" 48 s1.Runtime.emitted;
   check Alcotest.bool "LB flows consulted the CPU" true
-    (s1.Runtime.cpu_round_trips > 0)
+    (s1.Runtime.counters.Runtime.Counters.cpu_round_trips > 0)
 
 let test_batch_fast_matches_reference () =
   (* The compiled fast data plane and the interpretive reference must
      produce byte-identical outputs and identical counters. *)
   let run mode =
     let rt = runtime () in
-    Asic.Chip.set_exec_mode (Runtime.chip rt) mode;
+    Runtime.configure rt
+      { (Runtime.engine rt) with Runtime.Engine.exec_mode = mode };
     Runtime.process_batch rt (mixed_workload 48)
   in
   let fast = run Asic.Chip.Fast and reference = run Asic.Chip.Reference in

@@ -17,11 +17,27 @@ let test_register_basics () =
   check Alcotest.int "write truncates to cell width" 0xFFFF
     (P4ir.Bitval.to_int (P4ir.Register.read r 5));
   check Alcotest.int "other cells zero" 0 (P4ir.Bitval.to_int (P4ir.Register.read r 6));
-  P4ir.Register.write r 4096 (P4ir.Bitval.of_int ~width:16 1);
-  check Alcotest.int "out-of-range write dropped" 0
-    (P4ir.Bitval.to_int (P4ir.Register.read r 4096));
   P4ir.Register.clear r;
   check Alcotest.int "clear" 0 (P4ir.Bitval.to_int (P4ir.Register.read r 5))
+
+(* Out-of-range indices wrap through the index mask on BOTH write and
+   read — as the hardware's address decode would — so a write through a
+   too-wide index lands in the aliased cell instead of vanishing. *)
+let test_register_index_wrap () =
+  let r = P4ir.Register.make ~name:"r" ~size:100 ~width:16 in
+  (* size rounds up to 128, so 4096 aliases cell 0 and 130 aliases 2. *)
+  P4ir.Register.write r 4096 (P4ir.Bitval.of_int ~width:16 7);
+  check Alcotest.int "write wraps into the aliased cell" 7
+    (P4ir.Bitval.to_int (P4ir.Register.read r 0));
+  check Alcotest.int "read wraps identically" 7
+    (P4ir.Bitval.to_int (P4ir.Register.read r 4096));
+  P4ir.Register.write r 2 (P4ir.Bitval.of_int ~width:16 9);
+  check Alcotest.int "read of 130 aliases cell 2" 9
+    (P4ir.Bitval.to_int (P4ir.Register.read r 130));
+  (* Negative indices take their low bits, like any other index. *)
+  P4ir.Register.write r (-1) (P4ir.Bitval.of_int ~width:16 3);
+  check Alcotest.int "negative index wraps to the last cell" 3
+    (P4ir.Bitval.to_int (P4ir.Register.read r 127))
 
 let test_register_fold () =
   let r = P4ir.Register.make ~name:"r" ~size:8 ~width:8 in
@@ -124,7 +140,7 @@ let run_rl nf phv =
   P4ir.Control.exec ~regs (Nf.table_env nf) (Nf.control nf) phv
 
 let test_rate_limiter_differential () =
-  let nf = Rate_limiter.create budgets () in
+  let nf = Result.get_ok (Rate_limiter.create budgets ()) in
   let counts = Hashtbl.create 4 in
   (* Interleave two tenants: 5 is limited to 4/window, 9 is unlimited. *)
   List.iter
@@ -139,7 +155,7 @@ let test_rate_limiter_differential () =
     [ 5; 5; 9; 5; 5; 9; 5; 5; 5; 9; 5 ]
 
 let test_rate_limiter_window_reset () =
-  let nf = Rate_limiter.create budgets () in
+  let nf = Result.get_ok (Rate_limiter.create budgets ()) in
   let send () =
     let phv = rl_phv nf 5 in
     run_rl nf phv;
@@ -181,7 +197,7 @@ let run_sketch nf phv =
 
 let test_sketch_flags_heavy_source () =
   let threshold = 5 in
-  let nf = Ddos_sketch.create ~threshold () in
+  let nf = Result.get_ok (Ddos_sketch.create ~threshold ()) in
   let heavy = Netpkt.Ip4.of_string_exn "198.51.100.66" in
   let flagged = ref 0 in
   for i = 1 to 10 do
@@ -196,7 +212,7 @@ let test_sketch_flags_heavy_source () =
   check Alcotest.int "flagged from the threshold-th packet on" 6 !flagged
 
 let test_sketch_block_mode_drops () =
-  let nf = Ddos_sketch.create ~block:true ~threshold:3 () in
+  let nf = Result.get_ok (Ddos_sketch.create ~block:true ~threshold:3 ()) in
   let heavy = Netpkt.Ip4.of_string_exn "198.51.100.66" in
   let dropped = ref 0 in
   for _ = 1 to 5 do
@@ -210,7 +226,7 @@ let prop_sketch_never_underestimates =
   QCheck.Test.make ~name:"count-min never underestimates" ~count:20
     QCheck.(int_range 1 50)
     (fun n_sources ->
-      let nf = Ddos_sketch.create ~threshold:1_000_000 () in
+      let nf = Result.get_ok (Ddos_sketch.create ~threshold:1_000_000 ()) in
       let st = Random.State.make [| n_sources |] in
       let sources =
         List.init n_sources (fun _ -> Netpkt.Ip4.random st)
@@ -325,6 +341,7 @@ let () =
       ( "register",
         [
           Alcotest.test_case "basics" `Quick test_register_basics;
+          Alcotest.test_case "index wrap" `Quick test_register_index_wrap;
           Alcotest.test_case "fold" `Quick test_register_fold;
           qtest prop_register_rw;
           Alcotest.test_case "action prims" `Quick test_action_register_prims;

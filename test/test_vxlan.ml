@@ -50,7 +50,7 @@ let encapsulated_pkt () =
          ~dst_port:inner_tuple.Netpkt.Flow.dst_port ());
   ]
 
-let nf () = Nflib.Vxlan_gw.create tunnels ()
+let nf () = Result.get_ok (Nflib.Vxlan_gw.create tunnels ())
 
 let run_nf nf_inst phv =
   P4ir.Control.exec (Nf.table_env nf_inst) (Nf.control nf_inst) phv
