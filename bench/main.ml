@@ -513,6 +513,13 @@ let telemetry = ref false
    sequential run enforced (CI runs --smoke --domains 2). *)
 let bench_domains = ref 1
 
+(* --cache adds the exact-match flow-cache section to the runtime
+   benchmark: Zipf-skewed flow mixes through the uncached fast path and
+   through Engine.Emc, gated on byte-identical outputs, with hit rate
+   and ns/pkt per mix recorded in BENCH_runtime.json (CI runs
+   --smoke --cache). *)
+let bench_cache = ref false
+
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
   let anneal_iterations = if !smoke then 400 else 4000 in
@@ -1026,15 +1033,28 @@ let bench_runtime () =
       in
       List.map
         (fun d ->
+          (* Timed runs use exactly the sequential discipline: a fresh
+             compile + FIB each run, no per-packet callback inside the
+             clocked region, min of [runs]. (The old code timed a single
+             run with the signature collector live, which made domains:1
+             spuriously incomparable with the sequential row.) *)
+          let dt =
+            List.fold_left
+              (fun acc _ ->
+                let rt = fresh_runtime ~domains:d in
+                let t0 = Unix.gettimeofday () in
+                ignore (Runtime.process_batch_parallel rt workload);
+                min acc (Unix.gettimeofday () -. t0))
+              infinity (List.init runs Fun.id)
+          in
+          (* Equivalence is checked on a separate, untimed run. *)
           let rt = fresh_runtime ~domains:d in
           let sigs = Array.make npkts "" in
-          let t0 = Unix.gettimeofday () in
           let stats =
             Runtime.process_batch_parallel
               ~each:(fun i r -> sigs.(i) <- signature_of r)
               rt workload
           in
-          let dt = Unix.gettimeofday () -. t0 in
           let c = stats.Runtime.counters in
           let same =
             stats.Runtime.emitted = seq.Runtime.emitted
@@ -1073,9 +1093,174 @@ let bench_runtime () =
     Format.printf "ERROR: sharded runs diverge from the sequential data plane!@.";
     exit 1
   end;
-  (* --telemetry and --domains keep the JSON even under --smoke: the
-     overhead / scaling numbers are the point and CI archives the file. *)
-  if !smoke && not !telemetry && !bench_domains <= 1 then
+  (* domains:1 is process_batch by construction, so under the unified
+     timing discipline its wall time must track the sequential fast row.
+     A >10% gap either way means the harness is measuring two different
+     things again — fail loudly rather than publish inconsistent
+     numbers. (Skipped under --smoke: 200-packet timings are too noisy
+     to hold a 10% band.) *)
+  (match List.find_opt (fun (d, _, _) -> d = 1) parallel_results with
+  | Some (_, d1_s, _) when not !smoke ->
+      let drift = abs_float (d1_s -. fast_s) /. fast_s in
+      Format.printf
+        "domains:1 vs sequential fast: %.2fms vs %.2fms (drift %.1f%%)@."
+        (d1_s *. 1000.0) (fast_s *. 1000.0) (100.0 *. drift);
+      if drift > 0.10 then begin
+        Format.printf
+          "ERROR: domains:1 diverges from the sequential fast path by more \
+           than 10%% - timing disciplines are inconsistent!@.";
+        exit 1
+      end
+  | _ -> ());
+  (* --cache: Zipf-skewed flow mixes through the uncached fast path vs
+     Engine.Emc. Each flow's first packet misses (and fills the cache);
+     every later packet of a cached flow replays the memoized verdict.
+     The workload is green-path traffic (classifier-router, no recircs,
+     no CPU), i.e. the chain shape the EMC is built for; skew decides
+     how much of the traffic is repeat flows. Outputs are digest-gated:
+     a cached run must be byte-identical to the uncached oracle.
+
+     Steady-state discipline, symmetric for both modes: each run gets a
+     fresh compile + FIB, processes the workload once untimed (the warm
+     pass — compulsory first-packet misses are a transient), then
+     clocks a second identical pass. The reported hit rate is the timed
+     pass's, so capacity pressure (evictions under LRU when the flow
+     count outgrows the cache) shows up as a sub-100% rate. *)
+  let cache_results =
+    if not !bench_cache then []
+    else begin
+      let zipf_exponent = 1.1 in
+      let capacity = 65536 in
+      Format.printf
+        "@.exact-match flow cache (Zipf %.1f flow mixes, capacity %d):@."
+        zipf_exponent capacity;
+      Format.printf "%-10s %9s %12s %12s %9s %9s %9s@." "flows" "packets"
+        "uncached ms" "cached ms" "hit rate" "speedup" "identical";
+      (* Truncated-Zipf CDF + binary search: rank r has mass ~ r^-s. *)
+      let zipf_cdf n =
+        let cdf = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. (1.0 /. (float_of_int (i + 1) ** zipf_exponent));
+          cdf.(i) <- !acc
+        done;
+        let total = !acc in
+        Array.map (fun x -> x /. total) cdf
+      in
+      let sample st cdf =
+        let u = Random.State.float st 1.0 in
+        let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if cdf.(mid) < u then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      (* Flow rank -> a unique green-path 5-tuple (src bytes + port carry
+         the rank; dst stays inside the green /24). *)
+      let green_frame id =
+        Netpkt.Pkt.encode
+          (Netpkt.Pkt.tcp_flow ~src_mac:(mac "02:00:00:00:00:01")
+             ~dst_mac:(mac "02:00:00:00:00:02")
+             {
+               Netpkt.Flow.src =
+                 Netpkt.Ip4.of_octets 203
+                   ((id lsr 16) land 0xff)
+                   ((id lsr 8) land 0xff)
+                   (id land 0xff);
+               dst = ip (Printf.sprintf "10.0.3.%d" (1 + (id mod 200)));
+               proto = Netpkt.Ipv4.proto_tcp;
+               src_port = 1024 + (id mod 50000);
+               dst_port = 443;
+             })
+      in
+      let mixes =
+        if !smoke then [ (200, 2000) ]
+        else [ (1_000, 60_000); (100_000, 240_000); (1_000_000, 480_000) ]
+      in
+      let results =
+        List.map
+          (fun (flows, n) ->
+            let cdf = zipf_cdf flows in
+            let st = Random.State.make [| 0x5eed; flows |] in
+            let mix_workload =
+              List.init n (fun _ -> (0, green_frame (sample st cdf)))
+            in
+            let run engine =
+              let compiled =
+                match compile_prototype () with
+                | Ok c -> c
+                | Error e -> failwith e
+              in
+              let rt = Runtime.create ~engine compiled in
+              Nflib.Catalog.attach_handlers rt compiled;
+              install_fib compiled;
+              ignore (Runtime.process_batch rt mix_workload);
+              let snapshot () =
+                match Runtime.flow_cache rt with
+                | Some c ->
+                    let s = Flow_cache.stats c in
+                    (s.Flow_cache.hits, s.Flow_cache.misses)
+                | None -> (0, 0)
+              in
+              let h0, m0 = snapshot () in
+              let t0 = Unix.gettimeofday () in
+              let stats = Runtime.process_batch rt mix_workload in
+              let dt = Unix.gettimeofday () -. t0 in
+              let h1, m1 = snapshot () in
+              let hr =
+                let h = h1 - h0 and m = m1 - m0 in
+                if h + m = 0 then 0.0
+                else float_of_int h /. float_of_int (h + m)
+              in
+              (dt, stats, hr)
+            in
+            let time_min engine =
+              let results = List.init runs (fun _ -> run engine) in
+              let _, stats, hr = List.hd results in
+              ( List.fold_left (fun acc (dt, _, _) -> min acc dt) infinity
+                  results,
+                stats,
+                hr )
+            in
+            let u_s, u_stats, _ = time_min (engine_for Asic.Chip.Fast) in
+            let c_s, c_stats, hit_rate =
+              time_min
+                {
+                  (engine_for Asic.Chip.Fast) with
+                  Runtime.Engine.cache = Runtime.Engine.Emc { capacity };
+                }
+            in
+            let identical =
+              u_stats.Runtime.digest = c_stats.Runtime.digest
+              && u_stats.Runtime.emitted = c_stats.Runtime.emitted
+              && u_stats.Runtime.dropped = c_stats.Runtime.dropped
+              && u_stats.Runtime.to_cpu = c_stats.Runtime.to_cpu
+              && u_stats.Runtime.errors = c_stats.Runtime.errors
+            in
+            let speedup = if c_s > 0.0 then u_s /. c_s else 0.0 in
+            Format.printf "%-10d %9d %12.2f %12.2f %8.1f%% %8.1fx %9b@." flows
+              n (u_s *. 1000.0) (c_s *. 1000.0) (100.0 *. hit_rate) speedup
+              identical;
+            if not identical then begin
+              Format.printf
+                "ERROR: cached outputs diverge from the uncached fast path!@.";
+              exit 1
+            end;
+            (flows, n, u_s, c_s, hit_rate, speedup, identical))
+          mixes
+      in
+      Format.printf
+        "(every cached run digest-matched its uncached oracle; both modes \
+         run an untimed warm pass first and clock the second pass, so the \
+         hit rate is the steady state's)@.";
+      results
+    end
+  in
+  (* --telemetry / --domains / --cache keep the JSON even under --smoke:
+     the overhead / scaling numbers are the point and CI archives the
+     file. *)
+  if !smoke && (not !telemetry) && !bench_domains <= 1 && not !bench_cache then
     Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
   else begin
     let overhead_json =
@@ -1105,6 +1290,36 @@ let bench_runtime () =
           Printf.sprintf "  \"parallel\": [\n%s\n  ],\n"
             (String.concat ",\n" rows)
     in
+    let cache_json =
+      match cache_results with
+      | [] -> ""
+      | results ->
+          let rows =
+            List.map
+              (fun (flows, n, u_s, c_s, hit_rate, speedup, identical) ->
+                Printf.sprintf
+                  "    { \"flows\": %d, \"packets\": %d,\n\
+                  \      \"uncached\": { \"wall_s\": %.6f, \"pkts_per_sec\": \
+                   %.0f, \"ns_per_pkt\": %.1f },\n\
+                  \      \"cached\": { \"wall_s\": %.6f, \"pkts_per_sec\": \
+                   %.0f, \"ns_per_pkt\": %.1f },\n\
+                  \      \"hit_rate\": %.4f, \"speedup\": %.2f, \
+                   \"identical\": %b }"
+                  flows n u_s
+                  (float_of_int n /. u_s)
+                  (u_s *. 1e9 /. float_of_int n)
+                  c_s
+                  (float_of_int n /. c_s)
+                  (c_s *. 1e9 /. float_of_int n)
+                  hit_rate speedup identical)
+              results
+          in
+          Printf.sprintf
+            "  \"cache\": { \"zipf\": 1.1, \"capacity\": 65536, \"mixes\": [\n\
+             %s\n\
+            \  ] },\n"
+            (String.concat ",\n" rows)
+    in
     let oc = open_out "BENCH_runtime.json" in
     Printf.fprintf oc
       "{\n\
@@ -1125,7 +1340,8 @@ let bench_runtime () =
       \              \"digest\": \"%Lx\" }\n\
        }\n"
       npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
-      ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json parallel_json speedup
+      ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json
+      (parallel_json ^ cache_json) speedup
       identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
       fast.Runtime.to_cpu fast.Runtime.errors
       fast_c.Runtime.Counters.cpu_round_trips fast_c.Runtime.Counters.recircs
@@ -1174,6 +1390,9 @@ let () =
         strip_flags acc rest
     | "--telemetry" :: rest ->
         telemetry := true;
+        strip_flags acc rest
+    | "--cache" :: rest ->
+        bench_cache := true;
         strip_flags acc rest
     | "--domains" :: n :: rest ->
         (match int_of_string_opt n with

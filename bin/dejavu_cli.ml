@@ -4,7 +4,7 @@
 
      dejavu compile [--strategy greedy] [--extended]
      dejavu send --dst 10.0.1.10 [--src ...] [--trace]
-     dejavu run [--packets 200] [--domains 4]
+     dejavu run [--packets 200] [--domains 4] [--cache [--cache-capacity N]]
      dejavu programs [--pipelet "ingress 0"]
      dejavu report
      dejavu strategies
@@ -345,6 +345,42 @@ let packets_arg =
     & info [ "packets" ] ~docv:"N"
         ~doc:"Packets in the mixed green/orange/red workload.")
 
+let cache_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Enable the per-shard exact-match flow cache (whole-chain verdict \
+           memoization).")
+
+let cache_capacity_arg =
+  Cmdliner.Arg.(
+    value & opt int 65536
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Flow-cache capacity in entries (with --cache).")
+
+let engine_of ~domains ~cache ~cache_capacity =
+  {
+    Runtime.Engine.default with
+    Runtime.Engine.domains;
+    cache =
+      (if cache then Runtime.Engine.Emc { capacity = cache_capacity }
+       else Runtime.Engine.Off);
+  }
+
+let print_cache_stats rt =
+  match Runtime.flow_cache rt with
+  | None -> ()
+  | Some c ->
+      let s = Flow_cache.stats c in
+      Format.printf
+        "cache: hits=%d misses=%d hit-rate=%.1f%% inserts=%d evictions=%d \
+         stale=%d uncacheable=%d entries=%d/%d@."
+        s.Flow_cache.hits s.Flow_cache.misses
+        (100.0 *. Flow_cache.hit_rate c)
+        s.Flow_cache.inserts s.Flow_cache.evictions s.Flow_cache.stale
+        s.Flow_cache.uncacheable (Flow_cache.length c) (Flow_cache.capacity c)
+
 (* --- run ------------------------------------------------------------ *)
 
 let run_cmd =
@@ -356,11 +392,11 @@ let run_cmd =
             "Worker domains for the sharded data plane (1 = sequential \
              in-place execution).")
   in
-  let run strategy extended packets domains =
+  let run strategy extended packets domains cache cache_capacity =
     let compiled = or_die (compile ~strategy ~extended) in
     let rt =
       Runtime.create
-        ~engine:{ Runtime.Engine.default with Runtime.Engine.domains }
+        ~engine:(engine_of ~domains ~cache ~cache_capacity)
         compiled
     in
     Nflib.Catalog.attach_handlers rt compiled;
@@ -379,7 +415,8 @@ let run_cmd =
     Format.printf
       "cpu-round-trips=%d recirculations=%d resubmissions=%d digest=%08Lx@."
       c.Runtime.Counters.cpu_round_trips c.Runtime.Counters.recircs
-      c.Runtime.Counters.resubmits stats.Runtime.digest
+      c.Runtime.Counters.resubmits stats.Runtime.digest;
+    print_cache_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run"
@@ -387,7 +424,8 @@ let run_cmd =
          "Push the sample workload through the deployment, optionally \
           sharded over several domains.")
     Cmdliner.Term.(
-      const run $ strategy_arg $ extended_arg $ packets_arg $ domains_arg)
+      const run $ strategy_arg $ extended_arg $ packets_arg $ domains_arg
+      $ cache_arg $ cache_capacity_arg)
 
 (* --- stats ---------------------------------------------------------- *)
 
@@ -423,9 +461,14 @@ let stats_cmd =
       value & flag
       & info [ "entries" ] ~doc:"Also print per-entry hit counts (hit > 0).")
   in
-  let run strategy extended packets level json n_journeys entries =
+  let run strategy extended packets level json n_journeys entries cache
+      cache_capacity =
     let compiled = or_die (compile ~strategy ~extended) in
-    let rt = Runtime.create compiled in
+    let rt =
+      Runtime.create
+        ~engine:(engine_of ~domains:1 ~cache ~cache_capacity)
+        compiled
+    in
     Nflib.Catalog.attach_handlers rt compiled;
     let level =
       if n_journeys > 0 then Telemetry.Level.Journeys else level
@@ -468,7 +511,8 @@ let stats_cmd =
               (Telemetry.Ring.pushed (Observe.ring o));
             List.iter (Format.printf "%a@." Telemetry.Journey.pp) js
           end
-        end
+        end;
+        print_cache_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "stats"
@@ -477,7 +521,7 @@ let stats_cmd =
           registry (and optionally the packet flight recorder).")
     Cmdliner.Term.(
       const run $ strategy_arg $ extended_arg $ packets_arg $ level_arg
-      $ json_arg $ journeys_arg $ entries_arg)
+      $ json_arg $ journeys_arg $ entries_arg $ cache_arg $ cache_capacity_arg)
 
 (* --- strategies ---------------------------------------------------- *)
 

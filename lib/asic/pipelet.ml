@@ -30,9 +30,10 @@ type t = {
   (* Pristine PHV with every parser declaration plus standard metadata
      attached; [parse] copies it instead of re-declaring per packet. *)
   template : P4ir.Phv.t;
-  (* Cached-slot instance accessor + byte size per deparse-order header,
-     so [deparse_fast] walks an array instead of hashing names. *)
-  demit : ((P4ir.Phv.t -> P4ir.Hdr.inst) * int) array;
+  (* Cached-slot instance accessor + byte size + self-checksum byte
+     offset (-1 = none) per deparse-order header, so [deparse_fast]
+     walks an array instead of hashing names. *)
+  demit : ((P4ir.Phv.t -> P4ir.Hdr.inst) * int * int) array;
   stage_alloc : (string * int) list;
 }
 
@@ -158,7 +159,11 @@ let load spec id program =
                          program.P4ir.Program.parser.P4ir.Parser_graph.decls
                      with
                      | Some d ->
-                         Some (P4ir.Phv.fast_inst name, P4ir.Hdr.byte_size d)
+                         Some
+                           ( P4ir.Phv.fast_inst name,
+                             P4ir.Hdr.byte_size d,
+                             Option.value ~default:(-1)
+                               (P4ir.Hdr.self_checksum_byte d) )
                      | None ->
                          (* Not a parsed header (e.g. metadata): resolve
                             the size per packet on the generic path. *)
@@ -240,17 +245,19 @@ let deparse_fast t phv ~payload =
   else begin
     let total = ref 0 in
     for k = 0 to n - 1 do
-      let get, size = t.demit.(k) in
+      let get, size, _ = t.demit.(k) in
       if P4ir.Hdr.is_valid (get phv) then total := !total + size
     done;
     let plen = Bytes.length payload in
     let out = Bytes.make (!total + plen) '\000' in
     let off = ref 0 in
     for k = 0 to n - 1 do
-      let get, size = t.demit.(k) in
+      let get, size, csum_byte = t.demit.(k) in
       let i = get phv in
       if P4ir.Hdr.is_valid i then begin
         P4ir.Hdr.emit i out ~bit_off:(8 * !off);
+        if csum_byte >= 0 then
+          P4ir.Parser_graph.fix_checksum out ~off:!off ~csum_byte ~size;
         off := !off + size
       end
     done;

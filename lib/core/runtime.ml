@@ -25,15 +25,19 @@ module Counters = struct
 end
 
 (* The whole runtime configuration in one record: how packets execute
-   (exec_mode), how much is observed (telemetry + ring_capacity), and
-   how batches parallelize (domains). One [configure] call replaces the
-   scattered per-knob setters. *)
+   (exec_mode), how much is observed (telemetry + ring_capacity), how
+   batches parallelize (domains), and whether the exact-match flow
+   cache fronts the pipeline (cache). One [configure] call replaces
+   the scattered per-knob setters. *)
 module Engine = struct
+  type cache = Off | Emc of { capacity : int }
+
   type t = {
     exec_mode : Asic.Chip.exec_mode;
     telemetry : Telemetry.Level.t;
     domains : int;
     ring_capacity : int;
+    cache : cache;
   }
 
   let default =
@@ -42,6 +46,7 @@ module Engine = struct
       telemetry = Telemetry.Level.Off;
       domains = 1;
       ring_capacity = Observe.default_ring_capacity;
+      cache = Off;
     }
 end
 
@@ -60,6 +65,8 @@ type obs_state = {
   c_recircs : int ref;
   c_resubmits : int ref;
   c_drop_dp : int ref;
+  c_cache_hit : int ref;
+  c_cache_miss : int ref;
   h_ns : Telemetry.Histogram.t;
 }
 
@@ -79,6 +86,10 @@ type t = {
   reinject : (int * int, int) Hashtbl.t;
   mutable engine : Engine.t;
   mutable obs : obs_state option;
+  (* The exact-match flow cache fronting this runtime's chip; [None]
+     when the engine's cache knob is [Off]. Shard replicas get their
+     own cache over their own replica chip. *)
+  mutable cache : Flow_cache.t option;
 }
 
 let max_cpu_loops = 8
@@ -131,6 +142,8 @@ let enable_obs t level ring_capacity =
   let c_recircs = c "path.recircs" in
   let c_resubmits = c "path.resubmits" in
   let c_drop_dp = c "drop.data_plane" in
+  let c_cache_hit = c "cache.hit" in
+  let c_cache_miss = c "cache.miss" in
   let h_ns = Telemetry.Registry.histogram reg "runtime.ns_per_packet" in
   let rx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.rx" p)) in
   let tx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.tx" p)) in
@@ -149,6 +162,8 @@ let enable_obs t level ring_capacity =
         c_recircs;
         c_resubmits;
         c_drop_dp;
+        c_cache_hit;
+        c_cache_miss;
         h_ns;
       }
 
@@ -164,13 +179,28 @@ let configure t (e : Engine.t) =
     || e.Engine.ring_capacity <> prev.Engine.ring_capacity
     || (Option.is_none t.obs && e.Engine.telemetry <> Telemetry.Level.Off)
   in
-  if reattach then
-    match e.Engine.telemetry with
-    | Telemetry.Level.Off ->
-        Observe.detach t.chip;
-        t.obs <- None
-    | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
-        enable_obs t level e.Engine.ring_capacity
+  (if reattach then
+     match e.Engine.telemetry with
+     | Telemetry.Level.Off ->
+         Observe.detach t.chip;
+         t.obs <- None
+     | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
+         enable_obs t level e.Engine.ring_capacity);
+  (* Cache transitions: keep an unchanged cache (and its entries and
+     stats) alive; anything else detaches the old recorders before
+     building the replacement, so a chip never carries two sets of
+     hooks. *)
+  match (prev.Engine.cache, e.Engine.cache) with
+  | Engine.Off, Engine.Off -> ()
+  | Engine.Emc { capacity = a }, Engine.Emc { capacity = b }
+    when a = b && Option.is_some t.cache ->
+      ()
+  | _, Engine.Off ->
+      Option.iter Flow_cache.detach t.cache;
+      t.cache <- None
+  | _, Engine.Emc { capacity } ->
+      Option.iter Flow_cache.detach t.cache;
+      t.cache <- Some (Flow_cache.create ~capacity t.chip)
 
 let create ?(engine = Engine.default) compiled =
   let t =
@@ -183,12 +213,14 @@ let create ?(engine = Engine.default) compiled =
       reinject = build_reinject_map compiled;
       engine = Engine.default;
       obs = None;
+      cache = None;
     }
   in
   configure t engine;
   t
 
 let engine t = t.engine
+let flow_cache t = t.cache
 let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
 
 let on_to_cpu_chip t nf factory =
@@ -335,7 +367,41 @@ let process t ~in_port frame =
                       mirrored_rev false))
         | Asic.Chip.Emitted _ | Asic.Chip.Dropped -> finish ())
   in
-  let res = loop frame 0 0 0 0.0 [] true in
+  let res =
+    match t.cache with
+    | None -> loop frame 0 0 0 0.0 [] true
+    | Some c -> (
+        match Flow_cache.lookup c ~in_port frame with
+        | Some h ->
+            (* Validated hit: the memoized verdict stands in for the
+               whole pipeline run. Cacheable outcomes have zero path
+               counters and no mirrors by construction, so this outcome
+               equals what the re-run would have produced. *)
+            (match t.obs with Some os -> incr os.c_cache_hit | None -> ());
+            Ok
+              {
+                verdict = h.Flow_cache.verdict;
+                counters =
+                  {
+                    Counters.zero with
+                    Counters.latency_ns = h.Flow_cache.latency_ns;
+                  };
+                mirrored = [];
+              }
+        | None ->
+            (match t.obs with Some os -> incr os.c_cache_miss | None -> ());
+            let res = loop frame 0 0 0 0.0 [] true in
+            (match res with
+            | Ok o ->
+                Flow_cache.commit c ~frame ~verdict:o.verdict
+                  ~cpu_round_trips:o.counters.Counters.cpu_round_trips
+                  ~recircs:o.counters.Counters.recircs
+                  ~resubmits:o.counters.Counters.resubmits
+                  ~mirrored:(o.mirrored <> [])
+                  ~latency_ns:o.counters.Counters.latency_ns
+            | Error _ -> Flow_cache.abort c);
+            res)
+  in
   (match t.obs with
   | None -> ()
   | Some os -> (
@@ -491,12 +557,14 @@ let process_batch ?each t pkts =
 
 (* --- Sharded parallel execution --- *)
 
-(* Flow-affinity shard assignment: the CRC-32 of the outer 5-tuple, mod
-   the domain count — every packet of a flow (and therefore every
-   stateful interaction keyed on that flow: LB sessions, NAT lookups)
-   lands on the same domain, in arrival order. Frames with no parseable
-   IPv4 5-tuple shard by input port, which at least keeps a port's
-   unparseable traffic ordered. *)
+(* Flow-affinity shard assignment: the CRC-32 of the *canonicalized*
+   outer 5-tuple, mod the domain count — every packet of a connection,
+   in either direction, lands on the same domain, in arrival order.
+   The symmetry matters for NAT/LB: the reply flow (B -> A) must see
+   the bindings the forward flow (A -> B) installed, so both must share
+   a shard; hashing the directed tuple (the old behaviour) split them.
+   Frames with no parseable IPv4 5-tuple shard by input port, which at
+   least keeps a port's unparseable traffic ordered. *)
 let shard_of_packet ~domains in_port frame =
   if domains <= 1 then 0
   else
@@ -506,7 +574,9 @@ let shard_of_packet ~domains in_port frame =
         match Netpkt.Pkt.five_tuple_of layers with
         | Some ft ->
             Int64.to_int
-              (Int64.rem (Netpkt.Flow.hash_five_tuple ft) (Int64.of_int domains))
+              (Int64.rem
+                 (Netpkt.Flow.hash_five_tuple_symmetric ft)
+                 (Int64.of_int domains))
         | None -> (in_port land max_int) mod domains)
 
 (* A shard runtime: a share-nothing chip replica, the same compiled
@@ -527,6 +597,7 @@ let replica_of t =
           reinject = t.reinject;
           engine = { t.engine with Engine.domains = 1 };
           obs = None;
+          cache = None;
         }
       in
       Hashtbl.iter
@@ -536,6 +607,13 @@ let replica_of t =
       | Telemetry.Level.Off -> ()
       | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
           enable_obs rt level t.engine.Engine.ring_capacity);
+      (* Each shard gets a private cache armed on its own replica chip:
+         the recorder hooks and the entries both belong to exactly one
+         domain, so shards never observe each other's state. *)
+      (match t.engine.Engine.cache with
+      | Engine.Off -> ()
+      | Engine.Emc { capacity } ->
+          rt.cache <- Some (Flow_cache.create ~capacity rchip));
       rt
 
 (* Shard-major merge. The combined digest chains the per-shard digests
@@ -630,6 +708,15 @@ let process_batch_parallel ?domains ?each t pkts =
                         Telemetry.Journey.id = Observe.next_journey_id os.o;
                       })
                   (Observe.journeys ros.o))
+          replicas);
+    (match t.cache with
+    | None -> ()
+    | Some root ->
+        (* Entries die with the replicas; the tallies fold back so
+           [flow_cache] keeps runtime-wide hit/miss accounting. *)
+        Array.iter
+          (fun rt ->
+            Option.iter (fun rc -> Flow_cache.merge_stats ~into:root rc) rt.cache)
           replicas);
     merge_shards per_shard
   end

@@ -33,6 +33,12 @@ end
     per-knob mutators. Apply with {!configure}; read back with
     {!engine}. *)
 module Engine : sig
+  (** The exact-match flow cache fronting the pipeline. [Emc] memoizes
+      each flow's whole-chain verdict after its first packet (see
+      {!Flow_cache}); [Off] (the default) is the uncached pipeline,
+      byte-identical to a runtime without the cache knob. *)
+  type cache = Off | Emc of { capacity : int }
+
   type t = {
     exec_mode : Asic.Chip.exec_mode;  (** default [Fast] *)
     telemetry : Telemetry.Level.t;  (** default [Off] *)
@@ -41,6 +47,7 @@ module Engine : sig
             [?domains] is omitted; clamped to >= 1 *)
     ring_capacity : int;
         (** flight-recorder depth when telemetry is [Journeys] *)
+    cache : cache;  (** default [Off] *)
   }
 
   val default : t
@@ -56,9 +63,15 @@ val configure : t -> Engine.t -> unit
 (** Apply a full configuration: exec mode takes effect immediately;
     telemetry re-attaches (fresh registry and ring) only when the
     telemetry level or ring capacity actually changed, so flipping
-    [exec_mode] or [domains] never wipes accumulated counters. *)
+    [exec_mode] or [domains] never wipes accumulated counters. The
+    flow cache likewise survives unchanged [cache] knobs; any change
+    detaches the old cache's recorders and starts empty. *)
 
 val engine : t -> Engine.t
+
+val flow_cache : t -> Flow_cache.t option
+(** The live flow cache when the engine's [cache] knob is [Emc] —
+    for stats, clearing, and tests. *)
 
 val on_to_cpu : t -> string -> handler -> unit
 (** Register the handler for an NF (keyed by the [ctx_key_cpu_reason]
@@ -153,9 +166,11 @@ val process_batch :
 
 val shard_of_packet : domains:int -> int -> Bytes.t -> int
 (** The flow-affinity shard of an [(in_port, frame)] packet: CRC-32 of
-    the outer IPv4 5-tuple mod [domains]; packets with no parseable
-    5-tuple shard by input port. (Exposed so tests and tools can
-    reproduce the partition.) *)
+    the *canonicalized* (direction-symmetric) outer IPv4 5-tuple mod
+    [domains], so both directions of a connection land on the same
+    shard — a NAT/LB reply must see the bindings its forward flow
+    installed. Packets with no parseable 5-tuple shard by input port.
+    (Exposed so tests and tools can reproduce the partition.) *)
 
 val process_batch_parallel :
   ?domains:int ->

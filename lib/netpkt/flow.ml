@@ -36,6 +36,24 @@ let hash_five_tuple t =
   Bytes_util.set_uint16 b 11 t.dst_port;
   Bytes_util.crc32 b ~off:0 ~len:13
 
+(* Canonical (direction-free) form of a connection: the lower
+   (address, port) endpoint goes first, so a packet and its reply map
+   to the same tuple. The ordering compares the address first and the
+   port only on ties — a total order over endpoints. *)
+let canonicalize t =
+  let c = Ip4.compare t.src t.dst in
+  if c < 0 || (c = 0 && t.src_port <= t.dst_port) then t
+  else
+    {
+      t with
+      src = t.dst;
+      dst = t.src;
+      src_port = t.dst_port;
+      dst_port = t.src_port;
+    }
+
+let hash_five_tuple_symmetric t = hash_five_tuple (canonicalize t)
+
 type workload_spec = {
   seed : int;
   n_flows : int;

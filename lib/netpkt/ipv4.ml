@@ -41,12 +41,16 @@ let encode_into t b ~off =
   Bytes_util.set_uint16 b (off + 6) ((t.flags lsl 13) lor t.frag_offset);
   Bytes_util.set_uint8 b (off + 8) t.ttl;
   Bytes_util.set_uint8 b (off + 9) t.protocol;
-  Bytes_util.set_uint16 b (off + 10) t.checksum;
+  (* Zero-then-recompute unconditionally: emitting a header whose
+     fields were rewritten after decode (NAT, LB, routing TTL) with the
+     stale decoded checksum put invalid frames on the wire. Recomputing
+     over a valid unmodified header reproduces its checksum exactly, so
+     pure re-encodes stay byte-identical. *)
+  Bytes_util.set_uint16 b (off + 10) 0;
   Bytes_util.set_uint32 b (off + 12) (Ip4.to_int64 t.src);
   Bytes_util.set_uint32 b (off + 16) (Ip4.to_int64 t.dst);
-  if t.checksum = 0 then
-    Bytes_util.set_uint16 b (off + 10)
-      (Bytes_util.internet_checksum b ~off ~len:size)
+  Bytes_util.set_uint16 b (off + 10)
+    (Bytes_util.internet_checksum b ~off ~len:size)
 
 let decode b ~off =
   if Bytes.length b < off + size then Error "Ipv4.decode: truncated"

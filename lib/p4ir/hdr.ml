@@ -69,6 +69,17 @@ let field_width d fname =
 
 let has_field d fname = Hashtbl.mem d.findex fname
 
+(* Structural recognition of IPv4-style self-checksummed headers for
+   the deparser's checksum engine: a 16-bit, byte-aligned "checksum"
+   field next to an "ihl" field marks a header whose checksum covers
+   its own bytes (RFC 791). Transport checksums (pseudo-header +
+   payload) don't qualify — they have no "ihl". *)
+let self_checksum_byte d =
+  match (Hashtbl.find_opt d.findex "checksum", Hashtbl.mem d.findex "ihl") with
+  | Some k, true when d.farr.(k).width = 16 && d.foffs.(k) mod 8 = 0 ->
+      Some (d.foffs.(k) / 8)
+  | _ -> None
+
 let equal_decl a b =
   String.equal a.name b.name
   && List.length a.fields = List.length b.fields

@@ -31,6 +31,14 @@ val field_width : decl -> string -> int
 (** Raises [Not_found] for an unknown field. *)
 
 val has_field : decl -> string -> bool
+
+val self_checksum_byte : decl -> int option
+(** Byte offset of the header's own internet checksum, when the
+    declaration is an IPv4-style self-checksummed header (a 16-bit
+    byte-aligned ["checksum"] field alongside an ["ihl"] field). The
+    deparser's checksum engine recomputes these on emit; transport
+    checksums (which span a pseudo-header and payload) don't qualify. *)
+
 val equal_decl : decl -> decl -> bool
 val pp_decl : Format.formatter -> decl -> unit
 

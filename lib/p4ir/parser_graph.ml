@@ -224,6 +224,17 @@ let run_compiled c bytes phv =
   in
   step c.c_start 0
 
+(* The deparser's checksum engine: recompute an IPv4-style header
+   checksum in place over the just-emitted bytes. The PHV's checksum
+   field is stale whenever an action rewrote any other field (NAT, LB,
+   TTL decrement) — hardware deparsers fix this with a checksum unit,
+   and so do we. Recomputing over an unmodified valid header reproduces
+   its checksum bit-for-bit. *)
+let fix_checksum out ~off ~csum_byte ~size =
+  Netpkt.Bytes_util.set_uint16 out (off + csum_byte) 0;
+  Netpkt.Bytes_util.set_uint16 out (off + csum_byte)
+    (Netpkt.Bytes_util.internet_checksum out ~off ~len:size)
+
 let deparse ~order phv ~payload =
   let valid =
     List.filter_map
@@ -242,7 +253,12 @@ let deparse ~order phv ~payload =
   List.iter
     (fun i ->
       Hdr.emit i out ~bit_off:(8 * !off);
-      off := !off + Hdr.byte_size (Hdr.decl_of i))
+      let d = Hdr.decl_of i in
+      let size = Hdr.byte_size d in
+      (match Hdr.self_checksum_byte d with
+      | Some csum_byte -> fix_checksum out ~off:!off ~csum_byte ~size
+      | None -> ());
+      off := !off + size)
     valid;
   Bytes.blit payload 0 out !off (Bytes.length payload);
   out

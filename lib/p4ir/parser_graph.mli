@@ -55,9 +55,17 @@ val run_compiled : compiled -> Bytes.t -> Phv.t -> (int, string) result
     hold every header declaration (copy a template PHV; unlike {!parse}
     no declarations are added). Same results and errors as {!parse}. *)
 
+val fix_checksum : Bytes.t -> off:int -> csum_byte:int -> size:int -> unit
+(** The deparser's checksum engine: zero the 16-bit checksum at
+    [off + csum_byte] and recompute the internet checksum over the
+    [size] header bytes at [off], in place. Shared by {!deparse} and the
+    precompiled fast deparse path so both emit identical frames. *)
+
 val deparse : order:string list -> Phv.t -> payload:Bytes.t -> Bytes.t
 (** Emit the valid headers among [order] (in that order) followed by the
-    payload. *)
+    payload. Headers with an IPv4-style self-checksum
+    ({!Hdr.self_checksum_byte}) get their checksum recomputed over the
+    emitted bytes — actions rewrite fields without maintaining it. *)
 
 val reachable : t -> string list
 (** State ids reachable from [start], in BFS order. *)

@@ -1,4 +1,17 @@
-type t = { name : string; width : int; cells : int64 array }
+(* Shared mutable side-state: the epoch counts control-plane resets (a
+   flow cache invalidates memoized verdicts against it) and the
+   recorders, when armed, observe every data-plane cell access. Lives
+   behind its own record so {!rename}d handles — which share the cell
+   array — share it too, while {!copy} gets a fresh one. *)
+type state = {
+  mutable epoch : int;
+  mutable on_read : (int -> int64 -> unit) option;
+  mutable on_write : (int -> int64 -> unit) option;
+}
+
+type t = { name : string; width : int; cells : int64 array; state : state }
+
+let fresh_state () = { epoch = 0; on_read = None; on_write = None }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
@@ -6,7 +19,12 @@ let make ~name ~size ~width =
   if size < 1 then invalid_arg "Register.make: size must be positive";
   if width < 1 || width > 64 then
     invalid_arg "Register.make: width not in 1..64";
-  { name; width; cells = Array.make (next_pow2 size 1) 0L }
+  {
+    name;
+    width;
+    cells = Array.make (next_pow2 size 1) 0L;
+    state = fresh_state ();
+  }
 
 let name t = t.name
 let size t = Array.length t.cells
@@ -19,11 +37,27 @@ let index_mask t = Array.length t.cells - 1
    Read and write must agree on this: an asymmetric pair (saturating
    read, dropped write) makes a wrapped write invisible to its own
    read-back. *)
-let read t i = Bitval.make ~width:t.width t.cells.(i land index_mask t)
+let read t i =
+  let i = i land index_mask t in
+  let v = t.cells.(i) in
+  (match t.state.on_read with Some f -> f i v | None -> ());
+  Bitval.make ~width:t.width v
 
 let write t i v =
-  t.cells.(i land index_mask t) <- Bitval.to_int64 (Bitval.resize v t.width)
-let clear t = Array.fill t.cells 0 (Array.length t.cells) 0L
+  let i = i land index_mask t in
+  let v = Bitval.to_int64 (Bitval.resize v t.width) in
+  t.cells.(i) <- v;
+  match t.state.on_write with Some f -> f i v | None -> ()
+
+let read_raw t i = t.cells.(i land index_mask t)
+
+let clear t =
+  Array.fill t.cells 0 (Array.length t.cells) 0L;
+  t.state.epoch <- t.state.epoch + 1
+
+let epoch t = t.state.epoch
+let set_on_read t f = t.state.on_read <- f
+let set_on_write t f = t.state.on_write <- f
 
 let fold f t init =
   let acc = ref init in
@@ -33,7 +67,11 @@ let fold f t init =
   !acc
 
 let rename t name = { t with name }
-let copy t = { t with cells = Array.copy t.cells }
+
+(* A copy is a fresh register: private cells, epoch restarted, no
+   recorders — a {!Asic.Chip.replicate} replica must not fire the
+   original's hooks or share its invalidation history. *)
+let copy t = { t with cells = Array.copy t.cells; state = fresh_state () }
 
 (* Matches Resources.sram_block_bits; kept literal to avoid a module
    cycle (Resources models tables, which use actions, which use

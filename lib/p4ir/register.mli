@@ -27,8 +27,37 @@ val index_mask : t -> int
     access paths and hash outputs are AND-ed with this. *)
 
 val clear : t -> unit
+(** Zero every cell and bump the {!epoch} — a control-plane reset that
+    invalidates any state memoized against this register. *)
+
 val fold : (int -> Bitval.t -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over the nonzero cells (control-plane inspection). *)
+
+(** {2 Invalidation epoch and access recorders}
+
+    Support for memoization layers (the runtime flow cache): the epoch
+    counts control-plane resets, and the recorders — when armed —
+    observe every data-plane access with the masked index and the raw
+    cell value. Both live in shared state: {!rename}d handles (the
+    composed-program views of one register) report through the same
+    hooks; {!copy} starts fresh. When no recorder is armed the access
+    paths pay a single option match. *)
+
+val epoch : t -> int
+(** Incremented by {!clear}. *)
+
+val set_on_read : t -> (int -> int64 -> unit) option -> unit
+(** Arm (or disarm, with [None]) the read recorder: called by {!read}
+    with the masked index and the raw cell value. *)
+
+val set_on_write : t -> (int -> int64 -> unit) option -> unit
+(** Arm the write recorder: called by {!write} with the masked index
+    and the stored (width-resized) value. *)
+
+val read_raw : t -> int -> int64
+(** The raw cell value at the masked index, without constructing a
+    {!Bitval.t} and without firing the read recorder — for validating
+    memoized reads against live state. *)
 
 val rename : t -> string -> t
 (** Same backing cells under a new name (used by composition). *)

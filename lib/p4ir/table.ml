@@ -131,6 +131,12 @@ type store = {
      match and nothing else. Lives in the shared store so {!rename}d
      handles count into the same tallies. *)
   mutable stats : stats option;
+  (* Invalidation epoch (bumped on every successful mutation) and the
+     lookup recorder a memoization layer arms to learn which tables a
+     packet's verdict depended on. Shared across {!rename}d handles,
+     fresh in a {!copy}. *)
+  mutable epoch : int;
+  mutable on_lookup : (unit -> unit) option;
 }
 
 (* The index and entry store live behind [store], which {!rename}d
@@ -197,6 +203,8 @@ let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
         next_seq = 0;
         index = fresh_index ();
         stats = None;
+        epoch = 0;
+        on_lookup = None;
       };
   }
 
@@ -298,6 +306,7 @@ let add_entry t entry =
           t.store.rev_seqs <- (entry, seq) :: t.store.rev_seqs;
           t.store.count <- t.store.count + 1;
           t.store.next_seq <- seq + 1;
+          t.store.epoch <- t.store.epoch + 1;
           index_entry t
             {
               e = entry;
@@ -346,12 +355,16 @@ let clear t =
   t.store.rev_entries <- [];
   t.store.rev_seqs <- [];
   t.store.count <- 0;
+  t.store.epoch <- t.store.epoch + 1;
   let idx = t.store.index in
   HI64.reset idx.exact1;
   H64.reset idx.exact;
   idx.lpm <- [];
   idx.linear <- [];
   idx.rev_all <- []
+
+let epoch t = t.store.epoch
+let set_on_lookup t f = t.store.on_lookup <- f
 
 let pattern_matches pattern value =
   match pattern with
@@ -392,6 +405,7 @@ let stat_miss t =
   | Some s -> s.misses <- s.misses + 1
 
 let lookup_reference_values t values =
+  (match t.store.on_lookup with Some f -> f () | None -> ());
   let candidates =
     List.filter_map
       (fun (e, seq) -> if matches e values then Some (e, seq) else None)
@@ -521,6 +535,7 @@ let lookup_ientry_raw t phv =
   end
 
 let lookup_ientry t phv =
+  (match t.store.on_lookup with Some f -> f () | None -> ());
   match lookup_ientry_raw t phv with
   | Some ie as r ->
       (match t.store.stats with

@@ -67,6 +67,22 @@ val add_entry_exn : t -> entry -> unit
 
 val clear : t -> unit
 
+(** {2 Invalidation epoch and lookup recorder}
+
+    Support for memoization layers (the runtime flow cache): the epoch
+    counts successful mutations and the recorder — when armed —
+    observes every lookup, hit or miss, on both the indexed and the
+    reference path. Both live in the shared entry store ({!rename}d
+    handles report together); a {!copy} starts fresh. When no recorder
+    is armed the lookup paths pay a single option match. *)
+
+val epoch : t -> int
+(** Incremented by every successful {!add_entry} and by {!clear}. *)
+
+val set_on_lookup : t -> (unit -> unit) option -> unit
+(** Arm (or disarm, with [None]) the lookup recorder. The lookup itself
+    is the dependency, so it fires on hits and misses alike. *)
+
 val copy : t -> t
 (** A deep copy: same definition, fresh store holding the source's
     current entries with their sequence numbers (lookup tie-breaks)

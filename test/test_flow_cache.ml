@@ -1,0 +1,476 @@
+(* The exact-match flow cache: differential equivalence against the
+   uncached oracle (including stateful NFs and mid-stream table
+   updates), epoch invalidation, stateful fallbacks, and LRU eviction
+   at tiny capacity. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let ip = Netpkt.Ip4.of_string_exn
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+
+(* Same deployment as the parallel suite: every kind of runtime state —
+   LB CPU punts + per-flow sessions (red), count-min sketch + packet
+   budget (protected), static NAT (natted). *)
+let classifier_rules =
+  [
+    { Nflib.Classifier.dst_prefix = pfx "10.0.1.0/24"; proto = None; path_id = 10; tenant = 1 };
+    { Nflib.Classifier.dst_prefix = pfx "10.0.5.0/24"; proto = None; path_id = 50; tenant = 5 };
+    { Nflib.Classifier.dst_prefix = pfx "10.0.6.0/24"; proto = None; path_id = 60; tenant = 6 };
+  ]
+
+let chains =
+  [
+    Chain.make ~path_id:10 ~name:"red"
+      ~nfs:[ "classifier"; "fw"; "vgw"; "lb"; "router" ]
+      ~weight:0.4 ~exit_port:1 ();
+    Chain.make ~path_id:50 ~name:"protected"
+      ~nfs:[ "classifier"; "ddos_sketch"; "rate_limiter"; "router" ]
+      ~weight:0.3 ~exit_port:1 ();
+    Chain.make ~path_id:60 ~name:"natted"
+      ~nfs:[ "classifier"; "nat"; "router" ]
+      ~weight:0.3 ~exit_port:1 ();
+  ]
+
+let registry () =
+  ("classifier", Nflib.Classifier.create classifier_rules)
+  :: List.remove_assoc "classifier" (Nflib.Catalog.registry ())
+
+let runtime ?engine () =
+  let compiled =
+    Result.get_ok
+      (Compiler.compile
+         (Compiler.default_input ~registry:(registry ()) ~chains
+            ~strategy:Placement.Greedy ()))
+  in
+  let rt = Runtime.create ?engine compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  rt
+
+let emc capacity =
+  {
+    Runtime.Engine.default with
+    Runtime.Engine.cache = Runtime.Engine.Emc { capacity };
+  }
+
+let cached ?(capacity = 256) () = runtime ~engine:(emc capacity) ()
+
+let cache rt = Option.get (Runtime.flow_cache rt)
+
+let tcp ~src ~dst ~src_port ~dst_port =
+  Netpkt.Pkt.encode
+    (Netpkt.Pkt.tcp_flow
+       ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+       ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+       {
+         Netpkt.Flow.src;
+         dst;
+         proto = Netpkt.Ipv4.proto_tcp;
+         src_port;
+         dst_port;
+       })
+
+let signature_of = function
+  | Error e -> "error:" ^ e
+  | Ok (o : Runtime.outcome) -> (
+      match o.Runtime.verdict with
+      | Asic.Chip.Emitted { port; frame } ->
+          Printf.sprintf "emitted:%d:%s" port
+            (Digest.to_hex (Digest.bytes frame))
+      | Asic.Chip.Dropped -> "dropped"
+      | Asic.Chip.To_cpu b -> "to_cpu:" ^ Digest.to_hex (Digest.bytes b))
+
+let send rt (in_port, frame) = Runtime.process rt ~in_port frame
+
+let signatures rt workload = List.map (fun p -> signature_of (send rt p)) workload
+
+(* A natted flow: static table rewrite, no CPU, no registers — the
+   cleanest cacheable traffic. *)
+let natted i ~src_port =
+  ( i mod 4,
+    tcp
+      ~src:(Netpkt.Ip4.of_octets 192 168 0 (10 + (i mod 2)))
+      ~dst:(Netpkt.Ip4.of_octets 10 0 6 (1 + (i mod 30)))
+      ~src_port ~dst_port:443 )
+
+(* A red flow: LB punts the first packet to the CPU (uncacheable),
+   then installs a session — steady-state packets are cacheable. *)
+let red ~src_octet ~src_port =
+  ( 0,
+    tcp
+      ~src:(Netpkt.Ip4.of_octets 203 0 113 src_octet)
+      ~dst:(ip "10.0.1.10") ~src_port ~dst_port:80 )
+
+let fw_table rt =
+  match
+    Asic.Chip.find_table (Runtime.chip rt)
+      (Compose.nf_table_name ~nf:Nflib.Firewall.name Nflib.Firewall.table_name)
+  with
+  | Some t -> t
+  | None -> Alcotest.fail "fw ACL table not found on the chip"
+
+(* Install a deny rule for one exact source, above the catalog rules. *)
+let deny_src rt src =
+  P4ir.Table.add_entry_exn (fw_table rt)
+    {
+      P4ir.Table.priority = 1000;
+      patterns =
+        [
+          P4ir.Table.M_ternary
+            {
+              value = P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 src);
+              mask = P4ir.Bitval.max_value 32;
+            };
+          P4ir.Table.M_any;
+          P4ir.Table.M_any;
+          P4ir.Table.M_any;
+        ];
+      action = "deny";
+      args = [];
+    }
+
+(* --- Hits: byte-identical replay, counted ------------------------- *)
+
+let test_hit_byte_identical () =
+  let crt = cached () and urt = runtime () in
+  let pkt = natted 1 ~src_port:5001 in
+  let first = signature_of (send crt pkt) in
+  let second = signature_of (send crt pkt) in
+  let third = signature_of (send crt pkt) in
+  let oracle = signature_of (send urt pkt) in
+  check Alcotest.string "miss = oracle" oracle first;
+  check Alcotest.string "hit = oracle (byte-identical frame)" oracle second;
+  check Alcotest.string "hit stays identical" oracle third;
+  let s = Flow_cache.stats (cache crt) in
+  check Alcotest.int "one miss" 1 s.Flow_cache.misses;
+  check Alcotest.int "two hits" 2 s.Flow_cache.hits;
+  check Alcotest.int "one insert" 1 s.Flow_cache.inserts
+
+let test_punts_and_recircs_uncacheable () =
+  (* The red chain spans pipelets, so even steady-state packets
+     recirculate through loopback ports — and recirculating flows (like
+     CPU punts) must never be served from the cache. Outputs stay
+     correct; they just never become hits. *)
+  let crt = cached () and urt = runtime () in
+  let pkt = red ~src_octet:9 ~src_port:7000 in
+  (match send crt pkt with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check Alcotest.int "first red packet consults the CPU" 1
+        o.Runtime.counters.Runtime.Counters.cpu_round_trips;
+      check Alcotest.bool "red chain recirculates" true
+        (o.Runtime.counters.Runtime.Counters.recircs > 0));
+  ignore (send urt pkt);
+  List.iter
+    (fun _ ->
+      check Alcotest.string "uncached output = oracle"
+        (signature_of (send urt pkt))
+        (signature_of (send crt pkt)))
+    [ (); (); () ];
+  let s = Flow_cache.stats (cache crt) in
+  check Alcotest.int "never served from cache" 0 s.Flow_cache.hits;
+  check Alcotest.int "every run counted uncacheable" 4 s.Flow_cache.uncacheable
+
+(* A single-pipelet LB deployment (classifier -> lb -> router): steady
+   state neither punts nor recirculates, so sessions do cache. *)
+let lb_runtime ?engine () =
+  let rules =
+    [ { Nflib.Classifier.dst_prefix = pfx "10.0.1.0/24"; proto = None; path_id = 10; tenant = 1 } ]
+  in
+  let registry =
+    ("classifier", Nflib.Classifier.create rules)
+    :: List.remove_assoc "classifier" (Nflib.Catalog.registry ())
+  in
+  let chains =
+    [
+      Chain.make ~path_id:10 ~name:"lb_only"
+        ~nfs:[ "classifier"; "lb"; "router" ]
+        ~weight:1.0 ~exit_port:1 ();
+    ]
+  in
+  let compiled =
+    Result.get_ok
+      (Compiler.compile
+         (Compiler.default_input ~registry ~chains ~strategy:Placement.Greedy ()))
+  in
+  let rt = Runtime.create ?engine compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  rt
+
+let test_lb_steady_state_cached () =
+  let crt = lb_runtime ~engine:(emc 64) () in
+  let flow ~src_port = red ~src_octet:9 ~src_port in
+  let a = flow ~src_port:7000 in
+  (match send crt a with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check Alcotest.int "first packet consults the CPU" 1
+        o.Runtime.counters.Runtime.Counters.cpu_round_trips;
+      check Alcotest.int "single pipelet: no recircs" 0
+        o.Runtime.counters.Runtime.Counters.recircs);
+  (* Second packet is pure data plane and commits; third is a hit. *)
+  let second = signature_of (send crt a) in
+  let third = signature_of (send crt a) in
+  check Alcotest.string "session hit replays identically" second third;
+  check Alcotest.int "steady state cached" 1
+    (Flow_cache.stats (cache crt)).Flow_cache.hits;
+  (* A new flow's session install bumps the table epoch: A's entry goes
+     stale, revalidates by re-running, and re-caches — output steady. *)
+  let b = flow ~src_port:7500 in
+  ignore (send crt b);
+  let post = signature_of (send crt a) in
+  check Alcotest.string "output unchanged across invalidation" second post;
+  check Alcotest.bool "epoch bump detected as stale" true
+    ((Flow_cache.stats (cache crt)).Flow_cache.stale >= 1);
+  let hits = (Flow_cache.stats (cache crt)).Flow_cache.hits in
+  check Alcotest.string "re-cached after re-run" second
+    (signature_of (send crt a));
+  check Alcotest.int "hit again after re-cache" (hits + 1)
+    (Flow_cache.stats (cache crt)).Flow_cache.hits
+
+(* --- Telemetry: hit/miss counters surface in the registry --------- *)
+
+let test_cache_counters_in_registry () =
+  let engine =
+    { (emc 256) with Runtime.Engine.telemetry = Telemetry.Level.Counters }
+  in
+  let rt = runtime ~engine () in
+  let pkt = natted 2 ~src_port:5002 in
+  ignore (send rt pkt);
+  ignore (send rt pkt);
+  ignore (send rt pkt);
+  match Runtime.telemetry rt with
+  | None -> Alcotest.fail "telemetry not attached"
+  | Some o ->
+      let reg = Observe.registry o in
+      check Alcotest.int "cache.miss counter" 1
+        !(Telemetry.Registry.counter reg "cache.miss");
+      check Alcotest.int "cache.hit counter" 2
+        !(Telemetry.Registry.counter reg "cache.hit")
+
+(* --- Differential: cached = uncached oracle ----------------------- *)
+
+(* Mixed random workload over all three chains plus unclassified and
+   unparseable traffic; mirrors the flow-affinity workload the parallel
+   suite uses. *)
+let random_workload st n =
+  List.init n (fun _ ->
+      match Random.State.int st 5 with
+      | 0 ->
+          red
+            ~src_octet:(1 + Random.State.int st 20)
+            ~src_port:(2000 + Random.State.int st 30)
+      | 1 ->
+          (* one rate-limited flow for tenant 5 (budget 8) *)
+          (2, tcp ~src:(ip "203.0.113.50") ~dst:(ip "10.0.5.7") ~src_port:1234
+             ~dst_port:80)
+      | 2 -> natted (Random.State.int st 8) ~src_port:(3000 + Random.State.int st 40)
+      | 3 ->
+          (3, tcp ~src:(ip "198.18.0.9") ~dst:(ip "192.0.2.77")
+             ~src_port:(4000 + Random.State.int st 100) ~dst_port:80)
+      | _ -> (Random.State.int st 4, Bytes.make (1 + Random.State.int st 8) '\x2a'))
+
+let prop_cached_equals_uncached =
+  QCheck.Test.make
+    ~name:"cached = uncached oracle (stateful mix, mid-stream ACL update)"
+    ~count:10
+    QCheck.(pair small_nat (int_range 30 70))
+    (fun (seed, n) ->
+      let workload st = random_workload st n in
+      let first = workload (Random.State.make [| 11 + seed |]) in
+      let second = workload (Random.State.make [| 311 + seed |]) in
+      let crt = cached () and urt = runtime () in
+      let c1 = signatures crt first and u1 = signatures urt first in
+      (* Mid-stream control-plane update on both runtimes: deny one red
+         source that may well sit in the cache. *)
+      let denied = Netpkt.Ip4.of_octets 203 0 113 5 in
+      deny_src crt denied;
+      deny_src urt denied;
+      let c2 = signatures crt second and u2 = signatures urt second in
+      c1 = u1 && c2 = u2)
+
+let test_rate_limiter_budget_with_cache () =
+  (* Register-backed NFs must stay exact: tenant 5's budget is 8, so of
+     12 packets exactly 4 drop — with the cache on, same as off. The
+     recorded register reads go stale every packet, so these never
+     become hits; correctness must not depend on caching them. *)
+  let run rt =
+    List.init 12 (fun i ->
+        signature_of
+          (send rt
+             (i mod 4, tcp ~src:(ip "203.0.113.50") ~dst:(ip "10.0.5.7")
+                ~src_port:1234 ~dst_port:80)))
+  in
+  let crt = cached () in
+  let c = run crt and u = run (runtime ()) in
+  check Alcotest.(list string) "cached = uncached, packet for packet" u c;
+  check Alcotest.int "drops = over-budget packets" 4
+    (List.length (List.filter (String.equal "dropped") c));
+  check Alcotest.int "stale register plans never hit" 0
+    (Flow_cache.stats (cache crt)).Flow_cache.hits
+
+(* --- Invalidation: table updates kill exactly the affected verdicts - *)
+
+(* Add a NAT binding for a source the catalog leaves unbound. *)
+let bind_nat rt ~internal ~public =
+  match
+    Asic.Chip.find_table (Runtime.chip rt)
+      (Compose.nf_table_name ~nf:Nflib.Nat.name Nflib.Nat.table_name)
+  with
+  | None -> Alcotest.fail "NAT table not found on the chip"
+  | Some t ->
+      P4ir.Table.add_entry_exn t
+        {
+          P4ir.Table.priority = 0;
+          patterns =
+            [
+              P4ir.Table.M_exact
+                (P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 internal));
+            ];
+          action = "snat";
+          args =
+            [ P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 public) ];
+        }
+
+let test_table_update_invalidates_cached_flows () =
+  let natted_from src ~src_port =
+    (1, tcp ~src ~dst:(ip "10.0.6.1") ~src_port ~dst_port:443)
+  in
+  let a = natted_from (ip "192.168.0.10") ~src_port:7100 in
+  let b = natted_from (ip "192.168.0.12") ~src_port:7200 in
+  let crt = cached () in
+  (* Warm both flows (A rewritten by the static binding, B passes with
+     no binding), then confirm both are served from cache. *)
+  List.iter (fun p -> ignore (send crt p)) [ a; b ];
+  let hits_before = (Flow_cache.stats (cache crt)).Flow_cache.hits in
+  let sig_a = signature_of (send crt a) in
+  let sig_b = signature_of (send crt b) in
+  check Alcotest.int "both flows served from cache" (hits_before + 2)
+    (Flow_cache.stats (cache crt)).Flow_cache.hits;
+  (* Bind B's source. The NAT-table mutation bumps the epoch, so both
+     cached verdicts revalidate: B's output must change, A's must not —
+     and both must equal a cold uncached run of the updated chip. *)
+  bind_nat crt ~internal:(ip "192.168.0.12") ~public:(ip "203.0.113.202");
+  let post_a = signature_of (send crt a) in
+  let post_b = signature_of (send crt b) in
+  check Alcotest.string "unaffected flow unchanged" sig_a post_a;
+  check Alcotest.bool "bound flow's output changed" true (post_b <> sig_b);
+  check Alcotest.bool "stale entries were detected" true
+    ((Flow_cache.stats (cache crt)).Flow_cache.stale >= 1);
+  let urt = runtime () in
+  bind_nat urt ~internal:(ip "192.168.0.12") ~public:(ip "203.0.113.202");
+  check Alcotest.string "post-update = cold uncached run (A)"
+    (signature_of (send urt a)) post_a;
+  check Alcotest.string "post-update = cold uncached run (B)"
+    (signature_of (send urt b)) post_b
+
+(* --- LRU eviction at tiny capacity -------------------------------- *)
+
+let test_lru_eviction_tiny_capacity () =
+  let crt = cached ~capacity:2 () in
+  let f1 = natted 0 ~src_port:6001 in
+  let f2 = natted 1 ~src_port:6002 in
+  let f3 = natted 2 ~src_port:6003 in
+  ignore (send crt f1);
+  ignore (send crt f2);
+  check Alcotest.int "two entries" 2 (Flow_cache.length (cache crt));
+  (* Touch f1 so f2 becomes the LRU victim, then insert f3. *)
+  ignore (send crt f1);
+  ignore (send crt f3);
+  let c = cache crt in
+  check Alcotest.int "capacity bound holds" 2 (Flow_cache.length c);
+  check Alcotest.int "one eviction" 1 (Flow_cache.stats c).Flow_cache.evictions;
+  (* f2 was evicted: resending it misses (and re-inserts, evicting f1
+     which is now the oldest untouched entry). *)
+  let misses = (Flow_cache.stats c).Flow_cache.misses in
+  ignore (send crt f2);
+  check Alcotest.int "evicted flow misses" (misses + 1)
+    (Flow_cache.stats c).Flow_cache.misses;
+  (* f3 is still resident (touched more recently than f1 was). *)
+  let hits = (Flow_cache.stats c).Flow_cache.hits in
+  ignore (send crt f3);
+  check Alcotest.int "resident flow still hits" (hits + 1)
+    (Flow_cache.stats c).Flow_cache.hits;
+  (* Outputs stay correct throughout eviction churn. *)
+  let urt = runtime () in
+  List.iter
+    (fun p ->
+      check Alcotest.string "post-churn output = oracle"
+        (signature_of (send urt p))
+        (signature_of (send crt p)))
+    [ f1; f2; f3 ]
+
+(* --- Cache-off runs are byte-identical to an engine with no knob --- *)
+
+let test_cache_off_identical () =
+  let st = Random.State.make [| 99 |] in
+  let workload = random_workload st 40 in
+  let off = Runtime.process_batch (runtime ()) workload in
+  let on = Runtime.process_batch (cached ()) workload in
+  check Alcotest.bool "cached batch = uncached batch (digest included)" true
+    (off.Runtime.digest = on.Runtime.digest
+    && off.Runtime.emitted = on.Runtime.emitted
+    && off.Runtime.dropped = on.Runtime.dropped
+    && off.Runtime.to_cpu = on.Runtime.to_cpu
+    && off.Runtime.errors = on.Runtime.errors)
+
+(* --- Parallel shards each get a private cache ---------------------- *)
+
+let test_parallel_with_cache_matches_sequential () =
+  let st = Random.State.make [| 21 |] in
+  let workload = random_workload st 60 in
+  let seq = Runtime.process_batch (runtime ()) workload in
+  let n = List.length workload in
+  let sigs = Array.make n "" and oracle = Array.make n "" in
+  ignore
+    (Runtime.process_batch
+       ~each:(fun i r -> oracle.(i) <- signature_of r)
+       (runtime ()) workload);
+  let par =
+    Runtime.process_batch_parallel ~domains:4
+      ~each:(fun i r -> sigs.(i) <- signature_of r)
+      (cached ()) workload
+  in
+  check Alcotest.bool "totals match sequential uncached" true
+    (seq.Runtime.emitted = par.Runtime.emitted
+    && seq.Runtime.dropped = par.Runtime.dropped
+    && seq.Runtime.to_cpu = par.Runtime.to_cpu
+    && seq.Runtime.errors = par.Runtime.errors);
+  check Alcotest.bool "per-packet outcomes match" true (sigs = oracle)
+
+let () =
+  Alcotest.run "flow_cache"
+    [
+      ( "hits",
+        [
+          Alcotest.test_case "byte-identical replay" `Quick
+            test_hit_byte_identical;
+          Alcotest.test_case "punts and recircs uncacheable" `Quick
+            test_punts_and_recircs_uncacheable;
+          Alcotest.test_case "lb steady state cached" `Quick
+            test_lb_steady_state_cached;
+          Alcotest.test_case "registry counters" `Quick
+            test_cache_counters_in_registry;
+        ] );
+      ( "differential",
+        [
+          qtest prop_cached_equals_uncached;
+          Alcotest.test_case "rate limiter exact with cache" `Quick
+            test_rate_limiter_budget_with_cache;
+          Alcotest.test_case "cache off identical" `Quick
+            test_cache_off_identical;
+          Alcotest.test_case "parallel shards with cache" `Quick
+            test_parallel_with_cache_matches_sequential;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "table update invalidates cached flows" `Quick
+            test_table_update_invalidates_cached_flows;
+        ] );
+      ( "eviction",
+        [
+          Alcotest.test_case "lru at capacity 2" `Quick
+            test_lru_eviction_tiny_capacity;
+        ] );
+    ]

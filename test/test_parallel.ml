@@ -262,6 +262,67 @@ let test_shard_affinity () =
     (Runtime.shard_of_packet ~domains:4 0 junk
     <> Runtime.shard_of_packet ~domains:4 1 junk)
 
+(* Direction symmetry: a NAT'd or load-balanced reply (B -> A) must land
+   on the shard that processed the forward flow (A -> B) and holds its
+   bindings. Pinned by QCheck over random 5-tuples and shard counts —
+   the old directed hash failed this for almost every tuple. *)
+let prop_shard_direction_symmetric =
+  QCheck.Test.make ~name:"shard(A->B) = shard(B->A) for any 5-tuple"
+    ~count:200
+    QCheck.(
+      pair
+        (pair (pair small_nat small_nat) (pair small_nat small_nat))
+        (pair (int_range 2 8) (pair small_nat small_nat)))
+    (fun (((a, b), (c, d)), (domains, (sp, dp))) ->
+      let src = Netpkt.Ip4.of_octets (a land 255) (b land 255) (c land 255) 1
+      and dst = Netpkt.Ip4.of_octets (d land 255) (a land 255) (b land 255) 2 in
+      let fwd = tcp ~src ~dst ~src_port:(sp land 0xffff) ~dst_port:(dp land 0xffff) in
+      let rev = tcp ~src:dst ~dst:src ~src_port:(dp land 0xffff) ~dst_port:(sp land 0xffff) in
+      Runtime.shard_of_packet ~domains 0 fwd
+      = Runtime.shard_of_packet ~domains 3 rev)
+
+(* End-to-end bidirectional NAT-style check: forward flows through the
+   natted chain, then "replies" with the endpoints swapped — both
+   directions of each connection must hash to one shard, so parallel
+   outcomes match the sequential oracle packet-for-packet. *)
+let test_bidirectional_flows_share_a_shard () =
+  let conn i =
+    let src = Netpkt.Ip4.of_octets 192 168 0 (10 + (i mod 2))
+    and dst = Netpkt.Ip4.of_octets 10 0 6 (1 + (i mod 30)) in
+    let sp = 3000 + i and dp = 443 in
+    let fwd = tcp ~src ~dst ~src_port:sp ~dst_port:dp in
+    let rev = tcp ~src:dst ~dst:src ~src_port:dp ~dst_port:sp in
+    List.iter
+      (fun domains ->
+        check Alcotest.int
+          (Printf.sprintf "conn %d shares a shard at domains:%d" i domains)
+          (Runtime.shard_of_packet ~domains 0 fwd)
+          (Runtime.shard_of_packet ~domains 1 rev))
+      [ 2; 3; 4 ];
+    [ (i mod 4, fwd); ((i + 1) mod 4, rev) ]
+  in
+  let workload = List.concat (List.init 24 conn) in
+  let seq, oracle =
+    run_with_signatures
+      ~f:(fun each w -> Runtime.process_batch ~each (runtime ()) w)
+      workload
+  in
+  List.iter
+    (fun domains ->
+      let par, sigs =
+        run_with_signatures
+          ~f:(fun each w ->
+            Runtime.process_batch_parallel ~each ~domains (runtime ()) w)
+          workload
+      in
+      check Alcotest.bool
+        (Printf.sprintf "domains:%d totals match" domains)
+        true (totals_match seq par);
+      check Alcotest.bool
+        (Printf.sprintf "domains:%d per-packet outcomes match" domains)
+        true (sigs = oracle))
+    [ 2; 4 ]
+
 let () =
   Alcotest.run "parallel"
     [
@@ -279,5 +340,10 @@ let () =
             test_telemetry_merges_across_shards;
         ] );
       ( "sharding",
-        [ Alcotest.test_case "flow affinity" `Quick test_shard_affinity ] );
+        [
+          Alcotest.test_case "flow affinity" `Quick test_shard_affinity;
+          qtest prop_shard_direction_symmetric;
+          Alcotest.test_case "bidirectional flows share a shard" `Quick
+            test_bidirectional_flows_share_a_shard;
+        ] );
     ]

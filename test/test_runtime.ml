@@ -198,6 +198,49 @@ let test_batch_fast_matches_reference () =
     (fast = reference);
   check Alcotest.int "no errors" 0 fast.Runtime.errors
 
+(* --- Emitted-frame IPv4 checksums ----------------------------------
+   Regression: action rewrites (NAT, LB DNAT, TTL decrement) used to
+   leave the IPv4 checksum stale because encode paths only recomputed
+   it when the field was 0. Every emitted frame carrying IPv4 must now
+   check out under RFC 1071. *)
+
+let ipv4_off frame =
+  if Bytes.length frame < Netpkt.Eth.size + Netpkt.Ipv4.size then None
+  else
+    let et = Netpkt.Bytes_util.get_uint16 frame 12 in
+    if et = Netpkt.Eth.ethertype_sfc then begin
+      let off = Netpkt.Eth.size + Sfc_header.byte_size in
+      if Bytes.length frame >= off + Netpkt.Ipv4.size then Some off else None
+    end
+    else if et = Netpkt.Eth.ethertype_ipv4 then Some Netpkt.Eth.size
+    else None
+
+let test_emitted_checksums_valid () =
+  let run mode =
+    let rt = runtime () in
+    Runtime.configure rt
+      { (Runtime.engine rt) with Runtime.Engine.exec_mode = mode };
+    let checked = ref 0 in
+    List.iter
+      (fun (in_port, frame) ->
+        match Runtime.process rt ~in_port frame with
+        | Error e -> Alcotest.fail e
+        | Ok o -> (
+            match o.Runtime.verdict with
+            | Asic.Chip.Emitted { frame = out; _ } -> (
+                match ipv4_off out with
+                | Some off ->
+                    incr checked;
+                    check Alcotest.bool "emitted IPv4 checksum valid" true
+                      (Netpkt.Ipv4.checksum_valid out ~off)
+                | None -> ())
+            | _ -> ()))
+      (mixed_workload 48);
+    check Alcotest.bool "some emitted frames carried IPv4" true (!checked > 0)
+  in
+  run Asic.Chip.Fast;
+  run Asic.Chip.Reference
+
 let test_unhandled_cpu_packet_terminates () =
   (* No handlers registered: the To_cpu verdict must surface, not loop. *)
   let compiled =
@@ -234,5 +277,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_batch_deterministic;
           Alcotest.test_case "fast = reference" `Quick
             test_batch_fast_matches_reference;
+        ] );
+      ( "checksums",
+        [
+          Alcotest.test_case "emitted ipv4 checksums valid" `Quick
+            test_emitted_checksums_valid;
         ] );
     ]
