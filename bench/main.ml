@@ -520,6 +520,15 @@ let bench_domains = ref 1
    --smoke --cache). *)
 let bench_cache = ref false
 
+(* --churn adds the live-control-plane section to the runtime benchmark:
+   a 10k-op BGP-style trace (FIB add/mod/del + ACL toggles) replayed
+   through Runtime.apply_ops on a running sharded engine with the flow
+   cache on, op batches interleaved with traffic batches. Reports update
+   throughput and the forwarding-rate dip vs a churn-free baseline, and
+   gates (exit 1) on the live-applied final state digest matching a
+   cold-built runtime's (CI runs --smoke --churn). *)
+let bench_churn = ref false
+
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
   let anneal_iterations = if !smoke then 400 else 4000 in
@@ -749,41 +758,45 @@ let bench_runtime () =
      one bucket per prefix length). Installed identically in both modes
      before the clock starts. *)
   let fib_extra = 512 + 32 in
+  let fib_entry ~prefix_len addr =
+    {
+      P4ir.Table.priority = 0;
+      patterns =
+        [
+          P4ir.Table.M_lpm
+            { value = P4ir.Bitval.of_int ~width:32 addr; prefix_len };
+        ];
+      action = "route";
+      args =
+        [
+          P4ir.Bitval.of_int ~width:48 0x020000aa0001;
+          P4ir.Bitval.of_int ~width:48 0x0200000000fe;
+        ];
+    }
+  in
+  let fib_ops =
+    let entries =
+      List.init 512 (fun i ->
+          fib_entry ~prefix_len:24
+            ((172 lsl 24)
+            lor ((16 + (i lsr 8)) lsl 16)
+            lor ((i land 0xff) lsl 8)))
+      @ List.init 32 (fun i ->
+            fib_entry ~prefix_len:20
+              ((172 lsl 24)
+              lor ((24 + (i lsr 4)) lsl 16)
+              lor ((i land 0xf) lsl 12)))
+    in
+    List.map
+      (fun e -> Ctrl.Table (Nflib.Catalog.routes_table_name, Ctrl.Add e))
+      entries
+  in
+  (* Installed through the typed-op front door — the same path the churn
+     trace takes at runtime. *)
   let install_fib compiled =
-    match Compiler.find_nf_table compiled ~nf:"router" ~table:"routes" with
-    | None -> failwith "bench runtime: router__routes not found"
-    | Some table ->
-        let entry ~prefix_len addr =
-          {
-            P4ir.Table.priority = 0;
-            patterns =
-              [
-                P4ir.Table.M_lpm
-                  { value = P4ir.Bitval.of_int ~width:32 addr; prefix_len };
-              ];
-            action = "route";
-            args =
-              [
-                P4ir.Bitval.of_int ~width:48 0x020000aa0001;
-                P4ir.Bitval.of_int ~width:48 0x0200000000fe;
-              ];
-          }
-        in
-        let entries =
-          List.init 512 (fun i ->
-              entry ~prefix_len:24
-                ((172 lsl 24)
-                lor ((16 + (i lsr 8)) lsl 16)
-                lor ((i land 0xff) lsl 8)))
-          @ List.init 32 (fun i ->
-                entry ~prefix_len:20
-                  ((172 lsl 24)
-                  lor ((24 + (i lsr 4)) lsl 16)
-                  lor ((i land 0xf) lsl 12)))
-        in
-        (match P4ir.Table.add_entries table entries with
-        | Ok () -> ()
-        | Error e -> failwith ("bench runtime: FIB install failed: " ^ e))
+    match Ctrl.apply_all compiled.Compiler.chip fib_ops with
+    | Ok _ -> ()
+    | Error e -> failwith ("bench runtime: FIB install failed: " ^ e)
   in
   let engine_for ?(domains = 1) mode =
     { Runtime.Engine.default with Runtime.Engine.exec_mode = mode; domains }
@@ -1257,10 +1270,155 @@ let bench_runtime () =
       results
     end
   in
-  (* --telemetry / --domains / --cache keep the JSON even under --smoke:
-     the overhead / scaling numbers are the point and CI archives the
-     file. *)
-  if !smoke && (not !telemetry) && !bench_domains <= 1 && not !bench_cache then
+  (* --churn: the live control plane under load. A 10k-op BGP-style
+     trace (Catalog.fib_churn_trace: FIB announce/re-announce/withdraw
+     plus ACL toggles) is cut into batches and replayed through
+     Runtime.apply_ops on a running sharded engine with the flow cache
+     on, one op batch between every two traffic batches — the paper's
+     runtime-churn story: table updates land between packet batches,
+     never mid-packet, and the data plane never stops. Reported: update
+     throughput (ops/s over the op-apply wall time) and the
+     forwarding-rate dip vs an identical churn-free traffic schedule.
+     Gated (exit 1, also under --smoke — this is the CI divergence
+     gate): the live-applied final state must digest-identical a
+     cold-built runtime that applied the same trace with no traffic in
+     flight, and both must forward a probe batch identically. *)
+  let churn_results =
+    if not !bench_churn then None
+    else begin
+      let n_ops = 10_000 in
+      let ops_per_batch = if !smoke then 200 else 50 in
+      let pkts_per_batch = if !smoke then 50 else 200 in
+      let churn_domains = max 2 !bench_domains in
+      let capacity = 65536 in
+      let engine =
+        {
+          (engine_for ~domains:churn_domains Asic.Chip.Fast) with
+          Runtime.Engine.cache = Runtime.Engine.Emc { capacity };
+        }
+      in
+      let trace = Nflib.Catalog.fib_churn_trace ~n:n_ops () in
+      let op_batches =
+        let rec split acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | op :: rest ->
+              if k = ops_per_batch then
+                split (List.rev cur :: acc) [ op ] 1 rest
+              else split acc (op :: cur) (k + 1) rest
+        in
+        split [] [] 0 trace
+      in
+      let n_batches = List.length op_batches in
+      (* Traffic during churn: the bench workload mix, cycled into one
+         slice per op batch. *)
+      let traffic = Array.of_list workload in
+      let traffic_batch b =
+        List.init pkts_per_batch (fun i ->
+            traffic.((b * pkts_per_batch + i) mod npkts))
+      in
+      let fresh_rt () =
+        let compiled =
+          match compile_prototype () with Ok c -> c | Error e -> failwith e
+        in
+        let rt = Runtime.create ~engine compiled in
+        Nflib.Catalog.attach_handlers rt compiled;
+        install_fib compiled;
+        rt
+      in
+      Format.printf
+        "@.live control plane (--churn): %d ops in %d batches of <=%d, %d \
+         pkts of traffic between batches, domains=%d, cache on:@."
+        n_ops n_batches ops_per_batch pkts_per_batch churn_domains;
+      (* Churn-free baseline: the identical traffic schedule, no ops. *)
+      let rt_base = fresh_rt () in
+      let base_traffic_s = ref 0.0 in
+      for b = 0 to n_batches - 1 do
+        let batch = traffic_batch b in
+        let t0 = Unix.gettimeofday () in
+        ignore (Runtime.process_batch_parallel rt_base batch);
+        base_traffic_s := !base_traffic_s +. (Unix.gettimeofday () -. t0)
+      done;
+      (* Live run: one op batch through the front door, then one traffic
+         batch, interleaved across the whole trace. *)
+      let rt_live = fresh_rt () in
+      let op_s = ref 0.0 and live_traffic_s = ref 0.0 in
+      let applied = ref 0 in
+      List.iteri
+        (fun b ops ->
+          let t0 = Unix.gettimeofday () in
+          (match Runtime.apply_ops rt_live ops with
+          | Ok n -> applied := !applied + n
+          | Error e -> failwith ("bench runtime --churn: op failed: " ^ e));
+          op_s := !op_s +. (Unix.gettimeofday () -. t0);
+          let batch = traffic_batch b in
+          let t0 = Unix.gettimeofday () in
+          ignore (Runtime.process_batch_parallel rt_live batch);
+          live_traffic_s := !live_traffic_s +. (Unix.gettimeofday () -. t0))
+        op_batches;
+      (* Cold oracle: a fresh runtime, the whole trace applied with no
+         traffic in flight. The live-applied control-plane state must be
+         byte-identical (the digest covers every table's match keys,
+         actions and args, and every register's nonzero cells). *)
+      let rt_cold = fresh_rt () in
+      (match Runtime.apply_ops rt_cold trace with
+      | Ok _ -> ()
+      | Error e -> failwith ("bench runtime --churn: cold apply failed: " ^ e));
+      let live_digest = Ctrl.state_digest (Runtime.chip rt_live) in
+      let cold_digest = Ctrl.state_digest (Runtime.chip rt_cold) in
+      let state_match = Int64.equal live_digest cold_digest in
+      (* And the two must forward identically from here on: the same
+         probe batch under the same sharding, digest-compared. *)
+      let probe = workload in
+      let p_live = Runtime.process_batch_parallel rt_live probe in
+      let p_cold = Runtime.process_batch_parallel rt_cold probe in
+      let probe_match = p_live.Runtime.digest = p_cold.Runtime.digest in
+      let ops_per_sec =
+        if !op_s > 0.0 then float_of_int !applied /. !op_s else 0.0
+      in
+      let n_traffic = n_batches * pkts_per_batch in
+      let ns_live = !live_traffic_s *. 1e9 /. float_of_int n_traffic in
+      let ns_base = !base_traffic_s *. 1e9 /. float_of_int n_traffic in
+      let dip_pct =
+        if ns_base > 0.0 then 100.0 *. (ns_live -. ns_base) /. ns_base else 0.0
+      in
+      Format.printf
+        "applied %d ops in %.2fms (%.0f ops/s); traffic %.0f ns/pkt under \
+         churn vs %.0f ns/pkt baseline (dip %+.1f%%)@."
+        !applied (!op_s *. 1000.0) ops_per_sec ns_live ns_base dip_pct;
+      Format.printf
+        "final state: live=%Lx cold=%Lx match=%b; probe digests match=%b@."
+        live_digest cold_digest state_match probe_match;
+      if not (state_match && probe_match) then begin
+        Format.printf
+          "ERROR: live-applied churn state diverges from the cold-built \
+           oracle!@.";
+        exit 1
+      end;
+      Some
+        ( !applied,
+          n_batches,
+          ops_per_sec,
+          !op_s,
+          n_traffic,
+          ns_live,
+          ns_base,
+          dip_pct,
+          churn_domains,
+          capacity,
+          state_match,
+          probe_match )
+    end
+  in
+  (* --telemetry / --domains / --cache / --churn keep the JSON even
+     under --smoke: the overhead / scaling / churn numbers are the point
+     and CI archives the file. *)
+  if
+    !smoke
+    && (not !telemetry)
+    && !bench_domains <= 1
+    && (not !bench_cache)
+    && not !bench_churn
+  then
     Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
   else begin
     let overhead_json =
@@ -1320,6 +1478,34 @@ let bench_runtime () =
             \  ] },\n"
             (String.concat ",\n" rows)
     in
+    let churn_json =
+      match churn_results with
+      | None -> ""
+      | Some
+          ( applied,
+            n_batches,
+            ops_per_sec,
+            op_s,
+            n_traffic,
+            ns_live,
+            ns_base,
+            dip_pct,
+            churn_domains,
+            capacity,
+            state_match,
+            probe_match ) ->
+          Printf.sprintf
+            "  \"churn\": { \"ops\": %d, \"op_batches\": %d, \
+             \"ops_per_sec\": %.0f, \"update_wall_s\": %.6f,\n\
+            \             \"traffic\": { \"packets\": %d, \
+             \"ns_per_pkt_live\": %.1f, \"ns_per_pkt_baseline\": %.1f, \
+             \"dip_pct\": %.2f },\n\
+            \             \"domains\": %d, \"cache_capacity\": %d,\n\
+            \             \"state_digest_match\": %b, \
+             \"probe_digest_match\": %b },\n"
+            applied n_batches ops_per_sec op_s n_traffic ns_live ns_base
+            dip_pct churn_domains capacity state_match probe_match
+    in
     let oc = open_out "BENCH_runtime.json" in
     Printf.fprintf oc
       "{\n\
@@ -1341,7 +1527,8 @@ let bench_runtime () =
        }\n"
       npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
       ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json
-      (parallel_json ^ cache_json) speedup
+      (parallel_json ^ cache_json ^ churn_json)
+      speedup
       identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
       fast.Runtime.to_cpu fast.Runtime.errors
       fast_c.Runtime.Counters.cpu_round_trips fast_c.Runtime.Counters.recircs
@@ -1393,6 +1580,9 @@ let () =
         strip_flags acc rest
     | "--cache" :: rest ->
         bench_cache := true;
+        strip_flags acc rest
+    | "--churn" :: rest ->
+        bench_churn := true;
         strip_flags acc rest
     | "--domains" :: n :: rest ->
         (match int_of_string_opt n with

@@ -5,6 +5,7 @@
      dejavu compile [--strategy greedy] [--extended]
      dejavu send --dst 10.0.1.10 [--src ...] [--trace]
      dejavu run [--packets 200] [--domains 4] [--cache [--cache-capacity N]]
+     dejavu churn [--ops 10000] [--op-batch 50] [--domains 2] [--cache]
      dejavu programs [--pipelet "ingress 0"]
      dejavu report
      dejavu strategies
@@ -427,6 +428,118 @@ let run_cmd =
       const run $ strategy_arg $ extended_arg $ packets_arg $ domains_arg
       $ cache_arg $ cache_capacity_arg)
 
+(* --- churn ---------------------------------------------------------- *)
+
+let churn_cmd =
+  let ops_arg =
+    Cmdliner.Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Length of the BGP-style churn trace (add/mod/del mix).")
+  in
+  let op_batch_arg =
+    Cmdliner.Arg.(
+      value & opt int 50
+      & info [ "op-batch" ] ~docv:"N"
+          ~doc:"Ops submitted per control-plane batch.")
+  in
+  let domains_arg =
+    Cmdliner.Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the sharded data plane.")
+  in
+  let seed_arg =
+    Cmdliner.Arg.(
+      value & opt int 0x5eed
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Churn-trace random seed.")
+  in
+  let run strategy extended ops op_batch domains seed packets cache
+      cache_capacity =
+    if ops <= 0 || op_batch <= 0 || domains < 1 || packets <= 0 then begin
+      Format.eprintf "error: --ops, --op-batch, --domains and --packets must \
+                      be positive@.";
+      exit 2
+    end;
+    let mk () =
+      let compiled = or_die (compile ~strategy ~extended) in
+      let rt =
+        Runtime.create
+          ~engine:(engine_of ~domains ~cache ~cache_capacity)
+          compiled
+      in
+      Nflib.Catalog.attach_handlers rt compiled;
+      rt
+    in
+    let trace = Nflib.Catalog.fib_churn_trace ~seed ~n:ops () in
+    let batches =
+      let rec split acc cur k = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | op :: rest ->
+            if k = op_batch then split (List.rev cur :: acc) [ op ] 1 rest
+            else split acc (op :: cur) (k + 1) rest
+      in
+      split [] [] 0 trace
+    in
+    let traffic = mixed_workload packets in
+    (* Live: the producer/consumer path. Each op batch goes through the
+       update queue; the data plane drains and applies it at the next
+       batch boundary, so updates land between packet batches while
+       traffic keeps flowing. *)
+    let rt = mk () in
+    let q = Runtime.control rt in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun ops ->
+        ignore (Ctrl.submit q ops);
+        ignore (Runtime.process_batch_parallel rt traffic))
+      batches;
+    let wall = Unix.gettimeofday () -. t0 in
+    let failed =
+      List.filter (fun (_, r) -> Result.is_error r) (Ctrl.results q)
+    in
+    List.iter
+      (fun (id, r) ->
+        match r with
+        | Error e -> Format.eprintf "batch %d failed: %s@." id e
+        | Ok _ -> ())
+      failed;
+    (* Cold oracle: a fresh runtime, the same trace, no traffic. *)
+    let cold = mk () in
+    (match Runtime.apply_ops cold trace with
+    | Ok _ -> ()
+    | Error e ->
+        Format.eprintf "error: cold apply failed: %s@." e;
+        exit 1);
+    let live_digest = Ctrl.state_digest (Runtime.chip rt) in
+    let cold_digest = Ctrl.state_digest (Runtime.chip cold) in
+    let ok = failed = [] && Int64.equal live_digest cold_digest in
+    Format.printf
+      "churn: %d ops in %d batches of <=%d, %d pkts of traffic per batch, \
+       domains=%d cache=%b@."
+      ops (List.length batches) op_batch packets domains cache;
+    Format.printf "wall=%.2fms (%.0f ops/s incl. traffic)@." (wall *. 1000.0)
+      (float_of_int ops /. wall);
+    print_cache_stats rt;
+    Format.printf "state digest: live=%Lx cold=%Lx identical=%b@." live_digest
+      cold_digest
+      (Int64.equal live_digest cold_digest);
+    if not ok then begin
+      Format.eprintf
+        "error: live-applied state diverges from the cold-built oracle@.";
+      exit 1
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "churn"
+       ~doc:
+         "Replay a BGP-style table-update trace through the live control \
+          plane while traffic flows, and verify the final state against a \
+          cold-built runtime.")
+    Cmdliner.Term.(
+      const run $ strategy_arg $ extended_arg $ ops_arg $ op_batch_arg
+      $ domains_arg $ seed_arg $ packets_arg $ cache_arg $ cache_capacity_arg)
+
 (* --- stats ---------------------------------------------------------- *)
 
 let stats_cmd =
@@ -556,5 +669,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
-            place_cmd; cluster_cmd; stats_cmd; run_cmd;
+            place_cmd; cluster_cmd; stats_cmd; run_cmd; churn_cmd;
           ]))

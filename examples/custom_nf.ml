@@ -18,6 +18,25 @@ let mac = Netpkt.Mac.of_string_exn
 
 let geo_fence_name = "geo_fence"
 
+(* One fence rule as a typed table entry — used both to populate the
+   table at construction time and for live Ctrl ops later. *)
+let fence_entry ((p : Netpkt.Ip4.prefix), tenant) =
+  let open P4ir in
+  {
+    Table.priority = 0;
+    patterns =
+      [
+        Table.M_ternary
+          {
+            value = Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
+            mask = Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
+          };
+        Table.M_exact (Bitval.of_int ~width:16 tenant);
+      ];
+    action = "geo_deny";
+    args = [];
+  }
+
 let geo_fence ~(fenced : (Netpkt.Ip4.prefix * int) list) () =
   let open P4ir in
   (* Deny when (src in prefix) and (tenant ctx = tenant). *)
@@ -43,26 +62,7 @@ let geo_fence ~(fenced : (Netpkt.Ip4.prefix * int) list) () =
         ~tables:[ table ]
         ~body:[ P4ir.Control.Apply "fence" ]
         ())
-    (Table.add_entries table
-       (List.map
-          (fun ((p : Netpkt.Ip4.prefix), tenant) ->
-            {
-              Table.priority = 0;
-              patterns =
-                [
-                  Table.M_ternary
-                    {
-                      value =
-                        Bitval.make ~width:32 (Netpkt.Ip4.to_int64 p.Netpkt.Ip4.addr);
-                      mask =
-                        Bitval.make ~width:32 (Netpkt.Ip4.prefix_mask p.Netpkt.Ip4.len);
-                    };
-                  Table.M_exact (Bitval.of_int ~width:16 tenant);
-                ];
-              action = "geo_deny";
-              args = [];
-            })
-          fenced))
+    (Table.add_entries table (List.map fence_entry fenced))
 
 (* --- deployment ---------------------------------------------------- *)
 
@@ -142,4 +142,20 @@ let () =
   send ~src:"198.18.5.5" ~dst:"10.0.3.50";
   send ~src:"203.0.113.5" ~dst:"10.0.3.50";
   Format.printf "@.tenant-1 traffic (not fenced, same source):@.";
-  send ~src:"198.18.5.5" ~dst:"10.0.1.10"
+  send ~src:"198.18.5.5" ~dst:"10.0.1.10";
+  (* Live policy update: tenant 3 fences another source prefix at
+     runtime through the typed control-plane op language — no recompile,
+     no restart. Ops address tables by their composed (per-NF-instance)
+     name. *)
+  Format.printf "@.tenant 3 fences 203.0.113.0/24 at runtime (one Ctrl op):@.";
+  (match
+     Runtime.apply_ops rt
+       [
+         Ctrl.Table
+           ( Compose.nf_table_name ~nf:geo_fence_name "fence",
+             Ctrl.Add (fence_entry (pfx "203.0.113.0/24", 3)) );
+       ]
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("live update failed: " ^ e));
+  send ~src:"203.0.113.5" ~dst:"10.0.3.50"

@@ -73,6 +73,11 @@ let find_table t name =
     (fun pl -> P4ir.Program.find_table (Pipelet.program pl) name)
     (pipelets t)
 
+let find_register t name =
+  List.find_map
+    (fun pl -> P4ir.Program.find_register (Pipelet.program pl) name)
+    (pipelets t)
+
 (* A share-nothing clone for per-domain parallel execution: every
    pipelet program is deep-copied (installed table entries, register
    cells) and re-loaded, which re-allocates stages and recompiles

@@ -44,6 +44,10 @@ val find_table : t -> string -> P4ir.Table.t option
     all pipelet programs — how chip-bound control-plane handlers locate
     the table they install into on a {!replicate}d chip. *)
 
+val find_register : t -> string -> P4ir.Register.t option
+(** Same resolution for registers — how control-plane ops address
+    stateful NF state by (composed) name. *)
+
 val replicate : t -> (t, string) result
 (** A share-nothing clone: every pipelet program's mutable state
     (installed table entries, register cells) is deep-copied and

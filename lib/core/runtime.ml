@@ -90,6 +90,10 @@ type t = {
      when the engine's cache knob is [Off]. Shard replicas get their
      own cache over their own replica chip. *)
   mutable cache : Flow_cache.t option;
+  (* Control-plane update queue, drained onto the primary chip at batch
+     boundaries. Shard replicas carry a fresh (never-submitted-to)
+     queue — ops always target the primary. *)
+  ctrl : Ctrl.queue;
 }
 
 let max_cpu_loops = 8
@@ -124,6 +128,38 @@ let build_reinject_map compiled =
   reinject
 
 let chip t = t.chip
+
+(* --- Control plane front door ---
+
+   All runtime table/register mutation funnels through here: [apply_ops]
+   applies a batch to the primary chip immediately (the caller
+   guarantees it is between packet batches — the single-consumer
+   contract), [control]/[submit] let producers on any domain queue
+   batches, and [sync] — called automatically at the top of every
+   packet batch — drains the queue onto the primary chip. Replica
+   coherence is structural: parallel batches clone per-domain replicas
+   from the primary at batch start, so a drained batch is visible to
+   every shard of the next packet batch and to none of the current
+   one. *)
+
+let apply_ops t ops = Ctrl.apply_all t.chip ops
+let control t = t.ctrl
+
+let sync t =
+  let batches = Ctrl.drain t.ctrl in
+  let applied, errs_rev =
+    List.fold_left
+      (fun (n, errs) (b : Ctrl.batch) ->
+        match Ctrl.apply_all t.chip b.Ctrl.ops with
+        | Ok k ->
+            Ctrl.note t.ctrl b.Ctrl.id (Ok k);
+            (n + k, errs)
+        | Error e ->
+            Ctrl.note t.ctrl b.Ctrl.id (Error e);
+            (n, (b.Ctrl.id, e) :: errs))
+      (0, []) batches
+  in
+  (applied, List.rev errs_rev)
 
 let enable_obs t level ring_capacity =
   let o = Observe.create ~ring_capacity level in
@@ -214,6 +250,7 @@ let create ?(engine = Engine.default) compiled =
       engine = Engine.default;
       obs = None;
       cache = None;
+      ctrl = Ctrl.queue ();
     }
   in
   configure t engine;
@@ -505,6 +542,10 @@ let fold_digest acc tag port frame =
   | Some b -> Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len:(Bytes.length b)
 
 let process_batch ?each t pkts =
+  (* Batch boundary: drain queued control-plane batches onto this
+     runtime's chip before any packet of this batch runs. Outcomes land
+     in the queue's result log. *)
+  ignore (sync t);
   let stats = ref empty_stats in
   List.iteri
     (fun i (in_port, frame) ->
@@ -598,6 +639,7 @@ let replica_of t =
           engine = { t.engine with Engine.domains = 1 };
           obs = None;
           cache = None;
+          ctrl = Ctrl.queue ();
         }
       in
       Hashtbl.iter
@@ -660,6 +702,10 @@ let process_batch_parallel ?domains ?each t pkts =
        its state persistence on the primary chip. *)
     process_batch ?each t pkts
   else begin
+    (* Drain queued control ops onto the primary BEFORE replicating:
+       every shard of this batch then clones the same post-update
+       state — the replica-coherence point. *)
+    ignore (sync t);
     let buckets = Array.make domains [] in
     List.iteri
       (fun i (in_port, frame) ->

@@ -116,6 +116,35 @@ val process : t -> in_port:int -> Bytes.t -> (outcome, string) result
 val max_cpu_loops : int
 val chip : t -> Asic.Chip.t
 
+(** {2 Control plane}
+
+    The single front door for runtime table/register mutation: typed
+    {!Ctrl} ops addressed by composed object name, applied to the
+    primary chip between packet batches. Direct [Table.add_entry] on a
+    compiled chip still works (NF constructors use it before traffic
+    starts), but live mutation should flow through here so it is
+    observable, queueable and coherent across shard replicas. *)
+
+val apply_ops : t -> Ctrl.op list -> (int, string) result
+(** Apply a batch of ops to the primary chip now, in order, stopping at
+    the first failure ([Ok n] = all [n] applied). The caller must be
+    between packet batches — the runtime's single-consumer contract;
+    epoch bumps make every change visible to the flow cache, and the
+    next parallel batch replicates the updated state to all shards. *)
+
+val control : t -> Ctrl.queue
+(** The runtime's update queue. Producers (CPU handlers, other domains,
+    an operator loop) {!Ctrl.submit} op batches at any time; the
+    runtime drains the queue onto the primary chip at the top of every
+    {!process_batch} / {!process_batch_parallel} call, recording
+    per-batch outcomes in the queue's result log ({!Ctrl.results}). *)
+
+val sync : t -> int * (int * string) list
+(** Drain and apply all pending queue batches immediately (what the
+    batch entry points do): total ops applied, plus per-batch errors as
+    [(batch_id, message)]. A failed batch stops at its first bad op but
+    does not block later batches. *)
+
 (** {2 Telemetry} *)
 
 val set_telemetry : ?ring_capacity:int -> t -> Telemetry.Level.t -> unit

@@ -173,6 +173,116 @@ let edge_cloud_input ?(spec = Asic.Spec.wedge_100b)
     ~chains:(if extended then extended_chains ~exit_port else chains ~exit_port)
     ()
 
+(* Composed (per-NF-instance) object names, as control-plane ops
+   address them on a compiled chip. *)
+let routes_table_name = Compose.nf_table_name ~nf:Router.name Router.table_name
+let acl_table_name = Compose.nf_table_name ~nf:Firewall.name Firewall.table_name
+
+(* --- BGP-style churn trace ---
+
+   A deterministic mixed add/mod/del op trace over the deployment's
+   FIB (172.16.0.0/12 carved into /24s) with a sprinkle of ACL rule
+   churn — the update pattern of a router absorbing BGP UPDATE bursts:
+   mostly announcements while the table warms, then a steady mix of
+   re-announcements with changed attributes (Mod of the next-hop MAC),
+   withdrawals (Del) and fresh announcements (Add). Valid by
+   construction — every Mod/Del names a route that is live at that
+   point of the trace — so the whole trace applies cleanly both live
+   (interleaved with traffic) and cold, and the two must converge to
+   identical state. *)
+let fib_churn_trace ?(seed = 0x5eed) ~n () =
+  let rng = Random.State.make [| seed |] in
+  let base = Netpkt.Ip4.to_int64 (ip "172.16.0.0") in
+  let src_mac = mac "02:00:00:00:00:fe" in
+  (* Stay well under the routes table's 4096 capacity (2 baseline
+     routes are already installed). *)
+  let max_slots = 3000 in
+  let gens = Array.make max_slots 0 in
+  (* Live slots as a swap-remove vector for O(1) random picks. *)
+  let live = Array.make max_slots 0 in
+  let n_live = ref 0 in
+  let pos = Array.make max_slots (-1) in
+  let next_slot = ref 0 in
+  let route_of slot =
+    let addr = Netpkt.Ip4.of_int64 (Int64.add base (Int64.of_int (slot lsl 8))) in
+    let nh = Int64.of_int (0x020000100000 + (slot lsl 8) + (gens.(slot) land 0xff)) in
+    {
+      Router.prefix = { Netpkt.Ip4.addr; len = 24 };
+      next_hop_mac = Netpkt.Mac.of_int64 nh;
+      src_mac;
+    }
+  in
+  let add_slot slot =
+    live.(!n_live) <- slot;
+    pos.(slot) <- !n_live;
+    incr n_live
+  in
+  let del_slot slot =
+    let i = pos.(slot) in
+    decr n_live;
+    let last = live.(!n_live) in
+    live.(i) <- last;
+    pos.(last) <- i;
+    pos.(slot) <- -1
+  in
+  let acl_rule i =
+    {
+      Firewall.src = Some { Netpkt.Ip4.addr = ip (Printf.sprintf "198.18.%d.0" i); len = 24 };
+      dst = None;
+      proto = None;
+      dst_port = None;
+      action = Firewall.Deny;
+      priority = 100 + i;
+    }
+  in
+  let acl_live = Array.make 64 false in
+  let ops = ref [] in
+  let emit o = ops := o :: !ops in
+  for k = 0 to n - 1 do
+    if k mod 41 = 7 then begin
+      (* ACL churn rides along: toggle one of 64 deny rules. *)
+      let i = Random.State.int rng 64 in
+      let op = if acl_live.(i) then Ctrl.Del (Firewall.rule_entry (acl_rule i))
+               else Ctrl.Add (Firewall.rule_entry (acl_rule i)) in
+      acl_live.(i) <- not acl_live.(i);
+      emit (Ctrl.Table (acl_table_name, op))
+    end
+    else begin
+      let roll = Random.State.float rng 1.0 in
+      if (!n_live < 64 || roll < 0.50) && !next_slot < max_slots then begin
+        let slot = !next_slot in
+        incr next_slot;
+        add_slot slot;
+        emit (Ctrl.Table (routes_table_name, Ctrl.Add (Router.route_entry (route_of slot))))
+      end
+      else if !n_live = 0 then begin
+        (* Degenerate fallback: nothing to mod/del and the fresh-slot
+           pool is spent — re-announce a withdrawn prefix. *)
+        let start = Random.State.int rng !next_slot in
+        let slot =
+          let rec find i = if pos.((start + i) mod !next_slot) >= 0 then find (i + 1) else (start + i) mod !next_slot in
+          find 0
+        in
+        gens.(slot) <- gens.(slot) + 1;
+        add_slot slot;
+        emit (Ctrl.Table (routes_table_name, Ctrl.Add (Router.route_entry (route_of slot))))
+      end
+      else if roll < 0.78 then begin
+        (* Re-announcement: same prefix, new next hop. *)
+        let slot = live.(Random.State.int rng !n_live) in
+        gens.(slot) <- gens.(slot) + 1;
+        emit (Ctrl.Table (routes_table_name, Ctrl.Mod (Router.route_entry (route_of slot))))
+      end
+      else begin
+        (* Withdrawal. *)
+        let slot = live.(Random.State.int rng !n_live) in
+        emit (Ctrl.Table (routes_table_name, Ctrl.Del (Router.route_entry (route_of slot))));
+        del_slot slot
+      end
+    end
+  done;
+  List.rev !ops
+
 let attach_handlers runtime _compiled =
   Runtime.register_nf_id runtime Lb.name Lb.nf_id;
   Runtime.register_nf_id runtime Classifier.name Classifier.nf_id;

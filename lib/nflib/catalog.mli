@@ -51,3 +51,21 @@ val edge_cloud_input :
 
 val attach_handlers : Dejavu_core.Runtime.t -> Dejavu_core.Compiler.t -> unit
 (** Register the LB miss handler (and NF ids) on a runtime. *)
+
+val routes_table_name : string
+(** The router FIB's composed table name on a compiled chip — what
+    control-plane ops address. *)
+
+val acl_table_name : string
+(** The firewall ACL's composed table name on a compiled chip. *)
+
+val fib_churn_trace : ?seed:int -> n:int -> unit -> Dejavu_core.Ctrl.op list
+(** A deterministic BGP-style churn trace of [n] typed ops: mostly FIB
+    announcements (Add of /24s under 172.16.0.0/12) while the table
+    warms, then a mix of re-announcements with a changed next hop
+    (Mod), withdrawals (Del) and fresh announcements, plus occasional
+    firewall ACL rule toggles. Valid by construction — every Mod/Del
+    names a route live at that point — so the trace applies cleanly
+    both live under traffic and cold, converging to identical state.
+    Stays within the FIB's capacity alongside the deployment's
+    baseline routes. *)

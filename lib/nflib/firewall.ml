@@ -39,6 +39,22 @@ let opt_exact_pattern width = function
           mask = P4ir.Bitval.max_value width;
         }
 
+(* The typed table entry for one ACL rule — shared by construction-time
+   population and live control-plane ops. *)
+let rule_entry rule =
+  {
+    P4ir.Table.priority = rule.priority;
+    patterns =
+      [
+        prefix_pattern rule.src;
+        prefix_pattern rule.dst;
+        opt_exact_pattern 8 rule.proto;
+        opt_exact_pattern 16 rule.dst_port;
+      ];
+    action = (match rule.action with Permit -> "permit" | Deny -> "deny");
+    args = [];
+  }
+
 let make_table ?(default = Permit) rules =
   let open P4ir in
   let table =
@@ -54,25 +70,7 @@ let make_table ?(default = Permit) rules =
       ~default:((match default with Permit -> "permit" | Deny -> "deny"), [])
       ~max_size:1024 ()
   in
-  Result.map
-    (fun () -> table)
-    (Table.add_entries table
-       (List.map
-          (fun rule ->
-            {
-              Table.priority = rule.priority;
-              patterns =
-                [
-                  prefix_pattern rule.src;
-                  prefix_pattern rule.dst;
-                  opt_exact_pattern 8 rule.proto;
-                  opt_exact_pattern 16 rule.dst_port;
-                ];
-              action =
-                (match rule.action with Permit -> "permit" | Deny -> "deny");
-              args = [];
-            })
-          rules))
+  Result.map (fun () -> table) (Table.add_entries table (List.map rule_entry rules))
 
 let create ?(default = Permit) rules () =
   Result.map

@@ -15,6 +15,12 @@ type rule = {
 
 val name : string
 val table_name : string
+
+val rule_entry : rule -> P4ir.Table.entry
+(** The typed table entry for one ACL rule — what construction-time
+    population installs and what control-plane ops ([Ctrl.Add/Mod/Del])
+    are built around. *)
+
 val create : ?default:action -> rule list -> unit -> (Dejavu_core.Nf.t, string) result
 
 type ref_input = {

@@ -78,14 +78,23 @@ let create () =
 
 let session_hash = Netpkt.Flow.hash_five_tuple
 
+(* The typed table entry for one session — shared by the punt handler
+   and any control-plane producer pre-installing sessions. *)
+let session_entry tuple backend =
+  {
+    P4ir.Table.priority = 0;
+    patterns =
+      [ P4ir.Table.M_exact (P4ir.Bitval.make ~width:32 (session_hash tuple)) ];
+    action = "modify_dstIp";
+    args = [ P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 backend) ];
+  }
+
+(* Routed through the typed-op layer: the punt handler runs mid-batch
+   against the chip that punted (a shard replica under sharding), where
+   applying the op directly to the resolved handle IS the coherent
+   path — replicas are rebuilt from the primary at the next batch. *)
 let install_session table tuple backend =
-  P4ir.Table.add_entry table
-    {
-      P4ir.Table.priority = 0;
-      patterns = [ P4ir.Table.M_exact (P4ir.Bitval.make ~width:32 (session_hash tuple)) ];
-      action = "modify_dstIp";
-      args = [ P4ir.Bitval.make ~width:32 (Netpkt.Ip4.to_int64 backend) ];
-    }
+  Ctrl.apply_table table (Ctrl.Add (session_entry tuple backend))
 
 let pick_backend backends tuple =
   match backends with

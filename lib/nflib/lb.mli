@@ -15,9 +15,16 @@ val session_hash : Netpkt.Flow.five_tuple -> int64
 (** The hash the data plane computes (identical to
     {!Netpkt.Flow.hash_five_tuple}). *)
 
+val session_entry :
+  Netpkt.Flow.five_tuple -> Netpkt.Ip4.t -> P4ir.Table.entry
+(** The typed session entry mapping the flow's hash to a backend IP —
+    what {!install_session} installs and what control-plane ops
+    ([Ctrl.Add/Mod/Del]) are built around. *)
+
 val install_session :
   P4ir.Table.t -> Netpkt.Flow.five_tuple -> Netpkt.Ip4.t -> (unit, string) result
-(** Add a session entry mapping the flow's hash to a backend IP. *)
+(** Install the session through the typed-op layer
+    ([Ctrl.apply_table]). *)
 
 val pick_backend : Netpkt.Ip4.t list -> Netpkt.Flow.five_tuple -> Netpkt.Ip4.t
 (** Deterministic backend choice: hash modulo the pool size. *)

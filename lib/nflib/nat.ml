@@ -9,6 +9,18 @@ let snat_action =
   P4ir.Action.make "snat" ~params:[ ("public", 32) ]
     [ P4ir.Action.Assign (Net_hdrs.ip_src, P4ir.Expr.Param "public") ]
 
+(* The typed table entry for one binding — shared by construction-time
+   population and live control-plane ops. *)
+let binding_entry b =
+  let open P4ir in
+  {
+    Table.priority = 0;
+    patterns =
+      [ Table.M_exact (Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.internal)) ];
+    action = "snat";
+    args = [ Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.public) ];
+  }
+
 let make_table bindings =
   let open P4ir in
   let table =
@@ -19,20 +31,7 @@ let make_table bindings =
   in
   Result.map
     (fun () -> table)
-    (Table.add_entries table
-       (List.map
-          (fun b ->
-            {
-              Table.priority = 0;
-              patterns =
-                [
-                  Table.M_exact
-                    (Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.internal));
-                ];
-              action = "snat";
-              args = [ Bitval.make ~width:32 (Netpkt.Ip4.to_int64 b.public) ];
-            })
-          bindings))
+    (Table.add_entries table (List.map binding_entry bindings))
 
 let create bindings () =
   Result.map

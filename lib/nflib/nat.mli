@@ -5,6 +5,12 @@ type binding = { internal : Netpkt.Ip4.t; public : Netpkt.Ip4.t }
 
 val name : string
 val table_name : string
+
+val binding_entry : binding -> P4ir.Table.entry
+(** The typed table entry for one binding — what construction-time
+    population installs and what control-plane ops ([Ctrl.Add/Mod/Del])
+    are built around. *)
+
 val create : binding list -> unit -> (Dejavu_core.Nf.t, string) result
 val reference : binding list -> Netpkt.Ip4.t -> Netpkt.Ip4.t
 (** Identity for unbound sources. *)

@@ -24,6 +24,32 @@ let no_route_action =
   P4ir.Action.make "no_route"
     [ P4ir.Action.Assign (Sfc_header.drop_flag, P4ir.Expr.const ~width:1 1) ]
 
+(* The typed table entry for one route — the single source of truth for
+   how a route serializes into the match-action table, shared by
+   construction-time population and live control-plane ops (a churn
+   trace builds [Ctrl.Add/Mod/Del] around these). *)
+let route_entry r =
+  let open P4ir in
+  {
+    Table.priority = 0;
+    patterns =
+      [
+        Table.M_lpm
+          {
+            value =
+              Bitval.make ~width:32
+                (Netpkt.Ip4.to_int64 r.prefix.Netpkt.Ip4.addr);
+            prefix_len = r.prefix.Netpkt.Ip4.len;
+          };
+      ];
+    action = "route";
+    args =
+      [
+        Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.next_hop_mac);
+        Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.src_mac);
+      ];
+  }
+
 let make_table routes =
   let open P4ir in
   let table =
@@ -34,29 +60,7 @@ let make_table routes =
   in
   Result.map
     (fun () -> table)
-    (Table.add_entries table
-       (List.map
-          (fun r ->
-            {
-              Table.priority = 0;
-              patterns =
-                [
-                  Table.M_lpm
-                    {
-                      value =
-                        Bitval.make ~width:32
-                          (Netpkt.Ip4.to_int64 r.prefix.Netpkt.Ip4.addr);
-                      prefix_len = r.prefix.Netpkt.Ip4.len;
-                    };
-                ];
-              action = "route";
-              args =
-                [
-                  Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.next_hop_mac);
-                  Bitval.make ~width:48 (Netpkt.Mac.to_int64 r.src_mac);
-                ];
-            })
-          routes))
+    (Table.add_entries table (List.map route_entry routes))
 
 let body =
   let open P4ir in

@@ -11,6 +11,12 @@ type route = {
 
 val name : string
 val table_name : string
+
+val route_entry : route -> P4ir.Table.entry
+(** The typed table entry for one route — what construction-time
+    population installs and what control-plane ops ([Ctrl.Add/Mod/Del],
+    e.g. a BGP-style churn trace) are built around. *)
+
 val create : route list -> unit -> (Dejavu_core.Nf.t, string) result
 
 type ref_output =

@@ -49,15 +49,20 @@ let ipat_matches p v =
 (* An installed entry with everything a lookup needs precomputed:
    insertion sequence (tie-break), total prefix length (tie-break),
    lowered patterns, resolved action and pre-bound action data. The
-   naive path recomputed all of this per candidate per packet. *)
+   naive path recomputed all of this per candidate per packet.
+
+   [e]/[act]/[bound]/[crun] are mutable for {!mod_entry}: a modify
+   rebinds the action data in place — the match key (priority and
+   patterns, the entry's identity) never changes after install, so the
+   index partitions need no maintenance beyond the epoch bump. *)
 type ientry = {
-  e : entry;
+  mutable e : entry;
   seq : int;
   lpm : int;
   ipats : ipat array;
-  act : Action.t;
-  bound : (string * Bitval.t) list;
-  crun : Action.compiled;
+  mutable act : Action.t;
+  mutable bound : (string * Bitval.t) list;
+  mutable crun : Action.compiled;
   (* Telemetry: hits attributed to this entry while stats are enabled.
      Lives on the installed entry so the hot path bumps a field it
      already holds — no side lookup. *)
@@ -100,7 +105,7 @@ end)
    mask over the declared key width; buckets key on the masked value. *)
 type lpm_group = { plen : int; gmask : int64; buckets : ientry list ref HI64.t }
 
-(* Staged index, rebuilt incrementally on insert:
+(* Staged index, maintained incrementally on insert AND delete:
    - [exact1]: single-key [M_exact] entries hashed on the bare value —
      the common case (FIB next-hop, session, flag tables) skips the
      key-array allocation entirely.
@@ -110,20 +115,24 @@ type lpm_group = { plen : int; gmask : int64; buckets : ientry list ref HI64.t }
      probed longest-first.
    - [linear]: everything else (ternary, range, wildcards, mixed
      multi-key prefixes) — scanned with precomputed entry data.
-   - [rev_all]: every installed entry, for the width-mismatch fallback. *)
+   Deletion unlinks one entry from its partition bucket (and drops
+   emptied buckets / prefix-length groups); no bulk rebuild. *)
 type index = {
   exact1 : ientry list ref HI64.t;
   exact : ientry list ref H64.t;
   mutable lpm : lpm_group list; (* sorted by plen, longest first *)
   mutable linear : ientry list;
-  mutable rev_all : ientry list;
 }
 
 type stats = { mutable hits : int; mutable misses : int }
 
 type store = {
-  mutable rev_entries : entry list;
-  mutable rev_seqs : (entry * int) list;
+  (* Source of truth: every installed entry keyed by its sequence
+     number. Seqs are unique for the lifetime of the store — [clear]
+     and [del_entry] never reset [next_seq] — so a replica made with
+     {!copy} (which reproduces seqs exactly) can always be paired back
+     entry-for-entry by {!merge_stats_from}, even across churn. *)
+  by_seq : (int, ientry) Hashtbl.t;
   mutable count : int;
   mutable next_seq : int;
   index : index;
@@ -158,13 +167,7 @@ type t = {
 }
 
 let fresh_index () =
-  {
-    exact1 = HI64.create 16;
-    exact = H64.create 16;
-    lpm = [];
-    linear = [];
-    rev_all = [];
-  }
+  { exact1 = HI64.create 16; exact = H64.create 16; lpm = []; linear = [] }
 
 let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
   let dname, dargs = default in
@@ -197,8 +200,7 @@ let make ~name ~keys ~actions ~default ?(max_size = 1024) () =
     max_size;
     store =
       {
-        rev_entries = [];
-        rev_seqs = [];
+        by_seq = Hashtbl.create 32;
         count = 0;
         next_seq = 0;
         index = fresh_index ();
@@ -213,7 +215,12 @@ let keys t = t.keys
 let actions t = t.actions
 let default t = t.default
 let max_size t = t.max_size
-let entries t = List.rev t.store.rev_entries
+
+let ientries_by_seq t =
+  Hashtbl.fold (fun _ ie acc -> ie :: acc) t.store.by_seq []
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let entries t = List.map (fun ie -> ie.e) (ientries_by_seq t)
 let size t = t.store.count
 let rename t name = { t with name }
 
@@ -239,91 +246,206 @@ let lpm_len entry =
       | M_ternary _ | M_range _ | M_any -> acc)
     0 entry.patterns
 
+(* --- Entry identity ---
+
+   [del_entry]/[mod_entry] name the entry to touch by its match key:
+   the (priority, patterns) pair, compared by match semantics —
+   numeric value equality ([Bitval.equal_value], width-insensitive),
+   ternary values under their masks, LPM values under their prefix
+   masks. Two patterns equal under [pattern_equal] match exactly the
+   same key values, so the identity is the one a switch RPC (P4Runtime
+   MODIFY/DELETE) would use. *)
+
+let pattern_equal a b =
+  match (a, b) with
+  | M_any, M_any -> true
+  | M_exact x, M_exact y -> Bitval.equal_value x y
+  | M_ternary { value = v1; mask = m1 }, M_ternary { value = v2; mask = m2 } ->
+      Bitval.equal_value m1 m2
+      && Bitval.equal_value (Bitval.logand v1 m1) (Bitval.logand v2 m2)
+  | M_lpm { value = v1; prefix_len = p1 }, M_lpm { value = v2; prefix_len = p2 }
+    ->
+      p1 = p2
+      &&
+      let w = max (Bitval.width v1) (Bitval.width v2) in
+      let m = Bitval.mask_of_prefix ~width:w p1 in
+      Bitval.equal_value
+        (Bitval.logand (Bitval.resize v1 w) m)
+        (Bitval.logand (Bitval.resize v2 w) m)
+  | M_range { lo = l1; hi = h1 }, M_range { lo = l2; hi = h2 } ->
+      Bitval.equal_value l1 l2 && Bitval.equal_value h1 h2
+  | (M_exact _ | M_ternary _ | M_lpm _ | M_range _ | M_any), _ -> false
+
+let entry_key_equal a b =
+  a.priority = b.priority
+  && List.length a.patterns = List.length b.patterns
+  && List.for_all2 pattern_equal a.patterns b.patterns
+
+(* --- Index partition routing ---
+
+   One classifier shared by insert, delete and the del/mod probe, so an
+   entry is always unlinked from (or found in) exactly the bucket that
+   indexed it. The bucket keys are numeric ([Bitval.to_int64], masked
+   values) — width-insensitive like [pattern_equal]. *)
+
+type slot =
+  | S_exact1 of int64
+  | S_exact of int64 array
+  | S_lpm of int * int64 * int64  (* plen, gmask, masked value *)
+  | S_linear
+
+let slot_of t patterns =
+  let all_exact =
+    List.for_all (function M_exact _ -> true | _ -> false) patterns
+  in
+  if all_exact then
+    match patterns with
+    | [ M_exact v ] -> S_exact1 (Bitval.to_int64 v)
+    | _ ->
+        S_exact
+          (Array.of_list
+             (List.map
+                (function M_exact v -> Bitval.to_int64 v | _ -> assert false)
+                patterns))
+  else
+    match (patterns, t.kwidths) with
+    | [ M_lpm { value; prefix_len } ], [| w |] when prefix_len <= w ->
+        let gmask = Bitval.to_int64 (Bitval.mask_of_prefix ~width:w prefix_len) in
+        let masked =
+          Int64.logand (Bitval.to_int64 (Bitval.resize value w)) gmask
+        in
+        S_lpm (prefix_len, gmask, masked)
+    | _ -> S_linear
+
 let bucket_push tbl find add key ie =
   match find tbl key with
   | Some l -> l := ie :: !l
   | None -> add tbl key (ref [ ie ])
 
+(* Drop [ie] (by physical identity) from its bucket; remove the binding
+   when the bucket empties so stale keys don't accumulate under churn. *)
+let bucket_drop tbl find remove key ie =
+  match find tbl key with
+  | None -> ()
+  | Some l ->
+      l := List.filter (fun x -> not (x == ie)) !l;
+      if !l = [] then remove tbl key
+
 (* Route one installed entry into its index partition. *)
 let index_entry t ie =
   let idx = t.store.index in
-  idx.rev_all <- ie :: idx.rev_all;
-  let all_exact =
-    List.for_all (function M_exact _ -> true | _ -> false) ie.e.patterns
-  in
-  if all_exact then
-    match ie.e.patterns with
-    | [ M_exact v ] ->
-        bucket_push idx.exact1 HI64.find_opt HI64.add (Bitval.to_int64 v) ie
-    | _ ->
-        let key =
-          Array.of_list
-            (List.map
-               (function M_exact v -> Bitval.to_int64 v | _ -> assert false)
-               ie.e.patterns)
-        in
-        bucket_push idx.exact H64.find_opt H64.add key ie
-  else
-    match (ie.e.patterns, t.kwidths) with
-    | [ M_lpm { value; prefix_len } ], [| w |] when prefix_len <= w ->
-        let gmask = Bitval.to_int64 (Bitval.mask_of_prefix ~width:w prefix_len) in
-        let masked = Int64.logand (Bitval.to_int64 (Bitval.resize value w)) gmask in
-        let group =
-          match List.find_opt (fun g -> g.plen = prefix_len) idx.lpm with
-          | Some g -> g
-          | None ->
-              let g = { plen = prefix_len; gmask; buckets = HI64.create 16 } in
-              idx.lpm <-
-                List.sort (fun a b -> compare b.plen a.plen) (g :: idx.lpm);
-              g
-        in
-        bucket_push group.buckets HI64.find_opt HI64.add masked ie
-    | _ -> idx.linear <- ie :: idx.linear
+  match slot_of t ie.e.patterns with
+  | S_exact1 k -> bucket_push idx.exact1 HI64.find_opt HI64.add k ie
+  | S_exact k -> bucket_push idx.exact H64.find_opt H64.add k ie
+  | S_lpm (plen, gmask, masked) ->
+      let group =
+        match List.find_opt (fun g -> g.plen = plen) idx.lpm with
+        | Some g -> g
+        | None ->
+            let g = { plen; gmask; buckets = HI64.create 16 } in
+            idx.lpm <-
+              List.sort (fun a b -> compare b.plen a.plen) (g :: idx.lpm);
+            g
+      in
+      bucket_push group.buckets HI64.find_opt HI64.add masked ie
+  | S_linear -> idx.linear <- ie :: idx.linear
 
-let add_entry t entry =
-  if size t >= t.max_size then
-    Error (Printf.sprintf "table %s: capacity %d exceeded" t.name t.max_size)
-  else if List.length entry.patterns <> List.length t.keys then
+(* Unlink one installed entry from its partition — the incremental
+   inverse of [index_entry]: one bucket probe, no rebuild of anything
+   else. An emptied LPM prefix-length group is dropped so the probe
+   loop's group list stays proportional to the live prefix lengths. *)
+let unindex_entry t ie =
+  let idx = t.store.index in
+  match slot_of t ie.e.patterns with
+  | S_exact1 k -> bucket_drop idx.exact1 HI64.find_opt HI64.remove k ie
+  | S_exact k -> bucket_drop idx.exact H64.find_opt H64.remove k ie
+  | S_lpm (plen, _, masked) -> (
+      match List.find_opt (fun g -> g.plen = plen) idx.lpm with
+      | None -> ()
+      | Some g ->
+          bucket_drop g.buckets HI64.find_opt HI64.remove masked ie;
+          if HI64.length g.buckets = 0 then
+            idx.lpm <- List.filter (fun g' -> not (g' == g)) idx.lpm)
+  | S_linear -> idx.linear <- List.filter (fun x -> not (x == ie)) idx.linear
+
+(* Find the installed entry whose match key equals [entry]'s, through
+   the same partition routing an install would take: a hash-bucket
+   probe for exact/LPM shapes, a scan only for the linear partition. *)
+let find_ientry t entry =
+  let pick l = List.find_opt (fun ie -> entry_key_equal ie.e entry) l in
+  let idx = t.store.index in
+  match slot_of t entry.patterns with
+  | S_exact1 k -> (
+      match HI64.find_opt idx.exact1 k with Some l -> pick !l | None -> None)
+  | S_exact k -> (
+      match H64.find_opt idx.exact k with Some l -> pick !l | None -> None)
+  | S_lpm (plen, _, masked) -> (
+      match List.find_opt (fun g -> g.plen = plen) idx.lpm with
+      | None -> None
+      | Some g -> (
+          match HI64.find_opt g.buckets masked with
+          | Some l -> pick !l
+          | None -> None))
+  | S_linear -> pick idx.linear
+
+let validate_shape t entry =
+  if List.length entry.patterns <> List.length t.keys then
     Error
       (Printf.sprintf "table %s: %d patterns for %d keys" t.name
          (List.length entry.patterns) (List.length t.keys))
   else if
     not (List.for_all2 (fun k p -> pattern_kind_ok k.kind p) t.keys entry.patterns)
   then Error (Printf.sprintf "table %s: pattern kind mismatch" t.name)
+  else Ok ()
+
+let validate_action t entry =
+  match find_action t entry.action with
+  | None ->
+      Error (Printf.sprintf "table %s: unknown action %s" t.name entry.action)
+  | Some a ->
+      if List.length a.Action.params <> List.length entry.args then
+        Error
+          (Printf.sprintf "table %s: action %s expects %d args, got %d" t.name
+             entry.action
+             (List.length a.Action.params)
+             (List.length entry.args))
+      else Ok a
+
+(* Install a validated entry under an explicit sequence number —
+   [add_entry] passes [next_seq]; [copy] replays the source's seqs. *)
+let install t entry ~seq (a : Action.t) =
+  let ie =
+    {
+      e = entry;
+      seq;
+      lpm = lpm_len entry;
+      ipats =
+        Array.of_list
+          (List.map2 (fun k p -> compile_pattern k.width p) t.keys entry.patterns);
+      act = a;
+      bound = Action.bind_args a entry.args;
+      crun = Action.compile a;
+      ehits = 0;
+    }
+  in
+  Hashtbl.replace t.store.by_seq seq ie;
+  t.store.count <- t.store.count + 1;
+  if seq >= t.store.next_seq then t.store.next_seq <- seq + 1;
+  t.store.epoch <- t.store.epoch + 1;
+  index_entry t ie
+
+let add_entry t entry =
+  if size t >= t.max_size then
+    Error (Printf.sprintf "table %s: capacity %d exceeded" t.name t.max_size)
   else
-    match find_action t entry.action with
-    | None -> Error (Printf.sprintf "table %s: unknown action %s" t.name entry.action)
-    | Some a ->
-        if List.length a.Action.params <> List.length entry.args then
-          Error
-            (Printf.sprintf "table %s: action %s expects %d args, got %d" t.name
-               entry.action
-               (List.length a.Action.params)
-               (List.length entry.args))
-        else begin
-          let seq = t.store.next_seq in
-          t.store.rev_entries <- entry :: t.store.rev_entries;
-          t.store.rev_seqs <- (entry, seq) :: t.store.rev_seqs;
-          t.store.count <- t.store.count + 1;
-          t.store.next_seq <- seq + 1;
-          t.store.epoch <- t.store.epoch + 1;
-          index_entry t
-            {
-              e = entry;
-              seq;
-              lpm = lpm_len entry;
-              ipats =
-                Array.of_list
-                  (List.map2
-                     (fun k p -> compile_pattern k.width p)
-                     t.keys entry.patterns);
-              act = a;
-              bound = Action.bind_args a entry.args;
-              crun = Action.compile a;
-              ehits = 0;
-            };
-          Ok ()
-        end
+    match validate_shape t entry with
+    | Error _ as e -> e
+    | Ok () -> (
+        match validate_action t entry with
+        | Error e -> Error e
+        | Ok a ->
+            install t entry ~seq:t.store.next_seq a;
+            Ok ())
 
 let add_entry_exn t entry =
   match add_entry t entry with Ok () -> () | Error e -> invalid_arg e
@@ -333,35 +455,77 @@ let add_entries t entries =
     (fun acc e -> Result.bind acc (fun () -> add_entry t e))
     (Ok ()) entries
 
-(* A deep copy re-installs the source's entries, in insertion order,
-   into a fresh store: sequence numbers (the lookup tie-break) are
-   reproduced exactly, so the copy resolves every lookup the way the
-   original does. Re-adding cannot fail — the entries already passed
-   this table definition's validation once. *)
+let del_entry t entry =
+  match validate_shape t entry with
+  | Error _ as e -> e
+  | Ok () -> (
+      match find_ientry t entry with
+      | None ->
+          Error
+            (Printf.sprintf
+               "table %s: no entry with priority %d and these patterns" t.name
+               entry.priority)
+      | Some ie ->
+          unindex_entry t ie;
+          Hashtbl.remove t.store.by_seq ie.seq;
+          t.store.count <- t.store.count - 1;
+          t.store.epoch <- t.store.epoch + 1;
+          Ok ())
+
+let mod_entry t entry =
+  match validate_shape t entry with
+  | Error _ as e -> e
+  | Ok () -> (
+      match validate_action t entry with
+      | Error e -> Error e
+      | Ok a -> (
+          match find_ientry t entry with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "table %s: no entry with priority %d and these patterns"
+                   t.name entry.priority)
+          | Some ie ->
+              (* The stored match key stays canonical (as first
+                 installed); only the action binding changes. Seq and
+                 the per-entry hit tally carry over — it is the same
+                 logical entry. *)
+              ie.e <- { ie.e with action = entry.action; args = entry.args };
+              ie.act <- a;
+              ie.bound <- Action.bind_args a entry.args;
+              ie.crun <- Action.compile a;
+              t.store.epoch <- t.store.epoch + 1;
+              Ok ()))
+
+(* A deep copy installs the source's entries into a fresh store with
+   their sequence numbers — and [next_seq] — reproduced exactly, so the
+   copy resolves every lookup tie-break the way the original does AND
+   stays pairable by seq ({!merge_stats_from}) even after the original
+   or the copy churns. Re-resolving actions cannot fail: the entries
+   already passed this table definition's validation once, and the
+   resolved [Action.t] is carried over directly. *)
 let copy t =
   let c =
     make ~name:t.name ~keys:t.keys ~actions:t.actions ~default:t.default
       ~max_size:t.max_size ()
   in
-  List.iter
-    (fun e ->
-      match add_entry c e with
-      | Ok () -> ()
-      | Error msg -> invalid_arg (Printf.sprintf "Table.copy %s: %s" t.name msg))
-    (entries t);
+  List.iter (fun ie -> install c ie.e ~seq:ie.seq ie.act) (ientries_by_seq t);
+  c.store.next_seq <- t.store.next_seq;
+  c.store.epoch <- 0;
   c
 
+(* [next_seq] is deliberately NOT reset: seqs must stay unique for the
+   store's lifetime so stats merged by seq never pair an old entry's
+   tally with an unrelated later entry. *)
 let clear t =
-  t.store.rev_entries <- [];
-  t.store.rev_seqs <- [];
+  Hashtbl.reset t.store.by_seq;
   t.store.count <- 0;
   t.store.epoch <- t.store.epoch + 1;
   let idx = t.store.index in
   HI64.reset idx.exact1;
   H64.reset idx.exact;
   idx.lpm <- [];
-  idx.linear <- [];
-  idx.rev_all <- []
+  idx.linear <- []
 
 let epoch t = t.store.epoch
 let set_on_lookup t f = t.store.on_lookup <- f
@@ -382,22 +546,22 @@ let matches entry values =
 
 (* --- Reference lookup: the pre-index linear scan, kept verbatim as the
    oracle the indexed path is QCheck-equivalence-tested against. The
-   scan order differs (insertion-reversed) but [better] is a strict
-   total order — sequence numbers are distinct — so the winner is
+   scan order differs (hash-table fold) but [better] is a strict total
+   order — sequence numbers are distinct — so the winner is
    order-independent. --- *)
 
 (* Stats hooks shared by both lookup paths: one immediate-field match
    when telemetry is off. The reference path attributes per-entry hits
-   through a seq scan over [rev_all] — linear, but the interpretive
-   oracle is not a perf path. *)
+   through the seq store — the interpretive oracle still shares no
+   lookup code with the staged index. *)
 let stat_hit_seq t seq =
   match t.store.stats with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       s.hits <- s.hits + 1;
-      List.iter
-        (fun ie -> if ie.seq = seq then ie.ehits <- ie.ehits + 1)
-        t.store.index.rev_all
+      match Hashtbl.find_opt t.store.by_seq seq with
+      | Some ie -> ie.ehits <- ie.ehits + 1
+      | None -> ())
 
 let stat_miss t =
   match t.store.stats with
@@ -407,9 +571,9 @@ let stat_miss t =
 let lookup_reference_values t values =
   (match t.store.on_lookup with Some f -> f () | None -> ());
   let candidates =
-    List.filter_map
-      (fun (e, seq) -> if matches e values then Some (e, seq) else None)
-      t.store.rev_seqs
+    Hashtbl.fold
+      (fun seq ie acc -> if matches ie.e values then (ie.e, seq) :: acc else acc)
+      t.store.by_seq []
   in
   let better (e1, s1) (e2, s2) =
     if e1.priority <> e2.priority then e1.priority > e2.priority
@@ -446,21 +610,21 @@ let fold_best best l =
 (* The LPM masks were precomputed over the declared key widths; a PHV
    whose fields carry different widths (never the case for composed
    programs, whose keys mirror the header declarations) falls back to a
-   precomputed-but-linear scan over every entry. *)
+   [Bitval.t]-level scan over every installed entry. *)
 let widths_match t vals =
   let n = Array.length vals in
   let rec go i = i >= n || (Bitval.width vals.(i) = t.kwidths.(i) && go (i + 1)) in
   go 0
 
-let fold_matching best values l =
-  List.fold_left
-    (fun best ie ->
+let fold_matching_all t values =
+  Hashtbl.fold
+    (fun _ ie best ->
       if matches ie.e values then
         match best with
         | None -> Some ie
         | Some b -> if ibetter ie b then Some ie else best
       else best)
-    best l
+    t.store.by_seq None
 
 let imatch1 ie v = ipat_matches ie.ipats.(0) v
 
@@ -503,8 +667,7 @@ let lookup_ientry_raw t phv =
   if n = 1 then begin
     (* Scalar path: no key arrays, value hashed directly. *)
     let v = t.kgets.(0) phv in
-    if Bitval.width v <> t.kwidths.(0) then
-      fold_matching None [ v ] idx.rev_all
+    if Bitval.width v <> t.kwidths.(0) then fold_matching_all t [ v ]
     else begin
       let v0 = Bitval.to_int64 v in
       let best =
@@ -518,8 +681,7 @@ let lookup_ientry_raw t phv =
   end
   else begin
     let vals = Array.init n (fun i -> t.kgets.(i) phv) in
-    if not (widths_match t vals) then
-      fold_matching None (Array.to_list vals) idx.rev_all
+    if not (widths_match t vals) then fold_matching_all t (Array.to_list vals)
     else begin
       let raw = Array.map Bitval.to_int64 vals in
       let best =
@@ -584,10 +746,12 @@ let apply_reference ?(regs = Action.no_regs) t phv =
 
 (* --- Telemetry --- *)
 
+let iter_ientries t f = Hashtbl.iter (fun _ ie -> f ie) t.store.by_seq
+
 let set_stats_enabled t on =
   if on then begin
     (* (Re)enabling starts a fresh tally. *)
-    List.iter (fun ie -> ie.ehits <- 0) t.store.index.rev_all;
+    iter_ientries t (fun ie -> ie.ehits <- 0);
     t.store.stats <- Some { hits = 0; misses = 0 }
   end
   else t.store.stats <- None
@@ -600,30 +764,25 @@ let reset_stats t =
   | Some s ->
       s.hits <- 0;
       s.misses <- 0;
-      List.iter (fun ie -> ie.ehits <- 0) t.store.index.rev_all
+      iter_ientries t (fun ie -> ie.ehits <- 0)
 
-let entry_hits t =
-  List.rev_map (fun ie -> (ie.e, ie.ehits)) t.store.index.rev_all
+let entry_hits t = List.map (fun ie -> (ie.e, ie.ehits)) (ientries_by_seq t)
 
 (* Fold a replica's tallies into this table's (both must have stats
    enabled, else no-op). Per-entry hits are matched by sequence number —
-   a replica made with {!copy} reproduces them — so entries the replica
-   installed after the copy (absent here) are simply skipped. *)
+   a replica made with {!copy} reproduces them, and seqs are never
+   reused within a store — so entries present only on one side (deleted
+   here, or installed on the replica after the copy) are skipped rather
+   than misattributed. *)
 let merge_stats_from t ~src =
   match (t.store.stats, src.store.stats) with
   | Some d, Some s ->
       d.hits <- d.hits + s.hits;
       d.misses <- d.misses + s.misses;
-      let by_seq = Hashtbl.create 16 in
-      List.iter
-        (fun ie -> Hashtbl.replace by_seq ie.seq ie)
-        t.store.index.rev_all;
-      List.iter
-        (fun sie ->
-          match Hashtbl.find_opt by_seq sie.seq with
+      iter_ientries src (fun sie ->
+          match Hashtbl.find_opt t.store.by_seq sie.seq with
           | Some ie -> ie.ehits <- ie.ehits + sie.ehits
           | None -> ())
-        src.store.index.rev_all
   | None, _ | _, None -> ()
 
 let key_bits t = List.fold_left (fun acc k -> acc + k.width) 0 t.keys

@@ -44,28 +44,59 @@ val rename : t -> string -> t
 
 val find_action : t -> string -> Action.t option
 
-(** {2 Entry installation}
+(** {2 Entry installation and mutation}
 
     The convention throughout the tree: library code, NF constructors,
-    control-plane handlers and CLI/bench front-ends install entries with
-    the result-returning {!add_entry} (or {!add_entries}) and propagate
-    the error — an install that fails on capacity or a malformed pattern
-    is an operational condition, not a programming bug. {!add_entry_exn}
-    is for tests and throwaway scripts, where an [Invalid_argument] with
-    the same message is the most useful outcome. *)
+    control-plane handlers and CLI/bench front-ends mutate tables with
+    the result-returning API below (or, one level up, through the typed
+    {!Ctrl} op language and [Runtime.apply_ops]) and propagate the
+    error — a mutation that fails on capacity, a malformed pattern or a
+    missing entry is an operational condition, not a programming bug.
+    {!add_entry_exn} is for tests and throwaway scripts, where an
+    [Invalid_argument] with the same message is the most useful
+    outcome; it carries a deprecation alert outside test code.
+
+    {!del_entry} and {!mod_entry} name the entry to touch by its match
+    key — the (priority, patterns) pair, compared by match semantics
+    (numeric value equality, ternary values under their masks, LPM
+    values under their prefix masks), the identity a P4Runtime
+    DELETE/MODIFY would use. Both maintain the staged index
+    incrementally: one hash-bucket probe locates the entry (a scan only
+    for the ternary/range partition), deletion unlinks it from exactly
+    that bucket — no bulk rebuild. *)
 
 val add_entry : t -> entry -> (unit, string) result
 (** Validates pattern arity against keys, pattern kind against match kind,
-    action existence and argument arity, and capacity. *)
+    action existence and argument arity, and capacity. Duplicate match
+    keys are permitted (the earlier entry wins ties by sequence). *)
 
 val add_entries : t -> entry list -> (unit, string) result
 (** {!add_entry} in order, stopping at the first error. *)
 
 val add_entry_exn : t -> entry -> unit
+[@@alert
+  table_exn
+    "add_entry_exn is for tests only; use add_entry / Ctrl ops in library \
+     code"]
 (** {!add_entry}, raising [Invalid_argument] on error — test code only
     (see the convention above). *)
 
+val del_entry : t -> entry -> (unit, string) result
+(** Remove the installed entry whose match key equals [entry]'s
+    (action and args are ignored). Errors when no such entry exists or
+    the patterns are malformed for this table. Bumps the epoch. *)
+
+val mod_entry : t -> entry -> (unit, string) result
+(** Rebind the action and arguments of the installed entry whose match
+    key equals [entry]'s, in place: the entry keeps its sequence number
+    (lookup tie-break), its stored patterns and its per-entry hit
+    tally. Errors when no such entry exists, the action is unknown, or
+    the argument arity is wrong. Bumps the epoch. *)
+
 val clear : t -> unit
+(** Remove every entry. Sequence numbers are not reused afterwards —
+    [next_seq] survives a clear — so stats merged by seq
+    ({!merge_stats_from}) never pair entries across generations. *)
 
 (** {2 Invalidation epoch and lookup recorder}
 
@@ -77,7 +108,8 @@ val clear : t -> unit
     is armed the lookup paths pay a single option match. *)
 
 val epoch : t -> int
-(** Incremented by every successful {!add_entry} and by {!clear}. *)
+(** Incremented by every successful mutation: {!add_entry},
+    {!del_entry}, {!mod_entry} and {!clear}. *)
 
 val set_on_lookup : t -> (unit -> unit) option -> unit
 (** Arm (or disarm, with [None]) the lookup recorder. The lookup itself
@@ -85,8 +117,10 @@ val set_on_lookup : t -> (unit -> unit) option -> unit
 
 val copy : t -> t
 (** A deep copy: same definition, fresh store holding the source's
-    current entries with their sequence numbers (lookup tie-breaks)
-    reproduced. Stats start disabled. Used by {!Asic.Chip.replicate}. *)
+    current entries with their sequence numbers — and the seq allocator
+    — reproduced exactly, so the copy resolves lookup tie-breaks like
+    the original and stays pairable by seq even after either side
+    churns. Stats start disabled. Used by {!Asic.Chip.replicate}. *)
 
 val matches : entry -> Bitval.t list -> bool
 (** Does the entry match these key values? (Exposed for testing.) *)

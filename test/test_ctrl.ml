@@ -1,0 +1,334 @@
+(* The live control plane: typed ops and their error paths, the
+   producer/consumer update queue, the runtime front door
+   (apply_ops/sync, drain at batch boundaries), flow-cache invalidation
+   scoped to ops' touched tables, and the live-vs-cold digest
+   convergence property for sharded engines. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let ip = Netpkt.Ip4.of_string_exn
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+let mac = Netpkt.Mac.of_string_exn
+let routes = Nflib.Catalog.routes_table_name
+
+let compile () =
+  Result.get_ok
+    (Compiler.compile
+       (Nflib.Catalog.edge_cloud_input ~strategy:Placement.Greedy ()))
+
+let engine ~domains ~cache =
+  {
+    Runtime.Engine.default with
+    Runtime.Engine.domains;
+    cache =
+      (if cache then Runtime.Engine.Emc { capacity = 4096 }
+       else Runtime.Engine.Off);
+  }
+
+let runtime ?(domains = 1) ?(cache = false) () =
+  let compiled = compile () in
+  let rt = Runtime.create ~engine:(engine ~domains ~cache) compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  rt
+
+let route ?(nh = "02:00:0a:00:00:01") prefix =
+  {
+    Nflib.Router.prefix = pfx prefix;
+    next_hop_mac = mac nh;
+    src_mac = mac "02:00:00:00:00:fe";
+  }
+
+let route_op ?nh prefix f =
+  Ctrl.Table (routes, f (Nflib.Router.route_entry (route ?nh prefix)))
+
+let tcp ~src ~dst ~src_port ~dst_port =
+  Netpkt.Pkt.encode
+    (Netpkt.Pkt.tcp_flow
+       ~src_mac:(mac "02:00:00:00:00:01")
+       ~dst_mac:(mac "02:00:00:00:00:02")
+       {
+         Netpkt.Flow.src = ip src;
+         dst = ip dst;
+         proto = Netpkt.Ipv4.proto_tcp;
+         src_port;
+         dst_port;
+       })
+
+(* Green (classifier-router) and orange (classifier-vgw-router) flows
+   only: neither punts to the CPU, so traffic mutates no control-plane
+   state and live-vs-cold digests stay comparable even on the
+   sequential engine. *)
+let quiet_traffic i n =
+  List.init n (fun j ->
+      let k = (i * n) + j in
+      let frame =
+        if k mod 2 = 0 then
+          tcp ~src:"203.0.113.7"
+            ~dst:(Printf.sprintf "10.0.3.%d" (1 + (k mod 200)))
+            ~src_port:(40000 + (k mod 97)) ~dst_port:443
+        else
+          tcp ~src:"203.0.113.8"
+            ~dst:(Printf.sprintf "10.0.2.%d" (1 + (k mod 200)))
+            ~src_port:(41000 + (k mod 89)) ~dst_port:80
+      in
+      (0, frame))
+
+let table_size rt name =
+  match Asic.Chip.find_table (Runtime.chip rt) name with
+  | Some t -> P4ir.Table.size t
+  | None -> Alcotest.fail ("table not found: " ^ name)
+
+(* --- typed ops through the front door --- *)
+
+let test_apply_ops_add_mod_del () =
+  let rt = runtime () in
+  let n0 = table_size rt routes in
+  (match
+     Runtime.apply_ops rt [ route_op "172.20.5.0/24" (fun e -> Ctrl.Add e) ]
+   with
+  | Ok n -> check Alcotest.int "one op applied" 1 n
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "entry installed" (n0 + 1) (table_size rt routes);
+  (* Mod rebinds in place: size unchanged, new args visible. *)
+  (match
+     Runtime.apply_ops rt
+       [ route_op ~nh:"02:00:00:00:99:99" "172.20.5.0/24" (fun e -> Ctrl.Mod e) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "mod keeps size" (n0 + 1) (table_size rt routes);
+  (match
+     Runtime.apply_ops rt [ route_op "172.20.5.0/24" (fun e -> Ctrl.Del e) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "entry removed" n0 (table_size rt routes);
+  check Alcotest.bool "double delete errors" true
+    (Result.is_error
+       (Runtime.apply_ops rt [ route_op "172.20.5.0/24" (fun e -> Ctrl.Del e) ]))
+
+let test_apply_errors () =
+  let rt = runtime () in
+  check Alcotest.bool "unknown table errors" true
+    (Result.is_error
+       (Runtime.apply_ops rt [ Ctrl.Table ("no_such_table", Ctrl.Clear) ]));
+  check Alcotest.bool "unknown register errors" true
+    (Result.is_error (Runtime.apply_ops rt [ Ctrl.Reg_reset "no_such_reg" ]));
+  (* apply_all stops at the first failure and reports its position;
+     the prefix stays applied (P4Runtime-style partial accept). *)
+  let n0 = table_size rt routes in
+  match
+    Runtime.apply_ops rt
+      [
+        route_op "172.21.0.0/24" (fun e -> Ctrl.Add e);
+        route_op "172.22.0.0/24" (fun e -> Ctrl.Del e);
+        route_op "172.23.0.0/24" (fun e -> Ctrl.Add e);
+      ]
+  with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error e ->
+      check Alcotest.bool "position prefixed" true
+        (String.length e >= 5 && String.sub e 0 5 = "op 1:");
+      check Alcotest.int "prefix applied, suffix not" (n0 + 1)
+        (table_size rt routes)
+
+let test_reg_reset () =
+  (* The protected deployment carries real register state (the rate
+     limiter's per-tenant counters); traffic fills it, Reg_reset clears
+     it. *)
+  let compiled =
+    Result.get_ok
+      (Compiler.compile
+         (Compiler.default_input
+            ~registry:(Nflib.Catalog.registry ())
+            ~chains:(Nflib.Catalog.protected_chains ~exit_port:1)
+            ~strategy:Placement.Greedy ()))
+  in
+  let rt = Runtime.create compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  let pkt =
+    tcp ~src:"203.0.113.7" ~dst:"10.0.5.9" ~src_port:40000 ~dst_port:443
+  in
+  ignore (Runtime.process_batch rt [ (0, pkt); (0, pkt) ]);
+  check Alcotest.bool "counter filled by traffic" true
+    (Nflib.Rate_limiter.count_of compiled ~tenant:5 > 0);
+  (match Runtime.apply_ops rt [ Ctrl.Reg_reset "rl_counters" ] with
+  | Ok n -> check Alcotest.int "one op" 1 n
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "counter cleared" 0
+    (Nflib.Rate_limiter.count_of compiled ~tenant:5)
+
+(* --- the update queue --- *)
+
+let test_queue_order_and_results () =
+  let q = Ctrl.queue () in
+  let a = Ctrl.submit q [ route_op "172.20.0.0/24" (fun e -> Ctrl.Add e) ] in
+  let b = Ctrl.submit q [ Ctrl.Table (routes, Ctrl.Clear) ] in
+  check Alcotest.bool "distinct ids" true (a <> b);
+  check Alcotest.int "two pending" 2 (Ctrl.pending q);
+  (match Ctrl.drain q with
+  | [ x; y ] ->
+      check Alcotest.int "submission order" a x.Ctrl.id;
+      check Alcotest.int "submission order" b y.Ctrl.id;
+      check Alcotest.int "batch carries its ops" 1 (List.length x.Ctrl.ops)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 batches, got %d" (List.length l)));
+  check Alcotest.int "drain empties" 0 (Ctrl.pending q);
+  check Alcotest.bool "drain again is empty" true (Ctrl.drain q = []);
+  Ctrl.note q a (Ok 1);
+  Ctrl.note q b (Error "boom");
+  match Ctrl.results q with
+  | (ib, Error "boom") :: (ia, Ok 1) :: _ ->
+      check Alcotest.int "most recent first" b ib;
+      check Alcotest.int "then earlier" a ia
+  | _ -> Alcotest.fail "unexpected results log"
+
+let test_runtime_drains_at_batch_boundary () =
+  let rt = runtime () in
+  let q = Runtime.control rt in
+  let n0 = table_size rt routes in
+  let good = Ctrl.submit q [ route_op "172.24.0.0/24" (fun e -> Ctrl.Add e) ] in
+  let bad = Ctrl.submit q [ route_op "172.25.0.0/24" (fun e -> Ctrl.Del e) ] in
+  let also =
+    Ctrl.submit q [ route_op "172.26.0.0/24" (fun e -> Ctrl.Add e) ]
+  in
+  (* The data plane drains pending batches before the packet batch; a
+     failed batch is recorded and does not block later batches. *)
+  ignore (Runtime.process_batch rt (quiet_traffic 0 4));
+  check Alcotest.int "queue drained" 0 (Ctrl.pending q);
+  check Alcotest.int "good batches applied" (n0 + 2) (table_size rt routes);
+  let outcome id =
+    match List.assoc_opt id (Ctrl.results q) with
+    | Some r -> r
+    | None -> Alcotest.fail "missing batch outcome"
+  in
+  check Alcotest.bool "good recorded" true (outcome good = Ok 1);
+  check Alcotest.bool "bad recorded" true (Result.is_error (outcome bad));
+  check Alcotest.bool "later batch unaffected" true (outcome also = Ok 1);
+  (* sync with nothing pending is a no-op. *)
+  check Alcotest.bool "idle sync" true (Runtime.sync rt = (0, []))
+
+(* --- flow-cache invalidation by ops --- *)
+
+let test_del_invalidates_cached_flow () =
+  let rt = runtime ~cache:true () in
+  let pkt =
+    tcp ~src:"203.0.113.7" ~dst:"10.0.3.77" ~src_port:40001 ~dst_port:443
+  in
+  let out rt =
+    match Runtime.process rt ~in_port:0 pkt with
+    | Ok { Runtime.verdict = Asic.Chip.Emitted { frame; _ }; _ } -> frame
+    | Ok _ -> Alcotest.fail "expected an emitted frame"
+    | Error e -> Alcotest.fail e
+  in
+  let stats () = Flow_cache.stats (Option.get (Runtime.flow_cache rt)) in
+  let before = out rt in
+  check Alcotest.bytes "cached replay is byte-identical" before (out rt);
+  check Alcotest.bool "second packet hit the cache" true
+    ((stats ()).Flow_cache.hits >= 1);
+  (* Delete the route the cached flow matched (10.0.3.x rides
+     10.0.0.0/16): the memoized verdict must die with it. *)
+  (match
+     Runtime.apply_ops rt [ route_op "10.0.0.0/16" (fun e -> Ctrl.Del e) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let after_del = out rt in
+  check Alcotest.bool "stale verdict not replayed" true
+    (not (Bytes.equal before after_del));
+  check Alcotest.bool "cache recorded the stale drop" true
+    ((stats ()).Flow_cache.stale >= 1);
+  (* Oracle: a cold runtime that never had the route behaves identically. *)
+  let oracle = runtime () in
+  (match
+     Runtime.apply_ops oracle [ route_op "10.0.0.0/16" (fun e -> Ctrl.Del e) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bytes "matches the cold-deleted oracle" (out oracle) after_del;
+  (* Mod invalidates just like Del: rebind the default route's next hop
+     and the (re-cached) flow must pick it up. *)
+  (match
+     Runtime.apply_ops rt
+       [ route_op ~nh:"02:00:00:00:77:77" "0.0.0.0/0" (fun e -> Ctrl.Mod e) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let after_mod = out rt in
+  check Alcotest.bool "mod invalidated the re-cached verdict" true
+    (not (Bytes.equal after_del after_mod))
+
+(* --- live = cold convergence --- *)
+
+let chunk n l =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 l
+
+(* A random churn trace applied live — interleaved with traffic, flow
+   cache on, k ∈ {1, 2, 4} domains — must leave the chip in exactly the
+   state a cold runtime reaches applying the same trace with no traffic
+   in flight. The trace gets a mid-stream Del (and later re-Add) of the
+   route the cached green flows match, so the invalidation path runs
+   while the flows are hot. *)
+let prop_live_equals_cold =
+  QCheck.Test.make ~name:"op trace applied live = applied cold (k in {1,2,4})"
+    ~count:3 QCheck.small_nat (fun seed ->
+      let base = Nflib.Catalog.fib_churn_trace ~seed ~n:120 () in
+      let third = List.length base / 3 in
+      let trace =
+        List.concat
+          (List.mapi
+             (fun i ops ->
+               if i = 0 then ops @ [ route_op "10.0.0.0/16" (fun e -> Ctrl.Del e) ]
+               else if i = 1 then
+                 ops @ [ route_op "10.0.0.0/16" (fun e -> Ctrl.Add e) ]
+               else ops)
+             (chunk third base))
+      in
+      let cold = runtime () in
+      (match Runtime.apply_ops cold trace with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let want = Ctrl.state_digest (Runtime.chip cold) in
+      List.for_all
+        (fun domains ->
+          let rt = runtime ~domains ~cache:true () in
+          List.iteri
+            (fun i ops ->
+              ignore (Ctrl.submit (Runtime.control rt) ops);
+              ignore (Runtime.process_batch_parallel rt (quiet_traffic i 8)))
+            (chunk 25 trace);
+          Int64.equal (Ctrl.state_digest (Runtime.chip rt)) want)
+        [ 1; 2; 4 ])
+
+let () =
+  Alcotest.run "ctrl"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "add/mod/del through apply_ops" `Quick
+            test_apply_ops_add_mod_del;
+          Alcotest.test_case "error paths and partial accept" `Quick
+            test_apply_errors;
+          Alcotest.test_case "register reset" `Quick test_reg_reset;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "order, drain, results" `Quick
+            test_queue_order_and_results;
+          Alcotest.test_case "drained at batch boundary" `Quick
+            test_runtime_drains_at_batch_boundary;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "del/mod invalidate cached flows" `Quick
+            test_del_invalidates_cached_flow;
+        ] );
+      ("convergence", [ qtest prop_live_equals_cold ]);
+    ]

@@ -391,6 +391,181 @@ let prop_indexed_lookup_matches_reference =
       | `Hit e1, `Hit e2 -> e1 == e2
       | `Hit _, `Miss | `Miss, `Hit _ -> false)
 
+(* --- del_entry / mod_entry --- *)
+
+let test_table_del_entry () =
+  let t = mk_table () in
+  let e v arg =
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
+      action = "set_b"; args = [ bv 16 arg ] }
+  in
+  Table.add_entry_exn t (e 1 10);
+  Table.add_entry_exn t (e 2 20);
+  let epoch0 = Table.epoch t in
+  (* Deletion names the entry by match key; action/args are ignored. *)
+  check Alcotest.bool "del by key" true (Result.is_ok (Table.del_entry t (e 1 99)));
+  check Alcotest.int "one left" 1 (Table.size t);
+  check Alcotest.bool "epoch bumped" true (Table.epoch t > epoch0);
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 1;
+  check Alcotest.bool "deleted key misses" false (snd (Table.apply t phv));
+  Phv.set_int phv (fr "m" "a") 2;
+  check Alcotest.bool "survivor still hits" true (snd (Table.apply t phv));
+  check Alcotest.bool "missing key errors" true
+    (Result.is_error (Table.del_entry t (e 1 0)))
+
+let test_table_mod_entry () =
+  let t = mk_table () in
+  let e arg =
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 7) ];
+      action = "set_b"; args = [ bv 16 arg ] }
+  in
+  Table.add_entry_exn t (e 11);
+  Table.set_stats_enabled t true;
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 7;
+  ignore (Table.apply t phv);
+  check Alcotest.int "pre-mod action ran" 11 (Phv.get_int phv (fr "m" "b"));
+  check Alcotest.bool "mod rebinds" true (Result.is_ok (Table.mod_entry t (e 22)));
+  ignore (Table.apply t phv);
+  check Alcotest.int "post-mod action ran" 22 (Phv.get_int phv (fr "m" "b"));
+  (* The entry kept its identity: same size, hit tally carried over. *)
+  check Alcotest.int "size unchanged" 1 (Table.size t);
+  (match Table.entry_hits t with
+  | [ (entry, hits) ] ->
+      check Alcotest.int "hits preserved across mod" 2 hits;
+      check Alcotest.int "new args stored" 22
+        (Bitval.to_int (List.hd entry.Table.args))
+  | _ -> Alcotest.fail "expected one entry");
+  check Alcotest.bool "unknown action rejected" true
+    (Result.is_error
+       (Table.mod_entry t
+          { (e 0) with Table.action = "nope"; args = [] }));
+  check Alcotest.bool "missing key rejected" true
+    (Result.is_error
+       (Table.mod_entry t
+          { (e 0) with Table.patterns = [ Table.M_exact (bv 8 9) ] }))
+
+let test_table_mod_keeps_tiebreak () =
+  (* Two same-priority ternary entries: the first installed wins the
+     tie. A mod of the first must not surrender its seniority. *)
+  let t =
+    mk_table
+      ~keys:[ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ]
+      ()
+  in
+  let entry v m arg =
+    { Table.priority = 1;
+      patterns = [ Table.M_ternary { value = bv 8 v; mask = bv 8 m } ];
+      action = "set_b"; args = [ bv 16 arg ] }
+  in
+  (* Distinct keys, both matching probe 0xF5; equal priority, so the
+     first-installed entry wins. *)
+  Table.add_entry_exn t (entry 0x05 0x0F 1);
+  Table.add_entry_exn t (entry 0xF0 0xF0 2);
+  check Alcotest.bool "mod the senior entry" true
+    (Result.is_ok (Table.mod_entry t (entry 0x05 0x0F 3)));
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 0xF5;
+  ignore (Table.apply t phv);
+  check Alcotest.int "senior entry still wins the tie" 3
+    (Phv.get_int phv (fr "m" "b"))
+
+let test_stats_merge_after_churn () =
+  (* The sharding telemetry fold: per-entry hits merge by sequence
+     number from a replica. Entries deleted (or cleared) on the primary
+     while the replica ran must drop their tallies instead of
+     misattributing them, and post-clear entries must never reuse a
+     dead seq. *)
+  let t = mk_table () in
+  let e v arg =
+    { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
+      action = "set_b"; args = [ bv 16 arg ] }
+  in
+  Table.add_entry_exn t (e 1 10);
+  Table.add_entry_exn t (e 2 20);
+  Table.set_stats_enabled t true;
+  let replica = Table.copy t in
+  Table.set_stats_enabled replica true;
+  (* Primary churns while the replica serves traffic. *)
+  check Alcotest.bool "del on primary" true (Result.is_ok (Table.del_entry t (e 1 0)));
+  let phv = fresh_phv () in
+  Phv.set_int phv (fr "m" "a") 1;
+  ignore (Table.apply replica phv);
+  Phv.set_int phv (fr "m" "a") 2;
+  ignore (Table.apply replica phv);
+  Table.merge_stats_from t ~src:replica;
+  (match Table.entry_hits t with
+  | [ (entry, hits) ] ->
+      check Alcotest.int "survivor's tally merged" 1 hits;
+      check Alcotest.int "and it is the survivor" 2
+        (Bitval.to_int (match entry.Table.patterns with
+                        | [ Table.M_exact v ] -> v
+                        | _ -> Alcotest.fail "unexpected pattern"))
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length l)));
+  (* Clear, refill: fresh seqs, so a second merge from the stale
+     replica pairs nothing. *)
+  Table.clear t;
+  Table.add_entry_exn t (e 3 30);
+  Table.merge_stats_from t ~src:replica;
+  match Table.entry_hits t with
+  | [ (_, hits) ] -> check Alcotest.int "no cross-generation pairing" 0 hits
+  | _ -> Alcotest.fail "expected 1 entry"
+
+(* Differential property: a random add/del/mod trace maintained
+   incrementally must keep the staged index equivalent to the linear
+   reference scan after every op — same physical hit entry, so
+   priority, longest-prefix and insertion-order tie-breaks survive
+   deletions and in-place rebinds. *)
+let prop_op_trace_matches_reference =
+  QCheck.Test.make ~name:"add/del/mod trace: indexed lookup = reference scan"
+    ~count:400
+    QCheck.(
+      pair
+        (pair (int_bound 5)
+           (list_of_size Gen.(int_bound 30)
+              (quad small_nat small_nat small_nat (int_bound 0xffffff))))
+        (triple small_nat small_nat small_nat))
+    (fun ((cfg, raw_ops), (pa, pb, pc)) ->
+      let keys = lookup_key_configs.(cfg) in
+      let t =
+        Table.make ~name:"t" ~keys ~actions:[ Action.no_op ]
+          ~default:("NoAction", []) ~max_size:64 ()
+      in
+      let agree () =
+        let phv = fresh_phv () in
+        Phv.set_int phv (fr "m" "a") (pa land 0xff);
+        Phv.set_int phv (fr "m" "b") (pb land 0xffff);
+        Phv.set_int phv (fr "m" "c") pc;
+        (match (Table.lookup t phv, Table.lookup_reference t phv) with
+        | `Miss, `Miss -> true
+        | `Hit e1, `Hit e2 -> e1 == e2
+        | `Hit _, `Miss | `Miss, `Hit _ -> false)
+        && Table.size t = List.length (Table.entries t)
+      in
+      List.for_all
+        (fun (op, v1, v2, m) ->
+          let patterns =
+            List.mapi
+              (fun i k ->
+                lookup_pattern_for k
+                  ~v:(if i = 0 then v1 else v2)
+                  ~m:(m lsr (i * 7)))
+              keys
+          in
+          let entry =
+            { Table.priority = (m lsr 20) land 3; patterns;
+              action = "NoAction"; args = [] }
+          in
+          (* Dels and mods of absent keys legitimately error; the index
+             must stay coherent either way. *)
+          (match op mod 4 with
+          | 0 | 1 -> ignore (Table.add_entry t entry)
+          | 2 -> ignore (Table.del_entry t entry)
+          | _ -> ignore (Table.mod_entry t entry));
+          agree ())
+        raw_ops)
+
 (* --- Control --- *)
 
 let mk_env tables name = List.find_opt (fun t -> Table.name t = name) tables
@@ -654,8 +829,15 @@ let () =
           Alcotest.test_case "capacity" `Quick test_table_capacity;
           Alcotest.test_case "entry validation" `Quick test_table_entry_validation;
           Alcotest.test_case "keyless default" `Quick test_keyless_table_runs_default;
+          Alcotest.test_case "del_entry" `Quick test_table_del_entry;
+          Alcotest.test_case "mod_entry" `Quick test_table_mod_entry;
+          Alcotest.test_case "mod keeps tie-break" `Quick
+            test_table_mod_keeps_tiebreak;
+          Alcotest.test_case "stats merge after churn" `Quick
+            test_stats_merge_after_churn;
           qtest prop_ternary_lookup_model;
           qtest prop_indexed_lookup_matches_reference;
+          qtest prop_op_trace_matches_reference;
         ] );
       ( "control",
         [
