@@ -998,8 +998,77 @@ let bench_runtime () =
     Format.printf "first batch errors:@.";
     List.iter
       (fun (port, msg) -> Format.printf "  in_port=%d %s@." port msg)
-      fast.Runtime.error_log
+      fast.Runtime.error_log;
+    if fast.Runtime.suppressed > 0 then
+      Format.printf "  ... and %d more suppressed (first %d kept)@."
+        fast.Runtime.suppressed
+        (List.length fast.Runtime.error_log)
   end;
+  (* Allocation accounting: total Gc words (minor + major - promoted)
+     allocated per packet, per engine config, over an untimed
+     steady-state pass. The warm pass absorbs compulsory first-flow work
+     (LB punts install connection entries, the EMC fills), so the
+     measured pass is the pure data-plane allocation rate. Words rather
+     than bytes: stable across word sizes; allocation counts are
+     deterministic, so one measured pass suffices. Sequential configs
+     only — Gc.quick_stat is per-domain under OCaml 5, so a sharded
+     run's worker allocations would be invisible here. *)
+  (* Measured on this machine: ~2620 w/pkt at --smoke scale (200 pkts),
+     ~3800 at full scale (4000 pkts, bigger live session tables). The
+     budget covers both with ~25% headroom. *)
+  let alloc_budget_words = 4800.0 in
+  let alloc_results =
+    let e = engine_for Asic.Chip.Fast in
+    let configs =
+      [
+        ("fast/off", e);
+        ( "fast/counters",
+          { e with Runtime.Engine.telemetry = Telemetry.Level.Counters } );
+        ( "fast/journeys",
+          { e with Runtime.Engine.telemetry = Telemetry.Level.Journeys } );
+        ("reference/off", engine_for Asic.Chip.Reference);
+        ( "fast/emc",
+          { e with Runtime.Engine.cache = Runtime.Engine.Emc { capacity = 65536 } }
+        );
+      ]
+    in
+    Format.printf
+      "@.allocations per packet (Gc words, steady-state pass of %d pkts):@."
+      npkts;
+    Format.printf "%-16s %12s %12s %12s@." "config" "minor w/pkt" "major w/pkt"
+      "total w/pkt";
+    List.map
+      (fun (name, engine) ->
+        let compiled =
+          match compile_prototype () with Ok c -> c | Error e -> failwith e
+        in
+        let rt = Runtime.create ~engine compiled in
+        Nflib.Catalog.attach_handlers rt compiled;
+        install_fib compiled;
+        ignore (Runtime.process_batch rt workload);
+        Gc.full_major ();
+        let s0 = Gc.quick_stat () in
+        ignore (Runtime.process_batch rt workload);
+        let s1 = Gc.quick_stat () in
+        let per w = w /. float_of_int npkts in
+        let minor = per (s1.Gc.minor_words -. s0.Gc.minor_words) in
+        let major =
+          per
+            (s1.Gc.major_words -. s1.Gc.promoted_words
+            -. (s0.Gc.major_words -. s0.Gc.promoted_words))
+        in
+        Format.printf "%-16s %12.1f %12.1f %12.1f@." name minor major
+          (minor +. major);
+        (name, minor, major, minor +. major))
+      configs
+  in
+  let fast_alloc_total =
+    match List.find_opt (fun (n, _, _, _) -> n = "fast/off") alloc_results with
+    | Some (_, _, _, total) -> total
+    | None -> 0.0
+  in
+  Format.printf "fast/off budget: %.0f w/pkt (measured %.1f)@."
+    alloc_budget_words fast_alloc_total;
   (* --domains: the same workload sharded over k worker domains (each
      one a private chip replica), gated on per-packet equivalence with
      the sequential run. Latency sums are float and order-dependent
@@ -1432,6 +1501,24 @@ let bench_runtime () =
              %.2f },\n"
             tele_s base_s (ns_per_pkt tele_s) pct
     in
+    let allocs_json =
+      let rows =
+        List.map
+          (fun (name, minor, major, total) ->
+            Printf.sprintf
+              "    { \"config\": %S, \"minor_words_per_pkt\": %.1f, \
+               \"major_words_per_pkt\": %.1f, \"words_per_pkt\": %.1f }"
+              name minor major total)
+          alloc_results
+      in
+      Printf.sprintf
+        "  \"allocations\": { \"budget_fast_words_per_pkt\": %.0f, \
+         \"configs\": [\n\
+         %s\n\
+        \  ] },\n"
+        alloc_budget_words
+        (String.concat ",\n" rows)
+    in
     let parallel_json =
       match parallel_results with
       | [] -> ""
@@ -1527,7 +1614,7 @@ let bench_runtime () =
        }\n"
       npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
       ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json
-      (parallel_json ^ cache_json ^ churn_json)
+      (allocs_json ^ parallel_json ^ cache_json ^ churn_json)
       speedup
       identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
       fast.Runtime.to_cpu fast.Runtime.errors
@@ -1535,6 +1622,17 @@ let bench_runtime () =
       fast_c.Runtime.Counters.resubmits fast.Runtime.digest;
     close_out oc;
     Format.printf "@.wrote BENCH_runtime.json@."
+  end;
+  (* Allocation regression gate (CI, runs in every mode including plain
+     --smoke): allocation counts are deterministic, so unlike the timing
+     gates this one needs no smoke slack — the budget already carries
+     the headroom. A fast/off steady-state pass allocating past it means
+     someone put allocation on the uninstrumented hot path. *)
+  if fast_alloc_total > alloc_budget_words then begin
+    Format.printf
+      "ERROR: fast/off allocates %.1f words/pkt, over the %.0f budget@."
+      fast_alloc_total alloc_budget_words;
+    exit 1
   end;
   (* Smoke-mode regression gate (CI): a Counters overhead way past the
      5% budget fails the run. The smoke threshold is looser (15%)

@@ -376,11 +376,24 @@ let print_cache_stats rt =
       let s = Flow_cache.stats c in
       Format.printf
         "cache: hits=%d misses=%d hit-rate=%.1f%% inserts=%d evictions=%d \
-         stale=%d uncacheable=%d entries=%d/%d@."
+         stale=%d invalidations=%d uncacheable=%d entries=%d/%d@."
         s.Flow_cache.hits s.Flow_cache.misses
         (100.0 *. Flow_cache.hit_rate c)
         s.Flow_cache.inserts s.Flow_cache.evictions s.Flow_cache.stale
-        s.Flow_cache.uncacheable (Flow_cache.length c) (Flow_cache.capacity c)
+        s.Flow_cache.invalidations s.Flow_cache.uncacheable
+        (Flow_cache.length c) (Flow_cache.capacity c)
+
+let print_batch_errors (stats : Runtime.batch_stats) =
+  if stats.Runtime.error_log <> [] then begin
+    Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
+    List.iter
+      (fun (port, msg) -> Format.eprintf "  in_port=%d %s@." port msg)
+      stats.Runtime.error_log;
+    if stats.Runtime.suppressed > 0 then
+      Format.eprintf "  ... and %d more suppressed (first %d kept)@."
+        stats.Runtime.suppressed
+        (List.length stats.Runtime.error_log)
+  end
 
 (* --- run ------------------------------------------------------------ *)
 
@@ -402,12 +415,7 @@ let run_cmd =
     in
     Nflib.Catalog.attach_handlers rt compiled;
     let stats = Runtime.process_batch_parallel rt (mixed_workload packets) in
-    if stats.Runtime.error_log <> [] then begin
-      Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
-      List.iter
-        (fun (port, msg) -> Format.eprintf "  in_port=%d %s@." port msg)
-        stats.Runtime.error_log
-    end;
+    print_batch_errors stats;
     let c = stats.Runtime.counters in
     Format.printf
       "domains=%d packets=%d emitted=%d dropped=%d to-cpu=%d errors=%d@."
@@ -574,8 +582,34 @@ let stats_cmd =
       value & flag
       & info [ "entries" ] ~doc:"Also print per-entry hit counts (hit > 0).")
   in
+  let prometheus_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Print the registry snapshot as Prometheus text exposition \
+             (counters, histograms with cumulative buckets) and nothing \
+             else. The output is self-validated through the exposition \
+             parser before printing.")
+  in
+  let jsonl_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "jsonl" ]
+          ~doc:
+            "Print the registry snapshot as JSON lines (one metric object \
+             per line) and nothing else.")
+  in
+  let postcards_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "postcards" ]
+          ~doc:
+            "Also print the INT postcard sink's per-flow summaries \
+             (implies --level journeys).")
+  in
   let run strategy extended packets level json n_journeys entries cache
-      cache_capacity =
+      cache_capacity prometheus jsonl postcards =
     let compiled = or_die (compile ~strategy ~extended) in
     let rt =
       Runtime.create
@@ -584,20 +618,39 @@ let stats_cmd =
     in
     Nflib.Catalog.attach_handlers rt compiled;
     let level =
-      if n_journeys > 0 then Telemetry.Level.Journeys else level
+      if n_journeys > 0 || postcards then Telemetry.Level.Journeys else level
     in
     Runtime.set_telemetry rt level;
     let stats = Runtime.process_batch rt (mixed_workload packets) in
-    if stats.Runtime.error_log <> [] then begin
-      Format.eprintf "batch errors (%d):@." stats.Runtime.errors;
-      List.iter
-        (fun (port, msg) -> Format.eprintf "  in_port=%d %s@." port msg)
-        stats.Runtime.error_log
-    end;
+    print_batch_errors stats;
+    if prometheus || jsonl then begin
+      (* Machine-readable modes print the export and nothing else. *)
+      let snap =
+        match Runtime.snapshot rt with
+        | Some s -> s
+        | None ->
+            Format.eprintf "error: telemetry is off@.";
+            exit 1
+      in
+      if prometheus then begin
+        let text = Telemetry.Export.prometheus snap in
+        match Telemetry.Export.parse_prometheus text with
+        | Ok _ -> print_string text
+        | Error e ->
+            Format.eprintf
+              "error: generated exposition failed its own parser: %s@." e;
+            exit 1
+      end
+      else print_string (Telemetry.Export.json_lines snap)
+    end
+    else
     match Runtime.telemetry rt with
     | None -> ()
     | Some o ->
         let chip = Runtime.chip rt in
+        (* Sync the snapshot-time gauges (cache occupancy, INT sink
+           sizes) so the table shows them too. *)
+        ignore (Runtime.snapshot rt);
         if json then print_string (Observe.json ~indent:2 o chip ^ "\n")
         else Format.printf "%t@." (fun ppf -> Observe.pp ppf o chip);
         if entries then begin
@@ -625,16 +678,105 @@ let stats_cmd =
             List.iter (Format.printf "%a@." Telemetry.Journey.pp) js
           end
         end;
+        (if postcards then
+           match Runtime.int_sink rt with
+           | None -> ()
+           | Some sink ->
+               if json then
+                 print_string
+                   ("[\n"
+                   ^ String.concat ",\n"
+                       (List.map Telemetry.Int_report.summary_to_json
+                          (Telemetry.Int_report.summaries sink))
+                   ^ "\n]\n")
+               else
+                 Format.printf "@.INT postcards per flow:@.%a@."
+                   Telemetry.Int_report.pp_summaries sink);
         print_cache_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "stats"
        ~doc:
          "Run a sample workload with telemetry on and print the metrics \
-          registry (and optionally the packet flight recorder).")
+          registry (and optionally the packet flight recorder, INT \
+          per-flow postcards, or a Prometheus/JSON-lines export).")
     Cmdliner.Term.(
       const run $ strategy_arg $ extended_arg $ packets_arg $ level_arg
-      $ json_arg $ journeys_arg $ entries_arg $ cache_arg $ cache_capacity_arg)
+      $ json_arg $ journeys_arg $ entries_arg $ cache_arg $ cache_capacity_arg
+      $ prometheus_arg $ jsonl_arg $ postcards_arg)
+
+(* --- top ------------------------------------------------------------ *)
+
+let top_cmd =
+  let batches_arg =
+    Cmdliner.Arg.(
+      value & opt int 20
+      & info [ "batches" ] ~docv:"N" ~doc:"Batches to run before exiting.")
+  in
+  let domains_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the sharded data plane.")
+  in
+  let window_arg =
+    Cmdliner.Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"K"
+          ~doc:"Snapshots retained for the rate window.")
+  in
+  let run strategy extended packets batches domains window cache
+      cache_capacity =
+    if batches < 1 || packets < 1 then begin
+      Format.eprintf "error: --batches and --packets must be positive@.";
+      exit 2
+    end;
+    let compiled = or_die (compile ~strategy ~extended) in
+    let rt =
+      Runtime.create
+        ~engine:(engine_of ~domains ~cache ~cache_capacity)
+        compiled
+    in
+    Nflib.Catalog.attach_handlers rt compiled;
+    Runtime.set_telemetry rt Telemetry.Level.Counters;
+    let w = Telemetry.Export.Window.create ~capacity:window in
+    let traffic = mixed_workload packets in
+    let tty = Unix.isatty Unix.stdout in
+    for b = 1 to batches do
+      let stats = Runtime.process_batch_parallel rt traffic in
+      let snap =
+        match Runtime.snapshot rt with Some s -> s | None -> assert false
+      in
+      Telemetry.Export.Window.push w ~now_ns:(Telemetry.Tclock.now_ns ()) snap;
+      if tty then print_string "\027[2J\027[H";
+      Format.printf "dejavu top — batch %d/%d  %d pkts/batch  domains=%d%s@."
+        b batches packets domains
+        (if cache then "  cache=on" else "");
+      (match Telemetry.Export.Window.rates w with
+      | [] -> Format.printf "  (gathering: rates need two snapshots)@."
+      | rates ->
+          Format.printf "  window: %d snapshots over %.3fs@."
+            (Telemetry.Export.Window.length w)
+            (Int64.to_float (Telemetry.Export.Window.span_ns w) /. 1e9);
+          List.iter
+            (fun (name, r) ->
+              if r > 0.0 then Format.printf "  %-44s %14.0f/s@." name r)
+            rates);
+      if stats.Runtime.errors > 0 then
+        Format.printf "  errors this batch: %d@." stats.Runtime.errors;
+      if tty then flush stdout
+    done;
+    print_cache_stats rt
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "top"
+       ~doc:
+         "Live view: run the sample workload batch after batch and redraw \
+          per-second counter rates computed over a sliding snapshot \
+          window.")
+    Cmdliner.Term.(
+      const run $ strategy_arg $ extended_arg $ packets_arg $ batches_arg
+      $ domains_arg $ window_arg $ cache_arg $ cache_capacity_arg)
 
 (* --- strategies ---------------------------------------------------- *)
 
@@ -669,5 +811,5 @@ let () =
        (Cmdliner.Cmd.group info
           [
             compile_cmd; report_cmd; programs_cmd; send_cmd; strategies_cmd;
-            place_cmd; cluster_cmd; stats_cmd; run_cmd; churn_cmd;
+            place_cmd; cluster_cmd; stats_cmd; top_cmd; run_cmd; churn_cmd;
           ]))

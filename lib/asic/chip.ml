@@ -156,6 +156,15 @@ type verdict =
   | Dropped
   | To_cpu of Bytes.t
 
+type mark = {
+  m_pipelet : Pipelet.id;
+  m_trace_end : int;
+  m_latency_ns : float;
+  m_recircs : int;
+  m_resubmits : int;
+  m_meta : Telemetry.Journey.hop_meta;
+}
+
 type result = {
   verdict : verdict;
   resubmits : int;
@@ -164,7 +173,7 @@ type result = {
   latency_ns : float;
   trace : P4ir.Control.trace_event list;
   mirrored : (int * Bytes.t) list;
-  marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
+  marks : mark list;
 }
 
 let pass_limit = 64
@@ -177,7 +186,7 @@ type walk_state = {
   mutable latency : float;
   trace : P4ir.Control.trace_event list ref;
   mutable mirrored : (int * Bytes.t) list;  (* reversed *)
-  mutable marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
+  mutable marks : mark list;
       (* reversed; one per pipelet pass in Journeys mode *)
 }
 
@@ -206,12 +215,23 @@ let finish st verdict =
       marks = List.rev st.marks;
     }
 
-(* In Journeys mode, remember where this pipelet pass ends in the trace
-   and what the PHV looked like, so the flat trace can be segmented into
-   per-hop spans after the fact. *)
+(* In Journeys mode, remember where this pipelet pass ends in the
+   trace, the cumulative modelled latency and recirc/resubmit depth at
+   that point, and what the PHV looked like — enough to segment the
+   flat trace into per-hop spans and attribute per-hop latency (the
+   delta between consecutive marks) after the fact. *)
 let mark_pass t st pl phv =
   if Telemetry.Level.journeys_on t.telem then
-    st.marks <- (Pipelet.id pl, List.length !(st.trace), t.probe phv) :: st.marks
+    st.marks <-
+      {
+        m_pipelet = Pipelet.id pl;
+        m_trace_end = List.length !(st.trace);
+        m_latency_ns = st.latency;
+        m_recircs = st.recircs;
+        m_resubmits = st.resubmits;
+        m_meta = t.probe phv;
+      }
+      :: st.marks
 
 let rec ingress_pass t st ~pipeline ~entry_port frame =
   if st.passes >= pass_limit then

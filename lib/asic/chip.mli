@@ -89,6 +89,21 @@ type verdict =
   | Dropped
   | To_cpu of Bytes.t
 
+(** One per-pipelet-pass telemetry stamp, recorded in [Journeys] mode:
+    where the pass ends in [trace], the cumulative modelled latency
+    and recirculation/resubmission depth when it ended, and the probe's
+    read of the PHV. Consecutive marks segment [trace] into per-hop
+    spans and their latency deltas are the per-hop latencies — the
+    INT-style record each hop leaves in the packet's metadata. *)
+type mark = {
+  m_pipelet : Pipelet.id;
+  m_trace_end : int;  (** trace length when this pass ended *)
+  m_latency_ns : float;  (** cumulative modelled latency at that point *)
+  m_recircs : int;  (** recirculations completed before this pass *)
+  m_resubmits : int;  (** resubmissions completed before this pass *)
+  m_meta : Telemetry.Journey.hop_meta;
+}
+
 type result = {
   verdict : verdict;
   resubmits : int;
@@ -98,11 +113,9 @@ type result = {
   trace : P4ir.Control.trace_event list;  (** oldest first *)
   mirrored : (int * Bytes.t) list;
       (** copies sent to the mirror port, oldest first *)
-  marks : (Pipelet.id * int * Telemetry.Journey.hop_meta) list;
+  marks : mark list;
       (** [Journeys] mode only (else []): one mark per pipelet pass, in
-          order — the pipelet, the trace length when its pass ended, and
-          the probe's read of the PHV — enough to segment [trace] into
-          per-hop spans *)
+          order — enough to segment [trace] into per-hop spans *)
 }
 
 val inject : t -> in_port:int -> Bytes.t -> (result, string) Stdlib.result

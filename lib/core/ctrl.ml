@@ -40,7 +40,7 @@ let apply_all chip ops =
 
 (* --- Update queue --- *)
 
-type batch = { id : int; ops : op list }
+type batch = { id : int; ops : op list; submitted_ns : int64 }
 
 type queue = {
   mu : Mutex.t;
@@ -59,10 +59,13 @@ let locked q f =
   Fun.protect ~finally:(fun () -> Mutex.unlock q.mu) f
 
 let submit q ops =
+  (* Stamp outside the lock — the clock read needs no protection and
+     keeps the critical section minimal. *)
+  let submitted_ns = Telemetry.Tclock.now_ns () in
   locked q (fun () ->
       let id = q.next_id in
       q.next_id <- id + 1;
-      q.pending_rev <- { id; ops } :: q.pending_rev;
+      q.pending_rev <- { id; ops; submitted_ns } :: q.pending_rev;
       id)
 
 let pending q = locked q (fun () -> List.length q.pending_rev)

@@ -60,7 +60,13 @@ val apply_all : Asic.Chip.t -> op list -> (int, string) result
 
 type queue
 
-type batch = { id : int; ops : op list }
+type batch = {
+  id : int;
+  ops : op list;
+  submitted_ns : int64;
+      (** monotonic-clock stamp taken at {!submit} — the consumer's
+          drain latency is measured against it *)
+}
 
 val queue : unit -> queue
 

@@ -73,6 +73,7 @@ type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable stale : int;
+  mutable invalidations : int;
   mutable uncacheable : int;
   mutable inserts : int;
   mutable evictions : int;
@@ -240,6 +241,7 @@ let create ~capacity chip =
           hits = 0;
           misses = 0;
           stale = 0;
+          invalidations = 0;
           uncacheable = 0;
           inserts = 0;
           evictions = 0;
@@ -296,7 +298,13 @@ let keys_mru t =
 (* A read is valid when it would see the recorded value again: checked
    against live register state under an overlay of the recorded writes
    applied so far, in recorded order — so read-after-own-write chains
-   validate against what the replay will produce, not the pre-state. *)
+   validate against what the replay will produce, not the pre-state.
+   The two failure modes are distinguished for accounting: an epoch
+   mismatch is a control-plane invalidation (someone mutated a
+   dependency), a read mismatch is packet-time staleness (another flow
+   moved shared register state). *)
+type validity = Valid | Epoch_changed | Read_mismatch
+
 let validate e =
   let ok = ref true in
   let n = Array.length e.tdeps in
@@ -313,7 +321,8 @@ let validate e =
     if P4ir.Register.epoch d.dreg <> d.repoch then ok := false;
     incr i
   done;
-  if !ok && Array.length e.ops > 0 then begin
+  if not !ok then Epoch_changed
+  else if Array.length e.ops > 0 then begin
     let overlay = ref [] in
     let find reg idx =
       List.find_opt (fun (r, i, _) -> r == reg && i = idx) !overlay
@@ -333,9 +342,10 @@ let validate e =
           overlay :=
             (reg, idx, v) :: List.filter (fun (r, i, _) -> not (r == reg && i = idx)) !overlay);
       incr i
-    done
-  end;
-  !ok
+    done;
+    if !ok then Valid else Read_mismatch
+  end
+  else Valid
 
 let replay_writes e =
   Array.iter
@@ -355,18 +365,22 @@ let lookup t ~in_port frame =
   let served =
     match Hashtbl.find_opt t.tbl key with
     | None -> None
-    | Some node ->
-        if validate node.entry then begin
-          replay_writes node.entry;
-          touch t node;
-          Some node.entry
-        end
-        else begin
-          (* Stale: a dependency moved under the entry. *)
-          remove t node;
-          t.stats.stale <- t.stats.stale + 1;
-          None
-        end
+    | Some node -> (
+        match validate node.entry with
+        | Valid ->
+            replay_writes node.entry;
+            touch t node;
+            Some node.entry
+        | Epoch_changed ->
+            (* A control-plane mutation bumped a dependency's epoch. *)
+            remove t node;
+            t.stats.invalidations <- t.stats.invalidations + 1;
+            None
+        | Read_mismatch ->
+            (* Packet-time staleness: shared register state moved. *)
+            remove t node;
+            t.stats.stale <- t.stats.stale + 1;
+            None)
   in
   match served with
   | Some e ->
@@ -472,6 +486,7 @@ let merge_stats ~into src =
   a.hits <- a.hits + b.hits;
   a.misses <- a.misses + b.misses;
   a.stale <- a.stale + b.stale;
+  a.invalidations <- a.invalidations + b.invalidations;
   a.uncacheable <- a.uncacheable + b.uncacheable;
   a.inserts <- a.inserts + b.inserts;
   a.evictions <- a.evictions + b.evictions

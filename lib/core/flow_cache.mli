@@ -28,7 +28,13 @@ type t
 type stats = {
   mutable hits : int;
   mutable misses : int;
-  mutable stale : int;  (** entries dropped on a failed revalidation *)
+  mutable stale : int;
+      (** entries dropped on a failed read-replay revalidation —
+          packet-time staleness (shared register state moved) *)
+  mutable invalidations : int;
+      (** entries dropped on a dependency epoch mismatch — a
+          control-plane mutation (table op, register reset) under the
+          entry *)
   mutable uncacheable : int;  (** miss runs that could not be inserted *)
   mutable inserts : int;
   mutable evictions : int;

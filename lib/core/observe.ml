@@ -7,6 +7,9 @@ type t = {
   level : Telemetry.Level.t;
   reg : Telemetry.Registry.t;
   ring : Telemetry.Journey.t Telemetry.Ring.t;
+  (* INT postcard sink: per-flow aggregation of the per-hop records
+     journeys carry; sized like the flight recorder. *)
+  sink : Telemetry.Int_report.t;
   mutable next_id : int;
 }
 
@@ -17,12 +20,14 @@ let create ?(ring_capacity = default_ring_capacity) level =
     level;
     reg = Telemetry.Registry.create ();
     ring = Telemetry.Ring.create ring_capacity;
+    sink = Telemetry.Int_report.create ~ring_capacity ();
     next_id = 0;
   }
 
 let level t = t.level
 let registry t = t.reg
 let ring t = t.ring
+let int_sink t = t.sink
 
 let next_journey_id t =
   let id = t.next_id in
@@ -82,12 +87,15 @@ let pipelet_name (id : Asic.Pipelet.id) =
 
 (* Segment one chip result's flat trace into per-pass hops using the
    marks the chip recorded in Journeys mode: mark k says "this pass's
-   events end at trace position k". *)
+   events end at trace position k". Each mark carries the cumulative
+   modelled latency when its pass ended, so a hop's own latency is the
+   delta from the previous mark — the deltas sum back to the result's
+   end-to-end latency. *)
 let hops_of_result (r : Asic.Chip.result) =
   let trace = Array.of_list r.Asic.Chip.trace in
-  let hop_of pid start stop meta =
+  let hop_of (m : Asic.Chip.mark) start prev_lat =
     let nfs = ref [] and tables = ref [] and gateways = ref 0 in
-    for i = stop - 1 downto start do
+    for i = m.Asic.Chip.m_trace_end - 1 downto start do
       match trace.(i) with
       | P4ir.Control.T_enter nf -> nfs := nf :: !nfs
       | P4ir.Control.T_table (tbl, act, hit) ->
@@ -95,18 +103,23 @@ let hops_of_result (r : Asic.Chip.result) =
       | P4ir.Control.T_gateway _ -> incr gateways
     done;
     {
-      Telemetry.Journey.pipelet = pipelet_name pid;
+      Telemetry.Journey.pipelet = pipelet_name m.Asic.Chip.m_pipelet;
       nfs = !nfs;
       tables = !tables;
       gateways = !gateways;
-      meta;
+      latency_ns = m.Asic.Chip.m_latency_ns -. prev_lat;
+      recirc_depth = m.Asic.Chip.m_recircs;
+      resubmit_depth = m.Asic.Chip.m_resubmits;
+      meta = m.Asic.Chip.m_meta;
     }
   in
-  let rec go start = function
+  let rec go start prev_lat = function
     | [] -> []
-    | (pid, stop, meta) :: rest -> hop_of pid start stop meta :: go stop rest
+    | (m : Asic.Chip.mark) :: rest ->
+        hop_of m start prev_lat
+        :: go m.Asic.Chip.m_trace_end m.Asic.Chip.m_latency_ns rest
   in
-  go 0 r.Asic.Chip.marks
+  go 0 0.0 r.Asic.Chip.marks
 
 let verdict_string = function
   | Asic.Chip.Emitted { port; _ } -> Printf.sprintf "emitted:%d" port

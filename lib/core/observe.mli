@@ -17,6 +17,11 @@ val level : t -> Telemetry.Level.t
 val registry : t -> Telemetry.Registry.t
 val ring : t -> Telemetry.Journey.t Telemetry.Ring.t
 
+val int_sink : t -> Telemetry.Int_report.t
+(** The observer's INT postcard sink: at [Journeys], the runtime turns
+    every packet's per-hop records into a postcard here, keyed by the
+    packet's 5-tuple. Ring capacity matches the flight recorder's. *)
+
 val attach :
   registry:Telemetry.Registry.t -> level:Telemetry.Level.t -> Asic.Chip.t -> unit
 (** Enable chip-level instrumentation at [level]: table stats, per-NF

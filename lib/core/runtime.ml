@@ -67,7 +67,15 @@ type obs_state = {
   c_drop_dp : int ref;
   c_cache_hit : int ref;
   c_cache_miss : int ref;
+  c_ctrl_applied : int ref;
+  c_ctrl_failed : int ref;
+  c_suppressed : int ref;  (* per-packet errors beyond the batch log cap *)
+  c_gc_minor : int ref;  (* cumulative minor words allocated in batches *)
+  c_gc_major : int ref;
   h_ns : Telemetry.Histogram.t;
+  h_queue_depth : Telemetry.Histogram.t;  (* ctrl batches per drain *)
+  h_drain_ns : Telemetry.Histogram.t;  (* submit-to-apply latency *)
+  h_alloc_w : Telemetry.Histogram.t;  (* words allocated per packet *)
 }
 
 type t = {
@@ -147,15 +155,37 @@ let control t = t.ctrl
 
 let sync t =
   let batches = Ctrl.drain t.ctrl in
+  (* Queue-depth histogram: how many batches had piled up per drain —
+     the back-pressure signal for producers. Only non-empty drains are
+     observed; idle batch boundaries would drown the distribution in
+     zeros. *)
+  (match t.obs with
+  | Some os when batches <> [] ->
+      Telemetry.Histogram.observe os.h_queue_depth (List.length batches)
+  | _ -> ());
   let applied, errs_rev =
     List.fold_left
       (fun (n, errs) (b : Ctrl.batch) ->
+        (match t.obs with
+        | None -> ()
+        | Some os ->
+            let waited =
+              Int64.to_int
+                (Int64.sub (Telemetry.Tclock.now_ns ()) b.Ctrl.submitted_ns)
+            in
+            Telemetry.Histogram.observe os.h_drain_ns (max 0 waited));
         match Ctrl.apply_all t.chip b.Ctrl.ops with
         | Ok k ->
             Ctrl.note t.ctrl b.Ctrl.id (Ok k);
+            (match t.obs with
+            | Some os -> os.c_ctrl_applied := !(os.c_ctrl_applied) + k
+            | None -> ());
             (n + k, errs)
         | Error e ->
             Ctrl.note t.ctrl b.Ctrl.id (Error e);
+            (match t.obs with
+            | Some os -> incr os.c_ctrl_failed
+            | None -> ());
             (n, (b.Ctrl.id, e) :: errs))
       (0, []) batches
   in
@@ -180,7 +210,17 @@ let enable_obs t level ring_capacity =
   let c_drop_dp = c "drop.data_plane" in
   let c_cache_hit = c "cache.hit" in
   let c_cache_miss = c "cache.miss" in
+  let c_ctrl_applied = c "ctrl.ops_applied" in
+  let c_ctrl_failed = c "ctrl.batches_failed" in
+  let c_suppressed = c "batch.errors_suppressed" in
+  let c_gc_minor = c "gc.minor_words" in
+  let c_gc_major = c "gc.major_words" in
   let h_ns = Telemetry.Registry.histogram reg "runtime.ns_per_packet" in
+  let h_queue_depth = Telemetry.Registry.histogram reg "ctrl.queue_depth" in
+  let h_drain_ns = Telemetry.Registry.histogram reg "ctrl.drain_ns" in
+  let h_alloc_w =
+    Telemetry.Registry.histogram reg "runtime.alloc_words_per_packet"
+  in
   let rx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.rx" p)) in
   let tx = Array.init n_ports (fun p -> c (Printf.sprintf "port.%d.tx" p)) in
   t.obs <-
@@ -200,7 +240,15 @@ let enable_obs t level ring_capacity =
         c_drop_dp;
         c_cache_hit;
         c_cache_miss;
+        c_ctrl_applied;
+        c_ctrl_failed;
+        c_suppressed;
+        c_gc_minor;
+        c_gc_major;
         h_ns;
+        h_queue_depth;
+        h_drain_ns;
+        h_alloc_w;
       }
 
 let configure t (e : Engine.t) =
@@ -336,6 +384,17 @@ let find_handler t sfc =
           match Hashtbl.find_opt t.nf_ids nf_id with
           | None -> None
           | Some nf -> Hashtbl.find_opt t.handlers nf))
+
+(* The INT postcard's flow key: the canonical 5-tuple rendering when the
+   frame parses, else the arrival port — same fallback the shard hash
+   uses, so unparseable traffic aggregates per port. *)
+let flow_key ~in_port frame =
+  match Netpkt.Pkt.decode frame with
+  | Error _ -> Printf.sprintf "port:%d" in_port
+  | Ok layers -> (
+      match Netpkt.Pkt.five_tuple_of layers with
+      | Some ft -> Format.asprintf "%a" Netpkt.Flow.pp_five_tuple ft
+      | None -> Printf.sprintf "port:%d" in_port)
 
 let process t ~in_port frame =
   (* [mirrored_rev] accumulates reversed (rev_append per pass, one final
@@ -500,6 +559,16 @@ let process t ~in_port frame =
               latency_ns = latency;
               wall_ns = wall;
               hops;
+            };
+          (* The same hop records, reported INT-postcard-style: keyed by
+             flow and folded into the per-flow aggregate. *)
+          Telemetry.Int_report.push (Observe.int_sink os.o)
+            {
+              Telemetry.Int_report.flow = flow_key ~in_port frame;
+              in_port;
+              verdict;
+              wall_ns = wall;
+              hops;
             }));
   res
 
@@ -512,6 +581,7 @@ type batch_stats = {
   counters : Counters.t;
   digest : int64;
   error_log : (int * string) list;
+  suppressed : int;
 }
 
 let max_error_log = 8
@@ -526,6 +596,7 @@ let empty_stats =
     counters = Counters.zero;
     digest = 0L;
     error_log = [];
+    suppressed = 0;
   }
 
 (* The digest folds a verdict tag, the egress port and the full output
@@ -541,11 +612,24 @@ let fold_digest acc tag port frame =
   | None -> acc
   | Some b -> Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len:(Bytes.length b)
 
+(* Minor and direct-major words allocated so far ([Gc.major_words]
+   includes promotions, which [minor_words] already counted — subtract
+   them so the pair sums to total words allocated). *)
+let gc_words () =
+  let s = Gc.quick_stat () in
+  (s.Gc.minor_words, s.Gc.major_words -. s.Gc.promoted_words)
+
 let process_batch ?each t pkts =
   (* Batch boundary: drain queued control-plane batches onto this
      runtime's chip before any packet of this batch runs. Outcomes land
      in the queue's result log. *)
   ignore (sync t);
+  (* Allocation accounting brackets the packet loop (after the ctrl
+     drain, so control-plane work is not billed to packets). The
+     per-packet figure includes whatever observation itself allocates —
+     that is the point: it is the number the zero-alloc work must
+     drive down at [Off], and the overhead it pays above it. *)
+  let gc0 = match t.obs with None -> (0.0, 0.0) | Some _ -> gc_words () in
   let stats = ref empty_stats in
   List.iteri
     (fun i (in_port, frame) ->
@@ -594,7 +678,26 @@ let process_batch ?each t pkts =
                 }))
     pkts;
   let s = !stats in
-  { s with error_log = List.rev s.error_log }
+  (match t.obs with
+  | None -> ()
+  | Some os ->
+      let minor0, major0 = gc0 in
+      let minor1, major1 = gc_words () in
+      let minor_d = minor1 -. minor0 and major_d = major1 -. major0 in
+      os.c_gc_minor := !(os.c_gc_minor) + max 0 (int_of_float minor_d);
+      os.c_gc_major := !(os.c_gc_major) + max 0 (int_of_float major_d);
+      if s.packets > 0 then
+        Telemetry.Histogram.observe os.h_alloc_w
+          (max 0
+             (int_of_float ((minor_d +. major_d) /. float_of_int s.packets)));
+      let suppressed = s.errors - List.length s.error_log in
+      if suppressed > 0 then
+        os.c_suppressed := !(os.c_suppressed) + suppressed);
+  {
+    s with
+    error_log = List.rev s.error_log;
+    suppressed = s.errors - List.length s.error_log;
+  }
 
 (* --- Sharded parallel execution --- *)
 
@@ -684,13 +787,20 @@ let merge_shards per_shard =
           counters = Counters.add acc.counters s.counters;
           digest = 0L;
           error_log = acc.error_log @ s.error_log;
+          suppressed = 0;
         })
       empty_stats per_shard
   in
+  let error_log =
+    List.filteri (fun i _ -> i < max_error_log) merged.error_log
+  in
+  (* Suppressed = everything the surviving log does not show, whether a
+     shard capped it locally or the shard-order concatenation did. *)
   {
     merged with
     digest;
-    error_log = List.filteri (fun i _ -> i < max_error_log) merged.error_log;
+    error_log;
+    suppressed = merged.errors - List.length error_log;
   }
 
 let process_batch_parallel ?domains ?each t pkts =
@@ -753,7 +863,13 @@ let process_batch_parallel ?domains ?each t pkts =
                         j with
                         Telemetry.Journey.id = Observe.next_journey_id os.o;
                       })
-                  (Observe.journeys ros.o))
+                  (Observe.journeys ros.o);
+                (* Per-flow INT aggregates fold field-wise; flow
+                   affinity means a flow's summary lives on exactly one
+                   shard, so the fold never double-counts a flow. *)
+                Telemetry.Int_report.merge
+                  ~into:(Observe.int_sink os.o)
+                  (Observe.int_sink ros.o))
           replicas);
     (match t.cache with
     | None -> ()
@@ -766,3 +882,44 @@ let process_batch_parallel ?domains ?each t pkts =
           replicas);
     merge_shards per_shard
   end
+
+(* --- Snapshot front door --- *)
+
+let int_sink t = Option.map (fun os -> Observe.int_sink os.o) t.obs
+
+(* Absolute gauges (cache occupancy, INT flow counts, queue depth) are
+   written into the registry only here, at snapshot time — never on the
+   hot path and never on a shard replica, so [Registry.merge] (which
+   sums) cannot double-count them when parallel batches fold replica
+   registries back. *)
+let sync_gauges t =
+  match t.obs with
+  | None -> ()
+  | Some os ->
+      let reg = Observe.registry os.o in
+      let set name v = Telemetry.Registry.counter reg name := v in
+      (match t.cache with
+      | None -> ()
+      | Some c ->
+          let s = Flow_cache.stats c in
+          set "cache.occupancy" (Flow_cache.length c);
+          set "cache.capacity" (Flow_cache.capacity c);
+          set "cache.inserts" s.Flow_cache.inserts;
+          set "cache.evictions" s.Flow_cache.evictions;
+          set "cache.stale" s.Flow_cache.stale;
+          set "cache.invalidations" s.Flow_cache.invalidations;
+          set "cache.uncacheable" s.Flow_cache.uncacheable);
+      set "ctrl.pending" (Ctrl.pending t.ctrl);
+      let sink = Observe.int_sink os.o in
+      if Telemetry.Int_report.pushed sink > 0 then begin
+        set "int.flows" (Telemetry.Int_report.flows sink);
+        set "int.postcards" (Telemetry.Int_report.pushed sink);
+        set "int.dropped_flows" (Telemetry.Int_report.dropped_flows sink)
+      end
+
+let snapshot t =
+  match t.obs with
+  | None -> None
+  | Some os ->
+      sync_gauges t;
+      Some (Observe.snapshot os.o t.chip)

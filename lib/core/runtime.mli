@@ -162,6 +162,23 @@ val set_telemetry : ?ring_capacity:int -> t -> Telemetry.Level.t -> unit
 val telemetry : t -> Observe.t option
 val telemetry_level : t -> Telemetry.Level.t
 
+val int_sink : t -> Telemetry.Int_report.t option
+(** The INT postcard sink, when telemetry is on. Populated at
+    [Journeys]: every processed packet's per-hop records enter as one
+    postcard keyed by its 5-tuple (per-flow summaries, bounded ring of
+    recent postcards). Shard sinks merge back after parallel
+    batches. *)
+
+val snapshot : t -> Telemetry.Registry.snapshot option
+(** The observability front door: sync the chip's live table tallies
+    and the absolute gauges — cache occupancy/capacity and validation
+    tallies ([cache.*]), pending ctrl batches ([ctrl.pending]), INT
+    sink sizes ([int.*]) — into the registry, then snapshot it. [None]
+    when telemetry is [Off]. Gauges are written only here (never on
+    the hot path, never on shard replicas), so parallel registry
+    merges cannot double-count them; feed the result to
+    {!Telemetry.Export.prometheus} / {!Telemetry.Export.json_lines}. *)
+
 (** {2 Batches} *)
 
 type batch_stats = {
@@ -179,6 +196,11 @@ type batch_stats = {
   error_log : (int * string) list;
       (** the first {!max_error_log} per-packet errors, oldest first, as
           [(in_port, message)] — previously only the count survived *)
+  suppressed : int;
+      (** errors beyond the log cap: [errors - List.length error_log],
+          so a capped log is visible as such instead of silently
+          truncating. Also accumulated into the
+          [batch.errors_suppressed] counter when telemetry is on. *)
 }
 
 val max_error_log : int

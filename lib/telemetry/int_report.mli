@@ -1,0 +1,62 @@
+(** INT-style postcard reports: one bounded sink per runtime collecting
+    per-packet hop records (the {!Journey.hop} stamps each pipelet pass
+    leaves in the packet's probe metadata) and aggregating them into
+    per-flow summaries — the "postcard" model where every hop's
+    telemetry is reported out-of-band at the end of the packet's walk
+    instead of accumulating in the packet.
+
+    The sink is bounded twice: recent postcards live in a fixed ring
+    (old ones fall off), and per-flow aggregation stops accepting new
+    flows at [max_flows] (drops are counted, never silent). *)
+
+type postcard = {
+  flow : string;  (** canonical flow key, e.g. the 5-tuple rendering *)
+  in_port : int;
+  verdict : string;
+  wall_ns : int;
+  hops : Journey.hop list;
+}
+
+(** Running aggregate of every postcard a flow produced. *)
+type summary = {
+  flow : string;
+  mutable packets : int;
+  mutable hops : int;  (** total pipelet passes across all packets *)
+  mutable latency_ns : float;  (** summed modelled chip latency *)
+  mutable max_hops : int;  (** deepest single walk (recirc fan-out) *)
+  mutable recircs : int;
+  mutable resubmits : int;
+  mutable verdicts : (string * int) list;  (** verdict -> packets *)
+}
+
+type t
+
+val create : ?max_flows:int -> ring_capacity:int -> unit -> t
+(** [max_flows] defaults to 1024. *)
+
+val push : t -> postcard -> unit
+val pushed : t -> int
+(** Total postcards ever pushed (ring overwrites included). *)
+
+val recent : t -> postcard list
+(** Retained postcards, oldest first. *)
+
+val summaries : t -> summary list
+(** Per-flow aggregates, most packets first. *)
+
+val flows : t -> int
+val dropped_flows : t -> int
+(** Postcards whose flow could not be aggregated because the flow table
+    was full ([max_flows] reached); their packets still enter the
+    ring. *)
+
+val merge : into:t -> t -> unit
+(** Fold a shard replica's sink into the primary: summaries add
+    field-wise, retained postcards re-enter the ring, dropped-flow
+    counts sum. [src] is not modified. *)
+
+val clear : t -> unit
+
+val summary_to_json : summary -> string
+val postcard_to_json : postcard -> string
+val pp_summaries : Format.formatter -> t -> unit

@@ -10,6 +10,9 @@ type hop = {
   nfs : string list;
   tables : (string * string * bool) list;
   gateways : int;
+  latency_ns : float;
+  recirc_depth : int;
+  resubmit_depth : int;
   meta : hop_meta;
 }
 
@@ -46,10 +49,12 @@ let hop_to_json pad h =
   in
   Printf.sprintf
     "%s{ \"pipelet\": %s, \"sfc\": %s,\n\
+     %s  \"latency_ns\": %.1f, \"recirc_depth\": %d, \"resubmit_depth\": %d,\n\
      %s  \"nfs\": %s, \"gateways\": %d,\n\
      %s  \"headers\": %s,\n\
      %s  \"tables\": [%s] }"
-    pad (Json.str h.pipelet) sfc pad (strings_json h.nfs) h.gateways pad
+    pad (Json.str h.pipelet) sfc pad h.latency_ns h.recirc_depth
+    h.resubmit_depth pad (strings_json h.nfs) h.gateways pad
     (strings_json h.meta.headers)
     pad tables
 
@@ -85,6 +90,10 @@ let pp ppf t =
   List.iter
     (fun h ->
       Format.fprintf ppf "@[<v 2>%s" h.pipelet;
+      Format.fprintf ppf "  +%.0fns" h.latency_ns;
+      if h.recirc_depth > 0 || h.resubmit_depth > 0 then
+        Format.fprintf ppf "  depth=(recirc %d, resubmit %d)" h.recirc_depth
+          h.resubmit_depth;
       (match h.meta.sfc with
       | Some (spid, si) -> Format.fprintf ppf "  sfc=(%d,%d)" spid si
       | None -> ());

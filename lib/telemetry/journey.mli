@@ -19,6 +19,12 @@ type hop = {
   tables : (string * string * bool) list;
       (** (table, action run, hit) in application order *)
   gateways : int;  (** gateway conditions evaluated during the pass *)
+  latency_ns : float;
+      (** modelled chip latency attributed to this pass: the pipelet
+          walk plus any TM / recirculation cost paid to reach it —
+          per-hop latencies sum to the result's end-to-end latency *)
+  recirc_depth : int;  (** recirculations completed before this pass *)
+  resubmit_depth : int;  (** resubmissions completed before this pass *)
   meta : hop_meta;
 }
 
