@@ -529,6 +529,30 @@ let bench_cache = ref false
    cold-built runtime's (CI runs --smoke --churn). *)
 let bench_churn = ref false
 
+(* --state adds the bounded-state-store section to the runtime
+   benchmark, in three gated phases: (1) under-capacity equivalence —
+   the mixed workload through Engine.Bounded must be byte-identical to
+   No_state; (2) scale — a large population of distinct flows (1M+
+   full, 20k smoke) through a classifier->lb->nat->router chain whose
+   LB sessions and NAT bindings both live on the store, gating ledger
+   occupancy == min(flows, capacity), chip table size <= capacity, and
+   a flat-memory ceiling (live heap words after saturation must not
+   grow); (3) live re-shard 2 -> 4 -> 1 under traffic, whose migrated
+   store union must digest-identical a cold-built runtime's. All three
+   exit 1 on breach (CI runs --smoke --state --state-capacity 4096). *)
+let bench_state = ref false
+
+(* --state-capacity N sets the per-shard store capacity for the --state
+   section (default 65536, the chip session table's max_size — larger
+   values are clamped to it so the ledger, not the chip, is the
+   bound). *)
+let bench_state_capacity = ref 65536
+
+(* --ttl NS sets the store's TTL in logical nanoseconds for the --state
+   section (default 0 = no aging; the scale phase never advances the
+   clock, so TTL only changes bookkeeping there). *)
+let bench_state_ttl = ref 0L
+
 let bench_placement () =
   section "Placement solver benchmark -> BENCH_placement.json";
   let anneal_iterations = if !smoke then 400 else 4000 in
@@ -1478,6 +1502,299 @@ let bench_runtime () =
           probe_match )
     end
   in
+  (* --state: the bounded state store at benchmark scale, three gated
+     phases (all exit 1 on breach, including under --smoke):
+       1. under-capacity equivalence — the mixed workload through
+          Engine.Bounded at a capacity no flow population reaches must
+          be byte-identical to No_state (the ledger is pure
+          bookkeeping until the bound bites);
+       2. scale — a large population of distinct flows (1M+ full, 20k
+          smoke) through a classifier->lb->nat->router chain whose LB
+          sessions AND NAT bindings live on the store: ledger occupancy
+          must land exactly on min(flows, capacity), the chip session/
+          binding tables must hold exactly the ledger's live set (every
+          LRU eviction Del'd its chip entry), and the live heap must
+          stay flat after the store saturates — the million-flow story
+          with bounded memory;
+       3. live re-shard 2 -> 4 -> 1 with traffic between reconfigures:
+          the migrated store union must digest-identical a cold-built
+          single-shard runtime that saw the same flows.
+     Returns the pre-formatted BENCH_runtime.json fragment. *)
+  let state_results =
+    if not !bench_state then None
+    else begin
+      let capacity = min !bench_state_capacity 65536 in
+      if capacity <> !bench_state_capacity then
+        Format.printf
+          "note: --state-capacity clamped to 65536 (the chip session \
+           table's max_size)@.";
+      let ttl_ns = !bench_state_ttl in
+      let with_state ?(domains = 1) ?cache st =
+        let e = engine_for ~domains Asic.Chip.Fast in
+        let e =
+          match cache with
+          | Some cap ->
+              { e with Runtime.Engine.cache = Runtime.Engine.Emc { capacity = cap } }
+          | None -> e
+        in
+        { e with Runtime.Engine.state = st }
+      in
+      Format.printf
+        "@.bounded state store (--state): capacity=%d ttl=%Ldns@." capacity
+        ttl_ns;
+      (* Phase 1: under-capacity equivalence on the mixed bench
+         workload. Capacity pinned at the chip table bound — way above
+         the workload's flow count — so the only difference between the
+         two runs is the ledger bookkeeping itself. *)
+      let run_with engine =
+        let compiled =
+          match compile_prototype () with Ok c -> c | Error e -> failwith e
+        in
+        let rt = Runtime.create ~engine compiled in
+        Nflib.Catalog.attach_handlers rt compiled;
+        install_fib compiled;
+        Runtime.process_batch rt workload
+      in
+      let off = run_with (with_state Runtime.Engine.No_state) in
+      let on =
+        run_with
+          (with_state (Runtime.Engine.Bounded { capacity = 65536; ttl_ns }))
+      in
+      let equiv =
+        off.Runtime.digest = on.Runtime.digest
+        && off.Runtime.emitted = on.Runtime.emitted
+        && off.Runtime.dropped = on.Runtime.dropped
+        && off.Runtime.to_cpu = on.Runtime.to_cpu
+        && off.Runtime.errors = on.Runtime.errors
+      in
+      Format.printf
+        "under-capacity equivalence: digest off=%Lx on=%Lx identical=%b@."
+        off.Runtime.digest on.Runtime.digest equiv;
+      if not equiv then begin
+        Format.printf
+          "ERROR: Bounded state diverges from No_state under capacity!@.";
+        exit 1
+      end;
+      (* Phase 2: scale. Both stateful NFs in one chain; every flow is a
+         distinct source address, so the LB session ledger (5-tuple) and
+         the NAT binding ledger (source ip) each grow one entry per flow
+         until the bound. *)
+      let bounded = Runtime.Engine.Bounded { capacity; ttl_ns } in
+      let scale_rt engine =
+        let rules =
+          [
+            {
+              Nflib.Classifier.dst_prefix =
+                Netpkt.Ip4.prefix_of_string_exn "10.0.1.0/24";
+              proto = None;
+              path_id = 10;
+              tenant = 1;
+            };
+          ]
+        in
+        let registry =
+          ("classifier", Nflib.Classifier.create rules)
+          :: ( Nflib.Nat.name,
+               Nflib.Nat.create_dynamic ~max_size:(max 8192 capacity) )
+          :: List.filter
+               (fun (n, _) -> n <> "classifier" && n <> Nflib.Nat.name)
+               (Nflib.Catalog.registry ())
+        in
+        let chains =
+          [
+            Chain.make ~path_id:10 ~name:"stateful"
+              ~nfs:[ "classifier"; "lb"; "nat"; "router" ]
+              ~weight:1.0 ~exit_port:1 ();
+          ]
+        in
+        let compiled =
+          match
+            Compiler.compile
+              (Compiler.default_input ~registry ~chains
+                 ~strategy:Placement.Greedy ())
+          with
+          | Ok c -> c
+          | Error e -> failwith ("bench runtime --state: compile failed: " ^ e)
+        in
+        let rt = Runtime.create ~engine compiled in
+        Nflib.Catalog.attach_handlers rt compiled;
+        (rt, compiled)
+      in
+      (* f's 24 low bits spread over the last three source octets: every
+         flow a distinct source, good to 16M flows. *)
+      let scale_frame f =
+        flow
+          ~src:
+            (Printf.sprintf "10.%d.%d.%d"
+               (64 + ((f lsr 16) land 0x3f))
+               ((f lsr 8) land 0xff) (f land 0xff))
+          ~dst:Nflib.Catalog.tenant1_vip
+          ~src_port:(40000 + (f mod 16384))
+          ~dst_port:80
+      in
+      let scale_flows = if !smoke then 20_000 else 1_000_000 in
+      let rt_scale, compiled_scale = scale_rt (with_state bounded) in
+      let batch_size = if !smoke then 2_048 else 10_000 in
+      (* Heap checkpoint once the store is well saturated (3x capacity
+         flows seen): from here to the end of the run live words must
+         not grow — flat memory under unbounded flow arrival. *)
+      let saturate_at = 3 * capacity in
+      let checkpoint = ref None in
+      let emitted = ref 0 and errs = ref 0 and flows_done = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      while !flows_done < scale_flows do
+        let n = min batch_size (scale_flows - !flows_done) in
+        let base = !flows_done in
+        let batch = List.init n (fun i -> (0, scale_frame (base + i))) in
+        let stats = Runtime.process_batch rt_scale batch in
+        emitted := !emitted + stats.Runtime.emitted;
+        errs := !errs + stats.Runtime.errors;
+        flows_done := !flows_done + n;
+        if !checkpoint = None && !flows_done >= saturate_at then begin
+          Gc.full_major ();
+          checkpoint := Some ((Gc.stat ()).Gc.live_words, !flows_done)
+        end
+      done;
+      let scale_wall = Unix.gettimeofday () -. t0 in
+      Gc.full_major ();
+      let final_live = (Gc.stat ()).Gc.live_words in
+      let stores = Runtime.state_stores rt_scale in
+      let occupancy =
+        let tbl = Hashtbl.create 8 in
+        Array.iter
+          (fun s ->
+            List.iter
+              (fun (name, occ, _) ->
+                let prev =
+                  Option.value ~default:0 (Hashtbl.find_opt tbl name)
+                in
+                Hashtbl.replace tbl name (prev + occ))
+              (State_store.per_table s))
+          stores;
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+      in
+      let evictions =
+        Array.fold_left
+          (fun acc s ->
+            List.fold_left
+              (fun acc (_, _, st) -> acc + st.State_store.evictions)
+              acc (State_store.per_table s))
+          0 stores
+      in
+      let expected = min scale_flows capacity in
+      let occupancy_ok =
+        occupancy <> []
+        && List.for_all
+             (fun (name, occ) ->
+               if
+                 name = Nflib.Lb.state_table_name
+                 || name = Nflib.Nat.state_table_name
+               then occ = expected
+               else occ <= capacity)
+             occupancy
+      in
+      let chip_entries nf tbl =
+        match
+          Asic.Chip.find_table compiled_scale.Compiler.chip
+            (Compose.nf_table_name ~nf tbl)
+        with
+        | Some t -> P4ir.Table.size t
+        | None -> -1
+      in
+      let lb_chip = chip_entries Nflib.Lb.name Nflib.Lb.table_name in
+      let nat_chip = chip_entries Nflib.Nat.name Nflib.Nat.table_name in
+      let chip_ok = lb_chip = expected && nat_chip = expected in
+      let mem_ok, ckpt_words, ckpt_flows =
+        match !checkpoint with
+        | None -> (true, 0, 0) (* store never saturated: nothing to gate *)
+        | Some (w, fl) ->
+            let slack = max (w / 10) 1_000_000 in
+            (final_live <= w + slack, w, fl)
+      in
+      let words_mb w = float_of_int w *. 8.0 /. 1048576.0 in
+      Format.printf
+        "scale: %d flows in %.2fs (%.0f pkts/s), emitted=%d errors=%d, \
+         evictions=%d@."
+        scale_flows scale_wall
+        (float_of_int scale_flows /. scale_wall)
+        !emitted !errs evictions;
+      List.iter
+        (fun (name, occ) ->
+          Format.printf "  ledger %-14s entries=%d/%d@." name occ capacity)
+        occupancy;
+      Format.printf
+        "  chip lb=%d nat=%d (expect %d); heap %.1f MB at %d flows -> %.1f \
+         MB at %d flows@."
+        lb_chip nat_chip expected (words_mb ckpt_words) ckpt_flows
+        (words_mb final_live) scale_flows;
+      if not (occupancy_ok && chip_ok) then begin
+        Format.printf
+          "ERROR: state occupancy breached the bound (ledger or chip)!@.";
+        exit 1
+      end;
+      if not mem_ok then begin
+        Format.printf
+          "ERROR: live heap grew past the flat-memory ceiling after the \
+           store saturated!@.";
+        exit 1
+      end;
+      if !errs > 0 then begin
+        Format.printf "ERROR: scale run produced packet errors!@.";
+        exit 1
+      end;
+      (* Phase 3: live re-shard under traffic vs a cold-built oracle,
+         flow cache on throughout. Kept under capacity so LRU victims —
+         which legitimately differ per shard layout — don't enter the
+         comparison. *)
+      let n1 = max 8 (min (if !smoke then 300 else 2000) (capacity / 4)) in
+      let mk domains = fst (scale_rt (with_state ~domains ~cache:4096 bounded)) in
+      let slice a b = List.init (b - a) (fun i -> (0, scale_frame (a + i))) in
+      let live = mk 2 in
+      ignore (Runtime.process_batch_parallel live (slice 0 n1));
+      Runtime.configure live
+        { (Runtime.engine live) with Runtime.Engine.domains = 4 };
+      ignore (Runtime.process_batch_parallel live (slice n1 (2 * n1)));
+      Runtime.configure live
+        { (Runtime.engine live) with Runtime.Engine.domains = 1 };
+      ignore (Runtime.process_batch_parallel live (slice (2 * n1) (3 * n1)));
+      let cold = mk 1 in
+      ignore (Runtime.process_batch_parallel cold (slice 0 (3 * n1)));
+      let d_live = State_store.digest (Runtime.state_stores live) in
+      let d_cold = State_store.digest (Runtime.state_stores cold) in
+      let reshard_ok = Int64.equal d_live d_cold in
+      Format.printf
+        "re-shard 2->4->1 over %d flows: live=%Lx cold=%Lx match=%b@."
+        (3 * n1) d_live d_cold reshard_ok;
+      if not reshard_ok then begin
+        Format.printf
+          "ERROR: live re-sharded store diverges from the cold-built \
+           oracle!@.";
+        exit 1
+      end;
+      let occ_rows =
+        String.concat ", "
+          (List.map
+             (fun (name, occ) -> Printf.sprintf "\"%s\": %d" name occ)
+             occupancy)
+      in
+      Some
+        (Printf.sprintf
+           "  \"state\": { \"capacity\": %d, \"ttl_ns\": %Ld, \
+            \"equivalence_identical\": %b,\n\
+           \             \"scale\": { \"flows\": %d, \"wall_s\": %.6f, \
+            \"pkts_per_sec\": %.0f, \"evictions\": %d,\n\
+           \                        \"occupancy\": { %s }, \"chip_lb\": %d, \
+            \"chip_nat\": %d,\n\
+           \                        \"live_words_saturated\": %d, \
+            \"live_words_final\": %d, \"flat_memory\": %b },\n\
+           \             \"reshard\": { \"flows\": %d, \"digest_live\": \
+            \"%Lx\", \"digest_cold\": \"%Lx\", \"match\": %b } },\n"
+           capacity ttl_ns equiv scale_flows scale_wall
+           (float_of_int scale_flows /. scale_wall)
+           evictions occ_rows lb_chip nat_chip ckpt_words final_live mem_ok
+           (3 * n1) d_live d_cold reshard_ok)
+    end
+  in
   (* --telemetry / --domains / --cache / --churn keep the JSON even
      under --smoke: the overhead / scaling / churn numbers are the point
      and CI archives the file. *)
@@ -1486,7 +1803,8 @@ let bench_runtime () =
     && (not !telemetry)
     && !bench_domains <= 1
     && (not !bench_cache)
-    && not !bench_churn
+    && (not !bench_churn)
+    && not !bench_state
   then
     Format.printf "@.--smoke: skipped writing BENCH_runtime.json@."
   else begin
@@ -1593,6 +1911,7 @@ let bench_runtime () =
             applied n_batches ops_per_sec op_s n_traffic ns_live ns_base
             dip_pct churn_domains capacity state_match probe_match
     in
+    let state_json = Option.value ~default:"" state_results in
     let oc = open_out "BENCH_runtime.json" in
     Printf.fprintf oc
       "{\n\
@@ -1614,7 +1933,7 @@ let bench_runtime () =
        }\n"
       npkts (fib_extra + 2) runs !smoke fast_s (rate fast_s) (ns_per_pkt fast_s)
       ref_s (rate ref_s) (ns_per_pkt ref_s) overhead_json
-      (allocs_json ^ parallel_json ^ cache_json ^ churn_json)
+      (allocs_json ^ parallel_json ^ cache_json ^ churn_json ^ state_json)
       speedup
       identical traces_equal fast.Runtime.emitted fast.Runtime.dropped
       fast.Runtime.to_cpu fast.Runtime.errors
@@ -1681,6 +2000,23 @@ let () =
         strip_flags acc rest
     | "--churn" :: rest ->
         bench_churn := true;
+        strip_flags acc rest
+    | "--state" :: rest ->
+        bench_state := true;
+        strip_flags acc rest
+    | "--state-capacity" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some c when c >= 1 -> bench_state_capacity := c
+        | _ ->
+            Format.printf "invalid --state-capacity value %S@." n;
+            exit 2);
+        strip_flags acc rest
+    | "--ttl" :: n :: rest ->
+        (match Int64.of_string_opt n with
+        | Some t when t >= 0L -> bench_state_ttl := t
+        | _ ->
+            Format.printf "invalid --ttl value %S@." n;
+            exit 2);
         strip_flags acc rest
     | "--domains" :: n :: rest ->
         (match int_of_string_opt n with

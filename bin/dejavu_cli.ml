@@ -346,28 +346,71 @@ let packets_arg =
     & info [ "packets" ] ~docv:"N"
         ~doc:"Packets in the mixed green/orange/red workload.")
 
-let cache_arg =
-  Cmdliner.Arg.(
-    value & flag
-    & info [ "cache" ]
-        ~doc:
-          "Enable the per-shard exact-match flow cache (whole-chain verdict \
-           memoization).")
-
-let cache_capacity_arg =
-  Cmdliner.Arg.(
-    value & opt int 65536
-    & info [ "cache-capacity" ] ~docv:"N"
-        ~doc:"Flow-cache capacity in entries (with --cache).")
-
-let engine_of ~domains ~cache ~cache_capacity =
-  {
-    Runtime.Engine.default with
-    Runtime.Engine.domains;
-    cache =
-      (if cache then Runtime.Engine.Emc { capacity = cache_capacity }
-       else Runtime.Engine.Off);
-  }
+(* One engine-knob vocabulary for every traffic-driving command
+   (run/churn/stats/top): --domains, --cache/--cache-capacity,
+   --state/--state-capacity/--ttl all parse here, into one
+   [Runtime.Engine.t]. Only the domains default differs per command. *)
+let engine_term ?(default_domains = 1) () =
+  let domains_arg =
+    Cmdliner.Arg.(
+      value & opt int default_domains
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sharded data plane (1 = sequential \
+             in-place execution).")
+  in
+  let cache_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Enable the per-shard exact-match flow cache (whole-chain verdict \
+             memoization).")
+  in
+  let cache_capacity_arg =
+    Cmdliner.Arg.(
+      value & opt int 65536
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Flow-cache capacity in entries (with --cache).")
+  in
+  let state_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "state" ]
+          ~doc:
+            "Enable the bounded per-shard state store behind the stateful \
+             NFs (LRU eviction, optional TTL aging; evictions delete the \
+             matching chip entries).")
+  in
+  let state_capacity_arg =
+    Cmdliner.Arg.(
+      value & opt int 65536
+      & info [ "state-capacity" ] ~docv:"N"
+          ~doc:"State-store capacity per table, in entries (with --state).")
+  in
+  let ttl_arg =
+    Cmdliner.Arg.(
+      value & opt int64 0L
+      & info [ "ttl" ] ~docv:"NS"
+          ~doc:
+            "State TTL on the runtime's logical clock, in nanoseconds (with \
+             --state; 0 = no aging).")
+  in
+  let mk domains cache cache_capacity state state_capacity ttl_ns =
+    {
+      Runtime.Engine.default with
+      Runtime.Engine.domains;
+      cache =
+        (if cache then Runtime.Engine.Emc { capacity = cache_capacity }
+         else Runtime.Engine.Off);
+      state =
+        (if state then Runtime.Engine.Bounded { capacity = state_capacity; ttl_ns }
+         else Runtime.Engine.No_state);
+    }
+  in
+  Cmdliner.Term.(
+    const mk $ domains_arg $ cache_arg $ cache_capacity_arg $ state_arg
+    $ state_capacity_arg $ ttl_arg)
 
 let print_cache_stats rt =
   match Runtime.flow_cache rt with
@@ -382,6 +425,36 @@ let print_cache_stats rt =
         s.Flow_cache.inserts s.Flow_cache.evictions s.Flow_cache.stale
         s.Flow_cache.invalidations s.Flow_cache.uncacheable
         (Flow_cache.length c) (Flow_cache.capacity c)
+
+let print_state_stats rt =
+  match Runtime.state_stores rt with
+  | [||] -> ()
+  | stores ->
+      let cap = (State_store.config stores.(0)).State_store.capacity in
+      (* Sum each table's occupancy and counters across the shard
+         stores (the same aggregation the telemetry gauges use). *)
+      let merged = Hashtbl.create 8 in
+      Array.iter
+        (fun store ->
+          List.iter
+            (fun (name, occ, (s : State_store.table_stats)) ->
+              let o, h, m, i, e, x =
+                Option.value ~default:(0, 0, 0, 0, 0, 0)
+                  (Hashtbl.find_opt merged name)
+              in
+              Hashtbl.replace merged name
+                ( o + occ, h + s.State_store.hits, m + s.State_store.misses,
+                  i + s.State_store.inserts, e + s.State_store.evictions,
+                  x + s.State_store.expirations ))
+            (State_store.per_table store))
+        stores;
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged []
+      |> List.sort compare
+      |> List.iter (fun (name, (occ, h, m, i, e, x)) ->
+             Format.printf
+               "state %-14s entries=%d/%d (x%d shards) hits=%d misses=%d \
+                inserts=%d evictions=%d expirations=%d@."
+               name occ cap (Array.length stores) h m i e x)
 
 let print_batch_errors (stats : Runtime.batch_stats) =
   if stats.Runtime.error_log <> [] then begin
@@ -398,34 +471,23 @@ let print_batch_errors (stats : Runtime.batch_stats) =
 (* --- run ------------------------------------------------------------ *)
 
 let run_cmd =
-  let domains_arg =
-    Cmdliner.Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"N"
-          ~doc:
-            "Worker domains for the sharded data plane (1 = sequential \
-             in-place execution).")
-  in
-  let run strategy extended packets domains cache cache_capacity =
+  let run strategy extended packets engine =
     let compiled = or_die (compile ~strategy ~extended) in
-    let rt =
-      Runtime.create
-        ~engine:(engine_of ~domains ~cache ~cache_capacity)
-        compiled
-    in
+    let rt = Runtime.create ~engine compiled in
     Nflib.Catalog.attach_handlers rt compiled;
     let stats = Runtime.process_batch_parallel rt (mixed_workload packets) in
     print_batch_errors stats;
     let c = stats.Runtime.counters in
     Format.printf
       "domains=%d packets=%d emitted=%d dropped=%d to-cpu=%d errors=%d@."
-      domains stats.Runtime.packets stats.Runtime.emitted stats.Runtime.dropped
-      stats.Runtime.to_cpu stats.Runtime.errors;
+      engine.Runtime.Engine.domains stats.Runtime.packets stats.Runtime.emitted
+      stats.Runtime.dropped stats.Runtime.to_cpu stats.Runtime.errors;
     Format.printf
       "cpu-round-trips=%d recirculations=%d resubmissions=%d digest=%08Lx@."
       c.Runtime.Counters.cpu_round_trips c.Runtime.Counters.recircs
       c.Runtime.Counters.resubmits stats.Runtime.digest;
-    print_cache_stats rt
+    print_cache_stats rt;
+    print_state_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run"
@@ -433,8 +495,7 @@ let run_cmd =
          "Push the sample workload through the deployment, optionally \
           sharded over several domains.")
     Cmdliner.Term.(
-      const run $ strategy_arg $ extended_arg $ packets_arg $ domains_arg
-      $ cache_arg $ cache_capacity_arg)
+      const run $ strategy_arg $ extended_arg $ packets_arg $ engine_term ())
 
 (* --- churn ---------------------------------------------------------- *)
 
@@ -451,31 +512,22 @@ let churn_cmd =
       & info [ "op-batch" ] ~docv:"N"
           ~doc:"Ops submitted per control-plane batch.")
   in
-  let domains_arg =
-    Cmdliner.Arg.(
-      value & opt int 2
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"Worker domains for the sharded data plane.")
-  in
   let seed_arg =
     Cmdliner.Arg.(
       value & opt int 0x5eed
       & info [ "seed" ] ~docv:"SEED" ~doc:"Churn-trace random seed.")
   in
-  let run strategy extended ops op_batch domains seed packets cache
-      cache_capacity =
-    if ops <= 0 || op_batch <= 0 || domains < 1 || packets <= 0 then begin
-      Format.eprintf "error: --ops, --op-batch, --domains and --packets must \
-                      be positive@.";
+  let run strategy extended ops op_batch seed packets engine =
+    if ops <= 0 || op_batch <= 0 || packets <= 0 then begin
+      Format.eprintf "error: --ops, --op-batch and --packets must be \
+                      positive@.";
       exit 2
     end;
+    let domains = engine.Runtime.Engine.domains in
+    let cache = engine.Runtime.Engine.cache <> Runtime.Engine.Off in
     let mk () =
       let compiled = or_die (compile ~strategy ~extended) in
-      let rt =
-        Runtime.create
-          ~engine:(engine_of ~domains ~cache ~cache_capacity)
-          compiled
-      in
+      let rt = Runtime.create ~engine compiled in
       Nflib.Catalog.attach_handlers rt compiled;
       rt
     in
@@ -532,6 +584,7 @@ let churn_cmd =
     Format.printf "state digest: live=%Lx cold=%Lx identical=%b@." live_digest
       cold_digest
       (Int64.equal live_digest cold_digest);
+    print_state_stats rt;
     if not ok then begin
       Format.eprintf
         "error: live-applied state diverges from the cold-built oracle@.";
@@ -546,7 +599,7 @@ let churn_cmd =
           cold-built runtime.")
     Cmdliner.Term.(
       const run $ strategy_arg $ extended_arg $ ops_arg $ op_batch_arg
-      $ domains_arg $ seed_arg $ packets_arg $ cache_arg $ cache_capacity_arg)
+      $ seed_arg $ packets_arg $ engine_term ~default_domains:2 ())
 
 (* --- stats ---------------------------------------------------------- *)
 
@@ -608,20 +661,16 @@ let stats_cmd =
             "Also print the INT postcard sink's per-flow summaries \
              (implies --level journeys).")
   in
-  let run strategy extended packets level json n_journeys entries cache
-      cache_capacity prometheus jsonl postcards =
+  let run strategy extended packets level json n_journeys entries engine
+      prometheus jsonl postcards =
     let compiled = or_die (compile ~strategy ~extended) in
-    let rt =
-      Runtime.create
-        ~engine:(engine_of ~domains:1 ~cache ~cache_capacity)
-        compiled
-    in
+    let rt = Runtime.create ~engine compiled in
     Nflib.Catalog.attach_handlers rt compiled;
     let level =
       if n_journeys > 0 || postcards then Telemetry.Level.Journeys else level
     in
     Runtime.set_telemetry rt level;
-    let stats = Runtime.process_batch rt (mixed_workload packets) in
+    let stats = Runtime.process_batch_parallel rt (mixed_workload packets) in
     print_batch_errors stats;
     if prometheus || jsonl then begin
       (* Machine-readable modes print the export and nothing else. *)
@@ -692,7 +741,8 @@ let stats_cmd =
                else
                  Format.printf "@.INT postcards per flow:@.%a@."
                    Telemetry.Int_report.pp_summaries sink);
-        print_cache_stats rt
+        print_cache_stats rt;
+        print_state_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "stats"
@@ -702,7 +752,7 @@ let stats_cmd =
           per-flow postcards, or a Prometheus/JSON-lines export).")
     Cmdliner.Term.(
       const run $ strategy_arg $ extended_arg $ packets_arg $ level_arg
-      $ json_arg $ journeys_arg $ entries_arg $ cache_arg $ cache_capacity_arg
+      $ json_arg $ journeys_arg $ entries_arg $ engine_term ()
       $ prometheus_arg $ jsonl_arg $ postcards_arg)
 
 (* --- top ------------------------------------------------------------ *)
@@ -713,30 +763,21 @@ let top_cmd =
       value & opt int 20
       & info [ "batches" ] ~docv:"N" ~doc:"Batches to run before exiting.")
   in
-  let domains_arg =
-    Cmdliner.Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"Worker domains for the sharded data plane.")
-  in
   let window_arg =
     Cmdliner.Arg.(
       value & opt int 8
       & info [ "window" ] ~docv:"K"
           ~doc:"Snapshots retained for the rate window.")
   in
-  let run strategy extended packets batches domains window cache
-      cache_capacity =
+  let run strategy extended packets batches window engine =
     if batches < 1 || packets < 1 then begin
       Format.eprintf "error: --batches and --packets must be positive@.";
       exit 2
     end;
+    let domains = engine.Runtime.Engine.domains in
+    let cache = engine.Runtime.Engine.cache <> Runtime.Engine.Off in
     let compiled = or_die (compile ~strategy ~extended) in
-    let rt =
-      Runtime.create
-        ~engine:(engine_of ~domains ~cache ~cache_capacity)
-        compiled
-    in
+    let rt = Runtime.create ~engine compiled in
     Nflib.Catalog.attach_handlers rt compiled;
     Runtime.set_telemetry rt Telemetry.Level.Counters;
     let w = Telemetry.Export.Window.create ~capacity:window in
@@ -766,7 +807,8 @@ let top_cmd =
         Format.printf "  errors this batch: %d@." stats.Runtime.errors;
       if tty then flush stdout
     done;
-    print_cache_stats rt
+    print_cache_stats rt;
+    print_state_stats rt
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "top"
@@ -776,7 +818,7 @@ let top_cmd =
           window.")
     Cmdliner.Term.(
       const run $ strategy_arg $ extended_arg $ packets_arg $ batches_arg
-      $ domains_arg $ window_arg $ cache_arg $ cache_capacity_arg)
+      $ window_arg $ engine_term ())
 
 (* --- strategies ---------------------------------------------------- *)
 

@@ -32,12 +32,18 @@ end
 module Engine = struct
   type cache = Off | Emc of { capacity : int }
 
+  (* The bounded state store behind stateful NFs' dynamic state —
+     distinct constructor names from [cache] so unqualified knob
+     construction stays unambiguous. *)
+  type state = No_state | Bounded of { capacity : int; ttl_ns : int64 }
+
   type t = {
     exec_mode : Asic.Chip.exec_mode;
     telemetry : Telemetry.Level.t;
     domains : int;
     ring_capacity : int;
     cache : cache;
+    state : state;
   }
 
   let default =
@@ -47,7 +53,12 @@ module Engine = struct
       domains = 1;
       ring_capacity = Observe.default_ring_capacity;
       cache = Off;
+      state = No_state;
     }
+
+  let store_config = function
+    | No_state -> None
+    | Bounded { capacity; ttl_ns } -> Some { State_store.capacity; ttl_ns }
 end
 
 (* Counter refs resolved once at enable time, so the per-packet cost of
@@ -98,6 +109,14 @@ type t = {
      when the engine's cache knob is [Off]. Shard replicas get their
      own cache over their own replica chip. *)
   mutable cache : Flow_cache.t option;
+  (* Bounded state stores, one per shard, persistent across batches
+     (unlike replica chips); [||] when the engine's state knob is
+     [No_state]. Shard d's replica runtime carries [stores.(d)] alone;
+     the primary's handlers bind [stores.(0)]. *)
+  mutable stores : State_store.t array;
+  (* Store-aware handler factories, re-bound (like [chip_handlers])
+     whenever the chip or the store a handler serves changes. *)
+  state_handlers : (string, Asic.Chip.t -> State_store.t option -> handler) Hashtbl.t;
   (* Control-plane update queue, drained onto the primary chip at batch
      boundaries. Shard replicas carry a fresh (never-submitted-to)
      queue — ops always target the primary. *)
@@ -251,11 +270,46 @@ let enable_obs t level ring_capacity =
         h_alloc_w;
       }
 
+let primary_store t =
+  if Array.length t.stores = 0 then None else Some t.stores.(0)
+
+(* Re-apply every store-aware factory against the primary chip and the
+   primary (shard-0) store — run after any store-array replacement so
+   sequential-path handlers never hold a dropped store. *)
+let rebind_state_handlers t =
+  Hashtbl.iter
+    (fun nf factory -> Hashtbl.replace t.handlers nf (factory t.chip (primary_store t)))
+    t.state_handlers
+
 let configure t (e : Engine.t) =
   let e = { e with Engine.domains = max 1 e.Engine.domains } in
   let prev = t.engine in
   t.engine <- e;
   Asic.Chip.set_exec_mode t.chip e.Engine.exec_mode;
+  (* State-store transitions: an unchanged knob at an unchanged shard
+     count keeps the stores (entries, stats, clock) alive; a shard
+     count change under an unchanged knob re-homes every entry to its
+     new owner shard ([State_store.migrate]); any knob change starts
+     fresh, mirroring the cache's semantics. *)
+  (match
+     ( Engine.store_config prev.Engine.state,
+       Engine.store_config e.Engine.state )
+   with
+  | None, None -> ()
+  | Some a, Some b when a = b && Array.length t.stores = e.Engine.domains -> ()
+  | _, None ->
+      if Array.length t.stores > 0 then begin
+        t.stores <- [||];
+        rebind_state_handlers t
+      end
+  | Some a, Some b when a = b && Array.length t.stores > 0 ->
+      let fresh = Array.init e.Engine.domains (fun _ -> State_store.create b) in
+      State_store.migrate ~from:t.stores ~into:fresh;
+      t.stores <- fresh;
+      rebind_state_handlers t
+  | _, Some b ->
+      t.stores <- Array.init e.Engine.domains (fun _ -> State_store.create b);
+      rebind_state_handlers t);
   (* Re-attach only when an observation knob changed: reconfiguring
      exec_mode or domains must not wipe accumulated counters. *)
   let reattach =
@@ -298,6 +352,8 @@ let create ?(engine = Engine.default) compiled =
       engine = Engine.default;
       obs = None;
       cache = None;
+      stores = [||];
+      state_handlers = Hashtbl.create 8;
       ctrl = Ctrl.queue ();
     }
   in
@@ -306,11 +362,21 @@ let create ?(engine = Engine.default) compiled =
 
 let engine t = t.engine
 let flow_cache t = t.cache
+let state_stores t = t.stores
+let state_store t = primary_store t
+
+let advance_state_time t ns =
+  Array.fold_left (fun acc s -> acc + State_store.advance s ns) 0 t.stores
+
 let on_to_cpu t nf handler = Hashtbl.replace t.handlers nf handler
 
 let on_to_cpu_chip t nf factory =
   Hashtbl.replace t.chip_handlers nf factory;
   Hashtbl.replace t.handlers nf (factory t.chip)
+
+let on_to_cpu_state t nf factory =
+  Hashtbl.replace t.state_handlers nf factory;
+  Hashtbl.replace t.handlers nf (factory t.chip (primary_store t))
 
 let register_nf_id t nf id = Hashtbl.replace t.nf_ids id nf
 
@@ -727,10 +793,19 @@ let shard_of_packet ~domains in_port frame =
    metadata (read-only during a batch), chip-bound handlers re-bound to
    the replica's table handles, and — when the parent observes — a
    private observer whose registry merges back after the run. *)
-let replica_of t =
+let replica_of t d =
   match Asic.Chip.replicate t.chip with
   | Error e -> failwith ("Runtime.process_batch_parallel: " ^ e)
   | Ok rchip ->
+      (* The shard's persistent store: replica chips die with the
+         batch, but shard d's state store carries across batches — a
+         punt-installed session outlives the replica that installed
+         it, and its eviction callback (re-bound below to this batch's
+         replica table) keeps the live chip in step. *)
+      let store =
+        if Array.length t.stores = 0 then None
+        else Some t.stores.(d mod Array.length t.stores)
+      in
       let rt =
         {
           compiled = t.compiled;
@@ -742,12 +817,17 @@ let replica_of t =
           engine = { t.engine with Engine.domains = 1 };
           obs = None;
           cache = None;
+          stores = (match store with None -> [||] | Some s -> [| s |]);
+          state_handlers = t.state_handlers;
           ctrl = Ctrl.queue ();
         }
       in
       Hashtbl.iter
         (fun nf factory -> Hashtbl.replace rt.handlers nf (factory rchip))
         t.chip_handlers;
+      Hashtbl.iter
+        (fun nf factory -> Hashtbl.replace rt.handlers nf (factory rchip store))
+        t.state_handlers;
       (match t.engine.Engine.telemetry with
       | Telemetry.Level.Off -> ()
       | (Telemetry.Level.Counters | Telemetry.Level.Journeys) as level ->
@@ -816,6 +896,17 @@ let process_batch_parallel ?domains ?each t pkts =
        every shard of this batch then clones the same post-update
        state — the replica-coherence point. *)
     ignore (sync t);
+    (* An explicit [?domains] that disagrees with the live store layout
+       is a re-shard: re-home the entries first so shard d's packets
+       meet shard d's state (and no two domains ever share a store). *)
+    (if Array.length t.stores > 0 && Array.length t.stores <> domains then
+       match Engine.store_config t.engine.Engine.state with
+       | None -> ()
+       | Some cfg ->
+           let fresh = Array.init domains (fun _ -> State_store.create cfg) in
+           State_store.migrate ~from:t.stores ~into:fresh;
+           t.stores <- fresh;
+           rebind_state_handlers t);
     let buckets = Array.make domains [] in
     List.iteri
       (fun i (in_port, frame) ->
@@ -823,7 +914,7 @@ let process_batch_parallel ?domains ?each t pkts =
         buckets.(s) <- (i, in_port, frame) :: buckets.(s))
       pkts;
     let shards = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
-    let replicas = Array.init domains (fun _ -> replica_of t) in
+    let replicas = Array.init domains (fun d -> replica_of t d) in
     let tasks =
       List.init domains (fun d () ->
           let sh = shards.(d) in
@@ -909,6 +1000,41 @@ let sync_gauges t =
           set "cache.stale" s.Flow_cache.stale;
           set "cache.invalidations" s.Flow_cache.invalidations;
           set "cache.uncacheable" s.Flow_cache.uncacheable);
+      (* State-store gauges: per-table tallies summed across the shard
+         stores in shard order — the deterministic fold-back; written
+         only here (primary, snapshot time), like every other gauge. *)
+      if Array.length t.stores > 0 then begin
+        set "state.stores" (Array.length t.stores);
+        set "state.capacity" (State_store.config t.stores.(0)).State_store.capacity;
+        let acc = Hashtbl.create 8 in
+        Array.iter
+          (fun store ->
+            List.iter
+              (fun (name, occupancy, (s : State_store.table_stats)) ->
+                let o, h, m, i, e, x =
+                  Option.value ~default:(0, 0, 0, 0, 0, 0)
+                    (Hashtbl.find_opt acc name)
+                in
+                Hashtbl.replace acc name
+                  ( o + occupancy,
+                    h + s.State_store.hits,
+                    m + s.State_store.misses,
+                    i + s.State_store.inserts,
+                    e + s.State_store.evictions,
+                    x + s.State_store.expirations ))
+              (State_store.per_table store))
+          t.stores;
+        Hashtbl.iter
+          (fun name (o, h, m, i, e, x) ->
+            let g metric v = set (Printf.sprintf "state.%s.%s" name metric) v in
+            g "occupancy" o;
+            g "hits" h;
+            g "misses" m;
+            g "inserts" i;
+            g "evictions" e;
+            g "expirations" x)
+          acc
+      end;
       set "ctrl.pending" (Ctrl.pending t.ctrl);
       let sink = Observe.int_sink os.o in
       if Telemetry.Int_report.pushed sink > 0 then begin

@@ -39,6 +39,15 @@ module Engine : sig
       byte-identical to a runtime without the cache knob. *)
   type cache = Off | Emc of { capacity : int }
 
+  (** The bounded state store behind stateful NFs' dynamic state (see
+      {!State_store}): [Bounded] gives the runtime one store per shard
+      — each NF's per-flow tables capacity-bounded with LRU eviction
+      and TTL aging on the runtime's logical clock
+      ({!advance_state_time}); [No_state] (the default) is today's
+      unbounded behaviour, byte-identical to a runtime without the
+      knob. *)
+  type state = No_state | Bounded of { capacity : int; ttl_ns : int64 }
+
   type t = {
     exec_mode : Asic.Chip.exec_mode;  (** default [Fast] *)
     telemetry : Telemetry.Level.t;  (** default [Off] *)
@@ -48,9 +57,12 @@ module Engine : sig
     ring_capacity : int;
         (** flight-recorder depth when telemetry is [Journeys] *)
     cache : cache;  (** default [Off] *)
+    state : state;  (** default [No_state] *)
   }
 
   val default : t
+
+  val store_config : state -> State_store.config option
 end
 
 type t
@@ -65,13 +77,34 @@ val configure : t -> Engine.t -> unit
     telemetry level or ring capacity actually changed, so flipping
     [exec_mode] or [domains] never wipes accumulated counters. The
     flow cache likewise survives unchanged [cache] knobs; any change
-    detaches the old cache's recorders and starts empty. *)
+    detaches the old cache's recorders and starts empty. The state
+    stores survive an unchanged [state] knob at an unchanged shard
+    count; a [domains] change under a live [Bounded] knob re-homes
+    every entry to its new owner shard ({!State_store.migrate} by the
+    canonical 5-tuple shard hint); a knob change starts fresh. *)
 
 val engine : t -> Engine.t
 
 val flow_cache : t -> Flow_cache.t option
 (** The live flow cache when the engine's [cache] knob is [Emc] —
     for stats, clearing, and tests. *)
+
+val state_store : t -> State_store.t option
+(** The primary (shard-0) state store when the engine's [state] knob
+    is [Bounded] — what sequential-path handlers bind, and the store
+    NFs register their tables on for snapshot/warm-restart flows. *)
+
+val state_stores : t -> State_store.t array
+(** All shard stores in shard order ([||] when [No_state]). Persistent
+    across batches — unlike replica chips — so punt-installed state
+    outlives the parallel batch that created it. *)
+
+val advance_state_time : t -> int64 -> int
+(** Advance every shard store's logical clock by [ns] and sweep TTL
+    expirations (the control plane's aging tick — e.g. the rate
+    limiter's window). Returns the number of entries expired. Time
+    never advances implicitly, so runs that tick at the same points
+    age identically — digests stay comparable. *)
 
 val on_to_cpu : t -> string -> handler -> unit
 (** Register the handler for an NF (keyed by the [ctx_key_cpu_reason]
@@ -86,6 +119,15 @@ val on_to_cpu_chip : t -> string -> (Asic.Chip.t -> handler) -> unit
     parallel batch spins up shard runtimes — so a handler that installs
     into a table (found via {!Asic.Chip.find_table}) always installs
     into the chip that punted the packet. *)
+
+val on_to_cpu_state : t -> string -> (Asic.Chip.t -> State_store.t option -> handler) -> unit
+(** Like {!on_to_cpu_chip}, but the factory also receives the state
+    store serving the handler's shard ([None] when the engine's
+    [state] knob is [No_state]): the primary store now, shard [d]'s
+    store on shard [d]'s replica, and again whenever [configure]
+    replaces the store array — so an NF's punt handler can record
+    per-flow state in the store (and mirror the store's evictions
+    into its chip table) without ever holding a stale handle. *)
 
 val register_nf_id : t -> string -> int -> unit
 (** Associate an NF name with the id it writes into the CPU-reason

@@ -1,0 +1,566 @@
+(* Entries live in one encoded form — key and value as canonical byte
+   strings — linked through an intrusive LRU list (head = most
+   recently used). Everything uniform across NFs (snapshot, digest,
+   migration) falls out of that single representation; the typed view
+   is a pair of codecs applied at the edges, off the per-packet fast
+   path (punt handlers and control-plane sweeps only). *)
+
+type config = { capacity : int; ttl_ns : int64 }
+
+type evict_reason = Capacity | Expired
+
+type table_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+  mutable expirations : int;
+}
+
+type entry = {
+  key : string;
+  mutable value : string;
+  mutable touched_ns : int64;
+  mutable shard : int64;
+  mutable prev : entry option;  (* toward the MRU head *)
+  mutable next : entry option;  (* toward the LRU tail *)
+}
+
+type tbl = {
+  tname : string;
+  h : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  tstats : table_stats;
+  (* Raw (encoded-form) hooks: replaced by each (re-)registration, so
+     migrated/restored tables keep working hooks until their owner
+     re-binds. *)
+  mutable on_evict_raw : evict_reason -> string -> string -> unit;
+  mutable shard_of_raw : string -> int64;
+}
+
+type t = {
+  cfg : config;
+  mutable now_ns : int64;
+  tbls : (string, tbl) Hashtbl.t;
+}
+
+type 'a conv = { enc : 'a -> string; dec : string -> ('a, string) result }
+
+type ('k, 'v) table = { tb : tbl; store : t; kc : 'k conv; vc : 'v conv }
+
+let create ?(now_ns = 0L) cfg =
+  {
+    cfg = { cfg with capacity = max 1 cfg.capacity };
+    now_ns;
+    tbls = Hashtbl.create 8;
+  }
+
+let config t = t.cfg
+let now t = t.now_ns
+
+(* --- codecs --- *)
+
+module Conv = struct
+  let int =
+    {
+      enc = string_of_int;
+      dec =
+        (fun s ->
+          match int_of_string_opt s with
+          | Some i -> Ok i
+          | None -> Error ("Conv.int: " ^ s));
+    }
+
+  let int64 =
+    {
+      enc = Int64.to_string;
+      dec =
+        (fun s ->
+          match Int64.of_string_opt s with
+          | Some i -> Ok i
+          | None -> Error ("Conv.int64: " ^ s));
+    }
+
+  let string = { enc = Fun.id; dec = (fun s -> Ok s) }
+
+  let put32 b off v = Bytes.set_int32_be b off (Int64.to_int32 v)
+
+  let get32 s off =
+    Int64.logand
+      (Int64.of_int32 (Bytes.get_int32_be (Bytes.unsafe_of_string s) off))
+      0xFFFFFFFFL
+
+  let ip4 =
+    {
+      enc =
+        (fun ip ->
+          let b = Bytes.create 4 in
+          put32 b 0 (Netpkt.Ip4.to_int64 ip);
+          Bytes.unsafe_to_string b);
+      dec =
+        (fun s ->
+          if String.length s <> 4 then Error "Conv.ip4: bad length"
+          else Ok (Netpkt.Ip4.of_int64 (get32 s 0)));
+    }
+
+  let five_tuple =
+    {
+      enc =
+        (fun (ft : Netpkt.Flow.five_tuple) ->
+          let b = Bytes.create 13 in
+          put32 b 0 (Netpkt.Ip4.to_int64 ft.Netpkt.Flow.src);
+          put32 b 4 (Netpkt.Ip4.to_int64 ft.Netpkt.Flow.dst);
+          Bytes.set_uint8 b 8 (ft.Netpkt.Flow.proto land 0xff);
+          Bytes.set_uint16_be b 9 (ft.Netpkt.Flow.src_port land 0xffff);
+          Bytes.set_uint16_be b 11 (ft.Netpkt.Flow.dst_port land 0xffff);
+          Bytes.unsafe_to_string b);
+      dec =
+        (fun s ->
+          if String.length s <> 13 then Error "Conv.five_tuple: bad length"
+          else
+            let b = Bytes.unsafe_of_string s in
+            Ok
+              {
+                Netpkt.Flow.src = Netpkt.Ip4.of_int64 (get32 s 0);
+                dst = Netpkt.Ip4.of_int64 (get32 s 4);
+                proto = Bytes.get_uint8 b 8;
+                src_port = Bytes.get_uint16_be b 9;
+                dst_port = Bytes.get_uint16_be b 11;
+              });
+    }
+end
+
+let crc_of_string s =
+  let b = Bytes.unsafe_of_string s in
+  Netpkt.Bytes_util.crc32 b ~off:0 ~len:(Bytes.length b)
+
+let default_shard = crc_of_string
+
+(* --- intrusive LRU list --- *)
+
+let unlink tb e =
+  (match e.prev with Some p -> p.next <- e.next | None -> tb.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> tb.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front tb e =
+  e.prev <- None;
+  e.next <- tb.head;
+  (match tb.head with Some h -> h.prev <- Some e | None -> tb.tail <- Some e);
+  tb.head <- Some e
+
+let touch tb e now =
+  e.touched_ns <- now;
+  match tb.head with
+  | Some h when h == e -> ()
+  | _ ->
+      unlink tb e;
+      push_front tb e
+
+(* --- raw (encoded-form) operations --- *)
+
+let fresh_tbl name =
+  {
+    tname = name;
+    h = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    tstats = { hits = 0; misses = 0; inserts = 0; evictions = 0; expirations = 0 };
+    on_evict_raw = (fun _ _ _ -> ());
+    shard_of_raw = default_shard;
+  }
+
+let find_or_create_tbl t name =
+  match Hashtbl.find_opt t.tbls name with
+  | Some tb -> tb
+  | None ->
+      let tb = fresh_tbl name in
+      Hashtbl.replace t.tbls name tb;
+      tb
+
+let evict_entry tb reason e =
+  unlink tb e;
+  Hashtbl.remove tb.h e.key;
+  (match reason with
+  | Capacity -> tb.tstats.evictions <- tb.tstats.evictions + 1
+  | Expired -> tb.tstats.expirations <- tb.tstats.expirations + 1);
+  tb.on_evict_raw reason e.key e.value
+
+let expired cfg now e =
+  cfg.ttl_ns > 0L && Int64.sub now e.touched_ns >= cfg.ttl_ns
+
+(* Insert preserving an explicit stamp — the shared path for live
+   inserts (stamp = now), restore and migration (stamp carried over). *)
+let insert_raw t tb ~key ~value ~stamp ~shard =
+  (match Hashtbl.find_opt tb.h key with
+  | Some e ->
+      e.value <- value;
+      e.shard <- shard;
+      touch tb e stamp
+  | None ->
+      while Hashtbl.length tb.h >= t.cfg.capacity do
+        match tb.tail with
+        | Some lru -> evict_entry tb Capacity lru
+        | None -> assert false
+      done;
+      let e =
+        { key; value; touched_ns = stamp; shard; prev = None; next = None }
+      in
+      Hashtbl.replace tb.h key e;
+      push_front tb e);
+  tb.tstats.inserts <- tb.tstats.inserts + 1
+
+let find_raw t tb key =
+  match Hashtbl.find_opt tb.h key with
+  | None ->
+      tb.tstats.misses <- tb.tstats.misses + 1;
+      None
+  | Some e ->
+      if expired t.cfg t.now_ns e then begin
+        evict_entry tb Expired e;
+        tb.tstats.misses <- tb.tstats.misses + 1;
+        None
+      end
+      else begin
+        touch tb e t.now_ns;
+        tb.tstats.hits <- tb.tstats.hits + 1;
+        Some e.value
+      end
+
+let sorted_tbls t =
+  List.sort
+    (fun (a : tbl) b -> String.compare a.tname b.tname)
+    (Hashtbl.fold (fun _ tb acc -> tb :: acc) t.tbls [])
+
+let advance t ns =
+  t.now_ns <- Int64.add t.now_ns ns;
+  if t.cfg.ttl_ns <= 0L then 0
+  else
+    (* LRU order is touch order, so the tail is always the
+       oldest-touched entry: sweep from the tail until the first live
+       one. *)
+    List.fold_left
+      (fun total tb ->
+        let n = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match tb.tail with
+          | Some e when expired t.cfg t.now_ns e ->
+              evict_entry tb Expired e;
+              incr n
+          | _ -> continue := false
+        done;
+        total + !n)
+      0 (sorted_tbls t)
+
+(* --- typed view --- *)
+
+let table t ~name ~key ~value ?shard_hint ?on_evict () =
+  let tb = find_or_create_tbl t name in
+  (tb.on_evict_raw <-
+     (match on_evict with
+     | None -> fun _ _ _ -> ()
+     | Some f -> (
+         fun reason k v ->
+           match (key.dec k, value.dec v) with
+           | Ok k, Ok v -> f reason k v
+           | Error _, _ | _, Error _ -> ())));
+  (tb.shard_of_raw <-
+     (match shard_hint with
+     | None -> default_shard
+     | Some f -> (
+         fun k -> match key.dec k with Ok k -> f k | Error _ -> default_shard k)));
+  (* Adopted (migrated/restored) entries may predate this registration:
+     re-home them under the authoritative hint. *)
+  let rec rehash = function
+    | None -> ()
+    | Some e ->
+        e.shard <- tb.shard_of_raw e.key;
+        rehash e.next
+  in
+  rehash tb.head;
+  { tb; store = t; kc = key; vc = value }
+
+let insert tt k v =
+  insert_raw tt.store tt.tb ~key:(tt.kc.enc k) ~value:(tt.vc.enc v)
+    ~stamp:tt.store.now_ns
+    ~shard:(tt.tb.shard_of_raw (tt.kc.enc k))
+
+let find tt k =
+  match find_raw tt.store tt.tb (tt.kc.enc k) with
+  | None -> None
+  | Some v -> ( match tt.vc.dec v with Ok v -> Some v | Error _ -> None)
+
+let remove tt k =
+  let key = tt.kc.enc k in
+  match Hashtbl.find_opt tt.tb.h key with
+  | None -> ()
+  | Some e ->
+      unlink tt.tb e;
+      Hashtbl.remove tt.tb.h key
+
+let length tt = Hashtbl.length tt.tb.h
+
+let fold f tt acc =
+  (* Oldest first: walk from the LRU tail toward the head. *)
+  let rec go acc = function
+    | None -> acc
+    | Some e ->
+        let acc =
+          match (tt.kc.dec e.key, tt.vc.dec e.value) with
+          | Ok k, Ok v -> f k v acc
+          | Error _, _ | _, Error _ -> acc
+        in
+        go acc e.prev
+  in
+  go acc tt.tb.tail
+
+let stats tt = tt.tb.tstats
+
+let per_table t =
+  List.map
+    (fun tb -> (tb.tname, Hashtbl.length tb.h, tb.tstats))
+    (sorted_tbls t)
+
+(* --- snapshot / restore --- *)
+
+type snapshot = {
+  snap_now : int64;
+  snap_tables : (string * (string * string * int64) list) list;
+      (* (name, (key, value, touched) oldest-first), names sorted *)
+}
+
+let entries_oldest_first tb =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some e -> go ((e.key, e.value, e.touched_ns) :: acc) e.prev
+  in
+  go [] tb.tail
+
+let snapshot t =
+  {
+    snap_now = t.now_ns;
+    snap_tables =
+      List.map (fun tb -> (tb.tname, entries_oldest_first tb)) (sorted_tbls t);
+  }
+
+let restore t snap =
+  if snap.snap_now > t.now_ns then t.now_ns <- snap.snap_now;
+  List.iter
+    (fun (name, entries) ->
+      let tb = find_or_create_tbl t name in
+      Hashtbl.reset tb.h;
+      tb.head <- None;
+      tb.tail <- None;
+      List.iter
+        (fun (key, value, stamp) ->
+          insert_raw t tb ~key ~value ~stamp ~shard:(tb.shard_of_raw key);
+          (* restore is replacement, not fresh traffic *)
+          tb.tstats.inserts <- tb.tstats.inserts - 1)
+        entries)
+    snap.snap_tables
+
+let hex = "0123456789abcdef"
+
+let hex_of s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) hex.[c lsr 4];
+    Bytes.set b ((2 * i) + 1) hex.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string b
+
+let unhex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex"
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | _ -> Error (Printf.sprintf "bad hex digit %C" c)
+    in
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n / 2 then Ok (Bytes.unsafe_to_string b)
+      else
+        match (digit s.[2 * i], digit s.[(2 * i) + 1]) with
+        | Ok hi, Ok lo ->
+            Bytes.set b i (Char.chr ((hi lsl 4) lor lo));
+            go (i + 1)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let snapshot_to_string snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "statestore v1 %Ld\n" snap.snap_now);
+  List.iter
+    (fun (name, entries) ->
+      Buffer.add_string buf
+        (Printf.sprintf "table %s %d\n" name (List.length entries));
+      List.iter
+        (fun (k, v, stamp) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %s %Ld\n" (hex_of k) (hex_of v) stamp))
+        entries)
+    snap.snap_tables;
+  Buffer.contents buf
+
+let snapshot_of_string s =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> l <> "") lines in
+  match lines with
+  | [] -> Error "State_store.snapshot_of_string: empty"
+  | header :: rest ->
+      let* snap_now =
+        match String.split_on_char ' ' header with
+        | [ "statestore"; "v1"; now ] -> (
+            match Int64.of_string_opt now with
+            | Some n -> Ok n
+            | None -> Error "bad clock")
+        | _ -> Error "State_store.snapshot_of_string: bad header"
+      in
+      let rec tables acc lines =
+        match lines with
+        | [] -> Ok (List.rev acc)
+        | l :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ "table"; name; count ] -> (
+                match int_of_string_opt count with
+                | None -> Error ("bad entry count for table " ^ name)
+                | Some count ->
+                    let rec entries acc n lines =
+                      if n = 0 then Ok (List.rev acc, lines)
+                      else
+                        match lines with
+                        | [] -> Error ("truncated table " ^ name)
+                        | l :: rest -> (
+                            match String.split_on_char ' ' l with
+                            | [ k; v; stamp ] -> (
+                                match
+                                  (unhex k, unhex v, Int64.of_string_opt stamp)
+                                with
+                                | Ok k, Ok v, Some stamp ->
+                                    entries ((k, v, stamp) :: acc) (n - 1) rest
+                                | Error e, _, _ | _, Error e, _ ->
+                                    Error ("table " ^ name ^ ": " ^ e)
+                                | _, _, None ->
+                                    Error ("table " ^ name ^ ": bad stamp"))
+                            | _ -> Error ("table " ^ name ^ ": bad entry line"))
+                    in
+                    let* es, rest = entries [] count rest in
+                    tables ((name, es) :: acc) rest)
+            | _ -> Error ("State_store.snapshot_of_string: bad line: " ^ l))
+      in
+      let* snap_tables = tables [] rest in
+      Ok { snap_now; snap_tables }
+
+(* --- digest and migration --- *)
+
+let fold_crc acc s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let head = Bytes.create 4 in
+  Bytes.set_int32_be head 0 (Int32.of_int len);
+  let acc = Netpkt.Bytes_util.crc32 ~init:acc head ~off:0 ~len:4 in
+  Netpkt.Bytes_util.crc32 ~init:acc b ~off:0 ~len
+
+let digest stores =
+  (* Union across stores: a shard-partitioned store array and its
+     single-store (cold, k=1) equivalent digest alike. Entries sort by
+     (key, value) within each table name, so neither shard assignment
+     nor LRU order leaks in. *)
+  let names =
+    List.sort_uniq String.compare
+      (Array.to_list stores
+      |> List.concat_map (fun t ->
+             Hashtbl.fold (fun n _ acc -> n :: acc) t.tbls []))
+  in
+  List.fold_left
+    (fun acc name ->
+      let acc = fold_crc acc name in
+      let entries =
+        Array.to_list stores
+        |> List.concat_map (fun t ->
+               match Hashtbl.find_opt t.tbls name with
+               | None -> []
+               | Some tb ->
+                   Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) tb.h [])
+      in
+      let entries = List.sort compare entries in
+      List.fold_left
+        (fun acc (k, v) -> fold_crc (fold_crc acc k) v)
+        acc entries)
+    0L names
+
+let migrate ~from ~into =
+  let n = Array.length into in
+  if n = 0 then invalid_arg "State_store.migrate: empty target";
+  let clock =
+    Array.fold_left (fun acc t -> max acc t.now_ns) 0L from
+  in
+  Array.iter (fun t -> if clock > t.now_ns then t.now_ns <- clock) into;
+  (* Group every source entry by table, then replay in touch-stamp
+     order (key as tie-break) so each target's LRU order is
+     stamp-faithful no matter how the sources interleaved. *)
+  let names =
+    List.sort_uniq String.compare
+      (Array.to_list from
+      |> List.concat_map (fun t ->
+             Hashtbl.fold (fun nm _ acc -> nm :: acc) t.tbls []))
+  in
+  List.iter
+    (fun name ->
+      let entries =
+        Array.to_list from
+        |> List.concat_map (fun t ->
+               match Hashtbl.find_opt t.tbls name with
+               | None -> []
+               | Some tb -> Hashtbl.fold (fun _ e acc -> e :: acc) tb.h [])
+      in
+      let entries =
+        List.sort
+          (fun a b ->
+            match Int64.compare a.touched_ns b.touched_ns with
+            | 0 -> String.compare a.key b.key
+            | c -> c)
+          entries
+      in
+      (* Carry hooks over so an evicting target can still mirror into
+         the data plane before its owner re-binds. *)
+      let hooks =
+        Array.to_list from
+        |> List.find_map (fun t -> Hashtbl.find_opt t.tbls name)
+      in
+      List.iter
+        (fun e ->
+          let home =
+            Int64.to_int
+              (Int64.rem (Int64.logand e.shard Int64.max_int) (Int64.of_int n))
+          in
+          let target = into.(home) in
+          let tb =
+            match Hashtbl.find_opt target.tbls name with
+            | Some tb -> tb
+            | None ->
+                let tb = fresh_tbl name in
+                (match hooks with
+                | Some src ->
+                    tb.on_evict_raw <- src.on_evict_raw;
+                    tb.shard_of_raw <- src.shard_of_raw
+                | None -> ());
+                Hashtbl.replace target.tbls name tb;
+                tb
+          in
+          insert_raw target tb ~key:e.key ~value:e.value ~stamp:e.touched_ns
+            ~shard:e.shard;
+          (* migration moves entries; it is not fresh traffic *)
+          tb.tstats.inserts <- tb.tstats.inserts - 1)
+        entries)
+    names

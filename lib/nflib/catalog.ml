@@ -283,14 +283,35 @@ let fib_churn_trace ?(seed = 0x5eed) ~n () =
   done;
   List.rev !ops
 
+(* Public pool for the dynamic NAT variant (deployments that swap
+   [Nat.create_dynamic] into the registry): /28-ish slice of the
+   TEST-NET-3 block the static bindings also draw from. *)
+let nat_pool =
+  List.init 16 (fun i -> ip (Printf.sprintf "203.0.113.%d" (16 + i)))
+
 let attach_handlers runtime _compiled =
   Runtime.register_nf_id runtime Lb.name Lb.nf_id;
   Runtime.register_nf_id runtime Classifier.name Classifier.nf_id;
-  (* The LB handler installs session entries into the chip it serves, so
-     it binds per chip: parallel replicas each get a handler over their
-     own copy of the session table. *)
+  Runtime.register_nf_id runtime Nat.name Nat.nf_id;
+  (* The LB handler installs session entries into the chip it serves —
+     and records them in the state store serving that chip's shard when
+     the runtime's state knob is on — so it binds per (chip, store):
+     parallel replicas each get a handler over their own copy of the
+     session table and their shard's persistent ledger. *)
   let lb_table = Compose.nf_table_name ~nf:Lb.name Lb.table_name in
-  Runtime.on_to_cpu_chip runtime Lb.name (fun chip ->
+  Runtime.on_to_cpu_state runtime Lb.name (fun chip store ->
       match Asic.Chip.find_table chip lb_table with
-      | Some table -> Lb.handler ~backends:tenant1_backends ~table
+      | Some table ->
+          let sessions = Option.map (Lb.sessions ~table) store in
+          Lb.handler ?sessions ~backends:tenant1_backends ~table ()
+      | None -> fun _sfc _frame -> Runtime.Consume);
+  (* Same shape for the dynamic NAT. In deployments using the static
+     [Nat.create] the table's default is NoAction, nothing ever punts
+     with [Nat.nf_id], and this handler is inert. *)
+  let nat_table = Compose.nf_table_name ~nf:Nat.name Nat.table_name in
+  Runtime.on_to_cpu_state runtime Nat.name (fun chip store ->
+      match Asic.Chip.find_table chip nat_table with
+      | Some table ->
+          let bindings = Option.map (Nat.bindings_table ~table) store in
+          Nat.handler ?bindings ~pool:nat_pool ~table ()
       | None -> fun _sfc _frame -> Runtime.Consume)

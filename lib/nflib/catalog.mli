@@ -49,8 +49,17 @@ val edge_cloud_input :
 (** The §5 prototype configuration: entry pipeline 0, pipeline 1's
     Ethernet ports in loopback mode. *)
 
+val nat_pool : Netpkt.Ip4.t list
+(** The public-address pool the dynamic NAT handler allocates from. *)
+
 val attach_handlers : Dejavu_core.Runtime.t -> Dejavu_core.Compiler.t -> unit
-(** Register the LB miss handler (and NF ids) on a runtime. *)
+(** Register the LB and dynamic-NAT miss handlers (and NF ids) on a
+    runtime, state-store-aware: when the runtime's state knob is
+    [Bounded], each handler records its per-flow state in the store
+    serving its shard (tables ["lb.sessions"], ["nat.bindings"]) and the
+    stores' evictions delete the matching chip entries. With the static
+    NAT of {!registry} nothing punts with the NAT id, so its handler is
+    inert. *)
 
 val routes_table_name : string
 (** The router FIB's composed table name on a compiled chip — what

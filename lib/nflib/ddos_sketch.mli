@@ -17,6 +17,25 @@ val estimate : Dejavu_core.Compiler.t -> Netpkt.Ip4.t -> int
 (** The sketch's current estimate for a source, computed with the same
     hash functions the data plane uses. *)
 
+(** {2 Offender ledger} *)
+
+val state_table_name : string
+(** ["ddos.offenders"] *)
+
+val offenders :
+  Dejavu_core.State_store.t ->
+  (Netpkt.Ip4.t, int) Dejavu_core.State_store.table
+(** Register (or adopt) the bounded ledger of sources that crossed the
+    threshold, valued by their peak estimate — TTL aging retires quiet
+    offenders with the attack. *)
+
+val record :
+  (Netpkt.Ip4.t, int) Dejavu_core.State_store.table ->
+  Netpkt.Ip4.t ->
+  estimate:int ->
+  unit
+(** Note a detection: keeps the max estimate seen for the source. *)
+
 (** {2 Reference invariants} *)
 
 val reference_estimate_lower_bound : true_count:int -> estimate:int -> bool

@@ -71,10 +71,13 @@ let parser_with_meta () =
   let p = Net_hdrs.base_parser ~name () in
   { p with P4ir.Parser_graph.decls = p.P4ir.Parser_graph.decls @ [ meta_decl ] }
 
+let state_table_name = "lb.sessions"
+
 let create () =
   Ok
     (Nf.make ~name ~description:"L4 load balancer (CRC32 session table)"
-       ~parser:(parser_with_meta ()) ~tables:[ make_table () ] ~body ())
+       ~parser:(parser_with_meta ()) ~tables:[ make_table () ] ~body
+       ~state_tables:[ state_table_name ] ())
 
 let session_hash = Netpkt.Flow.hash_five_tuple
 
@@ -103,7 +106,22 @@ let pick_backend backends tuple =
       let h = Int64.to_int (Int64.rem (session_hash tuple) (Int64.of_int (List.length backends))) in
       List.nth backends h
 
-let handler ~backends ~table : Runtime.handler =
+(* The store-side twin of the chip session table: keyed by the raw
+   5-tuple (not its hash — the ledger must name flows exactly),
+   sharded by the canonical symmetric flow hash so re-sharding homes
+   a session with the shard that owns its packets, and mirroring every
+   eviction into the data plane as a typed [Del] — which bumps the
+   table epoch and so invalidates any cached whole-chain verdict for
+   the evicted flow. *)
+let sessions store ~table =
+  State_store.table store ~name:state_table_name ~key:State_store.Conv.five_tuple
+    ~value:State_store.Conv.ip4
+    ~shard_hint:Netpkt.Flow.hash_five_tuple_symmetric
+    ~on_evict:(fun _reason tuple backend ->
+      ignore (Ctrl.apply_table table (Ctrl.Del (session_entry tuple backend))))
+    ()
+
+let handler ?sessions ~backends ~table () : Runtime.handler =
  fun _sfc frame ->
   match Netpkt.Pkt.decode frame with
   | Error _ -> Runtime.Consume
@@ -111,10 +129,31 @@ let handler ~backends ~table : Runtime.handler =
       match Netpkt.Pkt.five_tuple_of layers with
       | None -> Runtime.Consume
       | Some tuple -> (
-          let backend = pick_backend backends tuple in
-          match install_session table tuple backend with
-          | Ok () -> Runtime.Reinject (Runtime.clear_cpu_mark frame)
-          | Error _ -> Runtime.Consume))
+          match
+            Option.bind sessions (fun st -> State_store.find st tuple)
+          with
+          | Some backend -> (
+              (* The ledger owns this session but the chip that punted
+                 missed it — the punt IS the miss (toCpu is the table's
+                 default action). That chip is a fresh shard replica or a
+                 warm-restarted primary: re-install the *stored* backend,
+                 never re-pick, so restarts and re-shards preserve every
+                 flow's assignment. No duplicate risk — the table missed. *)
+              match install_session table tuple backend with
+              | Ok () -> Runtime.Reinject (Runtime.clear_cpu_mark frame)
+              | Error _ -> Runtime.Consume)
+          | None -> (
+              let backend = pick_backend backends tuple in
+              (* Ledger first: inserting may evict the LRU session, whose
+                 on_evict deletes its chip entry — freeing the slot before
+                 we install, so the chip table never transiently exceeds
+                 the bound. *)
+              (match sessions with
+              | Some st -> State_store.insert st tuple backend
+              | None -> ());
+              match install_session table tuple backend with
+              | Ok () -> Runtime.Reinject (Runtime.clear_cpu_mark frame)
+              | Error _ -> Runtime.Consume)))
 
 let reference ~sessions tuple =
   match

@@ -29,13 +29,35 @@ val install_session :
 val pick_backend : Netpkt.Ip4.t list -> Netpkt.Flow.five_tuple -> Netpkt.Ip4.t
 (** Deterministic backend choice: hash modulo the pool size. *)
 
+val state_table_name : string
+(** ["lb.sessions"] — the {!Dejavu_core.State_store} table bounding the
+    punt-installed session set. *)
+
+val sessions :
+  Dejavu_core.State_store.t ->
+  table:P4ir.Table.t ->
+  (Netpkt.Flow.five_tuple, Netpkt.Ip4.t) Dejavu_core.State_store.table
+(** Register (or adopt) the LB's session ledger on [store]: keyed by the
+    exact 5-tuple, valued by the chosen backend, sharded by the
+    canonical symmetric flow hash ({!Netpkt.Flow.hash_five_tuple_symmetric}
+    — the same partition the runtime shards packets by). Every eviction
+    — capacity or TTL — deletes the matching chip entry through the
+    typed-op layer, so a bounded ledger bounds the chip table too and
+    the flow cache drops any memoized verdict for the evicted flow. *)
+
 val handler :
+  ?sessions:(Netpkt.Flow.five_tuple, Netpkt.Ip4.t) Dejavu_core.State_store.table ->
   backends:Netpkt.Ip4.t list ->
   table:P4ir.Table.t ->
+  unit ->
   Dejavu_core.Runtime.handler
 (** The control-plane miss handler: parse the punted frame, install a
     session for its 5-tuple, clear the CPU mark and reinject. Consumes
-    packets it cannot parse. *)
+    packets it cannot parse. With [sessions], the ledger is consulted
+    first — an already-owned flow re-installs its *stored* backend (the
+    punting chip missed it: fresh shard replica or warm restart) — and
+    new sessions are written to the ledger before the chip install, so
+    chip occupancy never exceeds the ledger bound. *)
 
 val reference :
   sessions:(Netpkt.Flow.five_tuple * Netpkt.Ip4.t) list ->

@@ -80,7 +80,7 @@ let create budgets () =
         ~tables:[ table ]
         ~registers:
           [ P4ir.Register.make ~name:register_name ~size:register_size ~width:32 ]
-        ~body ())
+        ~body ~state_tables:[ "rl.counts" ] ())
     (make_table budgets)
 
 let reset_window compiled =
@@ -93,10 +93,22 @@ let count_of compiled ~tenant =
       P4ir.Bitval.to_int
         (P4ir.Register.read reg (tenant land P4ir.Register.index_mask reg))
 
+let state_table_name = "rl.counts"
+
+(* The per-tenant window counters used to live in a caller-owned
+   Hashtbl that nothing ever aged — every tenant id seen once stayed
+   forever. On the store they are capacity-bounded and TTL-swept: a
+   tenant idle for a window simply expires, which is also the correct
+   semantics (an expired counter restarts from zero, exactly like the
+   data plane's cleared register). *)
+let counts store =
+  State_store.table store ~name:state_table_name ~key:State_store.Conv.int
+    ~value:State_store.Conv.int ()
+
 let reference budgets ~counts ~tenant =
   match List.find_opt (fun b -> b.tenant = tenant) budgets with
   | None -> `Pass
   | Some b ->
-      let current = Option.value ~default:0 (Hashtbl.find_opt counts tenant) in
-      Hashtbl.replace counts tenant (current + 1);
+      let current = Option.value ~default:0 (State_store.find counts tenant) in
+      State_store.insert counts tenant (current + 1);
       if current >= b.limit then `Drop else `Pass

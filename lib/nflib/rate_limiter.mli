@@ -20,8 +20,20 @@ val reset_window : Dejavu_core.Compiler.t -> unit
 val count_of : Dejavu_core.Compiler.t -> tenant:int -> int
 (** Packets this window, as the data plane sees them. *)
 
+val state_table_name : string
+(** ["rl.counts"] *)
+
+val counts :
+  Dejavu_core.State_store.t -> (int, int) Dejavu_core.State_store.table
+(** Register (or adopt) the per-tenant window counters on [store] —
+    bounded and TTL-swept, unlike the grow-forever Hashtbl this
+    replaces. A counter expiring mid-window restarts the tenant from
+    zero, the same semantics as the data plane's cleared register. *)
+
 val reference :
-  budget list -> counts:(int, int) Hashtbl.t -> tenant:int ->
+  budget list ->
+  counts:(int, int) Dejavu_core.State_store.table ->
+  tenant:int ->
   [ `Pass | `Drop ]
 (** Pure model: one packet arrives for [tenant]; updates [counts] and
     says what the data plane should have done. *)

@@ -447,9 +447,6 @@ let add_entry t entry =
             install t entry ~seq:t.store.next_seq a;
             Ok ())
 
-let add_entry_exn t entry =
-  match add_entry t entry with Ok () -> () | Error e -> invalid_arg e
-
 let add_entries t entries =
   List.fold_left
     (fun acc e -> Result.bind acc (fun () -> add_entry t e))

@@ -52,9 +52,9 @@ val find_action : t -> string -> Action.t option
     {!Ctrl} op language and [Runtime.apply_ops]) and propagate the
     error — a mutation that fails on capacity, a malformed pattern or a
     missing entry is an operational condition, not a programming bug.
-    {!add_entry_exn} is for tests and throwaway scripts, where an
-    [Invalid_argument] with the same message is the most useful
-    outcome; it carries a deprecation alert outside test code.
+    (The old [add_entry_exn] escape hatch is gone: tests wrap
+    {!add_entry} themselves when a failed install should just fail the
+    test.)
 
     {!del_entry} and {!mod_entry} name the entry to touch by its match
     key — the (priority, patterns) pair, compared by match semantics
@@ -72,14 +72,6 @@ val add_entry : t -> entry -> (unit, string) result
 
 val add_entries : t -> entry list -> (unit, string) result
 (** {!add_entry} in order, stopping at the first error. *)
-
-val add_entry_exn : t -> entry -> unit
-[@@alert
-  table_exn
-    "add_entry_exn is for tests only; use add_entry / Ctrl ops in library \
-     code"]
-(** {!add_entry}, raising [Invalid_argument] on error — test code only
-    (see the convention above). *)
 
 val del_entry : t -> entry -> (unit, string) result
 (** Remove the installed entry whose match key equals [entry]'s

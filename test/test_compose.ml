@@ -3,6 +3,10 @@
 
 open Dejavu_core
 
+(* The result-API install for tests: a failed install is a test bug. *)
+let must_add t e =
+  match P4ir.Table.add_entry t e with Ok () -> () | Error m -> Alcotest.fail m
+
 let check = Alcotest.check
 
 let spec = Asic.Spec.wedge_100b
@@ -120,7 +124,7 @@ let install_check_next (b : Compose.built) nf entries =
   in
   List.iter
     (fun (path, idx) ->
-      P4ir.Table.add_entry_exn table
+      must_add table
         {
           P4ir.Table.priority = 0;
           patterns =

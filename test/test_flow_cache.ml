@@ -5,6 +5,10 @@
 
 open Dejavu_core
 
+(* The result-API install for tests: a failed install is a test bug. *)
+let must_add t e =
+  match P4ir.Table.add_entry t e with Ok () -> () | Error m -> Alcotest.fail m
+
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
 let ip = Netpkt.Ip4.of_string_exn
@@ -112,7 +116,7 @@ let fw_table rt =
 
 (* Install a deny rule for one exact source, above the catalog rules. *)
 let deny_src rt src =
-  P4ir.Table.add_entry_exn (fw_table rt)
+  must_add (fw_table rt)
     {
       P4ir.Table.priority = 1000;
       patterns =
@@ -320,7 +324,7 @@ let bind_nat rt ~internal ~public =
   with
   | None -> Alcotest.fail "NAT table not found on the chip"
   | Some t ->
-      P4ir.Table.add_entry_exn t
+      must_add t
         {
           P4ir.Table.priority = 0;
           patterns =

@@ -6,6 +6,10 @@ open P4ir
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
 
+(* The result-API install for tests: a failed install is a test bug. *)
+let must_add t e =
+  match Table.add_entry t e with Ok () -> () | Error m -> Alcotest.fail m
+
 let meta = Hdr.decl "m" [ ("a", 8); ("b", 16); ("c", 32) ]
 let fr h f = Fieldref.v h f
 let bv w v = Bitval.of_int ~width:w v
@@ -160,7 +164,7 @@ let mk_table ?(keys = [ { Table.field = fr "m" "a"; kind = Table.Exact; width = 
 
 let test_table_exact_hit_miss () =
   let t = mk_table () in
-  Table.add_entry_exn t
+  must_add t
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 5) ];
       action = "set_b"; args = [ bv 16 77 ] };
   let phv = fresh_phv () in
@@ -178,9 +182,9 @@ let test_table_priority () =
   let t =
     mk_table ~keys:[ { Table.field = fr "m" "a"; kind = Table.Ternary; width = 8 } ] ()
   in
-  Table.add_entry_exn t
+  must_add t
     { Table.priority = 1; patterns = [ Table.M_any ]; action = "set_b"; args = [ bv 16 1 ] };
-  Table.add_entry_exn t
+  must_add t
     {
       Table.priority = 5;
       patterns = [ Table.M_ternary { value = bv 8 0xF0; mask = bv 8 0xF0 } ];
@@ -199,14 +203,14 @@ let test_table_lpm_longest_prefix () =
   let t =
     mk_table ~keys:[ { Table.field = fr "m" "c"; kind = Table.Lpm; width = 32 } ] ()
   in
-  Table.add_entry_exn t
+  must_add t
     {
       Table.priority = 0;
       patterns = [ Table.M_lpm { value = bv 32 0x0A000000; prefix_len = 8 } ];
       action = "set_b";
       args = [ bv 16 8 ];
     };
-  Table.add_entry_exn t
+  must_add t
     {
       Table.priority = 0;
       patterns = [ Table.M_lpm { value = bv 32 0x0A010000; prefix_len = 16 } ];
@@ -225,7 +229,7 @@ let test_table_range () =
   let t =
     mk_table ~keys:[ { Table.field = fr "m" "b"; kind = Table.Range; width = 16 } ] ()
   in
-  Table.add_entry_exn t
+  must_add t
     {
       Table.priority = 0;
       patterns = [ Table.M_range { lo = bv 16 100; hi = bv 16 200 } ];
@@ -240,7 +244,7 @@ let test_table_range () =
 
 let test_table_capacity () =
   let t = mk_table ~max_size:1 () in
-  Table.add_entry_exn t
+  must_add t
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
       action = "set_b"; args = [ bv 16 1 ] };
   check Alcotest.bool "over capacity rejected" true
@@ -293,7 +297,7 @@ let prop_ternary_lookup_model =
       in
       List.iter
         (fun (v, m, p) ->
-          Table.add_entry_exn t
+          must_add t
             {
               Table.priority = p;
               patterns = [ Table.M_ternary { value = bv 8 v; mask = bv 8 m } ];
@@ -379,7 +383,7 @@ let prop_indexed_lookup_matches_reference =
                   ~m:(m lsr (i * 7)))
               keys
           in
-          Table.add_entry_exn t
+          must_add t
             { Table.priority = p land 3; patterns; action = "NoAction"; args = [] })
         raw_entries;
       let phv = fresh_phv () in
@@ -399,8 +403,8 @@ let test_table_del_entry () =
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
       action = "set_b"; args = [ bv 16 arg ] }
   in
-  Table.add_entry_exn t (e 1 10);
-  Table.add_entry_exn t (e 2 20);
+  must_add t (e 1 10);
+  must_add t (e 2 20);
   let epoch0 = Table.epoch t in
   (* Deletion names the entry by match key; action/args are ignored. *)
   check Alcotest.bool "del by key" true (Result.is_ok (Table.del_entry t (e 1 99)));
@@ -420,7 +424,7 @@ let test_table_mod_entry () =
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 7) ];
       action = "set_b"; args = [ bv 16 arg ] }
   in
-  Table.add_entry_exn t (e 11);
+  must_add t (e 11);
   Table.set_stats_enabled t true;
   let phv = fresh_phv () in
   Phv.set_int phv (fr "m" "a") 7;
@@ -461,8 +465,8 @@ let test_table_mod_keeps_tiebreak () =
   in
   (* Distinct keys, both matching probe 0xF5; equal priority, so the
      first-installed entry wins. *)
-  Table.add_entry_exn t (entry 0x05 0x0F 1);
-  Table.add_entry_exn t (entry 0xF0 0xF0 2);
+  must_add t (entry 0x05 0x0F 1);
+  must_add t (entry 0xF0 0xF0 2);
   check Alcotest.bool "mod the senior entry" true
     (Result.is_ok (Table.mod_entry t (entry 0x05 0x0F 3)));
   let phv = fresh_phv () in
@@ -482,8 +486,8 @@ let test_stats_merge_after_churn () =
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
       action = "set_b"; args = [ bv 16 arg ] }
   in
-  Table.add_entry_exn t (e 1 10);
-  Table.add_entry_exn t (e 2 20);
+  must_add t (e 1 10);
+  must_add t (e 2 20);
   Table.set_stats_enabled t true;
   let replica = Table.copy t in
   Table.set_stats_enabled replica true;
@@ -506,7 +510,7 @@ let test_stats_merge_after_churn () =
   (* Clear, refill: fresh seqs, so a second merge from the stale
      replica pairs nothing. *)
   Table.clear t;
-  Table.add_entry_exn t (e 3 30);
+  must_add t (e 3 30);
   Table.merge_stats_from t ~src:replica;
   match Table.entry_hits t with
   | [ (_, hits) ] -> check Alcotest.int "no cross-generation pairing" 0 hits
@@ -572,7 +576,7 @@ let mk_env tables name = List.find_opt (fun t -> Table.name t = name) tables
 
 let test_control_apply_switch () =
   let t = mk_table () in
-  Table.add_entry_exn t
+  must_add t
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 1) ];
       action = "set_b"; args = [ bv 16 7 ] };
   let control =
@@ -599,7 +603,7 @@ let test_control_apply_switch () =
 
 let test_control_apply_hit () =
   let t = mk_table () in
-  Table.add_entry_exn t
+  must_add t
     { Table.priority = 0; patterns = [ Table.M_exact (bv 8 9) ];
       action = "NoAction"; args = [] };
   let control =
@@ -686,7 +690,7 @@ let prop_compiled_control_matches_exec =
       let t = mk_table () in
       List.iter
         (fun v ->
-          Table.add_entry_exn t
+          must_add t
             { Table.priority = 0; patterns = [ Table.M_exact (bv 8 v) ];
               action = "set_b"; args = [ bv 16 (100 + v) ] })
         [ 1; 2; 3 ];

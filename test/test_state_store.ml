@@ -1,0 +1,545 @@
+(* The bounded state store: QCheck differential equivalence against an
+   unbounded reference model (LRU + TTL + eviction-callback ordering),
+   snapshot/restore round trips, shard migration, and the runtime-level
+   contracts — live re-shard digests equal cold-built ones, and store
+   eviction invalidates the flow cache's memoized verdict for the
+   evicted flow. *)
+
+open Dejavu_core
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let ip = Netpkt.Ip4.of_string_exn
+let pfx = Netpkt.Ip4.prefix_of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Reference model: an unbounded-by-construction assoc list in MRU
+   order, with the same capacity/TTL policy applied literally from the
+   spec — what the intrusive-list implementation must agree with. *)
+
+module Model = struct
+  type t = {
+    cfg : State_store.config;
+    mutable now : int64;
+    mutable entries : (int * int * int64) list;  (* (k, v, stamp), MRU first *)
+    mutable log : (State_store.evict_reason * int * int) list;  (* reversed *)
+  }
+
+  let create cfg = { cfg; now = 0L; entries = []; log = [] }
+
+  let expired m (_, _, stamp) =
+    m.cfg.State_store.ttl_ns > 0L
+    && Int64.sub m.now stamp >= m.cfg.State_store.ttl_ns
+
+  let evict m reason (k, v, _) = m.log <- (reason, k, v) :: m.log
+
+  let insert m k v =
+    if List.exists (fun (k', _, _) -> k' = k) m.entries then
+      m.entries <-
+        (k, v, m.now) :: List.filter (fun (k', _, _) -> k' <> k) m.entries
+    else begin
+      while List.length m.entries >= m.cfg.State_store.capacity do
+        let tail = List.nth m.entries (List.length m.entries - 1) in
+        evict m State_store.Capacity tail;
+        m.entries <-
+          List.filteri (fun i _ -> i < List.length m.entries - 1) m.entries
+      done;
+      m.entries <- (k, v, m.now) :: m.entries
+    end
+
+  let find m k =
+    match List.find_opt (fun (k', _, _) -> k' = k) m.entries with
+    | None -> None
+    | Some ((_, v, _) as e) ->
+        if expired m e then begin
+          evict m State_store.Expired e;
+          m.entries <- List.filter (fun (k', _, _) -> k' <> k) m.entries;
+          None
+        end
+        else begin
+          m.entries <-
+            (k, v, m.now) :: List.filter (fun (k', _, _) -> k' <> k) m.entries;
+          Some v
+        end
+
+  let remove m k = m.entries <- List.filter (fun (k', _, _) -> k' <> k) m.entries
+
+  let advance m ns =
+    m.now <- Int64.add m.now ns;
+    if m.cfg.State_store.ttl_ns > 0L then begin
+      (* Oldest-touched first = from the back of the MRU list. *)
+      let rec sweep () =
+        match List.rev m.entries with
+        | tail :: _ when expired m tail ->
+            evict m State_store.Expired tail;
+            let (k, _, _) = tail in
+            remove m k;
+            sweep ()
+        | _ -> ()
+      in
+      sweep ()
+    end
+
+  (* Oldest-first, like State_store.fold. *)
+  let contents m = List.rev_map (fun (k, v, _) -> (k, v)) m.entries
+end
+
+type op = Insert of int * int | Find of int | Remove of int | Advance of int64
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Insert (k, v)) (int_bound 15) (int_bound 99));
+        (4, map (fun k -> Find k) (int_bound 15));
+        (1, map (fun k -> Remove k) (int_bound 15));
+        (2, map (fun n -> Advance (Int64.of_int n)) (int_bound 3));
+      ])
+
+let pp_op = function
+  | Insert (k, v) -> Printf.sprintf "insert %d %d" k v
+  | Find k -> Printf.sprintf "find %d" k
+  | Remove k -> Printf.sprintf "remove %d" k
+  | Advance n -> Printf.sprintf "advance %Ld" n
+
+let trace_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 120) op_gen)
+
+(* One differential run: the store (with its eviction log recorded
+   through the typed on_evict hook) against the model, comparing every
+   find result, the final contents in LRU order, and the exact eviction
+   sequence with reasons. *)
+let differential cfg ops =
+  let store = State_store.create cfg in
+  let log = ref [] in
+  let tbl =
+    State_store.table store ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.int
+      ~on_evict:(fun reason k v -> log := (reason, k, v) :: !log)
+      ()
+  in
+  let m = Model.create (State_store.config store) in
+  let ok =
+    List.for_all
+      (fun op ->
+        match op with
+        | Insert (k, v) ->
+            State_store.insert tbl k v;
+            Model.insert m k v;
+            true
+        | Find k -> State_store.find tbl k = Model.find m k
+        | Remove k ->
+            State_store.remove tbl k;
+            Model.remove m k;
+            true
+        | Advance ns ->
+            let n = State_store.advance store ns in
+            let before = List.length m.Model.log in
+            Model.advance m ns;
+            n = List.length m.Model.log - before)
+      ops
+  in
+  ok
+  && State_store.now store = m.Model.now
+  && State_store.length tbl = List.length m.Model.entries
+  && State_store.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.rev
+     = Model.contents m
+  && !log = m.Model.log
+
+let prop_bounded_equals_reference =
+  QCheck.Test.make
+    ~name:"bounded store = reference model (LRU at capacity 4, TTL 5)"
+    ~count:300 trace_arb
+    (differential { State_store.capacity = 4; ttl_ns = 5L })
+
+let prop_large_capacity_equals_reference =
+  QCheck.Test.make
+    ~name:"under-capacity store = unbounded reference (no TTL)" ~count:300
+    trace_arb
+    (differential { State_store.capacity = 1024; ttl_ns = 0L })
+
+(* --- eviction-callback ordering (pinned, not just modeled) --------- *)
+
+let test_eviction_callback_order () =
+  let store = State_store.create { State_store.capacity = 3; ttl_ns = 0L } in
+  let order = ref [] in
+  let tbl =
+    State_store.table store ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.string
+      ~on_evict:(fun reason k _ ->
+        check Alcotest.bool "capacity reason" true (reason = State_store.Capacity);
+        order := k :: !order)
+      ()
+  in
+  List.iter (fun k -> State_store.insert tbl k "v") [ 1; 2; 3 ];
+  (* Touch 1 so 2 becomes the LRU victim. *)
+  ignore (State_store.find tbl 1);
+  List.iter (fun k -> State_store.insert tbl k "v") [ 4; 5 ];
+  check Alcotest.(list int) "LRU victims in age order" [ 2; 3 ] (List.rev !order);
+  check Alcotest.int "bound holds" 3 (State_store.length tbl);
+  check Alcotest.int "evictions counted" 2
+    (State_store.stats tbl).State_store.evictions
+
+let test_ttl_expiry () =
+  let store = State_store.create { State_store.capacity = 8; ttl_ns = 10L } in
+  let expired = ref [] in
+  let tbl =
+    State_store.table store ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.int
+      ~on_evict:(fun reason k _ ->
+        if reason = State_store.Expired then expired := k :: !expired)
+      ()
+  in
+  State_store.insert tbl 1 10;
+  ignore (State_store.advance store 6L);
+  State_store.insert tbl 2 20;
+  (* 1 is 6ns old, 2 is fresh; +5 pushes only 1 past the 10ns TTL. *)
+  check Alcotest.int "one expired on the sweep" 1 (State_store.advance store 5L);
+  check Alcotest.(list int) "the oldest one" [ 1 ] !expired;
+  check Alcotest.(option int) "expired entry misses" None (State_store.find tbl 1);
+  check Alcotest.(option int) "fresh entry survives" (Some 20)
+    (State_store.find tbl 2);
+  check Alcotest.int "expirations counted" 1
+    (State_store.stats tbl).State_store.expirations
+
+(* --- snapshot / restore -------------------------------------------- *)
+
+let build_store ops =
+  let store = State_store.create { State_store.capacity = 16; ttl_ns = 50L } in
+  let tbl =
+    State_store.table store ~name:"flows" ~key:State_store.Conv.int
+      ~value:State_store.Conv.string ()
+  in
+  let tbl2 =
+    State_store.table store ~name:"counts" ~key:State_store.Conv.string
+      ~value:State_store.Conv.int64 ()
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert (k, v) ->
+          State_store.insert tbl k (string_of_int v);
+          State_store.insert tbl2 (string_of_int (k mod 5)) (Int64.of_int v)
+      | Find k -> ignore (State_store.find tbl k)
+      | Remove k -> State_store.remove tbl k
+      | Advance ns -> ignore (State_store.advance store ns))
+    ops;
+  (store, tbl)
+
+let prop_snapshot_string_roundtrip =
+  QCheck.Test.make ~name:"snapshot -> string -> restore is the identity"
+    ~count:200 trace_arb (fun ops ->
+      let store, tbl = build_store ops in
+      let text = State_store.snapshot_to_string (State_store.snapshot store) in
+      let snap =
+        match State_store.snapshot_of_string text with
+        | Ok s -> s
+        | Error e -> QCheck.Test.fail_reportf "parse: %s" e
+      in
+      let fresh =
+        State_store.create { State_store.capacity = 16; ttl_ns = 50L }
+      in
+      State_store.restore fresh snap;
+      let ftbl =
+        State_store.table fresh ~name:"flows" ~key:State_store.Conv.int
+          ~value:State_store.Conv.string ()
+      in
+      State_store.now fresh = State_store.now store
+      && State_store.digest [| fresh |] = State_store.digest [| store |]
+      && State_store.fold (fun k v acc -> (k, v) :: acc) ftbl []
+         = State_store.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* A warm restart continues aging from the snapshot clock: entries old
+   at snapshot time expire on the restored store's first sweep. *)
+let test_restore_preserves_ages () =
+  let store = State_store.create { State_store.capacity = 8; ttl_ns = 10L } in
+  let tbl =
+    State_store.table store ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.int ()
+  in
+  State_store.insert tbl 1 10;
+  ignore (State_store.advance store 8L);
+  State_store.insert tbl 2 20;
+  let snap = State_store.snapshot store in
+  let fresh = State_store.create { State_store.capacity = 8; ttl_ns = 10L } in
+  State_store.restore fresh snap;
+  check Alcotest.int "entry 1 expires 2ns after restart" 1
+    (State_store.advance fresh 2L);
+  let ftbl =
+    State_store.table fresh ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.int ()
+  in
+  check Alcotest.(option int) "entry 2 still live" (Some 20)
+    (State_store.find ftbl 2)
+
+(* --- migration ----------------------------------------------------- *)
+
+let test_migrate_rehomes_and_preserves_union () =
+  let cfg = { State_store.capacity = 64; ttl_ns = 0L } in
+  let mk () = State_store.create cfg in
+  let shard_hint k = Int64.of_int k in
+  let reg store =
+    State_store.table store ~name:"t" ~key:State_store.Conv.int
+      ~value:State_store.Conv.int ~shard_hint ()
+  in
+  let a = [| mk (); mk () |] in
+  List.iteri
+    (fun i k -> State_store.insert (reg a.(k mod 2)) k (100 + i))
+    (List.init 20 Fun.id);
+  let before = State_store.digest a in
+  (* 2 -> 4 -> 1, re-homing by the hint each time. *)
+  let b = [| mk (); mk (); mk (); mk () |] in
+  State_store.migrate ~from:a ~into:b;
+  Array.iteri
+    (fun d store ->
+      ignore
+        (State_store.fold
+           (fun k _ () ->
+             check Alcotest.int
+               (Printf.sprintf "key %d homed by hint" k)
+               (k mod 4) d)
+           (reg store) ()))
+    b;
+  check Alcotest.bool "2 -> 4 digest preserved" true
+    (State_store.digest b = before);
+  let c = [| mk () |] in
+  State_store.migrate ~from:b ~into:c;
+  check Alcotest.bool "4 -> 1 digest preserved" true
+    (State_store.digest c = before);
+  check Alcotest.int "all entries in the single store" 20
+    (State_store.length (reg c.(0)))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime level: a single-pipelet LB deployment (classifier -> lb ->
+   router), where steady state neither punts nor recirculates — the
+   flow-cache/state-store interaction is fully visible. *)
+
+let lb_runtime ?engine () =
+  let rules =
+    [ { Nflib.Classifier.dst_prefix = pfx "10.0.1.0/24"; proto = None; path_id = 10; tenant = 1 } ]
+  in
+  let registry =
+    ("classifier", Nflib.Classifier.create rules)
+    :: List.remove_assoc "classifier" (Nflib.Catalog.registry ())
+  in
+  let chains =
+    [
+      Chain.make ~path_id:10 ~name:"lb_only"
+        ~nfs:[ "classifier"; "lb"; "router" ]
+        ~weight:1.0 ~exit_port:1 ();
+    ]
+  in
+  let compiled =
+    Result.get_ok
+      (Compiler.compile
+         (Compiler.default_input ~registry ~chains ~strategy:Placement.Greedy ()))
+  in
+  let rt = Runtime.create ?engine compiled in
+  Nflib.Catalog.attach_handlers rt compiled;
+  rt
+
+let engine ?(domains = 1) ?(cache = false) ~capacity ?(ttl_ns = 0L) () =
+  {
+    Runtime.Engine.default with
+    Runtime.Engine.domains;
+    cache =
+      (if cache then Runtime.Engine.Emc { capacity = 256 }
+       else Runtime.Engine.Off);
+    state = Runtime.Engine.Bounded { capacity; ttl_ns };
+  }
+
+let tcp ~src ~dst ~src_port ~dst_port =
+  Netpkt.Pkt.encode
+    (Netpkt.Pkt.tcp_flow
+       ~src_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:01")
+       ~dst_mac:(Netpkt.Mac.of_string_exn "02:00:00:00:00:02")
+       {
+         Netpkt.Flow.src;
+         dst;
+         proto = Netpkt.Ipv4.proto_tcp;
+         src_port;
+         dst_port;
+       })
+
+let red ~src_octet ~src_port =
+  ( 0,
+    tcp
+      ~src:(Netpkt.Ip4.of_octets 203 0 113 src_octet)
+      ~dst:(ip "10.0.1.10") ~src_port ~dst_port:80 )
+
+let signature_of = function
+  | Error e -> "error:" ^ e
+  | Ok (o : Runtime.outcome) -> (
+      match o.Runtime.verdict with
+      | Asic.Chip.Emitted { port; frame } ->
+          Printf.sprintf "emitted:%d:%s" port
+            (Digest.to_hex (Digest.bytes frame))
+      | Asic.Chip.Dropped -> "dropped"
+      | Asic.Chip.To_cpu b -> "to_cpu:" ^ Digest.to_hex (Digest.bytes b))
+
+let send rt (in_port, frame) = Runtime.process rt ~in_port frame
+
+let lb_workload ~flows ~per_flow =
+  List.concat
+    (List.init flows (fun f ->
+         List.init per_flow (fun _ ->
+             red ~src_octet:(1 + (f mod 200)) ~src_port:(2000 + f))))
+
+(* Live re-shard 2 -> 4 -> 1 under a Bounded knob: every transition
+   migrates the session ledger by the canonical 5-tuple hint, and the
+   final union digest equals a cold-built single-store runtime that
+   processed the same traffic — with the flow cache on throughout. *)
+let test_live_reshard_digest_equals_cold () =
+  let mk domains =
+    lb_runtime ~engine:(engine ~domains ~cache:true ~capacity:4096 ()) ()
+  in
+  let w1 = lb_workload ~flows:13 ~per_flow:2 in
+  let w2 = lb_workload ~flows:29 ~per_flow:1 in
+  let w3 = lb_workload ~flows:7 ~per_flow:3 in
+  let live = mk 2 in
+  ignore (Runtime.process_batch_parallel live w1);
+  check Alcotest.int "two shard stores" 2
+    (Array.length (Runtime.state_stores live));
+  Runtime.configure live { (Runtime.engine live) with Runtime.Engine.domains = 4 };
+  check Alcotest.int "migrated to four" 4
+    (Array.length (Runtime.state_stores live));
+  ignore (Runtime.process_batch_parallel live w2);
+  Runtime.configure live { (Runtime.engine live) with Runtime.Engine.domains = 1 };
+  check Alcotest.int "migrated to one" 1
+    (Array.length (Runtime.state_stores live));
+  ignore (Runtime.process_batch_parallel live w3);
+  let cold = mk 1 in
+  ignore (Runtime.process_batch_parallel cold (w1 @ w2 @ w3));
+  check Alcotest.bool "live re-sharded digest = cold-built digest" true
+    (State_store.digest (Runtime.state_stores live)
+    = State_store.digest (Runtime.state_stores cold));
+  (* And the ledger saw every distinct flow exactly once. *)
+  match Runtime.state_store cold with
+  | None -> Alcotest.fail "state store missing"
+  | Some store ->
+      let tbl =
+        State_store.table store ~name:Nflib.Lb.state_table_name
+          ~key:State_store.Conv.five_tuple ~value:State_store.Conv.ip4 ()
+      in
+      check Alcotest.int "29 distinct flows" 29 (State_store.length tbl)
+
+(* The acceptance gate: evicting a flow's state invalidates its cached
+   whole-chain verdict. With capacity 2, flow A's session is the LRU
+   victim when C arrives; A's next packet must re-punt (the chip entry
+   is gone), be re-assigned the same backend, and produce the same
+   bytes — and the cache must have revalidated, not replayed. *)
+let test_eviction_invalidates_cached_verdict () =
+  let rt = lb_runtime ~engine:(engine ~cache:true ~capacity:2 ()) () in
+  let a = red ~src_octet:9 ~src_port:7000 in
+  let b = red ~src_octet:10 ~src_port:7100 in
+  let c = red ~src_octet:11 ~src_port:7200 in
+  (match send rt a with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check Alcotest.int "A's first packet punts" 1
+        o.Runtime.counters.Runtime.Counters.cpu_round_trips);
+  let sig_a = signature_of (send rt a) in
+  (* A's verdict is now memoized. *)
+  ignore (send rt a);
+  let hits = (Flow_cache.stats (Option.get (Runtime.flow_cache rt))).Flow_cache.hits in
+  check Alcotest.bool "A served from cache" true (hits >= 1);
+  (* B then C: C's ledger insert evicts A (LRU), deleting A's chip
+     entry through the typed-op layer. *)
+  ignore (send rt b);
+  ignore (send rt c);
+  (match Runtime.state_store rt with
+  | None -> Alcotest.fail "state store missing"
+  | Some store ->
+      let occ =
+        List.fold_left
+          (fun acc (_, occ, _) -> acc + occ)
+          0 (State_store.per_table store)
+      in
+      check Alcotest.int "ledger bounded at 2" 2 occ);
+  match send rt a with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check Alcotest.int "evicted flow re-punts (not served stale)" 1
+        o.Runtime.counters.Runtime.Counters.cpu_round_trips;
+      check Alcotest.string "same backend, byte-identical output" sig_a
+        (signature_of (Ok o))
+
+(* Store counters surface as registry gauges in the stats snapshot. *)
+let test_state_gauges_in_snapshot () =
+  let rt =
+    lb_runtime
+      ~engine:
+        {
+          (engine ~capacity:1024 ()) with
+          Runtime.Engine.telemetry = Telemetry.Level.Counters;
+        }
+      ()
+  in
+  ignore (Runtime.process_batch rt (lb_workload ~flows:5 ~per_flow:2));
+  match Runtime.snapshot rt with
+  | None -> Alcotest.fail "telemetry off"
+  | Some snap ->
+      let count name =
+        match List.assoc_opt name snap with
+        | Some (Telemetry.Registry.Vcount n) -> n
+        | _ -> Alcotest.fail ("missing gauge " ^ name)
+      in
+      check Alcotest.int "state.stores" 1 (count "state.stores");
+      check Alcotest.int "state.capacity" 1024 (count "state.capacity");
+      check Alcotest.int "lb.sessions occupancy" 5
+        (count "state.lb.sessions.occupancy");
+      check Alcotest.int "lb.sessions inserts" 5
+        (count "state.lb.sessions.inserts")
+
+(* Bounded-off is byte-identical to an engine without the knob. *)
+let test_state_off_identical () =
+  let w = lb_workload ~flows:11 ~per_flow:3 in
+  let off = Runtime.process_batch (lb_runtime ()) w in
+  let on =
+    Runtime.process_batch (lb_runtime ~engine:(engine ~capacity:4096 ()) ()) w
+  in
+  check Alcotest.bool "digest and totals identical" true
+    (off.Runtime.digest = on.Runtime.digest
+    && off.Runtime.emitted = on.Runtime.emitted
+    && off.Runtime.to_cpu = on.Runtime.to_cpu
+    && off.Runtime.errors = on.Runtime.errors)
+
+let () =
+  Alcotest.run "state_store"
+    [
+      ( "differential",
+        [
+          qtest prop_bounded_equals_reference;
+          qtest prop_large_capacity_equals_reference;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "eviction callbacks in LRU order" `Quick
+            test_eviction_callback_order;
+          Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+        ] );
+      ( "snapshot",
+        [
+          qtest prop_snapshot_string_roundtrip;
+          Alcotest.test_case "restore preserves ages" `Quick
+            test_restore_preserves_ages;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "re-home 2 -> 4 -> 1" `Quick
+            test_migrate_rehomes_and_preserves_union;
+          Alcotest.test_case "live re-shard digest = cold" `Quick
+            test_live_reshard_digest_equals_cold;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "eviction invalidates cached verdict" `Quick
+            test_eviction_invalidates_cached_verdict;
+          Alcotest.test_case "state gauges in snapshot" `Quick
+            test_state_gauges_in_snapshot;
+          Alcotest.test_case "state off identical" `Quick
+            test_state_off_identical;
+        ] );
+    ]

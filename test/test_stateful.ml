@@ -141,7 +141,10 @@ let run_rl nf phv =
 
 let test_rate_limiter_differential () =
   let nf = Result.get_ok (Rate_limiter.create budgets ()) in
-  let counts = Hashtbl.create 4 in
+  let store =
+    State_store.create { State_store.capacity = 64; ttl_ns = 0L }
+  in
+  let counts = Rate_limiter.counts store in
   (* Interleave two tenants: 5 is limited to 4/window, 9 is unlimited. *)
   List.iter
     (fun tenant ->
@@ -167,6 +170,36 @@ let test_rate_limiter_window_reset () =
   check Alcotest.bool "over budget" true (send ());
   Option.iter P4ir.Register.clear (Nf.find_register nf Rate_limiter.register_name);
   check Alcotest.bool "fresh window" false (send ())
+
+(* Regression: the per-tenant counters used to live in a caller-owned
+   Hashtbl that nothing ever aged — every tenant id seen once stayed
+   forever. On the store they are capacity-bounded, and the TTL sweep
+   (the control plane's window tick) restarts idle tenants from zero. *)
+let test_rate_limiter_counts_bounded_and_aged () =
+  let store = State_store.create { State_store.capacity = 32; ttl_ns = 100L } in
+  let counts = Rate_limiter.counts store in
+  (* A scan across 1000 distinct tenant ids can't grow the table past
+     its bound. *)
+  for tenant = 1000 to 1999 do
+    ignore (Rate_limiter.reference budgets ~counts ~tenant)
+  done;
+  check Alcotest.bool "counter table bounded" true
+    (State_store.length counts <= 32);
+  (* Tenant 5 (budget 4): fill the window, cross it... *)
+  for _ = 1 to 4 do
+    check Alcotest.bool "within budget"
+      (* first 4 packets pass *) true
+      (Rate_limiter.reference budgets ~counts ~tenant:5 = `Pass)
+  done;
+  check Alcotest.bool "over budget" true
+    (Rate_limiter.reference budgets ~counts ~tenant:5 = `Drop);
+  (* ...then go idle past the TTL: the sweep expires the counter and
+     the next window starts from zero — same as the cleared register. *)
+  ignore (State_store.advance store 150L);
+  check Alcotest.(option int) "idle counter swept" None
+    (State_store.find counts 5);
+  check Alcotest.bool "fresh window after expiry" true
+    (Rate_limiter.reference budgets ~counts ~tenant:5 = `Pass)
 
 (* --- count-min sketch --- *)
 
@@ -352,6 +385,8 @@ let () =
         [
           Alcotest.test_case "differential" `Quick test_rate_limiter_differential;
           Alcotest.test_case "window reset" `Quick test_rate_limiter_window_reset;
+          Alcotest.test_case "counts bounded and aged" `Quick
+            test_rate_limiter_counts_bounded_and_aged;
         ] );
       ( "ddos_sketch",
         [
